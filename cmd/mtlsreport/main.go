@@ -1,0 +1,59 @@
+// Command mtlsreport runs the full analysis pipeline and prints every
+// table and figure of the paper, optionally writing the paper-vs-measured
+// comparison to EXPERIMENTS.md.
+//
+// Usage:
+//
+//	mtlsreport                      # generate in memory and report
+//	mtlsreport -logs ./data         # analyze logs written by mtlsgen
+//	mtlsreport -experiments EXP.md  # also write the comparison document
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	mtls "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	logs := flag.String("logs", "", "directory with ssl.log/x509.log (empty = generate in memory)")
+	scale := flag.Int("scale", 0, "certificate scale divisor when generating")
+	seed := flag.Uint64("seed", 0, "generator seed when generating")
+	experiments := flag.String("experiments", "", "path to write EXPERIMENTS.md content")
+	quiet := flag.Bool("quiet", false, "suppress the full table dump")
+	flag.Parse()
+
+	cfg := mtls.DefaultConfig()
+	if *scale > 0 {
+		cfg.CertScale = *scale
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	build := mtls.Generate(cfg)
+	if *logs != "" {
+		ds, err := mtls.OpenLogs(*logs)
+		if err != nil {
+			log.Fatalf("mtlsreport: open logs: %v", err)
+		}
+		build.Raw = ds
+	}
+
+	analysis := mtls.Analyze(build)
+	if !*quiet {
+		fmt.Print(mtls.Render(analysis))
+	}
+	if *experiments != "" {
+		note := fmt.Sprintf("Counts are scaled by 1/%d (connection weights are unscaled); seed %d.",
+			cfg.CertScale, cfg.Seed)
+		if err := os.WriteFile(*experiments, []byte(mtls.Experiments(analysis, note)), 0o644); err != nil {
+			log.Fatalf("mtlsreport: write experiments: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *experiments)
+	}
+}

@@ -1,0 +1,106 @@
+// Command tlstap is a deployable inline passive monitor: it relays TCP
+// connections to a backend unchanged while recovering Zeek-style ssl.log
+// and x509.log records from the TLS handshakes it carries — mutual TLS
+// included. It is the live-traffic counterpart of the offline pipeline.
+//
+// Usage:
+//
+//	tlstap -listen 127.0.0.1:8443 -backend example.com:443 -out ./captured
+//
+// Then point any TLS client at the listen address; on shutdown (SIGINT)
+// the captured logs are written to the output directory.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+
+	"repro/internal/ids"
+	"repro/internal/zeek"
+)
+
+func main() {
+	log.SetFlags(0)
+	listen := flag.String("listen", "127.0.0.1:8443", "address to accept connections on")
+	backend := flag.String("backend", "", "upstream address to relay to (required)")
+	out := flag.String("out", "captured", "directory to write ssl.log/x509.log on shutdown")
+	verbose := flag.Bool("v", true, "print one line per analyzed connection")
+	flag.Parse()
+	if *backend == "" {
+		log.Fatal("tlstap: -backend is required")
+	}
+
+	analyzer := zeek.NewAnalyzer(ids.NewRNG(uint64(os.Getpid())))
+	tap := &zeek.Tap{
+		Backend:  *backend,
+		Analyzer: analyzer,
+		OnRecord: func(r *zeek.SSLRecord) {
+			if *verbose {
+				fmt.Printf("%s %s:%d -> %s:%d %s sni=%q mutual=%v established=%v\n",
+					r.UID, r.OrigIP, r.OrigPort, r.RespIP, r.RespPort,
+					r.Version, r.SNI, r.IsMutual(), r.Established)
+			}
+		},
+		OnError: func(err error) {
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "tlstap: %v\n", err)
+			}
+		},
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("tlstap: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "tlstap: relaying %s -> %s (Ctrl-C to stop and write logs)\n",
+		*listen, *backend)
+	if err := tap.Serve(ctx, ln); err != nil && ctx.Err() == nil {
+		log.Fatalf("tlstap: %v", err)
+	}
+
+	if err := writeLogs(analyzer, *out); err != nil {
+		log.Fatalf("tlstap: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "tlstap: wrote %d connections, %d certificates to %s\n",
+		len(analyzer.SSL), len(analyzer.X509), *out)
+}
+
+func writeLogs(a *zeek.Analyzer, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	sslF, err := os.Create(filepath.Join(dir, "ssl.log"))
+	if err != nil {
+		return err
+	}
+	defer sslF.Close()
+	sw := zeek.NewSSLWriter(sslF)
+	for i := range a.SSL {
+		if err := sw.Write(&a.SSL[i]); err != nil {
+			return err
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+	xF, err := os.Create(filepath.Join(dir, "x509.log"))
+	if err != nil {
+		return err
+	}
+	defer xF.Close()
+	xw := zeek.NewX509Writer(xF)
+	for i := range a.X509 {
+		if err := xw.Write(&a.X509[i]); err != nil {
+			return err
+		}
+	}
+	return xw.Flush()
+}

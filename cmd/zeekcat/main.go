@@ -1,0 +1,71 @@
+// Command zeekcat inspects Zeek-style logs written by mtlsgen: it prints
+// row summaries with optional filters, the grep/less of this repository's
+// log format.
+//
+// Usage:
+//
+//	zeekcat -logs ./data -mutual -sni idrive.com -n 20
+//	zeekcat -logs ./data -certs -issuer "Globus Online"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	mtls "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	logs := flag.String("logs", "data", "directory with ssl.log/x509.log")
+	mutualOnly := flag.Bool("mutual", false, "show only mutual-TLS connections")
+	sni := flag.String("sni", "", "filter: SNI substring")
+	issuer := flag.String("issuer", "", "filter: certificate issuer substring (with -certs)")
+	certs := flag.Bool("certs", false, "list certificates instead of connections")
+	n := flag.Int("n", 40, "max rows to print")
+	flag.Parse()
+
+	ds, err := mtls.OpenLogs(*logs)
+	if err != nil {
+		log.Fatalf("zeekcat: %v", err)
+	}
+
+	if *certs {
+		printed := 0
+		for _, c := range ds.Certs {
+			if *issuer != "" && !strings.Contains(strings.ToLower(c.IssuerDN()), strings.ToLower(*issuer)) {
+				continue
+			}
+			fmt.Printf("%s serial=%s issuer=%q subject=%q validity=%s..%s\n",
+				c.Fingerprint.Short(), c.SerialHex, c.IssuerDN(), c.SubjectDN(),
+				c.NotBefore.Format("2006-01-02"), c.NotAfter.Format("2006-01-02"))
+			printed++
+			if printed >= *n {
+				break
+			}
+		}
+		fmt.Printf("(%d of %d certificates)\n", printed, len(ds.Certs))
+		return
+	}
+
+	printed := 0
+	for i := range ds.Conns {
+		c := &ds.Conns[i]
+		if *mutualOnly && !c.IsMutual() {
+			continue
+		}
+		if *sni != "" && !strings.Contains(strings.ToLower(c.SNI), strings.ToLower(*sni)) {
+			continue
+		}
+		fmt.Printf("%s %s %s:%d -> %s:%d %s sni=%q mutual=%v est=%v w=%d\n",
+			c.TS.Format("2006-01-02"), c.UID, c.OrigIP, c.OrigPort, c.RespIP, c.RespPort,
+			c.Version, c.SNI, c.IsMutual(), c.Established, c.Weight)
+		printed++
+		if printed >= *n {
+			break
+		}
+	}
+	fmt.Printf("(%d of %d connections)\n", printed, len(ds.Conns))
+}

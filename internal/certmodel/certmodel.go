@@ -1,0 +1,267 @@
+// Package certmodel defines the certificate metadata model used throughout
+// the reproduction, mirroring the fields Zeek's x509.log extracts from
+// certificates exchanged during TLS negotiation (§3.1): serial number,
+// issuer, subject, validity window, SANs, and key parameters.
+//
+// Two construction paths exist:
+//
+//   - the wire path builds real DER certificates (see gen.go) and parses
+//     them back with ParseDER, proving the model round-trips through
+//     genuine X.509 encoding; and
+//   - the bulk path fills CertInfo directly from the workload generator,
+//     carrying a synthetic fingerprint, so million-certificate experiments
+//     do not pay for public-key cryptography.
+//
+// Both paths feed the identical analysis code.
+package certmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// KeyAlg enumerates public-key algorithms the analyses care about.
+type KeyAlg int
+
+const (
+	KeyUnknown KeyAlg = iota
+	KeyRSA
+	KeyECDSA
+)
+
+// String implements fmt.Stringer.
+func (k KeyAlg) String() string {
+	switch k {
+	case KeyRSA:
+		return "rsa"
+	case KeyECDSA:
+		return "ecdsa"
+	default:
+		return "unknown"
+	}
+}
+
+// CertInfo is the per-certificate record, one row of x509.log.
+type CertInfo struct {
+	// Fingerprint is the SHA-256 of the DER bytes (wire path) or of the
+	// synthetic identity (bulk path); it is the "unique certificate" key.
+	Fingerprint ids.Fingerprint
+
+	// SerialHex is the certificate serial number in uppercase hex without
+	// leading zero bytes stripped — exactly as issued, because §5.1.2's
+	// dummy-serial analysis depends on the literal value ("00", "024680").
+	SerialHex string
+
+	// Version is the X.509 version number (1 or 3 in practice; §5.1.1
+	// flags version-1 certificates from dummy issuers).
+	Version int
+
+	// Issuer distinguished-name components.
+	IssuerCN  string
+	IssuerOrg string
+
+	// Subject distinguished-name components.
+	SubjectCN  string
+	SubjectOrg string
+
+	// SAN values by general-name type (OpenSSL's GEN_DNS / GEN_IPADD /
+	// GEN_EMAIL / GEN_URI; §6.1.2).
+	SANDNS   []string
+	SANIP    []string
+	SANEmail []string
+	SANURI   []string
+
+	// Validity window. The paper's §5.3.1 certificates have NotBefore
+	// AFTER NotAfter; the model must represent that faithfully, so no
+	// invariant is enforced here.
+	NotBefore time.Time
+	NotAfter  time.Time
+
+	// Key parameters.
+	KeyAlg  KeyAlg
+	KeyBits int
+
+	// SelfSigned reports issuer DN == subject DN.
+	SelfSigned bool
+
+	// DER holds the raw encoding when the certificate came off the wire;
+	// nil on the bulk path.
+	DER []byte `json:"-"`
+}
+
+// ValidityDays returns NotAfter−NotBefore in whole days; negative for
+// incorrect-date certificates (§5.3.1).
+func (c *CertInfo) ValidityDays() int64 {
+	return int64(c.NotAfter.Sub(c.NotBefore) / (24 * time.Hour))
+}
+
+// HasIncorrectDates reports a not_valid_before that does not precede
+// not_valid_after — the Figure 3 misconfiguration. Identical timestamps
+// also qualify (the paper's ayoba.me case).
+func (c *CertInfo) HasIncorrectDates() bool {
+	return !c.NotBefore.Before(c.NotAfter)
+}
+
+// ExpiredAt reports whether the certificate is expired at t. Certificates
+// with incorrect dates are treated as expired whenever t is past NotAfter,
+// matching the validation behaviour the paper probes.
+func (c *CertInfo) ExpiredAt(t time.Time) bool {
+	return t.After(c.NotAfter)
+}
+
+// DaysExpiredAt returns how many whole days past NotAfter t is (0 when not
+// expired) — the x-axis of Figure 5.
+func (c *CertInfo) DaysExpiredAt(t time.Time) int64 {
+	if !c.ExpiredAt(t) {
+		return 0
+	}
+	return int64(t.Sub(c.NotAfter) / (24 * time.Hour))
+}
+
+// WeakKey reports keys disallowed by NIST SP 800-57 (RSA < 2048 bits after
+// 2013-12-31), which §5.1.1 flags for dummy-issuer certificates.
+func (c *CertInfo) WeakKey() bool {
+	return c.KeyAlg == KeyRSA && c.KeyBits > 0 && c.KeyBits < 2048
+}
+
+// MissingIssuer reports an empty issuer organization AND common name —
+// the Private-MissingIssuer category of §4.2.
+func (c *CertInfo) MissingIssuer() bool {
+	return strings.TrimSpace(c.IssuerOrg) == "" && strings.TrimSpace(c.IssuerCN) == ""
+}
+
+// IssuerKey returns the string the analyses group "same issuer" by: the
+// organization when present, else the CN, else the empty string.
+func (c *CertInfo) IssuerKey() string {
+	if o := strings.TrimSpace(c.IssuerOrg); o != "" {
+		return o
+	}
+	return strings.TrimSpace(c.IssuerCN)
+}
+
+// IssuerDN renders the issuer as a Zeek-style distinguished name.
+func (c *CertInfo) IssuerDN() string { return FormatDN(c.IssuerCN, c.IssuerOrg) }
+
+// SubjectDN renders the subject as a Zeek-style distinguished name.
+func (c *CertInfo) SubjectDN() string { return FormatDN(c.SubjectCN, c.SubjectOrg) }
+
+// SANSummary joins all SAN values for logging, sorted per type.
+func (c *CertInfo) SANSummary() string {
+	parts := make([]string, 0, 4)
+	add := func(prefix string, vals []string) {
+		if len(vals) == 0 {
+			return
+		}
+		vs := append([]string(nil), vals...)
+		sort.Strings(vs)
+		parts = append(parts, prefix+strings.Join(vs, "|"))
+	}
+	add("dns=", c.SANDNS)
+	add("ip=", c.SANIP)
+	add("email=", c.SANEmail)
+	add("uri=", c.SANURI)
+	return strings.Join(parts, ";")
+}
+
+// FormatDN renders "CN=x,O=y" in Zeek's subject/issuer field style,
+// omitting empty components. Values containing commas are escaped.
+func FormatDN(cn, org string) string {
+	var parts []string
+	if cn != "" {
+		parts = append(parts, "CN="+escapeDN(cn))
+	}
+	if org != "" {
+		parts = append(parts, "O="+escapeDN(org))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseDN inverts FormatDN, tolerating unknown attribute types.
+func ParseDN(dn string) (cn, org string) {
+	for _, part := range splitDN(dn) {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			continue
+		}
+		switch strings.ToUpper(strings.TrimSpace(k)) {
+		case "CN":
+			cn = unescapeDN(v)
+		case "O":
+			org = unescapeDN(v)
+		}
+	}
+	return cn, org
+}
+
+func escapeDN(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, ",", `\,`)
+}
+
+func unescapeDN(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			b.WriteByte(s[i])
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// splitDN splits on unescaped commas.
+func splitDN(dn string) []string {
+	var parts []string
+	var cur strings.Builder
+	for i := 0; i < len(dn); i++ {
+		switch {
+		case dn[i] == '\\' && i+1 < len(dn):
+			cur.WriteByte(dn[i])
+			i++
+			cur.WriteByte(dn[i])
+		case dn[i] == ',':
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(dn[i])
+		}
+	}
+	if cur.Len() > 0 {
+		parts = append(parts, cur.String())
+	}
+	return parts
+}
+
+// SyntheticFingerprint derives the bulk-path identity for a certificate
+// from its distinguishing content, so that regenerating the same workload
+// yields the same fingerprints.
+func SyntheticFingerprint(c *CertInfo, discriminator string) ids.Fingerprint {
+	var b strings.Builder
+	b.WriteString(c.SerialHex)
+	b.WriteByte('\n')
+	b.WriteString(c.IssuerDN())
+	b.WriteByte('\n')
+	b.WriteString(c.SubjectDN())
+	b.WriteByte('\n')
+	b.WriteString(c.SANSummary())
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%d\n%d\n%d\n%d\n", c.NotBefore.Unix(), c.NotAfter.Unix(), c.KeyAlg, c.KeyBits)
+	b.WriteString(discriminator)
+	return ids.FingerprintString(b.String())
+}
+
+// Clock converts an absolute day offset from the study epoch into a time;
+// the workload generator positions events on study days 0..~700.
+var StudyEpoch = time.Date(2022, time.May, 1, 0, 0, 0, 0, time.UTC)
+
+// DayToTime maps a study-day offset (day 0 = 2022-05-01) to a UTC time.
+func DayToTime(day int) time.Time { return StudyEpoch.AddDate(0, 0, day) }
+
+// TimeToMonth formats the Figure 1 month key.
+func TimeToMonth(t time.Time) string { return t.Format("2006-01") }

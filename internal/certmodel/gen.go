@@ -1,0 +1,290 @@
+package certmodel
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/hex"
+	"fmt"
+	"math/big"
+	"net"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Generator mints real DER-encoded X.509 certificates for the wire path.
+// Key generation dominates the cost of issuance, so the generator keeps a
+// small pool of ECDSA keys and reuses them across leaves — which, besides
+// being fast, deliberately mirrors the paper's observation that dummy
+// certificates reuse "generic keys" (§5.1.1).
+type Generator struct {
+	keys []*ecdsa.PrivateKey
+	next int
+}
+
+// NewGenerator creates a generator with poolSize pre-generated P-256 keys
+// (minimum 1).
+func NewGenerator(poolSize int) (*Generator, error) {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	g := &Generator{keys: make([]*ecdsa.PrivateKey, poolSize)}
+	for i := range g.keys {
+		k, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+		if err != nil {
+			return nil, fmt.Errorf("certmodel: key pool: %w", err)
+		}
+		g.keys[i] = k
+	}
+	return g, nil
+}
+
+func (g *Generator) key() *ecdsa.PrivateKey {
+	k := g.keys[g.next%len(g.keys)]
+	g.next++
+	return k
+}
+
+// LastKey returns the private key used by the most recent issuance — for
+// callers that want to actually serve TLS with a minted leaf (the
+// live-capture example).
+func (g *Generator) LastKey() *ecdsa.PrivateKey {
+	return g.keys[(g.next-1+len(g.keys))%len(g.keys)]
+}
+
+// CA is a certificate authority capable of signing leaves.
+type CA struct {
+	Cert *x509.Certificate
+	Key  *ecdsa.PrivateKey
+	DER  []byte
+}
+
+// Fingerprint returns the CA certificate's fingerprint.
+func (ca *CA) Fingerprint() ids.Fingerprint { return ids.FingerprintBytes(ca.DER) }
+
+// Spec describes a certificate to mint.
+type Spec struct {
+	SerialHex  string // hex serial; empty means random
+	SubjectCN  string
+	SubjectOrg string
+	IssuerCN   string // only used for self-signed roots (ignored when a CA signs)
+	IssuerOrg  string
+	NotBefore  time.Time
+	NotAfter   time.Time
+	SANDNS     []string
+	SANIP      []string
+	SANEmail   []string
+	SANURI     []string
+	IsCA       bool
+	Client     bool // include clientAuth EKU
+	Server     bool // include serverAuth EKU
+}
+
+// NewRootCA mints a self-signed root.
+func (g *Generator) NewRootCA(cn, org string, notBefore, notAfter time.Time) (*CA, error) {
+	key := g.key()
+	tpl, err := buildTemplate(Spec{
+		SubjectCN: cn, SubjectOrg: org,
+		NotBefore: notBefore, NotAfter: notAfter,
+		IsCA: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tpl, tpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("certmodel: self-sign %q: %w", cn, err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{Cert: cert, Key: key, DER: der}, nil
+}
+
+// NewIntermediateCA mints an intermediate signed by parent.
+func (g *Generator) NewIntermediateCA(parent *CA, cn, org string, notBefore, notAfter time.Time) (*CA, error) {
+	key := g.key()
+	tpl, err := buildTemplate(Spec{
+		SubjectCN: cn, SubjectOrg: org,
+		NotBefore: notBefore, NotAfter: notAfter,
+		IsCA: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tpl, parent.Cert, &key.PublicKey, parent.Key)
+	if err != nil {
+		return nil, fmt.Errorf("certmodel: sign intermediate %q: %w", cn, err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{Cert: cert, Key: key, DER: der}, nil
+}
+
+// IssueLeaf mints a leaf certificate signed by ca (or self-signed when ca
+// is nil) and returns its DER encoding.
+func (g *Generator) IssueLeaf(ca *CA, spec Spec) ([]byte, error) {
+	key := g.key()
+	tpl, err := buildTemplate(spec)
+	if err != nil {
+		return nil, err
+	}
+	parentCert := tpl
+	signer := key
+	if ca != nil {
+		parentCert = ca.Cert
+		signer = ca.Key
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tpl, parentCert, &key.PublicKey, signer)
+	if err != nil {
+		return nil, fmt.Errorf("certmodel: issue leaf %q: %w", spec.SubjectCN, err)
+	}
+	return der, nil
+}
+
+func buildTemplate(spec Spec) (*x509.Certificate, error) {
+	serial := new(big.Int)
+	if spec.SerialHex != "" {
+		b, err := hex.DecodeString(evenHex(spec.SerialHex))
+		if err != nil {
+			return nil, fmt.Errorf("certmodel: bad serial %q: %w", spec.SerialHex, err)
+		}
+		serial.SetBytes(b)
+	} else {
+		var err error
+		serial, err = rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 120))
+		if err != nil {
+			return nil, err
+		}
+	}
+	tpl := &x509.Certificate{
+		SerialNumber: serial,
+		Subject: pkix.Name{
+			CommonName: spec.SubjectCN,
+		},
+		NotBefore:             spec.NotBefore,
+		NotAfter:              spec.NotAfter,
+		BasicConstraintsValid: true,
+		IsCA:                  spec.IsCA,
+		DNSNames:              spec.SANDNS,
+		EmailAddresses:        spec.SANEmail,
+	}
+	if spec.SubjectOrg != "" {
+		tpl.Subject.Organization = []string{spec.SubjectOrg}
+	}
+	for _, ip := range spec.SANIP {
+		if parsed := net.ParseIP(ip); parsed != nil {
+			tpl.IPAddresses = append(tpl.IPAddresses, parsed)
+		}
+	}
+	for _, u := range spec.SANURI {
+		if parsed, err := url.Parse(u); err == nil {
+			tpl.URIs = append(tpl.URIs, parsed)
+		}
+	}
+	if spec.IsCA {
+		tpl.KeyUsage = x509.KeyUsageCertSign | x509.KeyUsageCRLSign
+	} else {
+		tpl.KeyUsage = x509.KeyUsageDigitalSignature
+		if spec.Server {
+			tpl.ExtKeyUsage = append(tpl.ExtKeyUsage, x509.ExtKeyUsageServerAuth)
+		}
+		if spec.Client {
+			tpl.ExtKeyUsage = append(tpl.ExtKeyUsage, x509.ExtKeyUsageClientAuth)
+		}
+	}
+	return tpl, nil
+}
+
+// evenHex pads a hex string to an even number of digits.
+func evenHex(s string) string {
+	if len(s)%2 == 1 {
+		return "0" + s
+	}
+	return s
+}
+
+// ParseDER decodes a DER certificate into the analysis model. This is the
+// wire path's bridge into the pipeline: whatever the monitor captures ends
+// up as the same CertInfo the bulk path produces.
+func ParseDER(der []byte) (*CertInfo, error) {
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("certmodel: parse DER: %w", err)
+	}
+	return FromX509(cert, der), nil
+}
+
+// FromX509 converts an already-parsed certificate.
+func FromX509(cert *x509.Certificate, der []byte) *CertInfo {
+	info := &CertInfo{
+		Fingerprint: ids.FingerprintBytes(der),
+		SerialHex:   serialToHex(cert.SerialNumber),
+		Version:     cert.Version,
+		IssuerCN:    cert.Issuer.CommonName,
+		IssuerOrg:   firstOf(cert.Issuer.Organization),
+		SubjectCN:   cert.Subject.CommonName,
+		SubjectOrg:  firstOf(cert.Subject.Organization),
+		SANDNS:      append([]string(nil), cert.DNSNames...),
+		SANEmail:    append([]string(nil), cert.EmailAddresses...),
+		NotBefore:   cert.NotBefore,
+		NotAfter:    cert.NotAfter,
+		SelfSigned:  cert.Issuer.String() == cert.Subject.String(),
+		DER:         der,
+	}
+	for _, ip := range cert.IPAddresses {
+		info.SANIP = append(info.SANIP, ip.String())
+	}
+	for _, u := range cert.URIs {
+		info.SANURI = append(info.SANURI, u.String())
+	}
+	switch pub := cert.PublicKey.(type) {
+	case *ecdsa.PublicKey:
+		info.KeyAlg = KeyECDSA
+		info.KeyBits = pub.Curve.Params().BitSize
+	default:
+		if bits := rsaBits(cert); bits > 0 {
+			info.KeyAlg = KeyRSA
+			info.KeyBits = bits
+		}
+	}
+	return info
+}
+
+// rsaBits extracts the modulus size from an RSA public key without
+// importing crypto/rsa at the top of the hot path.
+func rsaBits(cert *x509.Certificate) int {
+	type rsaPub interface{ Size() int }
+	if p, ok := cert.PublicKey.(rsaPub); ok {
+		return p.Size() * 8
+	}
+	return 0
+}
+
+// serialToHex renders a serial the way the workload writes them: uppercase
+// hex, preserving at least two digits so the literal "00" survives.
+func serialToHex(n *big.Int) string {
+	if n == nil || n.Sign() == 0 {
+		return "00"
+	}
+	s := strings.ToUpper(n.Text(16))
+	if len(s)%2 == 1 {
+		s = "0" + s
+	}
+	return s
+}
+
+func firstOf(xs []string) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	return xs[0]
+}

@@ -1,0 +1,215 @@
+package certmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func newGen(t *testing.T) *Generator {
+	t.Helper()
+	g, err := NewGenerator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRootCAAndLeafRoundTrip(t *testing.T) {
+	g := newGen(t)
+	nb, na := date(2022, 1, 1), date(2032, 1, 1)
+	ca, err := g.NewRootCA("Test Root", "Test Org", nb, na)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ca.Cert.IsCA {
+		t.Fatal("root not a CA")
+	}
+	if !ca.Fingerprint().Valid() {
+		t.Fatal("CA fingerprint invalid")
+	}
+
+	der, err := g.IssueLeaf(ca, Spec{
+		SerialHex:  "024680",
+		SubjectCN:  "server.example.com",
+		SubjectOrg: "Example",
+		NotBefore:  date(2022, 6, 1),
+		NotAfter:   date(2023, 6, 1),
+		SANDNS:     []string{"server.example.com", "alt.example.com"},
+		SANIP:      []string{"192.0.2.7"},
+		SANEmail:   []string{"ops@example.com"},
+		SANURI:     []string{"https://example.com/x"},
+		Server:     true,
+		Client:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ParseDER(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SerialHex != "024680" {
+		t.Fatalf("serial = %q, want 024680", info.SerialHex)
+	}
+	if info.SubjectCN != "server.example.com" || info.SubjectOrg != "Example" {
+		t.Fatalf("subject = %q / %q", info.SubjectCN, info.SubjectOrg)
+	}
+	if info.IssuerCN != "Test Root" || info.IssuerOrg != "Test Org" {
+		t.Fatalf("issuer = %q / %q", info.IssuerCN, info.IssuerOrg)
+	}
+	if len(info.SANDNS) != 2 || len(info.SANIP) != 1 || len(info.SANEmail) != 1 || len(info.SANURI) != 1 {
+		t.Fatalf("SANs = %+v", info)
+	}
+	if info.SANIP[0] != "192.0.2.7" {
+		t.Fatalf("SAN IP = %q", info.SANIP[0])
+	}
+	if info.KeyAlg != KeyECDSA || info.KeyBits != 256 {
+		t.Fatalf("key = %v/%d", info.KeyAlg, info.KeyBits)
+	}
+	if info.SelfSigned {
+		t.Fatal("CA-signed leaf flagged self-signed")
+	}
+	if !info.NotBefore.Equal(date(2022, 6, 1)) || !info.NotAfter.Equal(date(2023, 6, 1)) {
+		t.Fatalf("validity = %v..%v", info.NotBefore, info.NotAfter)
+	}
+	if info.Version != 3 {
+		t.Fatalf("version = %d", info.Version)
+	}
+}
+
+func TestSelfSignedLeaf(t *testing.T) {
+	g := newGen(t)
+	der, err := g.IssueLeaf(nil, Spec{
+		SubjectCN: "selfie",
+		NotBefore: date(2022, 1, 1),
+		NotAfter:  date(2023, 1, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ParseDER(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.SelfSigned {
+		t.Fatal("self-signed leaf not detected")
+	}
+}
+
+func TestIntermediateChain(t *testing.T) {
+	g := newGen(t)
+	root, err := g.NewRootCA("Root", "RootOrg", date(2020, 1, 1), date(2040, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := g.NewIntermediateCA(root, "Inter", "RootOrg", date(2020, 1, 1), date(2035, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.Cert.Issuer.CommonName != "Root" {
+		t.Fatalf("intermediate issuer = %q", inter.Cert.Issuer.CommonName)
+	}
+	der, err := g.IssueLeaf(inter, Spec{
+		SubjectCN: "leaf", NotBefore: date(2022, 1, 1), NotAfter: date(2023, 1, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ParseDER(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.IssuerCN != "Inter" {
+		t.Fatalf("leaf issuer = %q", info.IssuerCN)
+	}
+}
+
+func TestDummySerialZero(t *testing.T) {
+	g := newGen(t)
+	der, err := g.IssueLeaf(nil, Spec{
+		SerialHex: "00", SubjectCN: "globus-host",
+		NotBefore: date(2023, 1, 1), NotAfter: date(2023, 1, 15),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ParseDER(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SerialHex != "00" {
+		t.Fatalf("serial = %q, want 00 (the Globus dummy serial)", info.SerialHex)
+	}
+	if got := info.ValidityDays(); got != 14 {
+		t.Fatalf("validity = %d days, want 14", got)
+	}
+}
+
+func TestIncorrectDatesOnWire(t *testing.T) {
+	// Prove the wire path can mint and re-parse the paper's reversed
+	// validity windows (Figure 3: not_before after not_after).
+	g := newGen(t)
+	der, err := g.IssueLeaf(nil, Spec{
+		SubjectCN: "idrive-device",
+		NotBefore: date(2019, 8, 2),
+		NotAfter:  date(1849, 10, 24),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ParseDER(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.HasIncorrectDates() {
+		t.Fatalf("incorrect dates lost in DER round trip: %v..%v", info.NotBefore, info.NotAfter)
+	}
+}
+
+func TestParseDERRejectsGarbage(t *testing.T) {
+	if _, err := ParseDER([]byte{0x01, 0x02, 0x03}); err == nil {
+		t.Fatal("garbage DER should fail")
+	}
+}
+
+func TestFingerprintUniquePerLeaf(t *testing.T) {
+	g := newGen(t)
+	spec := Spec{SubjectCN: "x", NotBefore: date(2022, 1, 1), NotAfter: date(2023, 1, 1)}
+	d1, err := g.IssueLeaf(nil, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := g.IssueLeaf(nil, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := ParseDER(d1)
+	i2, _ := ParseDER(d2)
+	if i1.Fingerprint == i2.Fingerprint {
+		t.Fatal("distinct issuances (random serials) should fingerprint differently")
+	}
+}
+
+func TestEvenHex(t *testing.T) {
+	if evenHex("1") != "01" || evenHex("024680") != "024680" {
+		t.Fatal("evenHex wrong")
+	}
+}
+
+func TestGeneratorKeyPoolCycles(t *testing.T) {
+	g, err := NewGenerator(0) // clamps to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.keys) != 1 {
+		t.Fatalf("pool size = %d", len(g.keys))
+	}
+	// Issue more leaves than keys; must not panic.
+	for i := 0; i < 3; i++ {
+		if _, err := g.IssueLeaf(nil, Spec{
+			SubjectCN: "c", NotBefore: time.Now(), NotAfter: time.Now().Add(time.Hour),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

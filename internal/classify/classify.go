@@ -1,0 +1,169 @@
+// Package classify implements the paper's issuer categorization (§4.2):
+// every client (or server) certificate issuer is assigned to Public or one
+// of seven Private subcategories — Corporation, Education, Government,
+// WebHosting, Dummy, Others, MissingIssuer — using trust-store membership,
+// fuzzy matching on the issuer organization string, and the dummy-issuer
+// lexicon of §5.1.1.
+package classify
+
+import (
+	"strings"
+
+	"repro/internal/certmodel"
+	"repro/internal/ids"
+	"repro/internal/nerlite"
+	"repro/internal/truststore"
+)
+
+// Category is the §4.2 issuer category.
+type Category int
+
+const (
+	// Public: issuer (or chain) found in CCADB or a major trust store.
+	Public Category = iota
+	// Corporation: issuer organizations recognized as corporation names.
+	Corporation
+	// Education: universities and schools.
+	Education
+	// Government: government entities.
+	Government
+	// WebHosting: web-hosting providers.
+	WebHosting
+	// Dummy: software/protocol default strings ("Internet Widgits Pty Ltd").
+	Dummy
+	// Others: non-empty issuers the fuzzy matcher does not recognize.
+	Others
+	// MissingIssuer: empty issuer organization (and CN).
+	MissingIssuer
+)
+
+// String renders the category as the paper's table labels.
+func (c Category) String() string {
+	switch c {
+	case Public:
+		return "Public"
+	case Corporation:
+		return "Private - Corporation"
+	case Education:
+		return "Private - Education"
+	case Government:
+		return "Private - Government"
+	case WebHosting:
+		return "Private - WebHosting"
+	case Dummy:
+		return "Private - Dummy"
+	case Others:
+		return "Private - Others"
+	case MissingIssuer:
+		return "Private - MissingIssuer"
+	default:
+		return "Unknown"
+	}
+}
+
+// DummyIssuers is the §5.1.1 lexicon: organization names that are default
+// strings of certificate tooling rather than real identities.
+var DummyIssuers = []string{
+	"Internet Widgits Pty Ltd", // OpenSSL default
+	"Default Company Ltd",      // OpenSSL alternative default
+	"Unspecified",              // some embedded stacks
+	"Acme Co",                  // Go crypto/tls example default
+	"Some-State",               // OpenSSL field default (seen as org)
+	"Example Inc",
+	"Test",
+}
+
+// IsDummyIssuer reports membership in the dummy lexicon (normalized, with
+// a fuzzy tolerance for minor punctuation drift).
+func IsDummyIssuer(org string) bool {
+	n := norm(org)
+	if n == "" {
+		return false
+	}
+	for _, d := range DummyIssuers {
+		dn := norm(d)
+		if n == dn {
+			return true
+		}
+		if nerlite.CosineSimilarity(n, dn) >= 0.95 {
+			return true
+		}
+	}
+	return false
+}
+
+// educationMarkers / governmentMarkers / hostingMarkers drive the fuzzy
+// category matching on issuer organization strings.
+var educationMarkers = []string{
+	"university", "college", "school", "institute of technology",
+	"academy", "campus",
+}
+
+var governmentMarkers = []string{
+	"government", "federal", "ministry", "department of", "state of",
+	"city of", "county", "national institute", "bureau",
+}
+
+var hostingProviders = []string{
+	"web hosting", "hosting", "cpanel", "plesk", "ovh", "hetzner",
+	"dreamhost", "bluehost", "hostgator", "siteground", "linode",
+	"digitalocean",
+}
+
+// Classifier assigns issuer categories.
+type Classifier struct {
+	Bundle *truststore.Bundle
+}
+
+// New creates a classifier over the given trust bundle.
+func New(b *truststore.Bundle) *Classifier { return &Classifier{Bundle: b} }
+
+// Category classifies a leaf certificate's issuer, consulting chain
+// fingerprints for trust-store membership exactly as §4.2 does ("the
+// presence of either the issuer of the leaf certificate … or the issuer
+// organization in CCADB or major trust stores").
+func (c *Classifier) Category(leaf *certmodel.CertInfo, chain []ids.Fingerprint) Category {
+	if c.Bundle.ClassifyLeaf(leaf, chain) == truststore.Public {
+		return Public
+	}
+	if leaf.MissingIssuer() {
+		return MissingIssuer
+	}
+	org := leaf.IssuerKey()
+	return CategorizePrivateOrg(org)
+}
+
+// CategorizePrivateOrg maps a private issuer organization string to its
+// subcategory using the fuzzy-matching rules.
+func CategorizePrivateOrg(org string) Category {
+	n := norm(org)
+	if n == "" {
+		return MissingIssuer
+	}
+	if IsDummyIssuer(org) {
+		return Dummy
+	}
+	for _, m := range educationMarkers {
+		if strings.Contains(n, m) {
+			return Education
+		}
+	}
+	for _, m := range governmentMarkers {
+		if strings.Contains(n, m) {
+			return Government
+		}
+	}
+	for _, m := range hostingProviders {
+		if strings.Contains(n, m) {
+			return WebHosting
+		}
+	}
+	if nerlite.Recognize(org) == nerlite.LabelOrg {
+		return Corporation
+	}
+	return Others
+}
+
+func norm(s string) string {
+	return strings.ToLower(strings.Join(strings.Fields(s), " "))
+}

@@ -1,0 +1,94 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/certmodel"
+	"repro/internal/truststore"
+)
+
+func TestIsDummyIssuer(t *testing.T) {
+	dummies := []string{
+		"Internet Widgits Pty Ltd", "internet widgits pty ltd",
+		"Default Company Ltd", "Unspecified", "Acme Co",
+	}
+	for _, d := range dummies {
+		if !IsDummyIssuer(d) {
+			t.Errorf("IsDummyIssuer(%q) = false", d)
+		}
+	}
+	real := []string{"", "Globus Online", "DigiCert Inc", "Honeywell International Inc"}
+	for _, r := range real {
+		if IsDummyIssuer(r) {
+			t.Errorf("IsDummyIssuer(%q) = true", r)
+		}
+	}
+}
+
+func TestCategorizePrivateOrg(t *testing.T) {
+	cases := []struct {
+		org  string
+		want Category
+	}{
+		{"University of Virginia", Education},
+		{"Somewhere Community College", Education},
+		{"Department of Energy", Government},
+		{"State of Confusion", Government},
+		{"Acme Web Hosting LLC", WebHosting},
+		{"DigitalOcean", WebHosting},
+		{"Internet Widgits Pty Ltd", Dummy},
+		{"Unspecified", Dummy},
+		{"Honeywell International Inc", Corporation},
+		{"Outset Medical", Corporation},
+		{"GuardiCore", Corporation},
+		{"zzqx9", Others},
+		{"", MissingIssuer},
+	}
+	for _, c := range cases {
+		if got := CategorizePrivateOrg(c.org); got != c.want {
+			t.Errorf("CategorizePrivateOrg(%q) = %v, want %v", c.org, got, c.want)
+		}
+	}
+}
+
+func TestClassifierCategory(t *testing.T) {
+	cl := New(truststore.DefaultBundle())
+	pub := &certmodel.CertInfo{IssuerOrg: "DigiCert Inc"}
+	if got := cl.Category(pub, nil); got != Public {
+		t.Fatalf("public issuer = %v", got)
+	}
+	edu := &certmodel.CertInfo{IssuerOrg: "University of Virginia"}
+	if got := cl.Category(edu, nil); got != Education {
+		t.Fatalf("education issuer = %v", got)
+	}
+	missing := &certmodel.CertInfo{}
+	if got := cl.Category(missing, nil); got != MissingIssuer {
+		t.Fatalf("missing issuer = %v", got)
+	}
+	// Issuer CN fallback when org is empty.
+	cnOnly := &certmodel.CertInfo{IssuerCN: "ViptelaClient"}
+	if got := cl.Category(cnOnly, nil); got == MissingIssuer {
+		t.Fatal("issuer CN should prevent MissingIssuer")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	want := map[Category]string{
+		Public:        "Public",
+		Corporation:   "Private - Corporation",
+		Education:     "Private - Education",
+		Government:    "Private - Government",
+		WebHosting:    "Private - WebHosting",
+		Dummy:         "Private - Dummy",
+		Others:        "Private - Others",
+		MissingIssuer: "Private - MissingIssuer",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if Category(99).String() != "Unknown" {
+		t.Fatal("unknown category string wrong")
+	}
+}

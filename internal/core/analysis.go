@@ -1,0 +1,57 @@
+package core
+
+// Analysis is the full result set: one field per reproduced table/figure.
+type Analysis struct {
+	Preprocess *PreprocessReport
+
+	CertStats    *CertStatsReport    // Table 1
+	Prevalence   *PrevalenceReport   // Figure 1
+	Services     *ServicesReport     // Table 2
+	Inbound      *InboundReport      // Table 3
+	Outbound     *OutboundReport     // Figure 2
+	DummyIssuers *DummyIssuerReport  // Table 4 + Table 10
+	Serials      *SerialReport       // §5.1.2
+	SharingSame  *SharingSameReport  // Table 5
+	SharingCross *SharingCrossReport // Table 6
+	BadDates     *BadDatesReport     // Figure 3, Tables 11–12
+	Validity     *ValidityReport     // Figure 4
+	Expired      *ExpiredReport      // Figure 5
+	Utilization  *UtilizationReport  // Table 7
+	Contents     *ContentsReport     // Table 8
+	Unidentified *UnidentifiedReport // Table 9
+	SharedInfo   *SharedInfoReport   // Table 13
+	NonMutual    *NonMutualReport    // Table 14
+	Concerns     *ConcernsReport     // §5 takeaway
+	SANTypes     *SANTypesReport     // §6.1.2
+	Durations    *DurationReport     // §5 duration-of-activity lens
+	Versions     *VersionReport      // §3.3
+}
+
+// Run executes the whole pipeline.
+func Run(in *Input) *Analysis {
+	p := NewPipeline(in)
+	return &Analysis{
+		Preprocess:   p.PreprocessReport(),
+		CertStats:    p.CertStats(),
+		Prevalence:   p.Prevalence(),
+		Services:     p.Services(),
+		Inbound:      p.Inbound(),
+		Outbound:     p.Outbound(),
+		DummyIssuers: p.DummyIssuers(),
+		Serials:      p.Serials(),
+		SharingSame:  p.SharingSame(),
+		SharingCross: p.SharingCross(),
+		BadDates:     p.BadDates(),
+		Validity:     p.Validity(),
+		Expired:      p.Expired(),
+		Utilization:  p.Utilization(),
+		Contents:     p.Contents(),
+		Unidentified: p.Unidentified(),
+		SharedInfo:   p.SharedInfo(),
+		NonMutual:    p.NonMutual(),
+		Concerns:     p.Concerns(),
+		SANTypes:     p.SANTypes(),
+		Durations:    p.Durations(),
+		Versions:     p.Versions(),
+	}
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"repro/internal/certmodel"
+	"repro/internal/infotype"
+	"repro/internal/nerlite"
+	"repro/internal/truststore"
+)
+
+// UtilizationReport is Table 7: how many mutual-TLS certificates have
+// non-empty CN / SAN DNS values, by role and CA class.
+type UtilizationReport struct {
+	Rows []UtilizationRow
+}
+
+// UtilizationRow is one Table 7 row.
+type UtilizationRow struct {
+	Label       string
+	Total       int
+	NonEmptyCN  int
+	NonEmptySAN int
+}
+
+// CNShare / SANShare are the utilization ratios.
+func (r UtilizationRow) CNShare() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.NonEmptyCN) / float64(r.Total)
+}
+
+// SANShare returns the SAN utilization ratio.
+func (r UtilizationRow) SANShare() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.NonEmptySAN) / float64(r.Total)
+}
+
+// Row returns the named row.
+func (r *UtilizationReport) Row(label string) UtilizationRow {
+	for _, row := range r.Rows {
+		if row.Label == label {
+			return row
+		}
+	}
+	return UtilizationRow{Label: label}
+}
+
+func (e *enriched) utilization() *UtilizationReport {
+	type bucket struct{ total, cn, san int }
+	var srv, srvPub, srvPriv, cli, cliPub, cliPriv bucket
+	add := func(b *bucket, c *certmodel.CertInfo) {
+		b.total++
+		if c.SubjectCN != "" {
+			b.cn++
+		}
+		if len(c.SANDNS) > 0 {
+			b.san++
+		}
+	}
+	for _, u := range e.usage {
+		pub := u.class == truststore.Public
+		if u.mutualServer {
+			add(&srv, u.cert)
+			if pub {
+				add(&srvPub, u.cert)
+			} else {
+				add(&srvPriv, u.cert)
+			}
+		}
+		if u.mutualClient {
+			add(&cli, u.cert)
+			if pub {
+				add(&cliPub, u.cert)
+			} else {
+				add(&cliPriv, u.cert)
+			}
+		}
+	}
+	row := func(label string, b bucket) UtilizationRow {
+		return UtilizationRow{Label: label, Total: b.total, NonEmptyCN: b.cn, NonEmptySAN: b.san}
+	}
+	return &UtilizationReport{Rows: []UtilizationRow{
+		row("Server certs.", srv),
+		row("Server - Public CA", srvPub),
+		row("Server - Private CA", srvPriv),
+		row("Client certs.", cli),
+		row("Client - Public CA", cliPub),
+		row("Client - Private CA", cliPriv),
+	}}
+}
+
+// ContentsReport is Table 8: information types in CN and SAN, by role ×
+// CA class, EXCLUDING certificates shared by both server and client
+// (analyzed separately in Table 13).
+type ContentsReport struct {
+	// Cells[column][infotype] = count. Columns: "server-public",
+	// "server-private", "client-public", "client-private"; each has a CN
+	// and a SAN table.
+	CN  map[string]map[string]int
+	SAN map[string]map[string]int
+	// Totals per column (non-empty CN / SAN cert counts).
+	CNTotals  map[string]int
+	SANTotals map[string]int
+}
+
+// Share returns a cell's ratio of its column total.
+func (r *ContentsReport) Share(field, column, infoType string) float64 {
+	var cell int
+	var total int
+	if field == "CN" {
+		cell, total = r.CN[column][infoType], r.CNTotals[column]
+	} else {
+		cell, total = r.SAN[column][infoType], r.SANTotals[column]
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(cell) / float64(total)
+}
+
+// contentColumns enumerates Table 8's column keys.
+var contentColumns = []string{"server-public", "server-private", "client-public", "client-private"}
+
+func (e *enriched) contents() *ContentsReport {
+	rep := newContentsReport()
+	for _, u := range e.usage {
+		if u.sharedSameConn {
+			continue // Table 13 handles these
+		}
+		pub := u.class == truststore.Public
+		if u.mutualServer {
+			e.accumulateContents(rep, column("server", pub), u)
+		}
+		if u.mutualClient {
+			e.accumulateContents(rep, column("client", pub), u)
+		}
+	}
+	return rep
+}
+
+func newContentsReport() *ContentsReport {
+	rep := &ContentsReport{
+		CN: map[string]map[string]int{}, SAN: map[string]map[string]int{},
+		CNTotals: map[string]int{}, SANTotals: map[string]int{},
+	}
+	for _, c := range contentColumns {
+		rep.CN[c] = map[string]int{}
+		rep.SAN[c] = map[string]int{}
+	}
+	return rep
+}
+
+func column(role string, pub bool) string {
+	if pub {
+		return role + "-public"
+	}
+	return role + "-private"
+}
+
+// accumulateContents classifies one certificate's CN and SAN values into
+// the report column.
+func (e *enriched) accumulateContents(rep *ContentsReport, col string, u *certUsage) {
+	c := u.cert
+	if rep.CN[col] == nil {
+		rep.CN[col] = map[string]int{}
+		rep.SAN[col] = map[string]int{}
+	}
+	if c.SubjectCN != "" {
+		rep.CNTotals[col]++
+		t := e.info.Classify(c.SubjectCN, c.IssuerKey())
+		rep.CN[col][t.String()]++
+	}
+	if len(c.SANDNS) > 0 {
+		rep.SANTotals[col]++
+		// A SAN can contain multiple types; count each type once per cert
+		// (the paper's note that SAN percentages can exceed 100%).
+		seen := map[string]bool{}
+		for _, v := range c.SANDNS {
+			t := e.info.Classify(v, c.IssuerKey()).String()
+			if !seen[t] {
+				seen[t] = true
+				rep.SAN[col][t]++
+			}
+		}
+	}
+}
+
+// UnidentifiedReport is Table 9: sub-classification of unidentified CN/SAN
+// strings into non-random and random buckets.
+type UnidentifiedReport struct {
+	// Buckets[column][bucket] = count. Columns as Table 9: "server-private-CN",
+	// "client-public-CN", "client-private-CN", "client-private-SAN".
+	Buckets map[string]map[string]int
+	Totals  map[string]int
+}
+
+// Share returns a bucket's column share.
+func (r *UnidentifiedReport) Share(column, bucket string) float64 {
+	if r.Totals[column] == 0 {
+		return 0
+	}
+	return float64(r.Buckets[column][bucket]) / float64(r.Totals[column])
+}
+
+func (e *enriched) unidentified() *UnidentifiedReport {
+	rep := &UnidentifiedReport{Buckets: map[string]map[string]int{}, Totals: map[string]int{}}
+	// Issuer recognizability is memoized: the issuer space is tiny
+	// compared to the certificate space and Recognize is fuzzy-match
+	// expensive.
+	recog := map[string]bool{}
+	recognizable := func(issuerKey string) bool {
+		if v, ok := recog[issuerKey]; ok {
+			return v
+		}
+		v := nerlite.Recognize(issuerKey) != nerlite.LabelNone
+		recog[issuerKey] = v
+		return v
+	}
+	add := func(col, value, issuerKey string) {
+		if e.info.Classify(value, issuerKey) != infotype.Unidentified {
+			return
+		}
+		b := infotype.ClassifyUnidentified(value, recognizable(issuerKey)).String()
+		if rep.Buckets[col] == nil {
+			rep.Buckets[col] = map[string]int{}
+		}
+		rep.Buckets[col][b]++
+		rep.Totals[col]++
+	}
+	for _, u := range e.usage {
+		if u.sharedSameConn {
+			continue
+		}
+		c := u.cert
+		pub := u.class == truststore.Public
+		issuer := c.IssuerKey()
+		if u.mutualServer && !pub && c.SubjectCN != "" {
+			add("server-private-CN", c.SubjectCN, issuer)
+		}
+		if u.mutualClient && pub && c.SubjectCN != "" {
+			add("client-public-CN", c.SubjectCN, issuer)
+		}
+		if u.mutualClient && !pub {
+			if c.SubjectCN != "" {
+				add("client-private-CN", c.SubjectCN, issuer)
+			}
+			for _, v := range c.SANDNS {
+				add("client-private-SAN", v, issuer)
+			}
+		}
+	}
+	return rep
+}
+
+// SharedInfoReport is Table 13: CN/SAN utilization and information types
+// for certificates shared by both endpoints of single connections.
+type SharedInfoReport struct {
+	Certs        int
+	PrivateShare float64
+	Utilization  []UtilizationRow // "Certificates", "Public CA", "Private CA"
+	CN           map[string]map[string]int
+	SAN          map[string]map[string]int
+	CNTotals     map[string]int
+	SANTotals    map[string]int
+}
+
+func (e *enriched) sharedInfo() *SharedInfoReport {
+	rep := &SharedInfoReport{
+		CN: map[string]map[string]int{}, SAN: map[string]map[string]int{},
+		CNTotals: map[string]int{}, SANTotals: map[string]int{},
+	}
+	type bucket struct{ total, cn, san int }
+	var all, pub, priv bucket
+	add := func(b *bucket, c *certmodel.CertInfo) {
+		b.total++
+		if c.SubjectCN != "" {
+			b.cn++
+		}
+		if len(c.SANDNS) > 0 {
+			b.san++
+		}
+	}
+	cr := newContentsReport()
+	for _, u := range e.usage {
+		if !u.sharedSameConn {
+			continue
+		}
+		rep.Certs++
+		isPub := u.class == truststore.Public
+		add(&all, u.cert)
+		if isPub {
+			add(&pub, u.cert)
+			e.accumulateContents(cr, "server-public", u)
+		} else {
+			add(&priv, u.cert)
+			e.accumulateContents(cr, "server-private", u)
+		}
+	}
+	if rep.Certs > 0 {
+		rep.PrivateShare = float64(priv.total) / float64(rep.Certs)
+	}
+	rep.Utilization = []UtilizationRow{
+		{Label: "Certificates", Total: all.total, NonEmptyCN: all.cn, NonEmptySAN: all.san},
+		{Label: "Public CA", Total: pub.total, NonEmptyCN: pub.cn, NonEmptySAN: pub.san},
+		{Label: "Private CA", Total: priv.total, NonEmptyCN: priv.cn, NonEmptySAN: priv.san},
+	}
+	rep.CN["public"] = cr.CN["server-public"]
+	rep.CN["private"] = cr.CN["server-private"]
+	rep.SAN["public"] = cr.SAN["server-public"]
+	rep.SAN["private"] = cr.SAN["server-private"]
+	rep.CNTotals["public"] = cr.CNTotals["server-public"]
+	rep.CNTotals["private"] = cr.CNTotals["server-private"]
+	rep.SANTotals["public"] = cr.SANTotals["server-public"]
+	rep.SANTotals["private"] = cr.SANTotals["server-private"]
+	return rep
+}
+
+// NonMutualReport is Table 14: CN/SAN statistics for server certificates
+// from non-mutual TLS connections.
+type NonMutualReport struct {
+	Utilization []UtilizationRow // "Certificates", "Public CA", "Private CA"
+	PublicShare float64          // paper: 85% public
+	CN          map[string]map[string]int
+	SAN         map[string]map[string]int
+	CNTotals    map[string]int
+	SANTotals   map[string]int
+}
+
+func (e *enriched) nonMutual() *NonMutualReport {
+	rep := &NonMutualReport{
+		CN: map[string]map[string]int{}, SAN: map[string]map[string]int{},
+		CNTotals: map[string]int{}, SANTotals: map[string]int{},
+	}
+	type bucket struct{ total, cn, san int }
+	var all, pub, priv bucket
+	add := func(b *bucket, c *certmodel.CertInfo) {
+		b.total++
+		if c.SubjectCN != "" {
+			b.cn++
+		}
+		if len(c.SANDNS) > 0 {
+			b.san++
+		}
+	}
+	cr := newContentsReport()
+	for _, u := range e.usage {
+		// Server certs used ONLY outside mutual TLS.
+		if !u.asServer || u.mutualServer {
+			continue
+		}
+		isPub := u.class == truststore.Public
+		add(&all, u.cert)
+		if isPub {
+			add(&pub, u.cert)
+			e.accumulateContents(cr, "server-public", u)
+		} else {
+			add(&priv, u.cert)
+			e.accumulateContents(cr, "server-private", u)
+		}
+	}
+	if all.total > 0 {
+		rep.PublicShare = float64(pub.total) / float64(all.total)
+	}
+	rep.Utilization = []UtilizationRow{
+		{Label: "Certificates", Total: all.total, NonEmptyCN: all.cn, NonEmptySAN: all.san},
+		{Label: "Public CA", Total: pub.total, NonEmptyCN: pub.cn, NonEmptySAN: pub.san},
+		{Label: "Private CA", Total: priv.total, NonEmptyCN: priv.cn, NonEmptySAN: priv.san},
+	}
+	rep.CN["public"] = cr.CN["server-public"]
+	rep.CN["private"] = cr.CN["server-private"]
+	rep.SAN["public"] = cr.SAN["server-public"]
+	rep.SAN["private"] = cr.SAN["server-private"]
+	rep.CNTotals["public"] = cr.CNTotals["server-public"]
+	rep.CNTotals["private"] = cr.CNTotals["server-private"]
+	rep.SANTotals["public"] = cr.SANTotals["server-public"]
+	rep.SANTotals["private"] = cr.SANTotals["server-private"]
+	return rep
+}

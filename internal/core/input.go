@@ -1,0 +1,303 @@
+// Package core implements the paper's primary contribution: the
+// connection-oriented joint analysis of ssl.log and x509.log that produces
+// every table and figure of the evaluation — prevalence and services (§4),
+// certificate-practice findings (§5), and the CN/SAN information study
+// (§6) — on top of the substrate packages (zeek, truststore, ct,
+// interception, classify, infotype, netsim).
+package core
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/classify"
+	"repro/internal/ct"
+	"repro/internal/ids"
+	"repro/internal/infotype"
+	"repro/internal/interception"
+	"repro/internal/netsim"
+	"repro/internal/psl"
+	"repro/internal/truststore"
+	"repro/internal/zeek"
+)
+
+// Input is everything the pipeline needs. The facade package adapts
+// workload.Build into this.
+type Input struct {
+	// Raw is the dataset before preprocessing.
+	Raw *zeek.Dataset
+	// CT feeds the §3.2 interception filter.
+	CT *ct.Log
+	// Bundle classifies public vs private issuers.
+	Bundle *truststore.Bundle
+	// CampusIssuers drive the §6.1.1 user-account rule.
+	CampusIssuers []string
+	// Assoc maps SLDs to the Table 3 server associations.
+	Assoc AssocMap
+	// Plan classifies connection direction.
+	Plan *netsim.Plan
+	// Months is the study length.
+	Months int
+}
+
+// AssocMap is the paper's manual SLD categorization (§4.2).
+type AssocMap struct {
+	HealthSLDs     []string
+	UniversitySLDs []string
+	VPNHostPrefix  string
+	LocalOrgSLDs   []string
+	ThirdPartySLDs []string
+	GlobusSLDs     []string
+}
+
+// Association labels (Table 3 rows).
+const (
+	AssocHealth     = "University Health"
+	AssocUniversity = "University Server"
+	AssocVPN        = "University VPN"
+	AssocLocalOrg   = "Local Organization"
+	AssocThirdParty = "Third Party Services"
+	AssocGlobus     = "Globus"
+	AssocUnknown    = "Unknown"
+)
+
+// Associate classifies a connection's server side.
+func (m *AssocMap) Associate(host, sld string) string {
+	if m.VPNHostPrefix != "" && strings.HasPrefix(strings.ToLower(host), m.VPNHostPrefix) {
+		return AssocVPN
+	}
+	if sld == "" {
+		return AssocUnknown
+	}
+	switch {
+	case contains(m.HealthSLDs, sld):
+		return AssocHealth
+	case contains(m.UniversitySLDs, sld):
+		return AssocUniversity
+	case contains(m.LocalOrgSLDs, sld):
+		return AssocLocalOrg
+	case contains(m.ThirdPartySLDs, sld):
+		return AssocThirdParty
+	case contains(m.GlobusSLDs, sld):
+		return AssocGlobus
+	default:
+		return AssocUnknown
+	}
+}
+
+func contains(xs []string, v string) bool {
+	for _, x := range xs {
+		if strings.EqualFold(x, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// connView is one enriched connection: the record plus everything the
+// analyses derive from it once.
+type connView struct {
+	rec        *zeek.SSLRecord
+	dir        netsim.Direction
+	month      int
+	sld        string
+	tld        string
+	assoc      string
+	serverCert *certmodel.CertInfo
+	clientCert *certmodel.CertInfo
+	mutual     bool
+}
+
+// certUsage aggregates how one certificate was used across the dataset.
+type certUsage struct {
+	cert  *certmodel.CertInfo
+	class truststore.Class
+	// issuer category (classify package).
+	category classify.Category
+
+	asServer, asClient         bool
+	mutualServer, mutualClient bool
+	sharedSameConn             bool
+	// dummyIssuer memoizes classify.IsDummyIssuer (fuzzy matching is too
+	// expensive to repeat per connection).
+	dummyIssuer bool
+
+	firstSeen, lastSeen time.Time
+
+	// Subnet spread for Table 6: /24s of the endpoint that presented it.
+	serverSubnets map[ids.SubnetKey]struct{}
+	clientSubnets map[ids.SubnetKey]struct{}
+}
+
+// durationDays is the paper's "duration of activity" (§5).
+func (u *certUsage) durationDays() int64 {
+	if u.firstSeen.IsZero() {
+		return 0
+	}
+	return int64(u.lastSeen.Sub(u.firstSeen)/(24*time.Hour)) + 1
+}
+
+func (u *certUsage) observe(ts time.Time) {
+	if u.firstSeen.IsZero() || ts.Before(u.firstSeen) {
+		u.firstSeen = ts
+	}
+	if ts.After(u.lastSeen) {
+		u.lastSeen = ts
+	}
+}
+
+// enriched is the pipeline's working state after preprocessing.
+type enriched struct {
+	input *Input
+	ds    *zeek.Dataset
+	psl   *psl.List
+	cls   *classify.Classifier
+	info  *infotype.Classifier
+	pre   *PreprocessReport
+	conns []connView
+	usage map[ids.Fingerprint]*certUsage
+}
+
+// PreprocessReport reproduces the §3.2 preprocessing statistics.
+type PreprocessReport struct {
+	// InterceptionIssuers found (paper: 186).
+	InterceptionIssuers []string
+	// ExcludedCerts removed (paper: 871,993 = 8.4%).
+	ExcludedCerts int
+	// ExcludedShare of the raw certificate population.
+	ExcludedShare float64
+	// RawCerts / RawConns before filtering.
+	RawCerts, RawConns int
+	// TLS13ConnShare is the §3.3 opacity share (of connection weight).
+	TLS13ConnShare float64
+}
+
+// preprocess runs interception filtering and builds the enriched views.
+func preprocess(in *Input) *enriched {
+	e := &enriched{
+		input: in,
+		psl:   psl.Default(),
+		cls:   classify.New(in.Bundle),
+		info:  infotype.New(psl.Default(), in.CampusIssuers),
+		usage: make(map[ids.Fingerprint]*certUsage),
+	}
+
+	det := &interception.Detector{Bundle: in.Bundle, CT: in.CT, PSL: e.psl, MinDomains: 2}
+	res := det.Run(in.Raw)
+	e.ds = interception.Filter(in.Raw, res)
+	e.pre = &PreprocessReport{
+		InterceptionIssuers: res.Issuers,
+		ExcludedCerts:       len(res.ExcludedCerts),
+		ExcludedShare:       res.ExcludedShare(len(in.Raw.Certs)),
+		RawCerts:            len(in.Raw.Certs),
+		RawConns:            len(in.Raw.Conns),
+	}
+
+	var tls13W, totalW int64
+	e.conns = make([]connView, 0, len(e.ds.Conns))
+	for i := range e.ds.Conns {
+		rec := &e.ds.Conns[i]
+		totalW += rec.Weight
+		if rec.Version == "TLSv13" {
+			tls13W += rec.Weight
+		}
+		cv := connView{
+			rec:   rec,
+			dir:   in.Plan.DirectionOf(rec.OrigIP, rec.RespIP),
+			month: monthIndex(rec.TS),
+		}
+		split := e.psl.Split(rec.SNI)
+		cv.sld = split.Registrable()
+		cv.tld = split.TLD()
+		// §4.2: when the SNI is absent, resolve server information from
+		// the leaf certificates' SAN DNS / CN.
+		cv.serverCert = e.ds.Cert(rec.ServerLeaf())
+		cv.clientCert = e.ds.Cert(rec.ClientLeaf())
+		if cv.sld == "" {
+			cv.sld, cv.tld = e.resolveFromCerts(cv.serverCert, cv.clientCert)
+		}
+		cv.assoc = in.Assoc.Associate(rec.SNI, cv.sld)
+		cv.mutual = rec.IsMutual() && rec.Established
+
+		e.observeConn(&cv)
+		e.conns = append(e.conns, cv)
+	}
+	if totalW > 0 {
+		e.pre.TLS13ConnShare = float64(tls13W) / float64(totalW)
+	}
+	return e
+}
+
+// resolveFromCerts recovers SLD/TLD from certificate names when SNI is
+// missing.
+func (e *enriched) resolveFromCerts(server, client *certmodel.CertInfo) (string, string) {
+	for _, c := range []*certmodel.CertInfo{server, client} {
+		if c == nil {
+			continue
+		}
+		for _, name := range append(append([]string(nil), c.SANDNS...), c.SubjectCN) {
+			if r := e.psl.Split(name); r.Registrable() != "" {
+				return r.Registrable(), r.TLD()
+			}
+		}
+	}
+	return "", ""
+}
+
+// observeConn updates per-certificate usage.
+func (e *enriched) observeConn(cv *connView) {
+	rec := cv.rec
+	if cv.serverCert != nil {
+		u := e.usageOf(cv.serverCert, rec.ServerChain)
+		u.asServer = true
+		if cv.mutual {
+			u.mutualServer = true
+		}
+		u.observe(rec.TS)
+		if u.serverSubnets == nil {
+			u.serverSubnets = make(map[ids.SubnetKey]struct{})
+		}
+		u.serverSubnets[ids.SubnetOfString(rec.RespIP)] = struct{}{}
+	}
+	if cv.clientCert != nil {
+		u := e.usageOf(cv.clientCert, rec.ClientChain)
+		u.asClient = true
+		if cv.mutual {
+			u.mutualClient = true
+		}
+		u.observe(rec.TS)
+		if u.clientSubnets == nil {
+			u.clientSubnets = make(map[ids.SubnetKey]struct{})
+		}
+		u.clientSubnets[ids.SubnetOfString(rec.OrigIP)] = struct{}{}
+	}
+	if cv.mutual && rec.ServerLeaf() == rec.ClientLeaf() && cv.serverCert != nil {
+		e.usageOf(cv.serverCert, rec.ServerChain).sharedSameConn = true
+	}
+}
+
+func (e *enriched) usageOf(c *certmodel.CertInfo, chain []ids.Fingerprint) *certUsage {
+	if u, ok := e.usage[c.Fingerprint]; ok {
+		return u
+	}
+	var rest []ids.Fingerprint
+	if len(chain) > 1 {
+		rest = chain[1:]
+	}
+	u := &certUsage{
+		cert:        c,
+		class:       e.input.Bundle.ClassifyLeaf(c, rest),
+		category:    e.cls.Category(c, rest),
+		dummyIssuer: classify.IsDummyIssuer(c.IssuerOrg),
+	}
+	e.usage[c.Fingerprint] = u
+	return u
+}
+
+// monthIndex maps a timestamp to its study-month offset.
+func monthIndex(ts time.Time) int {
+	y, m, _ := ts.Date()
+	epoch := certmodel.StudyEpoch
+	return (y-epoch.Year())*12 + int(m) - int(epoch.Month())
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/truststore"
+)
+
+// CertStatsReport is Table 1: unique-certificate counts by role and CA
+// class, with the mutual-TLS participation share of each category.
+type CertStatsReport struct {
+	Rows []CertStatsRow
+}
+
+// CertStatsRow is one Table 1 row.
+type CertStatsRow struct {
+	Label  string
+	Total  int
+	Mutual int
+}
+
+// MutualShare is the row's mTLS participation ratio.
+func (r CertStatsRow) MutualShare() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Mutual) / float64(r.Total)
+}
+
+func (e *enriched) certStats() *CertStatsReport {
+	type bucket struct{ total, mutual int }
+	var (
+		all, server, client                          bucket
+		serverPub, serverPriv, clientPub, clientPriv bucket
+	)
+	for _, u := range e.usage {
+		mut := u.mutualServer || u.mutualClient
+		all.total++
+		if mut {
+			all.mutual++
+		}
+		if u.asServer {
+			server.total++
+			pub := u.class == truststore.Public
+			if pub {
+				serverPub.total++
+			} else {
+				serverPriv.total++
+			}
+			if u.mutualServer {
+				server.mutual++
+				if pub {
+					serverPub.mutual++
+				} else {
+					serverPriv.mutual++
+				}
+			}
+		}
+		if u.asClient {
+			client.total++
+			pub := u.class == truststore.Public
+			if pub {
+				clientPub.total++
+			} else {
+				clientPriv.total++
+			}
+			if u.mutualClient {
+				client.mutual++
+				if pub {
+					clientPub.mutual++
+				} else {
+					clientPriv.mutual++
+				}
+			}
+		}
+	}
+	row := func(label string, b bucket) CertStatsRow {
+		return CertStatsRow{Label: label, Total: b.total, Mutual: b.mutual}
+	}
+	return &CertStatsReport{Rows: []CertStatsRow{
+		row("Total", all),
+		row("Server", server),
+		row("Server - Public CA", serverPub),
+		row("Server - Private CA", serverPriv),
+		row("Client", client),
+		row("Client - Public CA", clientPub),
+		row("Client - Private CA", clientPriv),
+	}}
+}
+
+// Row returns the named row (nil-safe zero row when absent).
+func (r *CertStatsReport) Row(label string) CertStatsRow {
+	for _, row := range r.Rows {
+		if row.Label == label {
+			return row
+		}
+	}
+	return CertStatsRow{Label: label}
+}
+
+// PrevalenceReport is Figure 1: monthly mTLS share of all TLS
+// connections, overall and split by direction.
+type PrevalenceReport struct {
+	Overall  []stats.Point
+	Inbound  []stats.Point
+	Outbound []stats.Point
+}
+
+// FirstShare/LastShare are the 1.99% → 3.61% anchors.
+func (p *PrevalenceReport) FirstShare() float64 {
+	if len(p.Overall) == 0 {
+		return 0
+	}
+	return p.Overall[0].Ratio()
+}
+
+// LastShare returns the final month's share.
+func (p *PrevalenceReport) LastShare() float64 {
+	if len(p.Overall) == 0 {
+		return 0
+	}
+	return p.Overall[len(p.Overall)-1].Ratio()
+}
+
+func (e *enriched) prevalence() *PrevalenceReport {
+	overall := stats.NewMonthSeries()
+	in := stats.NewMonthSeries()
+	out := stats.NewMonthSeries()
+	for i := range e.conns {
+		cv := &e.conns[i]
+		if !cv.rec.Established {
+			continue
+		}
+		key := stats.MonthKey(cv.rec.TS.Format("2006-01"))
+		var num int64
+		if cv.mutual {
+			num = cv.rec.Weight
+		}
+		overall.Add(key, num, cv.rec.Weight)
+		switch cv.dir {
+		case netsim.Inbound:
+			in.Add(key, num, cv.rec.Weight)
+		case netsim.Outbound:
+			out.Add(key, num, cv.rec.Weight)
+		}
+	}
+	return &PrevalenceReport{
+		Overall:  overall.Points(),
+		Inbound:  in.Points(),
+		Outbound: out.Points(),
+	}
+}

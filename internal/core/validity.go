@@ -1,0 +1,302 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/truststore"
+)
+
+// BadDatesReport is Figure 3 and Appendix C (Tables 11–12): certificates
+// whose not_valid_before does not precede not_valid_after, observed in
+// successfully established connections.
+type BadDatesReport struct {
+	Rows []BadDatesRow
+	// BothEndpoints: groups where client AND server certs have incorrect
+	// dates in the same connections (idrive.com, SDS).
+	BothEndpoints []BadDatesBothRow
+	// Certs is the distinct incorrect-date certificate count.
+	Certs int
+}
+
+// BadDatesRow groups by (SLD, side, issuer).
+type BadDatesRow struct {
+	SLD                         string
+	Side                        string // "client"/"server"
+	IssuerKey                   string
+	NotBeforeYear, NotAfterYear int
+	Clients                     int
+	DurationDays                int64
+}
+
+// BadDatesBothRow is one Table 12 row.
+type BadDatesBothRow struct {
+	SLD          string
+	ClientIssuer string
+	ServerIssuer string
+	Clients      int
+	DurationDays int64
+}
+
+func (e *enriched) badDates() *BadDatesReport {
+	type key struct {
+		sld, side, issuer string
+		nb, na            int
+	}
+	type agg struct {
+		clients     map[string]bool
+		first, last int64
+	}
+	groups := map[key]*agg{}
+	type bkey struct{ sld, ci, si string }
+	both := map[bkey]*agg{}
+	certSet := map[string]bool{}
+
+	observe := func(m map[key]*agg, k key, ip string, ts int64) {
+		a, ok := m[k]
+		if !ok {
+			a = &agg{clients: map[string]bool{}, first: 1 << 62}
+			m[k] = a
+		}
+		a.clients[ip] = true
+		if ts < a.first {
+			a.first = ts
+		}
+		if ts > a.last {
+			a.last = ts
+		}
+	}
+
+	for i := range e.conns {
+		cv := &e.conns[i]
+		if !cv.mutual {
+			continue
+		}
+		sld := cv.rawSLD(e)
+		ts := cv.rec.TS.Unix()
+		cliBad := cv.clientCert != nil && cv.clientCert.HasIncorrectDates()
+		srvBad := cv.serverCert != nil && cv.serverCert.HasIncorrectDates()
+		if cliBad {
+			c := cv.clientCert
+			certSet[string(c.Fingerprint)] = true
+			observe(groups, key{sld, "client", c.IssuerKey(), c.NotBefore.Year(), c.NotAfter.Year()}, cv.rec.OrigIP, ts)
+		}
+		if srvBad {
+			c := cv.serverCert
+			certSet[string(c.Fingerprint)] = true
+			observe(groups, key{sld, "server", c.IssuerKey(), c.NotBefore.Year(), c.NotAfter.Year()}, cv.rec.OrigIP, ts)
+		}
+		if cliBad && srvBad {
+			bk := bkey{sld, cv.clientCert.IssuerKey(), cv.serverCert.IssuerKey()}
+			a, ok := both[bk]
+			if !ok {
+				a = &agg{clients: map[string]bool{}, first: 1 << 62}
+				both[bk] = a
+			}
+			a.clients[cv.rec.OrigIP] = true
+			if ts < a.first {
+				a.first = ts
+			}
+			if ts > a.last {
+				a.last = ts
+			}
+		}
+	}
+
+	rep := &BadDatesReport{Certs: len(certSet)}
+	for k, a := range groups {
+		rep.Rows = append(rep.Rows, BadDatesRow{
+			SLD: k.sld, Side: k.side, IssuerKey: k.issuer,
+			NotBeforeYear: k.nb, NotAfterYear: k.na,
+			Clients:      len(a.clients),
+			DurationDays: (a.last-a.first)/86400 + 1,
+		})
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool {
+		if rep.Rows[i].Clients != rep.Rows[j].Clients {
+			return rep.Rows[i].Clients > rep.Rows[j].Clients
+		}
+		a, b := rep.Rows[i], rep.Rows[j]
+		return a.SLD+a.Side+a.IssuerKey < b.SLD+b.Side+b.IssuerKey
+	})
+	for k, a := range both {
+		rep.BothEndpoints = append(rep.BothEndpoints, BadDatesBothRow{
+			SLD: k.sld, ClientIssuer: k.ci, ServerIssuer: k.si,
+			Clients:      len(a.clients),
+			DurationDays: (a.last-a.first)/86400 + 1,
+		})
+	}
+	sort.Slice(rep.BothEndpoints, func(i, j int) bool {
+		if rep.BothEndpoints[i].Clients != rep.BothEndpoints[j].Clients {
+			return rep.BothEndpoints[i].Clients > rep.BothEndpoints[j].Clients
+		}
+		return rep.BothEndpoints[i].SLD < rep.BothEndpoints[j].SLD
+	})
+	return rep
+}
+
+// ValidityReport is Figure 4: client-certificate validity periods by
+// issuer category and direction, excluding incorrect-date certs.
+type ValidityReport struct {
+	// InboundHist/OutboundHist bucket validity days: ≤90, ≤398, ≤825,
+	// ≤3650, ≤10000, ≤40000, >40000.
+	InboundHist  *stats.Histogram
+	OutboundHist *stats.Histogram
+	// ExtremeCount: certs with 10,000–40,000-day validity (paper: 7,911),
+	// with the issuer-category mix.
+	ExtremeCount      int
+	ExtremeCategories []stats.KV
+	ExtremePublic     int
+	// MaxValidityDays and its server SLD (paper: 83,432 days, tmdxdev.com).
+	MaxValidityDays int64
+	MaxValiditySLD  string
+}
+
+// validityBounds are the Figure 4 histogram bucket bounds.
+var validityBounds = []int64{90, 398, 825, 3650, 10000, 40000}
+
+func (e *enriched) validity() *ValidityReport {
+	rep := &ValidityReport{
+		InboundHist:  stats.NewHistogram(validityBounds...),
+		OutboundHist: stats.NewHistogram(validityBounds...),
+	}
+	cats := stats.NewCounter()
+	// Track per-cert direction (first seen wins) to bucket histograms.
+	seen := map[string]bool{}
+	for i := range e.conns {
+		cv := &e.conns[i]
+		if !cv.mutual || cv.clientCert == nil {
+			continue
+		}
+		c := cv.clientCert
+		if c.HasIncorrectDates() {
+			continue
+		}
+		if seen[string(c.Fingerprint)] {
+			continue
+		}
+		seen[string(c.Fingerprint)] = true
+		u := e.usageOf(c, cv.rec.ClientChain)
+		days := c.ValidityDays()
+		switch cv.dir {
+		case netsim.Inbound:
+			rep.InboundHist.Observe(days, 1)
+		case netsim.Outbound:
+			rep.OutboundHist.Observe(days, 1)
+		}
+		if days >= 10000 && days <= 40000 {
+			rep.ExtremeCount++
+			cats.Add(u.category.String(), 1)
+			if u.class == truststore.Public {
+				rep.ExtremePublic++
+			}
+		}
+		if days > rep.MaxValidityDays {
+			rep.MaxValidityDays = days
+			rep.MaxValiditySLD = cv.rawSLD(e)
+		}
+	}
+	rep.ExtremeCategories = cats.Top(5)
+	return rep
+}
+
+// ExpiredReport is Figure 5: client certificates that were already expired
+// when observed in successfully established connections.
+type ExpiredReport struct {
+	Inbound  ExpiredDirection
+	Outbound ExpiredDirection
+}
+
+// ExpiredDirection is one subfigure.
+type ExpiredDirection struct {
+	// Points: one per expired client certificate.
+	Points []ExpiredPoint
+	// PublicCerts/PrivateCerts are the marginal counts.
+	PublicCerts, PrivateCerts int
+	// AssocShares (inbound): association mix of expired-cert conns.
+	AssocShares []stats.KV
+	// AppleCluster (outbound): certs issued by Apple ~1,000 days expired.
+	AppleCluster int
+	// MicrosoftCount (outbound).
+	MicrosoftCount int
+}
+
+// ExpiredPoint is one certificate.
+type ExpiredPoint struct {
+	DaysExpiredAtFirstUse int64
+	DurationDays          int64
+	Public                bool
+	IssuerOrg             string
+	SLD                   string
+}
+
+func (e *enriched) expired() *ExpiredReport {
+	type state struct {
+		point   ExpiredPoint
+		inbound bool
+	}
+	certs := map[string]*state{}
+	inAssoc := stats.NewCounter()
+
+	for i := range e.conns {
+		cv := &e.conns[i]
+		if !cv.mutual || cv.clientCert == nil {
+			continue
+		}
+		c := cv.clientCert
+		if c.HasIncorrectDates() || !c.ExpiredAt(cv.rec.TS) {
+			continue
+		}
+		if cv.dir == netsim.Inbound {
+			inAssoc.Add(cv.assoc, cv.rec.Weight)
+		}
+		key := string(c.Fingerprint)
+		st, ok := certs[key]
+		if !ok {
+			u := e.usageOf(c, cv.rec.ClientChain)
+			st = &state{
+				point: ExpiredPoint{
+					DaysExpiredAtFirstUse: c.DaysExpiredAt(u.firstSeen),
+					DurationDays:          u.durationDays(),
+					Public:                u.class == truststore.Public,
+					IssuerOrg:             c.IssuerOrg,
+					SLD:                   cv.rawSLD(e),
+				},
+				inbound: cv.dir == netsim.Inbound,
+			}
+			certs[key] = st
+		}
+	}
+
+	rep := &ExpiredReport{}
+	for _, st := range certs {
+		dir := &rep.Outbound
+		if st.inbound {
+			dir = &rep.Inbound
+		}
+		dir.Points = append(dir.Points, st.point)
+		if st.point.Public {
+			dir.PublicCerts++
+		} else {
+			dir.PrivateCerts++
+		}
+		if !st.inbound {
+			if st.point.IssuerOrg == "Apple Inc." &&
+				st.point.DaysExpiredAtFirstUse >= 900 && st.point.DaysExpiredAtFirstUse <= 1100 {
+				dir.AppleCluster++
+			}
+			if st.point.IssuerOrg == "Microsoft Corporation" {
+				dir.MicrosoftCount++
+			}
+		}
+	}
+	sort.Slice(rep.Inbound.Points, func(i, j int) bool {
+		return rep.Inbound.Points[i].DaysExpiredAtFirstUse < rep.Inbound.Points[j].DaysExpiredAtFirstUse
+	})
+	sort.Slice(rep.Outbound.Points, func(i, j int) bool {
+		return rep.Outbound.Points[i].DaysExpiredAtFirstUse < rep.Outbound.Points[j].DaysExpiredAtFirstUse
+	})
+	rep.Inbound.AssocShares = inAssoc.Top(5)
+	return rep
+}

@@ -1,0 +1,69 @@
+package ct
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAddAndLookup(t *testing.T) {
+	l := NewLog()
+	l.AddChain(Entry{Domain: "Example.COM.", IssuerOrg: "DigiCert Inc", LoggedAt: time.Unix(0, 0)})
+	l.AddChain(Entry{Domain: "example.com", IssuerOrg: "Let's Encrypt"})
+	l.AddChain(Entry{Domain: "example.com", IssuerOrg: "DigiCert Inc"}) // duplicate issuer
+
+	if !l.Known("example.com") || l.Known("other.com") {
+		t.Fatal("Known wrong")
+	}
+	iss := l.IssuersFor("EXAMPLE.com")
+	if len(iss) != 2 || iss[0] != "DigiCert Inc" || iss[1] != "Let's Encrypt" {
+		t.Fatalf("issuers = %v", iss)
+	}
+	if !l.HasIssuer("example.com", "digicert inc") {
+		t.Fatal("case-insensitive HasIssuer failed")
+	}
+	if l.HasIssuer("example.com", "Evil Proxy CA") {
+		t.Fatal("false issuer")
+	}
+	if len(l.Entries("example.com")) != 3 {
+		t.Fatal("entries wrong")
+	}
+	if l.Size() != 1 {
+		t.Fatalf("size = %d", l.Size())
+	}
+}
+
+func TestEmptyDomainIgnored(t *testing.T) {
+	l := NewLog()
+	l.AddChain(Entry{Domain: "  ", IssuerOrg: "X"})
+	if l.Size() != 0 {
+		t.Fatal("empty domain must be ignored")
+	}
+}
+
+func TestIssuersForSkipsEmptyOrg(t *testing.T) {
+	l := NewLog()
+	l.AddChain(Entry{Domain: "a.com", IssuerOrg: "  "})
+	l.AddChain(Entry{Domain: "a.com", IssuerOrg: "Real CA"})
+	iss := l.IssuersFor("a.com")
+	if len(iss) != 1 || iss[0] != "Real CA" {
+		t.Fatalf("issuers = %v", iss)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	l := NewLog()
+	done := make(chan bool)
+	go func() {
+		for i := 0; i < 1000; i++ {
+			l.AddChain(Entry{Domain: "race.com", IssuerOrg: "CA"})
+		}
+		done <- true
+	}()
+	for i := 0; i < 1000; i++ {
+		l.IssuersFor("race.com")
+	}
+	<-done
+	if !l.HasIssuer("race.com", "CA") {
+		t.Fatal("entries lost")
+	}
+}

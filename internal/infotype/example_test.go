@@ -1,0 +1,39 @@
+package infotype_test
+
+import (
+	"fmt"
+
+	"repro/internal/infotype"
+	"repro/internal/psl"
+)
+
+func ExampleClassifier_Classify() {
+	c := infotype.New(psl.Default(), []string{"University of Virginia"})
+	for _, v := range []string{
+		"www.idrive.com",
+		"John Smith",
+		"hd7gr",
+		"WebRTC",
+		"sip:alice@voip.example.com",
+		"9f86d081884c7d659a2feaa0c55ad015",
+	} {
+		fmt.Println(c.Classify(v, "University of Virginia"))
+	}
+	// Output:
+	// Domain
+	// Personal name
+	// User account
+	// Org/Product
+	// SIP
+	// Unidentified
+}
+
+func ExampleClassifyUnidentified() {
+	fmt.Println(infotype.ClassifyUnidentified("__transfer__", false))
+	fmt.Println(infotype.ClassifyUnidentified("a3f9c2e1", false))
+	fmt.Println(infotype.ClassifyUnidentified("123e4567-e89b-12d3-a456-426614174000", false))
+	// Output:
+	// Non-random
+	// Random - strlen = 8
+	// Random - strlen = 36
+}

@@ -1,0 +1,177 @@
+// Package interception models both sides of the TLS-interception problem
+// the paper must solve during preprocessing (§3.2):
+//
+//   - Proxy simulates an inspecting middlebox that re-signs server
+//     certificates with its own CA, so the client (and the border tap)
+//     never sees the genuine server certificate; and
+//   - Detector reimplements the paper's three-step filter: (1) keep only
+//     connections whose server leaf issuer is not in the trust stores,
+//     (2) look the domain up in CT and compare issuers, (3) confirm
+//     issuers that systematically re-sign many domains ("manual
+//     investigation" in the paper, a corroboration threshold here).
+//
+// The paper identified 186 interception issuers covering 8.4% of
+// certificates; the detector reports the same artifacts (issuer list +
+// excluded certificate set) for the simulated population.
+package interception
+
+import (
+	"sort"
+
+	"repro/internal/certmodel"
+	"repro/internal/ct"
+	"repro/internal/ids"
+	"repro/internal/psl"
+	"repro/internal/truststore"
+	"repro/internal/zeek"
+)
+
+// Proxy is a re-signing middlebox.
+type Proxy struct {
+	// IssuerOrg/IssuerCN identify the proxy's private CA (e.g. a corporate
+	// antivirus root).
+	IssuerOrg string
+	IssuerCN  string
+}
+
+// Intercept returns the certificate the client sees instead of orig: same
+// subject and SANs, the proxy's issuer, a fresh fingerprint. Validity is
+// clamped to the proxy's short re-issue window, as real middleboxes do.
+func (p *Proxy) Intercept(orig *certmodel.CertInfo, discriminator string) *certmodel.CertInfo {
+	re := &certmodel.CertInfo{
+		SerialHex:  orig.SerialHex,
+		Version:    3,
+		IssuerOrg:  p.IssuerOrg,
+		IssuerCN:   p.IssuerCN,
+		SubjectCN:  orig.SubjectCN,
+		SubjectOrg: orig.SubjectOrg,
+		SANDNS:     append([]string(nil), orig.SANDNS...),
+		SANIP:      append([]string(nil), orig.SANIP...),
+		NotBefore:  orig.NotBefore,
+		NotAfter:   orig.NotAfter,
+		KeyAlg:     orig.KeyAlg,
+		KeyBits:    orig.KeyBits,
+	}
+	re.Fingerprint = certmodel.SyntheticFingerprint(re, "intercept/"+discriminator)
+	return re
+}
+
+// Result is the detector's output.
+type Result struct {
+	// Issuers is the sorted list of confirmed interception issuers (the
+	// paper found 186).
+	Issuers []string
+	// ExcludedCerts holds the fingerprints removed from analysis (the
+	// paper excluded 871,993, 8.4%).
+	ExcludedCerts map[ids.Fingerprint]bool
+	// CandidateCount is how many issuers reached step 2 (CT comparison).
+	CandidateCount int
+}
+
+// ExcludedShare returns |excluded| / total.
+func (r *Result) ExcludedShare(totalCerts int) float64 {
+	if totalCerts == 0 {
+		return 0
+	}
+	return float64(len(r.ExcludedCerts)) / float64(totalCerts)
+}
+
+// Detector implements the CT-based filter.
+type Detector struct {
+	Bundle *truststore.Bundle
+	CT     *ct.Log
+	PSL    *psl.List
+	// MinDomains is the corroboration threshold standing in for the
+	// paper's manual investigation: an untrusted issuer is confirmed as
+	// interception when it contradicts CT on at least this many distinct
+	// domains. Default 2.
+	MinDomains int
+}
+
+// Run inspects every connection's server leaf and returns the confirmed
+// interception issuers plus the certificates to exclude.
+func (d *Detector) Run(ds *zeek.Dataset) *Result {
+	min := d.MinDomains
+	if min <= 0 {
+		min = 2
+	}
+	// issuer -> set of domains where CT contradicts the observation
+	contradicted := map[string]map[string]bool{}
+	// issuer -> cert fingerprints observed as server leaves
+	observed := map[string]map[ids.Fingerprint]bool{}
+
+	for i := range ds.Conns {
+		conn := &ds.Conns[i]
+		leafFP := conn.ServerLeaf()
+		if leafFP == "" {
+			continue
+		}
+		leaf := ds.Cert(leafFP)
+		if leaf == nil {
+			continue
+		}
+		// Step 1: only untrusted server issuers are candidates.
+		if d.Bundle.ClassifyLeaf(leaf, conn.ServerChain[1:]) == truststore.Public {
+			continue
+		}
+		issuer := leaf.IssuerKey()
+		if issuer == "" {
+			continue
+		}
+		if observed[issuer] == nil {
+			observed[issuer] = map[ids.Fingerprint]bool{}
+		}
+		observed[issuer][leafFP] = true
+
+		// Step 2: CT comparison on the connection's domain.
+		domain := d.PSL.SLD(conn.SNI)
+		if domain == "" && len(leaf.SANDNS) > 0 {
+			domain = d.PSL.SLD(leaf.SANDNS[0])
+		}
+		if domain == "" || !d.CT.Known(domain) {
+			continue
+		}
+		if !d.CT.HasIssuer(domain, issuer) {
+			if contradicted[issuer] == nil {
+				contradicted[issuer] = map[string]bool{}
+			}
+			contradicted[issuer][domain] = true
+		}
+	}
+
+	res := &Result{ExcludedCerts: make(map[ids.Fingerprint]bool)}
+	res.CandidateCount = len(contradicted)
+	for issuer, domains := range contradicted {
+		// Step 3: corroboration across domains.
+		if len(domains) < min {
+			continue
+		}
+		res.Issuers = append(res.Issuers, issuer)
+		for fp := range observed[issuer] {
+			res.ExcludedCerts[fp] = true
+		}
+	}
+	sort.Strings(res.Issuers)
+	return res
+}
+
+// Filter returns a copy of ds with excluded certificates' connections'
+// server chains intact but the certificates dropped from the cert table,
+// and connections whose server leaf was excluded removed entirely —
+// matching the paper's exclusion of interception traffic from analysis.
+func Filter(ds *zeek.Dataset, res *Result) *zeek.Dataset {
+	out := zeek.NewDataset()
+	for i := range ds.Conns {
+		conn := &ds.Conns[i]
+		if fp := conn.ServerLeaf(); fp != "" && res.ExcludedCerts[fp] {
+			continue
+		}
+		out.Conns = append(out.Conns, *conn)
+	}
+	for fp, c := range ds.Certs {
+		if !res.ExcludedCerts[fp] {
+			out.AddCert(c)
+		}
+	}
+	return out
+}

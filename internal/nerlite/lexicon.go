@@ -1,0 +1,120 @@
+package nerlite
+
+// Embedded lexicons. These stand in for the training data behind spaCy's
+// en_core_web_trf model and the Kaggle company datasets the paper matches
+// against (§6.1.1). They intentionally cover the name space the workload
+// generator draws from plus common English names, so the recognizer's
+// measured precision/recall on generated data is meaningful.
+
+// firstNames is a compact census-style first-name lexicon.
+var firstNames = []string{
+	"james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+	"linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+	"joseph", "jessica", "thomas", "sarah", "charles", "karen", "christopher",
+	"lisa", "daniel", "nancy", "matthew", "betty", "anthony", "sandra",
+	"mark", "margaret", "donald", "ashley", "steven", "kimberly", "andrew",
+	"emily", "paul", "donna", "joshua", "michelle", "kenneth", "carol",
+	"kevin", "amanda", "brian", "melissa", "george", "deborah", "timothy",
+	"stephanie", "ronald", "rebecca", "jason", "sharon", "edward", "laura",
+	"jeffrey", "cynthia", "ryan", "dorothy", "jacob", "amy", "gary", "kathleen",
+	"nicholas", "angela", "eric", "shirley", "jonathan", "brenda", "stephen",
+	"emma", "larry", "anna", "justin", "pamela", "scott", "nicole", "brandon",
+	"samantha", "benjamin", "katherine", "samuel", "christine", "gregory",
+	"helen", "alexander", "debra", "patrick", "rachel", "frank", "carolyn",
+	"raymond", "janet", "jack", "maria", "dennis", "olivia", "jerry",
+	"heather", "tyler", "diane", "aaron", "julie", "jose", "joyce", "adam",
+	"victoria", "nathan", "ruth", "henry", "virginia", "zachary", "lauren",
+	"douglas", "kelly", "peter", "christina", "kyle", "joan", "noah",
+	"evelyn", "ethan", "judith", "jeremy", "andrea", "walter", "hannah",
+	"christian", "megan", "keith", "alice", "roger", "jacqueline", "terry",
+	"gloria", "austin", "teresa", "sean", "sara", "gerald", "janice",
+	"carl", "doris", "dylan", "julia", "harold", "marie", "jordan", "grace",
+	"jesse", "judy", "bryan", "theresa", "lawrence", "madison", "arthur",
+	"beverly", "gabriel", "denise", "bruce", "marilyn", "logan", "amber",
+	"wei", "ming", "hiroshi", "yuki", "ahmed", "fatima", "raj", "priya",
+	"ivan", "olga", "hans", "greta", "pierre", "claire", "diego", "lucia",
+	"hongying", "yizhe", "hyeonmin", "guancheng", "yixin",
+}
+
+// lastNames is a compact surname lexicon.
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+	"lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+	"ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+	"wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+	"adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+	"carter", "roberts", "gomez", "phillips", "evans", "turner", "diaz",
+	"parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+	"morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan",
+	"cooper", "peterson", "bailey", "reed", "kelly", "howard", "ramos",
+	"kim", "cox", "ward", "richardson", "watson", "brooks", "chavez",
+	"wood", "james", "bennett", "gray", "mendoza", "ruiz", "hughes",
+	"price", "alvarez", "castillo", "sanders", "patel", "myers", "long",
+	"ross", "foster", "jimenez", "powell", "jenkins", "perry", "russell",
+	"sullivan", "bell", "coleman", "butler", "henderson", "barnes",
+	"gonzales", "fisher", "vasquez", "simmons", "romero", "jordan",
+	"patterson", "alexander", "hamilton", "graham", "reynolds", "griffin",
+	"wallace", "moreno", "west", "cole", "hayes", "bryant", "herrera",
+	"gibson", "ellis", "tran", "medina", "aguilar", "stevens", "murray",
+	"ford", "castro", "marshall", "owens", "harrison", "fernandez",
+	"mcdonald", "woods", "washington", "kennedy", "wells", "vargas",
+	"chen", "wang", "li", "zhang", "liu", "yang", "huang", "zhao", "wu",
+	"zhou", "xu", "sun", "ma", "zhu", "hu", "guo", "he", "gao", "lin",
+	"tanaka", "suzuki", "sato", "yamamoto", "nakamura", "singh", "kumar",
+	"sharma", "gupta", "ali", "khan", "hussein", "dong", "du", "tu",
+	"mueller", "schmidt", "schneider", "fischer", "weber", "meyer",
+	"ivanov", "petrov", "sokolov", "dubois", "moreau", "rossi", "ferrari",
+}
+
+// orgKeywords are organization indicators: legal suffixes and sector
+// words. A string containing one of these (as a token) leans ORG.
+var orgKeywords = []string{
+	"inc", "inc.", "ltd", "ltd.", "llc", "corp", "corp.", "corporation",
+	"company", "co.", "gmbh", "pty", "plc", "sa", "ag", "bv", "oy",
+	"university", "college", "institute", "school", "hospital", "clinic",
+	"laboratories", "labs", "systems", "solutions", "services", "software",
+	"technologies", "technology", "networks", "communications", "security",
+	"medical", "electronics", "industries", "group", "holdings", "partners",
+	"association", "foundation", "authority", "agency", "department",
+	"bank", "insurance", "consulting", "enterprises", "international",
+}
+
+// knownOrgs is the company-name dataset equivalent: names the paper's
+// tables mention plus a spread of real vendors.
+var knownOrgs = []string{
+	"globus online", "guardicore", "viptelaclient", "outset medical",
+	"idrive inc", "honeywell international inc", "splunk", "rapid7",
+	"amazon web services", "amazon", "microsoft", "apple", "google",
+	"cisco systems", "filewave", "digicert inc", "let's encrypt",
+	"godaddy.com", "identrust", "sectigo", "globalsign", "entrust",
+	"lenovo", "samsung", "at&t", "red hat", "crestron electronics",
+	"american psychiatric association", "leidos", "mixpanel",
+	"fireboard labs", "dvtel", "sds", "fnmt-rcm", "icelink", "twilio",
+	"bluetriton brands", "sap national security services",
+}
+
+// knownProducts are product/protocol identifiers observed in CN fields
+// (§6.3: WebRTC 88%, twilio, hangouts, Android Keystore, Hybrid Runbook
+// Worker, Lenovo products...).
+var knownProducts = []string{
+	"webrtc", "hangouts", "twilio", "android keystore",
+	"hybrid runbook worker", "thinkpad", "ideapad", "galaxy",
+	"media-server", "rcgen", "openpgp to x.509 bridge", "icelink",
+	"firehose", "azure sphere", "iphone", "ipad", "webex",
+}
+
+var (
+	firstNameSet  = toSet(firstNames)
+	lastNameSet   = toSet(lastNames)
+	orgKeywordSet = toSet(orgKeywords)
+)
+
+func toSet(xs []string) map[string]bool {
+	m := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}

@@ -1,0 +1,281 @@
+// Package nerlite is the reproduction's named-entity recognizer and
+// random-string classifier — the substitute for spaCy's en_core_web_trf
+// pipeline and the company-name datasets of §6.1.1 (see DESIGN.md §2).
+//
+// It labels free-text CN/SAN values as PERSON, ORG, or PRODUCT using
+// embedded lexicons, legal-suffix rules, and character-vector cosine
+// similarity (the paper's 0.9-threshold company matching), and it
+// classifies unidentified strings as random or non-random using entropy,
+// UUID/hex shape detection, and length buckets (Table 9's strlen 8/32/36).
+package nerlite
+
+import (
+	"math"
+	"strings"
+)
+
+// Label is the recognizer's output class.
+type Label int
+
+const (
+	LabelNone Label = iota
+	LabelPerson
+	LabelOrg
+	LabelProduct
+)
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	switch l {
+	case LabelPerson:
+		return "PERSON"
+	case LabelOrg:
+		return "ORG"
+	case LabelProduct:
+		return "PRODUCT"
+	default:
+		return "NONE"
+	}
+}
+
+// Recognize labels a free-text string. Precedence mirrors the paper's
+// classification order: product identifiers are checked before generic
+// organization matching (product names often embed their company's name),
+// and personal names require both a first- and last-name lexicon hit.
+func Recognize(s string) Label {
+	norm := normalize(s)
+	if norm == "" {
+		return LabelNone
+	}
+	if isProduct(norm) {
+		return LabelProduct
+	}
+	if isOrg(norm) {
+		return LabelOrg
+	}
+	if IsPersonName(s) {
+		return LabelPerson
+	}
+	return LabelNone
+}
+
+// IsPersonName reports whether s looks like "First Last" (2–3 alphabetic
+// tokens with at least one first-name and one last-name lexicon hit).
+func IsPersonName(s string) bool {
+	tokens := strings.Fields(normalize(s))
+	if len(tokens) < 2 || len(tokens) > 3 {
+		return false
+	}
+	for _, tok := range tokens {
+		if !alphaOnly(tok) {
+			return false
+		}
+	}
+	first := firstNameSet[tokens[0]]
+	last := lastNameSet[tokens[len(tokens)-1]]
+	return first && last
+}
+
+func isProduct(norm string) bool {
+	for _, p := range knownProducts {
+		if norm == p || strings.Contains(norm, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// knownOrgVectors caches the company dataset's bigram vectors; computing
+// them per Recognize call dominated classification cost.
+var knownOrgVectors = func() []map[string]float64 {
+	vs := make([]map[string]float64, len(knownOrgs))
+	for i, org := range knownOrgs {
+		vs[i] = bigramVector(org)
+	}
+	return vs
+}()
+
+func isOrg(norm string) bool {
+	// Exact / cosine match against the company dataset.
+	nv := bigramVector(norm)
+	for i, org := range knownOrgs {
+		if norm == org {
+			return true
+		}
+		if cosineVectors(nv, knownOrgVectors[i]) >= 0.9 {
+			return true
+		}
+	}
+	// Legal-suffix and sector-keyword rule.
+	for _, tok := range strings.Fields(norm) {
+		if orgKeywordSet[strings.Trim(tok, ".,")] {
+			return true
+		}
+	}
+	return false
+}
+
+// CosineSimilarity computes cosine similarity between character-bigram
+// frequency vectors of a and b — the word-vector comparison of §6.1.1,
+// realized without a trained embedding. Returns a value in [0, 1].
+func CosineSimilarity(a, b string) float64 {
+	return cosineVectors(bigramVector(normalize(a)), bigramVector(normalize(b)))
+}
+
+func cosineVectors(va, vb map[string]float64) float64 {
+	if len(va) == 0 || len(vb) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for g, ca := range va {
+		na += ca * ca
+		if cb, ok := vb[g]; ok {
+			dot += ca * cb
+		}
+	}
+	for _, cb := range vb {
+		nb += cb * cb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func bigramVector(s string) map[string]float64 {
+	v := map[string]float64{}
+	if len(s) < 2 {
+		if s != "" {
+			v[s] = 1
+		}
+		return v
+	}
+	for i := 0; i+2 <= len(s); i++ {
+		v[s[i:i+2]]++
+	}
+	return v
+}
+
+// IsUUID reports the canonical 8-4-4-4-12 hex UUID shape (Table 9's
+// strlen-36 bucket).
+func IsUUID(s string) bool {
+	if len(s) != 36 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		switch i {
+		case 8, 13, 18, 23:
+			if s[i] != '-' {
+				return false
+			}
+		default:
+			if !isHexDigit(s[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsHexString reports whether s is entirely hex digits (length ≥ 4).
+func IsHexString(s string) bool {
+	if len(s) < 4 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isHexDigit(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func isHexDigit(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// ShannonEntropy returns bits/character of s.
+func ShannonEntropy(s string) float64 {
+	if s == "" {
+		return 0
+	}
+	var freq [256]int
+	for i := 0; i < len(s); i++ {
+		freq[s[i]]++
+	}
+	var h float64
+	n := float64(len(s))
+	for _, c := range freq {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// IsRandomString classifies a string as machine-generated: UUIDs, hex
+// blobs, and high-entropy alphanumeric identifiers count as random;
+// dictionary-ish text, words with spaces, and short mnemonics do not.
+// This implements Table 9's random/non-random split.
+func IsRandomString(s string) bool {
+	s = strings.TrimSpace(s)
+	if len(s) < 6 {
+		return false
+	}
+	if strings.ContainsAny(s, " \t") {
+		return false
+	}
+	if IsUUID(s) {
+		return true
+	}
+	if IsHexString(s) && len(s) >= 8 {
+		return true
+	}
+	// Mixed-alphanumeric identifiers: random when entropy is high and the
+	// vowel structure of natural words is absent.
+	letters, digits := 0, 0
+	vowels := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			digits++
+		case (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			letters++
+			switch c | 0x20 {
+			case 'a', 'e', 'i', 'o', 'u':
+				vowels++
+			}
+		}
+	}
+	alnum := letters + digits
+	if alnum < len(s)*9/10 {
+		return false // punctuation-heavy: structured, not random
+	}
+	entropy := ShannonEntropy(s)
+	if digits > 0 && letters > 0 && entropy >= 3.2 && len(s) >= 12 {
+		return true
+	}
+	// All-letter strings: random only when vowel density is implausibly
+	// low for natural language and entropy is high.
+	if letters == alnum && len(s) >= 16 && entropy >= 3.8 {
+		return float64(vowels)/float64(letters) < 0.2
+	}
+	return false
+}
+
+func normalize(s string) string {
+	return strings.ToLower(strings.Join(strings.Fields(s), " "))
+}
+
+func alphaOnly(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i] | 0x20
+		if c < 'a' || c > 'z' {
+			return false
+		}
+	}
+	return len(s) > 0
+}

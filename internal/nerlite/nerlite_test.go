@@ -1,0 +1,207 @@
+package nerlite
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+func TestRecognizePerson(t *testing.T) {
+	people := []string{"John Smith", "mary johnson", "Wei Chen", "Sarah  Lee", "James Robert Wilson"}
+	for _, p := range people {
+		if got := Recognize(p); got != LabelPerson {
+			t.Errorf("Recognize(%q) = %v, want PERSON", p, got)
+		}
+	}
+	notPeople := []string{"John", "Smith", "host01 smith", "John Smith Inc", "a b c d", ""}
+	for _, p := range notPeople {
+		if got := Recognize(p); got == LabelPerson {
+			t.Errorf("Recognize(%q) = PERSON, want not", p)
+		}
+	}
+}
+
+func TestRecognizeOrg(t *testing.T) {
+	orgs := []string{
+		"Honeywell International Inc", "Outset Medical", "Acme Widgets Ltd",
+		"University of Somewhere", "GuardiCore", "Globus Online",
+		"Crestron Electronics Inc",
+	}
+	for _, o := range orgs {
+		if got := Recognize(o); got != LabelOrg {
+			t.Errorf("Recognize(%q) = %v, want ORG", o, got)
+		}
+	}
+}
+
+func TestRecognizeProduct(t *testing.T) {
+	products := []string{"WebRTC", "twilio", "hangouts", "Android Keystore", "Hybrid Runbook Worker"}
+	for _, p := range products {
+		if got := Recognize(p); got != LabelProduct {
+			t.Errorf("Recognize(%q) = %v, want PRODUCT", p, got)
+		}
+	}
+}
+
+func TestRecognizeNone(t *testing.T) {
+	for _, s := range []string{"", "   ", "x9f2k1", "__transfer__"} {
+		if got := Recognize(s); got != LabelNone {
+			t.Errorf("Recognize(%q) = %v, want NONE", s, got)
+		}
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	if got := CosineSimilarity("globus online", "globus online"); got < 0.999 {
+		t.Fatalf("identical strings sim = %f", got)
+	}
+	if got := CosineSimilarity("globus online", "globus  ONLINE"); got < 0.999 {
+		t.Fatalf("normalized strings sim = %f", got)
+	}
+	if got := CosineSimilarity("globus online", "zzqx"); got > 0.3 {
+		t.Fatalf("unrelated strings sim = %f", got)
+	}
+	if CosineSimilarity("", "x") != 0 {
+		t.Fatal("empty string sim should be 0")
+	}
+	// Near-duplicates (the fuzzy-match use case) score high.
+	if got := CosineSimilarity("honeywell international inc", "honeywell international inc."); got < 0.9 {
+		t.Fatalf("near-duplicate sim = %f", got)
+	}
+}
+
+func TestIsUUID(t *testing.T) {
+	if !IsUUID("123e4567-e89b-12d3-a456-426614174000") {
+		t.Fatal("valid UUID rejected")
+	}
+	bad := []string{
+		"123e4567-e89b-12d3-a456-42661417400",   // 35 chars
+		"123e4567-e89b-12d3-a456-4266141740000", // 37
+		"123e4567ae89ba12d3aa456a426614174000",  // no dashes
+		"123e4567-e89b-12d3-a456-42661417400g",  // non-hex
+	}
+	for _, b := range bad {
+		if IsUUID(b) {
+			t.Errorf("IsUUID(%q) = true", b)
+		}
+	}
+}
+
+func TestIsHexString(t *testing.T) {
+	if !IsHexString("deadBEEF01") {
+		t.Fatal("hex rejected")
+	}
+	if IsHexString("xyz") || IsHexString("ab") || IsHexString("deadbeefg") {
+		t.Fatal("non-hex accepted")
+	}
+}
+
+func TestShannonEntropy(t *testing.T) {
+	if ShannonEntropy("") != 0 {
+		t.Fatal("empty entropy should be 0")
+	}
+	if ShannonEntropy("aaaaaaaa") != 0 {
+		t.Fatal("uniform string entropy should be 0")
+	}
+	if ShannonEntropy("abcdefgh") <= ShannonEntropy("aabbccdd") {
+		t.Fatal("more diverse string should have higher entropy")
+	}
+}
+
+func TestIsRandomString(t *testing.T) {
+	random := []string{
+		"123e4567-e89b-12d3-a456-426614174000", // UUID
+		"a3f9c2e1",                             // 8-char hex (Table 13: 81.6% of shared-cert random strings)
+		"9f86d081884c7d659a2feaa0c55ad015",     // 32-char hash
+		"x7Kq9mP2zR4tW8vN3bJ6",                 // high-entropy mixed
+	}
+	for _, r := range random {
+		if !IsRandomString(r) {
+			t.Errorf("IsRandomString(%q) = false, want true", r)
+		}
+	}
+	notRandom := []string{
+		"WebRTC", "hangouts", "__transfer__", "Dtls", "hmpp",
+		"John Smith", "mail server one", "localhost", "server",
+		"FXP DCAU Cert", "",
+	}
+	for _, r := range notRandom {
+		if IsRandomString(r) {
+			t.Errorf("IsRandomString(%q) = true, want false", r)
+		}
+	}
+}
+
+// Measured precision/recall of the person recognizer on a generated
+// population — the paper reports 0.9/0.9 for spaCy; our lexicon NER must
+// reach at least that on its own name space.
+func TestPersonPrecisionRecall(t *testing.T) {
+	rng := ids.NewRNG(77)
+	var tp, fn, fp int
+	// Positives: lexicon combinations.
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("%s %s", title(firstNames[rng.Intn(len(firstNames))]), title(lastNames[rng.Intn(len(lastNames))]))
+		if IsPersonName(name) {
+			tp++
+		} else {
+			fn++
+		}
+	}
+	// Negatives: hostnames, IDs, orgs.
+	negatives := []string{"host-0042", "ab12cd34", "Internet Widgits Pty Ltd", "dev machine", "mx01 cluster"}
+	for i := 0; i < 500; i++ {
+		if IsPersonName(negatives[i%len(negatives)]) {
+			fp++
+		}
+	}
+	precision := float64(tp) / float64(tp+fp)
+	recall := float64(tp) / float64(tp+fn)
+	if precision < 0.9 || recall < 0.9 {
+		t.Fatalf("precision=%.3f recall=%.3f, want both >= 0.9", precision, recall)
+	}
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return string(s[0]&^0x20) + s[1:]
+}
+
+func TestLabelString(t *testing.T) {
+	if LabelPerson.String() != "PERSON" || LabelOrg.String() != "ORG" ||
+		LabelProduct.String() != "PRODUCT" || LabelNone.String() != "NONE" {
+		t.Fatal("label strings wrong")
+	}
+}
+
+// Property: CosineSimilarity is symmetric and bounded.
+func TestCosineProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		s1 := CosineSimilarity(a, b)
+		s2 := CosineSimilarity(b, a)
+		return s1 >= 0 && s1 <= 1.0000001 && (s1-s2) < 1e-9 && (s2-s1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: classifier functions never panic and IsUUID implies
+// IsRandomString.
+func TestRandomnessProperty(t *testing.T) {
+	f := func(s string) bool {
+		_ = ShannonEntropy(s)
+		_ = IsHexString(s)
+		r := IsRandomString(s)
+		if IsUUID(s) && !r {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+func TestDirectionOf(t *testing.T) {
+	p := DefaultPlan()
+	cases := []struct {
+		orig, resp string
+		want       Direction
+	}{
+		{"8.8.8.8", "128.143.1.1", Inbound},
+		{"8.8.8.8", "172.25.3.4", Inbound}, // health is internal
+		{"128.143.255.10", "52.1.2.3", Outbound},
+		{"128.143.1.1", "172.25.1.1", Internal},
+		{"8.8.8.8", "9.9.9.9", External},
+		{"garbage", "128.143.1.1", Inbound},
+		{"garbage", "also-garbage", External},
+	}
+	for _, c := range cases {
+		if got := p.DirectionOf(c.orig, c.resp); got != c.want {
+			t.Errorf("DirectionOf(%s,%s) = %v, want %v", c.orig, c.resp, got, c.want)
+		}
+	}
+}
+
+func TestIsHealth(t *testing.T) {
+	p := DefaultPlan()
+	if !p.IsHealth("172.25.0.5") || p.IsHealth("128.143.0.5") || p.IsHealth("nope") {
+		t.Fatal("IsHealth wrong")
+	}
+}
+
+func TestAllocatorDeterminism(t *testing.T) {
+	a := NewAllocator(DefaultPlan())
+	if a.CampusServer("vpn", 0) != a.CampusServer("vpn", 0) {
+		t.Fatal("CampusServer not deterministic")
+	}
+	if a.CampusServer("vpn", 0) == a.CampusServer("vpn", 1) {
+		t.Fatal("distinct indices should differ")
+	}
+	if a.ExternalHost("rapid7", 3) != a.ExternalHost("rapid7", 3) {
+		t.Fatal("ExternalHost not deterministic")
+	}
+}
+
+func TestAllocatorPlacement(t *testing.T) {
+	a := NewAllocator(DefaultPlan())
+	p := a.Plan()
+	for i := 0; i < 50; i++ {
+		if !p.IsInternal(a.CampusServer("web", i)) {
+			t.Fatalf("campus server %d not internal", i)
+		}
+		if !p.IsHealth(a.HealthServer("epic", i)) {
+			t.Fatalf("health server %d not in health prefix", i)
+		}
+		if !p.IsInternal(a.CampusClient(i)) {
+			t.Fatalf("NAT client %d not internal", i)
+		}
+		if !p.IsInternal(a.CampusDevice("lab", i)) {
+			t.Fatalf("campus device %d not internal", i)
+		}
+		if p.IsInternal(a.ExternalHost("aws", i)) {
+			t.Fatalf("external host %d inside campus", i)
+		}
+	}
+}
+
+func TestNATPoolSmall(t *testing.T) {
+	a := NewAllocator(DefaultPlan())
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[a.CampusClient(i)] = true
+	}
+	if len(seen) != len(DefaultPlan().NATPool) {
+		t.Fatalf("NAT pool size = %d, want %d", len(seen), len(DefaultPlan().NATPool))
+	}
+}
+
+func TestSubnetSpreadControl(t *testing.T) {
+	a := NewAllocator(DefaultPlan())
+	// Hosts within the same (label, subnet) share a /24.
+	s1 := ids.SubnetOfString(a.ExternalHostInSubnet("globus", 0, 1))
+	s2 := ids.SubnetOfString(a.ExternalHostInSubnet("globus", 0, 2))
+	if s1 != s2 {
+		t.Fatal("same subnet index must share a /24")
+	}
+	// Distinct subnet indices land in distinct /24s (with overwhelming
+	// probability for small counts; verify a concrete set).
+	subnets := map[ids.SubnetKey]bool{}
+	for i := 0; i < 40; i++ {
+		subnets[ids.SubnetOfString(a.ExternalHostInSubnet("globus", i, 0))] = true
+	}
+	if len(subnets) < 38 {
+		t.Fatalf("expected ~40 distinct /24s, got %d", len(subnets))
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	if Inbound.String() != "inbound" || Outbound.String() != "outbound" ||
+		Internal.String() != "internal" || External.String() != "external" {
+		t.Fatal("direction strings wrong")
+	}
+}
+
+// Property: allocator outputs always parse and classify as expected.
+func TestAllocatorProperty(t *testing.T) {
+	a := NewAllocator(DefaultPlan())
+	f := func(label string, idx uint16) bool {
+		ext := a.ExternalHost(label, int(idx))
+		srv := a.CampusServer(label, int(idx))
+		return !a.Plan().IsInternal(ext) && a.Plan().IsInternal(srv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

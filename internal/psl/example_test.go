@@ -1,0 +1,30 @@
+package psl_test
+
+import (
+	"fmt"
+
+	"repro/internal/psl"
+)
+
+func ExampleList_Split() {
+	l := psl.Default()
+	r := l.Split("mail.health.virginia.edu")
+	fmt.Println(r.Subdomain, "/", r.Domain, "/", r.Suffix)
+	fmt.Println("SLD:", r.Registrable())
+	fmt.Println("TLD:", r.TLD())
+	// Output:
+	// mail.health / virginia / edu
+	// SLD: virginia.edu
+	// TLD: edu
+}
+
+func ExampleList_IsDomainName() {
+	l := psl.Default()
+	fmt.Println(l.IsDomainName("idrive.com"))
+	fmt.Println(l.IsDomainName("John Smith"))
+	fmt.Println(l.IsDomainName("FXP DCAU Cert"))
+	// Output:
+	// true
+	// false
+	// false
+}

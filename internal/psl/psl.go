@@ -1,0 +1,243 @@
+// Package psl implements Public Suffix List–based domain decomposition,
+// the equivalent of the Python tldextract package the paper uses to pull
+// TLDs and SLDs out of SNI values and certificate names (§4.2, §6.1).
+//
+// The embedded list is a compact subset of the Mozilla PSL covering the
+// suffixes that occur in the study (generic TLDs, the country suffixes the
+// paper's tables mention, and the multi-label suffixes needed to exercise
+// the longest-match algorithm, e.g. co.uk and amazonaws.com's S3 style
+// suffixes). The matching algorithm is the full PSL algorithm: longest
+// matching rule wins, wildcard (*) rules, and exception (!) rules.
+package psl
+
+import (
+	"strings"
+)
+
+// List is a compiled public-suffix list.
+type List struct {
+	rules map[string]ruleKind
+}
+
+type ruleKind uint8
+
+const (
+	ruleNormal ruleKind = iota + 1
+	ruleWildcard
+	ruleException
+)
+
+// defaultRules is the embedded suffix data. One rule per entry, in PSL
+// syntax ("*." prefix for wildcard, "!" prefix for exception).
+var defaultRules = []string{
+	// Generic TLDs seen throughout the paper's tables.
+	"com", "net", "org", "edu", "gov", "mil", "int", "io", "me", "co",
+	"top", "cn", "uk", "de", "fr", "jp", "au", "ca", "us", "eu", "info",
+	"biz", "dev", "app", "cloud", "online", "site", "xyz", "education",
+	// Multi-label public suffixes.
+	"co.uk", "org.uk", "ac.uk", "gov.uk",
+	"com.cn", "edu.cn", "gov.cn",
+	"com.au", "edu.au",
+	"co.jp", "ac.jp",
+	// Cloud-provider suffixes: subdomains of these behave like registrable
+	// domains (mirrors the real PSL private section for amazonaws).
+	"compute.amazonaws.com", "s3.amazonaws.com",
+	"*.elb.amazonaws.com",
+	"azurewebsites.net", "cloudapp.azure.com",
+	// Wildcard + exception pair to exercise the full algorithm (real PSL
+	// example: *.ck with !www.ck).
+	"*.ck", "!www.ck",
+}
+
+// Default returns the embedded list, compiled once per call (cheap).
+func Default() *List { return New(defaultRules) }
+
+// New compiles rules given in PSL syntax.
+func New(rules []string) *List {
+	l := &List{rules: make(map[string]ruleKind, len(rules))}
+	for _, r := range rules {
+		r = strings.TrimSpace(strings.ToLower(r))
+		if r == "" || strings.HasPrefix(r, "//") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(r, "!"):
+			l.rules[r[1:]] = ruleException
+		case strings.HasPrefix(r, "*."):
+			l.rules[r[2:]] = ruleWildcard
+		default:
+			l.rules[r] = ruleNormal
+		}
+	}
+	return l
+}
+
+// Result is the decomposition of a hostname.
+type Result struct {
+	// Subdomain is everything left of the registrable domain ("www.mail").
+	Subdomain string
+	// Domain is the registrable label ("example" in example.co.uk).
+	Domain string
+	// Suffix is the matched public suffix ("co.uk").
+	Suffix string
+}
+
+// Registrable returns "domain.suffix" (the SLD in the paper's terminology),
+// or "" when the name has no registrable domain.
+func (r Result) Registrable() string {
+	if r.Domain == "" || r.Suffix == "" {
+		return ""
+	}
+	return r.Domain + "." + r.Suffix
+}
+
+// TLD returns the last label of the suffix, the paper's outbound grouping
+// key ("com" for a co.uk suffix would be "uk"... no: last label of co.uk is
+// uk). For single-label suffixes it is the suffix itself.
+func (r Result) TLD() string {
+	if r.Suffix == "" {
+		return ""
+	}
+	if i := strings.LastIndexByte(r.Suffix, '.'); i >= 0 {
+		return r.Suffix[i+1:]
+	}
+	return r.Suffix
+}
+
+// Split decomposes host. Port suffixes, trailing dots and case are
+// normalized. Names that are IP addresses or have no known suffix return a
+// Result whose Suffix is empty.
+func (l *List) Split(host string) Result {
+	host = normalizeHost(host)
+	if host == "" || looksLikeIP(host) {
+		return Result{}
+	}
+	labels := strings.Split(host, ".")
+	// Find the prevailing rule per the PSL algorithm: an exception rule
+	// wins outright; otherwise the rule with the most labels wins.
+	matchLen := 0 // number of labels in the winning suffix
+	exception := false
+	for i := 0; i < len(labels); i++ {
+		cand := strings.Join(labels[i:], ".")
+		kind, ok := l.rules[cand]
+		if !ok {
+			continue
+		}
+		switch kind {
+		case ruleException:
+			// Exception rule: suffix is the candidate minus its first label.
+			matchLen = len(labels) - i - 1
+			exception = true
+		case ruleNormal:
+			if n := len(labels) - i; !exception && n > matchLen {
+				matchLen = n
+			}
+		case ruleWildcard:
+			// "*.foo" matches one extra label to the left of foo.
+			if n := len(labels) - i + 1; !exception && i > 0 && n > matchLen {
+				matchLen = n
+			}
+		}
+		if exception {
+			break
+		}
+	}
+	if matchLen == 0 || matchLen >= len(labels) {
+		// No rule, or the whole name is a public suffix: no registrable
+		// domain. Unknown single-label hosts (e.g. "localhost") also land
+		// here.
+		if matchLen >= len(labels) && matchLen > 0 {
+			return Result{Suffix: host}
+		}
+		return Result{}
+	}
+	suffix := strings.Join(labels[len(labels)-matchLen:], ".")
+	domain := labels[len(labels)-matchLen-1]
+	sub := ""
+	if len(labels) > matchLen+1 {
+		sub = strings.Join(labels[:len(labels)-matchLen-1], ".")
+	}
+	return Result{Subdomain: sub, Domain: domain, Suffix: suffix}
+}
+
+// SLD is a convenience wrapper returning the registrable domain of host
+// ("idrive.com"), or "" when none exists. This is the key §4.2 groups
+// inbound traffic by.
+func (l *List) SLD(host string) string { return l.Split(host).Registrable() }
+
+// TLD returns the top-level domain of host ("com"), or "" when none exists.
+// §4.2 groups outbound traffic by TLD.
+func (l *List) TLD(host string) string { return l.Split(host).TLD() }
+
+// IsDomainName reports whether s plausibly names a domain with a known
+// public suffix — the test the infotype classifier uses before labeling a
+// CN/SAN entry as "Domain".
+func (l *List) IsDomainName(s string) bool {
+	s = normalizeHost(s)
+	if s == "" || looksLikeIP(s) {
+		return false
+	}
+	// Wildcard leftmost label is acceptable in certificates.
+	s = strings.TrimPrefix(s, "*.")
+	for _, lab := range strings.Split(s, ".") {
+		if !validLabel(lab) {
+			return false
+		}
+	}
+	return l.Split(s).Registrable() != ""
+}
+
+func validLabel(lab string) bool {
+	if lab == "" || len(lab) > 63 {
+		return false
+	}
+	for i := 0; i < len(lab); i++ {
+		c := lab[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-':
+		case c >= 'A' && c <= 'Z':
+		default:
+			return false
+		}
+	}
+	return lab[0] != '-' && lab[len(lab)-1] != '-'
+}
+
+func normalizeHost(host string) string {
+	host = strings.TrimSpace(strings.ToLower(host))
+	host = strings.TrimSuffix(host, ".")
+	// Strip a port if present (host:443) but leave IPv6 literals alone.
+	if i := strings.LastIndexByte(host, ':'); i >= 0 && !strings.Contains(host[:i], ":") {
+		if allDigits(host[i+1:]) && host[i+1:] != "" {
+			host = host[:i]
+		}
+	}
+	return host
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// looksLikeIP is a light check sufficient to keep IPs out of domain logic;
+// full IP classification lives in internal/infotype.
+func looksLikeIP(s string) bool {
+	if strings.Contains(s, ":") {
+		return true // IPv6-ish
+	}
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return false
+	}
+	for _, p := range parts {
+		if !allDigits(p) || len(p) > 3 {
+			return false
+		}
+	}
+	return true
+}

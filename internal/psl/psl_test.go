@@ -1,0 +1,144 @@
+package psl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitBasic(t *testing.T) {
+	l := Default()
+	cases := []struct {
+		host          string
+		sub, dom, suf string
+		registrable   string
+		tld           string
+	}{
+		{"www.idrive.com", "www", "idrive", "com", "idrive.com", "com"},
+		{"idrive.com", "", "idrive", "com", "idrive.com", "com"},
+		{"a.b.example.co.uk", "a.b", "example", "co.uk", "example.co.uk", "uk"},
+		{"ec2-1-2-3-4.compute.amazonaws.com", "", "ec2-1-2-3-4", "compute.amazonaws.com", "ec2-1-2-3-4.compute.amazonaws.com", "com"},
+		{"rapid7.com", "", "rapid7", "com", "rapid7.com", "com"},
+		{"gpo.gov", "", "gpo", "gov", "gpo.gov", "gov"},
+		{"virginia.edu", "", "virginia", "edu", "virginia.edu", "edu"},
+		{"mail.health.virginia.edu", "mail.health", "virginia", "edu", "virginia.edu", "edu"},
+	}
+	for _, c := range cases {
+		r := l.Split(c.host)
+		if r.Subdomain != c.sub || r.Domain != c.dom || r.Suffix != c.suf {
+			t.Errorf("Split(%q) = %+v", c.host, r)
+		}
+		if r.Registrable() != c.registrable {
+			t.Errorf("Registrable(%q) = %q, want %q", c.host, r.Registrable(), c.registrable)
+		}
+		if r.TLD() != c.tld {
+			t.Errorf("TLD(%q) = %q, want %q", c.host, r.TLD(), c.tld)
+		}
+	}
+}
+
+func TestSplitNormalization(t *testing.T) {
+	l := Default()
+	if l.SLD("WWW.IDrive.COM.") != "idrive.com" {
+		t.Fatal("case/trailing-dot normalization failed")
+	}
+	if l.SLD("idrive.com:443") != "idrive.com" {
+		t.Fatal("port stripping failed")
+	}
+}
+
+func TestSplitIPAndEmpty(t *testing.T) {
+	l := Default()
+	for _, h := range []string{"", "1.2.3.4", "192.168.0.1", "2001:db8::1", "fe80::1%eth0"} {
+		if r := l.Split(h); r.Registrable() != "" {
+			t.Errorf("Split(%q) should have no registrable domain, got %q", h, r.Registrable())
+		}
+	}
+}
+
+func TestWholeNameIsSuffix(t *testing.T) {
+	l := Default()
+	r := l.Split("co.uk")
+	if r.Registrable() != "" {
+		t.Fatalf("bare public suffix should have no registrable domain, got %q", r.Registrable())
+	}
+	if r.Suffix != "co.uk" {
+		t.Fatalf("suffix = %q", r.Suffix)
+	}
+}
+
+func TestUnknownSuffix(t *testing.T) {
+	l := Default()
+	if got := l.SLD("foo.nosuchtld"); got != "" {
+		t.Fatalf("unknown suffix should yield empty SLD, got %q", got)
+	}
+	if got := l.SLD("localhost"); got != "" {
+		t.Fatalf("localhost should yield empty SLD, got %q", got)
+	}
+}
+
+func TestWildcardAndException(t *testing.T) {
+	l := Default()
+	// *.ck: "anything.ck" is a public suffix, so foo.bar.ck registers bar...
+	// foo.bar.ck → suffix "bar.ck", domain "foo".
+	r := l.Split("foo.bar.ck")
+	if r.Suffix != "bar.ck" || r.Domain != "foo" {
+		t.Fatalf("wildcard split = %+v", r)
+	}
+	// !www.ck: exception — www.ck itself is registrable under ck.
+	r = l.Split("www.ck")
+	if r.Registrable() != "www.ck" {
+		t.Fatalf("exception split = %+v", r)
+	}
+	r = l.Split("a.www.ck")
+	if r.Registrable() != "www.ck" || r.Subdomain != "a" {
+		t.Fatalf("exception with sub = %+v", r)
+	}
+}
+
+func TestIsDomainName(t *testing.T) {
+	l := Default()
+	good := []string{"idrive.com", "*.apple.com", "mail.example.co.uk", "Splunkcloud.COM"}
+	for _, g := range good {
+		if !l.IsDomainName(g) {
+			t.Errorf("IsDomainName(%q) = false, want true", g)
+		}
+	}
+	bad := []string{"", "1.2.3.4", "John Smith", "sip:user@host", "hello world.com",
+		"_transfer_", "foo..com", "foo.nosuchtld", "-bad.com", "bad-.com"}
+	for _, b := range bad {
+		if l.IsDomainName(b) {
+			t.Errorf("IsDomainName(%q) = true, want false", b)
+		}
+	}
+}
+
+func TestNewSkipsComments(t *testing.T) {
+	l := New([]string{"// comment", "", "com"})
+	if l.SLD("x.com") != "x.com" {
+		t.Fatal("comment handling broke compilation")
+	}
+}
+
+// Property: Registrable() is always a suffix of the normalized input, and
+// Split never panics on arbitrary strings.
+func TestSplitProperty(t *testing.T) {
+	l := Default()
+	f := func(s string) bool {
+		r := l.Split(s)
+		reg := r.Registrable()
+		if reg == "" {
+			return true
+		}
+		norm := normalizeHost(s)
+		return len(norm) >= len(reg) && norm[len(norm)-len(reg):] == reg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLDOfEmpty(t *testing.T) {
+	if (Result{}).TLD() != "" {
+		t.Fatal("empty result TLD should be empty")
+	}
+}

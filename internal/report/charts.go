@@ -1,0 +1,174 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Figure1Chart renders the prevalence trend as an ASCII line chart — the
+// visual counterpart of the paper's Figure 1.
+func Figure1Chart(a *core.Analysis) string {
+	pts := a.Prevalence.Overall
+	if len(pts) == 0 {
+		return "(no data)\n"
+	}
+	maxR := 0.0
+	for _, p := range pts {
+		if p.Ratio() > maxR {
+			maxR = p.Ratio()
+		}
+	}
+	if maxR == 0 {
+		return "(no mutual TLS observed)\n"
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		bars := int(p.Ratio() / maxR * 48)
+		fmt.Fprintf(&b, "%s %6s%% |%s\n", p.Month, stats.Pct(p.Ratio()), strings.Repeat("█", bars))
+	}
+	return b.String()
+}
+
+// Figure2Sankey renders the outbound flow diagram as text: server class →
+// TLD → client issuer category with proportional link widths.
+func Figure2Sankey(a *core.Analysis) string {
+	flows := a.Outbound.Flows
+	if len(flows) == 0 {
+		return "(no flows)\n"
+	}
+	var total int64
+	for _, f := range flows {
+		total += f.Weight
+	}
+	var b strings.Builder
+	limit := len(flows)
+	if limit > 14 {
+		limit = 14
+	}
+	for _, f := range flows[:limit] {
+		width := int(float64(f.Weight) / float64(total) * 40)
+		if width < 1 {
+			width = 1
+		}
+		fmt.Fprintf(&b, "%-8s ═%s═> .%-5s ═%s═> %-24s %5.1f%%\n",
+			f.ServerClass, strings.Repeat("═", width/2), f.TLD,
+			strings.Repeat("═", width/2), f.ClientCategory,
+			float64(f.Weight)/float64(total)*100)
+	}
+	if len(flows) > limit {
+		fmt.Fprintf(&b, "(+%d smaller flows)\n", len(flows)-limit)
+	}
+	return b.String()
+}
+
+// Figure5Scatter renders the expired-certificate scatter (days expired ×
+// duration of activity) as a character grid, public certs as 'o' and
+// private as 'x' — the shape of the paper's Figure 5, including the Apple
+// cluster around 1,000 days.
+func Figure5Scatter(dir *core.ExpiredDirection, width, height int) string {
+	if len(dir.Points) == 0 {
+		return "(no expired certificates)\n"
+	}
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 14
+	}
+	var maxX, maxY int64 = 1, 1
+	for _, p := range dir.Points {
+		if p.DaysExpiredAtFirstUse > maxX {
+			maxX = p.DaysExpiredAtFirstUse
+		}
+		if p.DurationDays > maxY {
+			maxY = p.DurationDays
+		}
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range dir.Points {
+		x := int(float64(p.DaysExpiredAtFirstUse) / float64(maxX) * float64(width-1))
+		y := height - 1 - int(float64(p.DurationDays)/float64(maxY)*float64(height-1))
+		mark := byte('x')
+		if p.Public {
+			mark = 'o'
+		}
+		// Public markers win contested cells so the Apple cluster shows.
+		if grid[y][x] == ' ' || mark == 'o' {
+			grid[y][x] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "duration of activity (days, up to %d) ↑   o=public x=private\n", maxY)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "→\n")
+	fmt.Fprintf(&b, "days expired at first observation (0..%d)\n", maxX)
+	return b.String()
+}
+
+// Figure4CDF renders the validity-period distribution as a cumulative
+// table per direction.
+func Figure4CDF(a *core.Analysis) string {
+	v := a.Validity
+	labels := []string{"≤90d", "≤398d", "≤825d", "≤10y", "≤10,000d", "≤40,000d", ">40,000d"}
+	var b strings.Builder
+	t := stats.NewTable("Cumulative validity distribution", "Bucket", "Inbound cum%", "Outbound cum%")
+	var cumIn, cumOut int64
+	for i, l := range labels {
+		cumIn += v.InboundHist.Bucket(i)
+		cumOut += v.OutboundHist.Bucket(i)
+		t.AddRow(l,
+			stats.Pct(safeDiv(cumIn, v.InboundHist.Total())),
+			stats.Pct(safeDiv(cumOut, v.OutboundHist.Total())))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+func safeDiv(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// TopIssuers renders the most common issuer identities in a dataset-wide
+// view, a convenience for exploratory use.
+func TopIssuers(a *core.Analysis, k int) string {
+	// Reconstructed from the contents report's columns.
+	c := a.Contents
+	counts := map[string]int{}
+	for _, col := range []string{"server-public", "server-private", "client-public", "client-private"} {
+		for name, n := range c.CN[col] {
+			counts[col+"/"+name] += n
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if k > len(keys) {
+		k = len(keys)
+	}
+	var b strings.Builder
+	for _, key := range keys[:k] {
+		fmt.Fprintf(&b, "%-40s %d\n", key, counts[key])
+	}
+	return b.String()
+}

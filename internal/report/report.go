@@ -1,0 +1,441 @@
+// Package report renders a core.Analysis as plain-text tables (one per
+// paper table/figure) and as the EXPERIMENTS.md paper-vs-measured
+// comparison. cmd/mtlsreport is a thin wrapper around it.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/infotype"
+	"repro/internal/stats"
+)
+
+// RenderAll renders every table and figure.
+func RenderAll(a *core.Analysis) string {
+	var b strings.Builder
+	sections := []struct {
+		title string
+		body  string
+	}{
+		{"Preprocessing (§3.2)", Preprocess(a)},
+		{"Table 1 — Unique certificates", Table1(a)},
+		{"Figure 1 — Prevalence of mutual TLS", Figure1(a)},
+		{"Figure 1 (chart)", Figure1Chart(a)},
+		{"Table 2 — Prominent services", Table2(a)},
+		{"Table 3 — Inbound issuers by server association", Table3(a)},
+		{"Figure 2 — Outbound flows", Figure2(a)},
+		{"Figure 2 (sankey)", Figure2Sankey(a)},
+		{"Table 4 — Dummy issuers", Table4(a)},
+		{"§5.1.2 — Dummy serial numbers", Serials(a)},
+		{"Table 5 — Certificate sharing in the same connection", Table5(a)},
+		{"Table 6 — Subnet spread of cross-connection shared certs", Table6(a)},
+		{"Figure 3 / Tables 11-12 — Incorrect dates", Figure3(a)},
+		{"Figure 4 — Validity periods", Figure4(a)},
+		{"Figure 4 (CDF)", Figure4CDF(a)},
+		{"Figure 5 — Expired client certificates", Figure5(a)},
+		{"Figure 5a (scatter, inbound)", Figure5Scatter(&a.Expired.Inbound, 64, 12)},
+		{"Figure 5b (scatter, outbound)", Figure5Scatter(&a.Expired.Outbound, 64, 12)},
+		{"Table 7 — CN/SAN utilization", Table7(a)},
+		{"Table 8 — Information types in CN and SAN", Table8(a)},
+		{"Table 9 — Unidentified strings", Table9(a)},
+		{"Table 10 — Dummy issuers at both endpoints", Table10(a)},
+		{"Table 13 — Shared-certificate CN/SAN", Table13(a)},
+		{"Table 14 — Non-mutual TLS certificates", Table14(a)},
+		{"§5 takeaway — Concerning practices", Concerns(a)},
+		{"§6.1.2 — SAN value types", SANTypes(a)},
+		{"§5 — Duration of activity", Durations(a)},
+		{"§3.3 — Protocol versions", Versions(a)},
+	}
+	for _, s := range sections {
+		b.WriteString("== " + s.title + " ==\n")
+		b.WriteString(s.body)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func pct(x float64) string { return stats.Pct(x) + "%" }
+
+// Preprocess renders the §3.2 filter statistics.
+func Preprocess(a *core.Analysis) string {
+	p := a.Preprocess
+	return fmt.Sprintf(
+		"raw certs: %d, raw conns: %d\ninterception issuers found: %d\nexcluded certs: %d (%s of raw)\nTLS 1.3 connection share: %s\n",
+		p.RawCerts, p.RawConns, len(p.InterceptionIssuers),
+		p.ExcludedCerts, pct(p.ExcludedShare), pct(p.TLS13ConnShare))
+}
+
+// Table1 renders unique-certificate statistics.
+func Table1(a *core.Analysis) string {
+	t := stats.NewTable("", "Certificates", "Total", "Mutual TLS", "%")
+	for _, r := range a.CertStats.Rows {
+		t.AddRow(r.Label, fmt.Sprint(r.Total), fmt.Sprint(r.Mutual), stats.Pct(r.MutualShare()))
+	}
+	return t.String()
+}
+
+// Figure1 renders the monthly mTLS share series.
+func Figure1(a *core.Analysis) string {
+	t := stats.NewTable("", "Month", "Overall %", "Inbound %", "Outbound %")
+	in := indexPoints(a.Prevalence.Inbound)
+	out := indexPoints(a.Prevalence.Outbound)
+	for _, p := range a.Prevalence.Overall {
+		t.AddRow(string(p.Month), stats.Pct(p.Ratio()),
+			stats.Pct(in[p.Month]), stats.Pct(out[p.Month]))
+	}
+	return t.String()
+}
+
+func indexPoints(ps []stats.Point) map[stats.MonthKey]float64 {
+	m := map[stats.MonthKey]float64{}
+	for _, p := range ps {
+		m[p.Month] = p.Ratio()
+	}
+	return m
+}
+
+// Table2 renders the port/service rankings.
+func Table2(a *core.Analysis) string {
+	var b strings.Builder
+	render := func(title string, rows []core.ServiceRow) {
+		t := stats.NewTable(title, "Rank", "Port", "%", "Service")
+		for i, r := range rows {
+			t.AddRow(fmt.Sprint(i+1), r.PortLabel, stats.Pct(r.Share), r.Service)
+		}
+		b.WriteString(t.String())
+	}
+	render("Inbound, mutual TLS", a.Services.MutualInbound)
+	render("Outbound, mutual TLS", a.Services.MutualOutbound)
+	render("Inbound, without mutual TLS", a.Services.NonMutualInbound)
+	render("Outbound, without mutual TLS", a.Services.NonMutualOutbound)
+	return b.String()
+}
+
+// Table3 renders inbound issuer patterns.
+func Table3(a *core.Analysis) string {
+	t := stats.NewTable("", "Server association", "% conns", "% clients",
+		"Primary issuer", "% clients", "Secondary issuer", "% clients")
+	for _, r := range a.Inbound.Rows {
+		t.AddRow(r.Association, stats.Pct(r.ConnShare), stats.Pct(r.ClientShare),
+			r.Primary, stats.Pct(r.PrimaryShare), r.Secondary, stats.Pct(r.SecondaryShare))
+	}
+	return t.String()
+}
+
+// Figure2 renders outbound flow statistics.
+func Figure2(a *core.Analysis) string {
+	var b strings.Builder
+	o := a.Outbound
+	fmt.Fprintf(&b, "missing client issuer: %s of outbound mTLS connections\n", pct(o.MissingIssuerShare))
+	fmt.Fprintf(&b, "public-server conns with missing-issuer clients: %s\n", pct(o.PublicServerMissingClientShare))
+	t := stats.NewTable("Top server SLDs", "SLD", "% conns")
+	for _, kv := range o.SLDShares {
+		t.AddRow(kv.Key, stats.Pct(float64(kv.Count)/float64(max64(o.TotalConns, 1))))
+	}
+	b.WriteString(t.String())
+	ft := stats.NewTable("Flows (server class -> TLD -> client issuer)", "Server", "TLD", "Client issuer", "Conns")
+	limit := len(o.Flows)
+	if limit > 12 {
+		limit = 12
+	}
+	for _, f := range o.Flows[:limit] {
+		ft.AddRow(f.ServerClass, f.TLD, f.ClientCategory, fmt.Sprint(f.Weight))
+	}
+	b.WriteString(ft.String())
+	return b.String()
+}
+
+// Table4 renders dummy-issuer groups.
+func Table4(a *core.Analysis) string {
+	t := stats.NewTable("", "Direction", "Side", "Dummy issuer", "#servers", "#clients", "#conns")
+	for _, r := range a.DummyIssuers.Rows {
+		t.AddRow(r.Direction, r.Side, r.IssuerOrg,
+			fmt.Sprint(r.Servers), fmt.Sprint(r.Clients), fmt.Sprint(r.Conns))
+	}
+	return t.String() + fmt.Sprintf("weak-key (1024-bit RSA) dummy certs: %d; X.509v1 dummy certs: %d\n",
+		a.DummyIssuers.WeakKeyCerts, a.DummyIssuers.Version1Certs)
+}
+
+// Serials renders the §5.1.2 collision groups.
+func Serials(a *core.Analysis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "inbound clients involved: %d (both endpoints: %d)\n",
+		a.Serials.Inbound.ClientsInvolved, a.Serials.Inbound.BothEndpointClients)
+	fmt.Fprintf(&b, "outbound clients involved: %d (both endpoints: %d)\n",
+		a.Serials.Outbound.ClientsInvolved, a.Serials.Outbound.BothEndpointClients)
+	t := stats.NewTable("Collision groups", "Issuer", "Serial", "#srv certs", "#cli certs",
+		"#conns", "#clients", "#tuples", "max validity (d)")
+	limit := len(a.Serials.Inbound.Groups)
+	if limit > 10 {
+		limit = 10
+	}
+	for _, g := range a.Serials.Inbound.Groups[:limit] {
+		t.AddRow(g.IssuerKey, g.Serial, fmt.Sprint(g.ServerCerts), fmt.Sprint(g.ClientCerts),
+			fmt.Sprint(g.Conns), fmt.Sprint(g.Clients), fmt.Sprint(g.Tuples),
+			fmt.Sprint(g.MaxValidityDays))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Table5 renders same-connection sharing.
+func Table5(a *core.Analysis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shared-certificate connections: inbound %d, outbound %d\n",
+		a.SharingSame.InboundConns, a.SharingSame.OutboundConns)
+	t := stats.NewTable("", "Direction", "SLD", "Issuer", "Public?", "#clients", "Duration (d)")
+	for _, r := range a.SharingSame.Rows {
+		t.AddRow(r.Direction, r.SLD, r.IssuerKey, boolMark(r.PublicIssuer),
+			fmt.Sprint(r.Clients), fmt.Sprint(r.DurationDays))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Table6 renders subnet-spread quantiles.
+func Table6(a *core.Analysis) string {
+	cr := a.SharingCross
+	t := stats.NewTable(fmt.Sprintf("cross-shared certs: %d", cr.Certs),
+		"Role", "50th", "75th", "99th", "100th")
+	t.AddRow(append([]string{"Server"}, q(cr.ServerQuantiles)...)...)
+	t.AddRow(append([]string{"Client"}, q(cr.ClientQuantiles)...)...)
+	var b strings.Builder
+	b.WriteString(t.String())
+	it := stats.NewTable("Issuers of cross-shared certs", "Issuer", "Certs")
+	for _, kv := range cr.IssuerShares {
+		it.AddRow(kv.Key, fmt.Sprint(kv.Count))
+	}
+	b.WriteString(it.String())
+	return b.String()
+}
+
+func q(v [4]int64) []string {
+	return []string{fmt.Sprint(v[0]), fmt.Sprint(v[1]), fmt.Sprint(v[2]), fmt.Sprint(v[3])}
+}
+
+// Figure3 renders incorrect-date groups.
+func Figure3(a *core.Analysis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "incorrect-date certificates: %d\n", a.BadDates.Certs)
+	t := stats.NewTable("Groups", "SLD", "Side", "Issuer", "NotBefore yr", "NotAfter yr", "#clients", "Duration (d)")
+	for _, r := range a.BadDates.Rows {
+		t.AddRow(r.SLD, r.Side, r.IssuerKey, fmt.Sprint(r.NotBeforeYear),
+			fmt.Sprint(r.NotAfterYear), fmt.Sprint(r.Clients), fmt.Sprint(r.DurationDays))
+	}
+	b.WriteString(t.String())
+	bt := stats.NewTable("Both endpoints (Table 12)", "SLD", "Client issuer", "Server issuer", "#clients", "Duration (d)")
+	for _, r := range a.BadDates.BothEndpoints {
+		bt.AddRow(r.SLD, r.ClientIssuer, r.ServerIssuer, fmt.Sprint(r.Clients), fmt.Sprint(r.DurationDays))
+	}
+	b.WriteString(bt.String())
+	return b.String()
+}
+
+// Figure4 renders validity-period distributions.
+func Figure4(a *core.Analysis) string {
+	v := a.Validity
+	var b strings.Builder
+	labels := []string{"<=90d", "<=398d", "<=825d", "<=10y", "<=10000d", "<=40000d", ">40000d"}
+	t := stats.NewTable("Client-cert validity (unique certs)", "Bucket", "Inbound", "Outbound")
+	for i, l := range labels {
+		t.AddRow(l, fmt.Sprint(v.InboundHist.Bucket(i)), fmt.Sprint(v.OutboundHist.Bucket(i)))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "10,000-40,000-day certs: %d (public: %d)\n", v.ExtremeCount, v.ExtremePublic)
+	for _, kv := range v.ExtremeCategories {
+		fmt.Fprintf(&b, "  %s: %d\n", kv.Key, kv.Count)
+	}
+	fmt.Fprintf(&b, "max validity: %d days (%s)\n", v.MaxValidityDays, v.MaxValiditySLD)
+	return b.String()
+}
+
+// Figure5 renders expired-certificate statistics.
+func Figure5(a *core.Analysis) string {
+	ex := a.Expired
+	var b strings.Builder
+	fmt.Fprintf(&b, "inbound expired client certs: %d (public %d / private %d)\n",
+		len(ex.Inbound.Points), ex.Inbound.PublicCerts, ex.Inbound.PrivateCerts)
+	fmt.Fprintf(&b, "outbound expired client certs: %d (public %d / private %d)\n",
+		len(ex.Outbound.Points), ex.Outbound.PublicCerts, ex.Outbound.PrivateCerts)
+	fmt.Fprintf(&b, "outbound Apple ~1000-day cluster: %d; Microsoft: %d\n",
+		ex.Outbound.AppleCluster, ex.Outbound.MicrosoftCount)
+	t := stats.NewTable("Inbound expired-cert connection mix", "Association", "Conn weight")
+	for _, kv := range ex.Inbound.AssocShares {
+		t.AddRow(kv.Key, fmt.Sprint(kv.Count))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Table7 renders CN/SAN utilization.
+func Table7(a *core.Analysis) string {
+	t := stats.NewTable("", "Non-Empty", "CN #", "CN %", "SAN #", "SAN %")
+	for _, r := range a.Utilization.Rows {
+		t.AddRow(r.Label, fmt.Sprint(r.NonEmptyCN), stats.Pct(r.CNShare()),
+			fmt.Sprint(r.NonEmptySAN), stats.Pct(r.SANShare()))
+	}
+	return t.String()
+}
+
+// Table8 renders information-type counts.
+func Table8(a *core.Analysis) string {
+	c := a.Contents
+	cols := []string{"server-public", "server-private", "client-public", "client-private"}
+	t := stats.NewTable("", "Info type",
+		"srv-pub CN", "srv-pub SAN", "srv-priv CN", "srv-priv SAN",
+		"cli-pub CN", "cli-pub SAN", "cli-priv CN", "cli-priv SAN")
+	for _, it := range infotype.AllTypes {
+		name := it.String()
+		row := []string{name}
+		for _, col := range cols {
+			row = append(row, fmt.Sprint(c.CN[col][name]), fmt.Sprint(c.SAN[col][name]))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Table9 renders unidentified-string buckets.
+func Table9(a *core.Analysis) string {
+	u := a.Unidentified
+	cols := []string{"server-private-CN", "client-public-CN", "client-private-CN", "client-private-SAN"}
+	buckets := []string{"Non-random", "Random - by Issuer", "Random - strlen = 8",
+		"Random - strlen = 32", "Random - strlen = 36", "Random - other"}
+	t := stats.NewTable("", append([]string{"Bucket"}, cols...)...)
+	for _, bk := range buckets {
+		row := []string{bk}
+		for _, col := range cols {
+			row = append(row, fmt.Sprintf("%d (%s)", u.Buckets[col][bk], stats.Pct(u.Share(col, bk))))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Table10 renders both-endpoint dummy rows.
+func Table10(a *core.Analysis) string {
+	t := stats.NewTable("", "SLD", "Client issuer", "Server issuer", "#clients", "Duration (d)")
+	for _, r := range a.DummyIssuers.BothEndpoints {
+		t.AddRow(r.SLD, r.ClientIssuer, r.ServerIssuer, fmt.Sprint(r.Clients), fmt.Sprint(r.DurationDays))
+	}
+	return t.String()
+}
+
+// Table13 renders shared-cert CN/SAN statistics.
+func Table13(a *core.Analysis) string {
+	si := a.SharedInfo
+	var b strings.Builder
+	fmt.Fprintf(&b, "shared certs: %d (private share %s)\n", si.Certs, pct(si.PrivateShare))
+	t := stats.NewTable("Utilization", "Class", "CN #", "CN %", "SAN #", "SAN %")
+	for _, r := range si.Utilization {
+		t.AddRow(r.Label, fmt.Sprint(r.NonEmptyCN), stats.Pct(r.CNShare()),
+			fmt.Sprint(r.NonEmptySAN), stats.Pct(r.SANShare()))
+	}
+	b.WriteString(t.String())
+	b.WriteString(renderClassTables("Info types", si.CN, si.SAN, si.CNTotals, si.SANTotals))
+	return b.String()
+}
+
+// Table14 renders non-mutual statistics.
+func Table14(a *core.Analysis) string {
+	nm := a.NonMutual
+	var b strings.Builder
+	fmt.Fprintf(&b, "non-mutual server certs: public share %s\n", pct(nm.PublicShare))
+	t := stats.NewTable("Utilization", "Class", "CN #", "CN %", "SAN #", "SAN %")
+	for _, r := range nm.Utilization {
+		t.AddRow(r.Label, fmt.Sprint(r.NonEmptyCN), stats.Pct(r.CNShare()),
+			fmt.Sprint(r.NonEmptySAN), stats.Pct(r.SANShare()))
+	}
+	b.WriteString(t.String())
+	b.WriteString(renderClassTables("Info types", nm.CN, nm.SAN, nm.CNTotals, nm.SANTotals))
+	return b.String()
+}
+
+func renderClassTables(title string, cn, san map[string]map[string]int, cnT, sanT map[string]int) string {
+	t := stats.NewTable(title, "Info type", "pub CN", "pub SAN", "priv CN", "priv SAN")
+	for _, it := range infotype.AllTypes {
+		name := it.String()
+		t.AddRow(name,
+			fmt.Sprint(cn["public"][name]), fmt.Sprint(san["public"][name]),
+			fmt.Sprint(cn["private"][name]), fmt.Sprint(san["private"][name]))
+	}
+	return t.String()
+}
+
+// Concerns renders the §5 takeaway aggregation.
+func Concerns(a *core.Analysis) string {
+	c := a.Concerns
+	t := stats.NewTable("", "Concern", "Conn weight")
+	t.AddRow("missing client issuer", fmt.Sprint(c.MissingClientIssuer))
+	t.AddRow("dummy issuer (either side)", fmt.Sprint(c.DummyIssuer))
+	t.AddRow("serial collision (either side)", fmt.Sprint(c.SerialCollision))
+	t.AddRow("same cert at both endpoints", fmt.Sprint(c.SharedSameConn))
+	t.AddRow("incorrect validity dates", fmt.Sprint(c.IncorrectDates))
+	t.AddRow("expired client certificate", fmt.Sprint(c.ExpiredClientCert))
+	t.AddRow("weak (1024-bit RSA) key", fmt.Sprint(c.WeakKey))
+	return t.String() + fmt.Sprintf(
+		"affected (union): %d of %d mutual-TLS connections (%s)\n",
+		c.AffectedTotal, c.MutualTotal, pct(c.AffectedShare()))
+}
+
+// SANTypes renders the §6.1.2 SAN-type disparity.
+func SANTypes(a *core.Analysis) string {
+	s := a.SANTypes
+	t := stats.NewTable(fmt.Sprintf("mTLS certs: %d", s.Total),
+		"SAN type", "Non-empty", "Empty %")
+	t.AddRow("DNS", fmt.Sprint(s.DNS), stats.Pct(s.EmptyShare(s.DNS)))
+	t.AddRow("IP", fmt.Sprint(s.IP), stats.Pct(s.EmptyShare(s.IP)))
+	t.AddRow("Email", fmt.Sprint(s.Email), stats.Pct(s.EmptyShare(s.Email)))
+	t.AddRow("URI", fmt.Sprint(s.URI), stats.Pct(s.EmptyShare(s.URI)))
+	return t.String()
+}
+
+// Durations renders the duration-of-activity distributions.
+func Durations(a *core.Analysis) string {
+	d := a.Durations
+	labels := []string{"≤1d", "≤7d", "≤30d", "≤90d", "≤365d", "≤700d", ">700d"}
+	t := stats.NewTable("Certificate activity duration (unique mTLS certs)",
+		"Bucket", "Server", "Client")
+	for i, l := range labels {
+		t.AddRow(l, fmt.Sprint(d.Server.Bucket(i)), fmt.Sprint(d.Client.Bucket(i)))
+	}
+	return t.String() + fmt.Sprintf("client duration quantiles (50/90/99/100): %v days\n",
+		d.ClientQuantiles)
+}
+
+// Versions renders the §3.3 protocol mix.
+func Versions(a *core.Analysis) string {
+	v := a.Versions
+	t := stats.NewTable("", "Version", "Conn share")
+	for _, kv := range v.Shares {
+		t.AddRow(kv.Key, stats.Pct(float64(kv.Count)/float64(max64(v.Total, 1))))
+	}
+	return t.String()
+}
+
+func boolMark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sortedKeys is a tiny helper for deterministic map iteration in renders.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,147 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+var cached *core.Analysis
+
+func testAnalysis(t *testing.T) *core.Analysis {
+	t.Helper()
+	if cached == nil {
+		cfg := workload.Default()
+		cfg.CertScale = 2000
+		b := workload.Generate(cfg)
+		cached = core.Run(&core.Input{
+			Raw: b.Raw, CT: b.CT, Bundle: b.Bundle,
+			CampusIssuers: b.CampusIssuers,
+			Assoc: core.AssocMap{
+				HealthSLDs:     b.Assoc.HealthSLDs,
+				UniversitySLDs: b.Assoc.UniversitySLDs,
+				VPNHostPrefix:  b.Assoc.VPNHostPrefix,
+				LocalOrgSLDs:   b.Assoc.LocalOrgSLDs,
+				ThirdPartySLDs: b.Assoc.ThirdPartySLDs,
+				GlobusSLDs:     b.Assoc.GlobusSLDs,
+			},
+			Plan: b.Plan, Months: b.Months,
+		})
+	}
+	return cached
+}
+
+func TestRenderAllSections(t *testing.T) {
+	out := RenderAll(testAnalysis(t))
+	for _, section := range []string{
+		"Preprocessing", "Table 1", "Figure 1", "Table 2", "Table 3",
+		"Figure 2", "Table 4", "§5.1.2", "Table 5", "Table 6", "Figure 3",
+		"Figure 4", "Figure 5", "Table 7", "Table 8", "Table 9",
+		"Table 10", "Table 13", "Table 14", "§5 takeaway",
+	} {
+		if !strings.Contains(out, section) {
+			t.Errorf("RenderAll missing %q", section)
+		}
+	}
+	if strings.Contains(out, "%!") {
+		t.Error("format verb leaked into output")
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	rows := Compare(testAnalysis(t))
+	if len(rows) < 40 {
+		t.Fatalf("comparison rows = %d, want 40+", len(rows))
+	}
+	holds := 0
+	for _, r := range rows {
+		if r.Experiment == "" || r.Metric == "" || r.Paper == "" || r.Measured == "" {
+			t.Errorf("incomplete row: %+v", r)
+		}
+		if r.ShapeHolds {
+			holds++
+		}
+	}
+	// At the small test scale a couple of floor-distorted rows may miss;
+	// the overwhelming majority must hold.
+	if float64(holds) < 0.9*float64(len(rows)) {
+		t.Fatalf("only %d/%d shape checks hold", holds, len(rows))
+	}
+}
+
+func TestExperimentsMarkdown(t *testing.T) {
+	md := ExperimentsMarkdown(testAnalysis(t), "scale test")
+	if !strings.Contains(md, "| Experiment | Metric | Paper | Measured |") {
+		t.Fatal("markdown header missing")
+	}
+	if !strings.Contains(md, "scale test") {
+		t.Fatal("scale note missing")
+	}
+	if !strings.Contains(md, "shape checks hold") {
+		t.Fatal("summary missing")
+	}
+}
+
+func TestFigure1Chart(t *testing.T) {
+	chart := Figure1Chart(testAnalysis(t))
+	lines := strings.Split(strings.TrimSpace(chart), "\n")
+	if len(lines) != 23 {
+		t.Fatalf("chart lines = %d, want 23 months", len(lines))
+	}
+	if !strings.Contains(chart, "2022-05") || !strings.Contains(chart, "2024-03") {
+		t.Fatal("month range wrong")
+	}
+	// The last month's bar should be the longest (rising trend).
+	if strings.Count(lines[len(lines)-1], "█") < strings.Count(lines[0], "█") {
+		t.Fatal("trend not rising in chart")
+	}
+}
+
+func TestFigure2Sankey(t *testing.T) {
+	s := Figure2Sankey(testAnalysis(t))
+	if !strings.Contains(s, "public") || !strings.Contains(s, "═>") {
+		t.Fatalf("sankey malformed:\n%s", s)
+	}
+}
+
+func TestFigure5Scatter(t *testing.T) {
+	a := testAnalysis(t)
+	s := Figure5Scatter(&a.Expired.Outbound, 60, 12)
+	if !strings.Contains(s, "o") {
+		t.Fatal("no public markers (Apple cluster missing)")
+	}
+	if !strings.Contains(s, "days expired") {
+		t.Fatal("axis label missing")
+	}
+	empty := Figure5Scatter(&core.ExpiredDirection{}, 10, 5)
+	if !strings.Contains(empty, "no expired") {
+		t.Fatal("empty direction not handled")
+	}
+}
+
+func TestFigure4CDF(t *testing.T) {
+	s := Figure4CDF(testAnalysis(t))
+	if !strings.Contains(s, "Cumulative") || !strings.Contains(s, "≤90d") {
+		t.Fatalf("CDF malformed:\n%s", s)
+	}
+	// Final cumulative share must be 100%.
+	if !strings.Contains(s, "100.00") {
+		t.Fatal("CDF does not reach 100%")
+	}
+}
+
+func TestTopIssuers(t *testing.T) {
+	s := TopIssuers(testAnalysis(t), 5)
+	if len(strings.Split(strings.TrimSpace(s), "\n")) != 5 {
+		t.Fatalf("TopIssuers rows wrong:\n%s", s)
+	}
+}
+
+func TestConcernsRender(t *testing.T) {
+	s := Concerns(testAnalysis(t))
+	if !strings.Contains(s, "affected (union)") {
+		t.Fatalf("concerns render malformed:\n%s", s)
+	}
+}

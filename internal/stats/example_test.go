@@ -1,0 +1,40 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+func ExampleCounter() {
+	c := stats.NewCounter()
+	c.Add("443", 90)
+	c.Add("20017", 25)
+	c.Add("636", 6)
+	for _, kv := range c.Top(2) {
+		fmt.Printf("%s %s%%\n", kv.Key, stats.Pct(c.Share(kv.Key)))
+	}
+	// Output:
+	// 443 74.38%
+	// 20017 20.66%
+}
+
+func ExampleQuantiles() {
+	spread := []int64{1, 1, 1, 1, 2, 2, 7, 43, 1851}
+	q := stats.Quantiles(spread, 0.50, 0.75, 0.99, 1.0)
+	fmt.Println(q)
+	// Output:
+	// [2 7 1851 1851]
+}
+
+func ExampleMonthSeries() {
+	m := stats.NewMonthSeries()
+	m.Add("2022-05", 199, 10000)
+	m.Add("2024-03", 361, 10000)
+	for _, p := range m.Points() {
+		fmt.Printf("%s %s%%\n", p.Month, stats.Pct(p.Ratio()))
+	}
+	// Output:
+	// 2022-05 1.99%
+	// 2024-03 3.61%
+}

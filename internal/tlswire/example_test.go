@@ -1,0 +1,37 @@
+package tlswire_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/tlswire"
+)
+
+// ExampleSynthesize builds a mutual TLS 1.2 transcript and reads the SNI
+// back off the wire.
+func ExampleSynthesize() {
+	tr := tlswire.Synthesize(tlswire.TranscriptSpec{
+		Version:     tlswire.VersionTLS12,
+		SNI:         "vpn.virginia.edu",
+		ServerChain: [][]byte{[]byte("server-der")},
+		ClientChain: [][]byte{[]byte("client-der")},
+		Established: true,
+	}, ids.NewRNG(1))
+
+	hr := tlswire.NewHandshakeReader(bytes.NewReader(tr.ClientToServer))
+	h, _ := hr.Next()
+	ch, _ := tlswire.ParseClientHello(h.Body)
+	fmt.Println("SNI on the wire:", ch.SNI)
+	fmt.Println("sniffs as TLS:", tlswire.SniffTLS(tr.ClientToServer))
+	// Output:
+	// SNI on the wire: vpn.virginia.edu
+	// sniffs as TLS: true
+}
+
+// ExampleSniffTLS shows dynamic protocol detection rejecting non-TLS.
+func ExampleSniffTLS() {
+	fmt.Println(tlswire.SniffTLS([]byte("GET / HTTP/1.1\r\n")))
+	// Output:
+	// false
+}

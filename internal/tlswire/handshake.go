@@ -1,0 +1,344 @@
+package tlswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// HandshakeType identifies a handshake message.
+type HandshakeType uint8
+
+// Handshake message types (RFC 5246 §7.4, RFC 8446 §4).
+const (
+	TypeHelloRequest       HandshakeType = 0
+	TypeClientHello        HandshakeType = 1
+	TypeServerHello        HandshakeType = 2
+	TypeCertificate        HandshakeType = 11
+	TypeServerKeyExchange  HandshakeType = 12
+	TypeCertificateRequest HandshakeType = 13
+	TypeServerHelloDone    HandshakeType = 14
+	TypeCertificateVerify  HandshakeType = 15
+	TypeClientKeyExchange  HandshakeType = 16
+	TypeFinished           HandshakeType = 20
+)
+
+// Extension numbers we encode/parse.
+const (
+	extServerName        uint16 = 0
+	extSupportedVersions uint16 = 43
+)
+
+var errTruncated = errors.New("tlswire: truncated handshake message")
+
+// byteReader is a tiny cursor over a message body (decode-from-bytes
+// style, per the gopacket DecodingLayer idiom).
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.err = errTruncated
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *byteReader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.b) {
+		r.err = errTruncated
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *byteReader) u24() int {
+	if r.err != nil || r.off+3 > len(r.b) {
+		r.err = errTruncated
+		return 0
+	}
+	v := int(r.b[r.off])<<16 | int(r.b[r.off+1])<<8 | int(r.b[r.off+2])
+	r.off += 3
+	return v
+}
+
+func (r *byteReader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.err = errTruncated
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *byteReader) remaining() int { return len(r.b) - r.off }
+
+// writer builds message bodies.
+type writer struct{ b []byte }
+
+func (w *writer) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *writer) u16(v uint16) { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *writer) u24(v int) {
+	w.b = append(w.b, byte(v>>16), byte(v>>8), byte(v))
+}
+func (w *writer) raw(p []byte) { w.b = append(w.b, p...) }
+
+// wrapHandshake prepends the 4-byte handshake header.
+func wrapHandshake(t HandshakeType, body []byte) []byte {
+	out := make([]byte, 0, 4+len(body))
+	out = append(out, byte(t), byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+	return append(out, body...)
+}
+
+// ClientHello carries the fields the monitor logs: the advertised
+// versions and the SNI.
+type ClientHello struct {
+	LegacyVersion     uint16
+	Random            [32]byte
+	CipherSuites      []uint16
+	SNI               string
+	SupportedVersions []uint16 // from the supported_versions extension
+}
+
+// Marshal encodes the message including its handshake header.
+func (m *ClientHello) Marshal() []byte {
+	var w writer
+	w.u16(m.LegacyVersion)
+	w.raw(m.Random[:])
+	w.u8(0) // empty session id
+	w.u16(uint16(2 * len(m.CipherSuites)))
+	for _, cs := range m.CipherSuites {
+		w.u16(cs)
+	}
+	w.u8(1) // compression methods
+	w.u8(0) // null
+	var ext writer
+	if m.SNI != "" {
+		var sni writer
+		sni.u16(uint16(3 + len(m.SNI))) // server_name_list length
+		sni.u8(0)                       // name_type host_name
+		sni.u16(uint16(len(m.SNI)))
+		sni.raw([]byte(m.SNI))
+		ext.u16(extServerName)
+		ext.u16(uint16(len(sni.b)))
+		ext.raw(sni.b)
+	}
+	if len(m.SupportedVersions) > 0 {
+		var sv writer
+		sv.u8(uint8(2 * len(m.SupportedVersions)))
+		for _, v := range m.SupportedVersions {
+			sv.u16(v)
+		}
+		ext.u16(extSupportedVersions)
+		ext.u16(uint16(len(sv.b)))
+		ext.raw(sv.b)
+	}
+	w.u16(uint16(len(ext.b)))
+	w.raw(ext.b)
+	return wrapHandshake(TypeClientHello, w.b)
+}
+
+// ParseClientHello decodes a ClientHello body (handshake header removed).
+func ParseClientHello(body []byte) (*ClientHello, error) {
+	r := &byteReader{b: body}
+	m := &ClientHello{LegacyVersion: r.u16()}
+	copy(m.Random[:], r.bytes(32))
+	r.bytes(int(r.u8())) // session id
+	nCS := int(r.u16())
+	if nCS%2 != 0 {
+		return nil, fmt.Errorf("tlswire: odd cipher suite length %d", nCS)
+	}
+	for i := 0; i < nCS/2; i++ {
+		m.CipherSuites = append(m.CipherSuites, r.u16())
+	}
+	r.bytes(int(r.u8())) // compression methods
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() == 0 {
+		return m, nil // extensions optional
+	}
+	extLen := int(r.u16())
+	exts := r.bytes(extLen)
+	if r.err != nil {
+		return nil, r.err
+	}
+	er := &byteReader{b: exts}
+	for er.remaining() >= 4 {
+		typ := er.u16()
+		data := er.bytes(int(er.u16()))
+		if er.err != nil {
+			return nil, er.err
+		}
+		switch typ {
+		case extServerName:
+			dr := &byteReader{b: data}
+			dr.u16() // list length
+			if dr.u8() == 0 {
+				m.SNI = string(dr.bytes(int(dr.u16())))
+			}
+			if dr.err != nil {
+				return nil, dr.err
+			}
+		case extSupportedVersions:
+			dr := &byteReader{b: data}
+			n := int(dr.u8())
+			for i := 0; i < n/2; i++ {
+				m.SupportedVersions = append(m.SupportedVersions, dr.u16())
+			}
+			if dr.err != nil {
+				return nil, dr.err
+			}
+		}
+	}
+	return m, nil
+}
+
+// ServerHello carries the negotiated version and cipher suite.
+type ServerHello struct {
+	LegacyVersion uint16
+	Random        [32]byte
+	CipherSuite   uint16
+	// SelectedVersion is nonzero when the supported_versions extension is
+	// present — the TLS 1.3 negotiation signal.
+	SelectedVersion uint16
+}
+
+// NegotiatedVersion returns the effective protocol version.
+func (m *ServerHello) NegotiatedVersion() uint16 {
+	if m.SelectedVersion != 0 {
+		return m.SelectedVersion
+	}
+	return m.LegacyVersion
+}
+
+// Marshal encodes the message including its handshake header.
+func (m *ServerHello) Marshal() []byte {
+	var w writer
+	w.u16(m.LegacyVersion)
+	w.raw(m.Random[:])
+	w.u8(0) // empty session id
+	w.u16(m.CipherSuite)
+	w.u8(0) // null compression
+	var ext writer
+	if m.SelectedVersion != 0 {
+		ext.u16(extSupportedVersions)
+		ext.u16(2)
+		ext.u16(m.SelectedVersion)
+	}
+	w.u16(uint16(len(ext.b)))
+	w.raw(ext.b)
+	return wrapHandshake(TypeServerHello, w.b)
+}
+
+// ParseServerHello decodes a ServerHello body.
+func ParseServerHello(body []byte) (*ServerHello, error) {
+	r := &byteReader{b: body}
+	m := &ServerHello{LegacyVersion: r.u16()}
+	copy(m.Random[:], r.bytes(32))
+	r.bytes(int(r.u8())) // session id
+	m.CipherSuite = r.u16()
+	r.u8() // compression
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() == 0 {
+		return m, nil
+	}
+	exts := r.bytes(int(r.u16()))
+	if r.err != nil {
+		return nil, r.err
+	}
+	er := &byteReader{b: exts}
+	for er.remaining() >= 4 {
+		typ := er.u16()
+		data := er.bytes(int(er.u16()))
+		if er.err != nil {
+			return nil, er.err
+		}
+		if typ == extSupportedVersions && len(data) == 2 {
+			m.SelectedVersion = binary.BigEndian.Uint16(data)
+		}
+	}
+	return m, nil
+}
+
+// CertificateMsg is the TLS 1.2 Certificate message: a chain of DER certs,
+// leaf first.
+type CertificateMsg struct {
+	Chain [][]byte
+}
+
+// Marshal encodes the message including its handshake header.
+func (m *CertificateMsg) Marshal() []byte {
+	var inner writer
+	for _, der := range m.Chain {
+		inner.u24(len(der))
+		inner.raw(der)
+	}
+	var w writer
+	w.u24(len(inner.b))
+	w.raw(inner.b)
+	return wrapHandshake(TypeCertificate, w.b)
+}
+
+// ParseCertificateMsg decodes a Certificate body.
+func ParseCertificateMsg(body []byte) (*CertificateMsg, error) {
+	r := &byteReader{b: body}
+	total := r.u24()
+	inner := r.bytes(total)
+	if r.err != nil {
+		return nil, r.err
+	}
+	ir := &byteReader{b: inner}
+	m := &CertificateMsg{}
+	for ir.remaining() > 0 {
+		der := ir.bytes(ir.u24())
+		if ir.err != nil {
+			return nil, ir.err
+		}
+		m.Chain = append(m.Chain, append([]byte(nil), der...))
+	}
+	return m, nil
+}
+
+// CertificateRequestMsg is the server's request for client authentication —
+// the message that makes a handshake mutual.
+type CertificateRequestMsg struct {
+	CertTypes []uint8
+}
+
+// Marshal encodes the message including its handshake header.
+func (m *CertificateRequestMsg) Marshal() []byte {
+	var w writer
+	types := m.CertTypes
+	if len(types) == 0 {
+		types = []uint8{1, 64} // rsa_sign, ecdsa_sign
+	}
+	w.u8(uint8(len(types)))
+	for _, t := range types {
+		w.u8(t)
+	}
+	w.u16(0) // supported_signature_algorithms (empty: pre-1.2 style)
+	w.u16(0) // certificate_authorities (empty = any)
+	return wrapHandshake(TypeCertificateRequest, w.b)
+}
+
+// ParseCertificateRequest decodes a CertificateRequest body.
+func ParseCertificateRequest(body []byte) (*CertificateRequestMsg, error) {
+	r := &byteReader{b: body}
+	n := int(r.u8())
+	m := &CertificateRequestMsg{CertTypes: append([]uint8(nil), r.bytes(n)...)}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}

@@ -1,0 +1,243 @@
+// Package tlswire implements the subset of the TLS wire protocol a passive
+// monitor needs: the record layer, the handshake messages that carry
+// identities (ClientHello with SNI, ServerHello with version negotiation,
+// Certificate chains, CertificateRequest), and transcript synthesis used by
+// the traffic simulator.
+//
+// The codec is deliberately bidirectional — everything it emits it can
+// parse back — because the Zeek-like analyzer (internal/zeek) consumes the
+// same byte streams the simulator produces, and the live-capture example
+// consumes streams produced by crypto/tls itself.
+//
+// Parsing follows the gopacket decoding idiom: messages decode from bytes
+// into caller-visible structs with explicit errors, never panics, and
+// malformed input is reported rather than guessed at.
+package tlswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// RecordType is the TLS record content type.
+type RecordType uint8
+
+// Record content types (RFC 5246 §6.2.1, RFC 8446 §5.1).
+const (
+	RecordChangeCipherSpec RecordType = 20
+	RecordAlert            RecordType = 21
+	RecordHandshake        RecordType = 22
+	RecordApplicationData  RecordType = 23
+)
+
+// Protocol versions on the wire.
+const (
+	VersionTLS10 uint16 = 0x0301
+	VersionTLS11 uint16 = 0x0302
+	VersionTLS12 uint16 = 0x0303
+	VersionTLS13 uint16 = 0x0304
+)
+
+// VersionString renders a wire version for logs ("TLSv12").
+func VersionString(v uint16) string {
+	switch v {
+	case VersionTLS10:
+		return "TLSv10"
+	case VersionTLS11:
+		return "TLSv11"
+	case VersionTLS12:
+		return "TLSv12"
+	case VersionTLS13:
+		return "TLSv13"
+	default:
+		return fmt.Sprintf("TLS-0x%04x", v)
+	}
+}
+
+// maxRecordLen bounds record payloads (RFC 5246 allows 2^14 + expansion;
+// we accept a little slack for encrypted records).
+const maxRecordLen = 1<<14 + 2048
+
+// Record is one TLS record.
+type Record struct {
+	Type    RecordType
+	Version uint16
+	Payload []byte
+}
+
+// ErrNotTLS marks streams that do not begin with a plausible TLS record.
+var ErrNotTLS = errors.New("tlswire: not a TLS stream")
+
+// WriteRecord frames payload as a single record. Payloads larger than the
+// maximum record size are split across records, as real stacks do.
+func WriteRecord(w io.Writer, typ RecordType, version uint16, payload []byte) error {
+	const chunk = 1 << 14
+	for first := true; first || len(payload) > 0; first = false {
+		n := len(payload)
+		if n > chunk {
+			n = chunk
+		}
+		var hdr [5]byte
+		hdr[0] = byte(typ)
+		binary.BigEndian.PutUint16(hdr[1:3], version)
+		binary.BigEndian.PutUint16(hdr[3:5], uint16(n))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload[:n]); err != nil {
+			return err
+		}
+		payload = payload[n:]
+		if n == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// RecordReader reads records from a byte stream.
+type RecordReader struct {
+	r   io.Reader
+	hdr [5]byte
+}
+
+// NewRecordReader wraps r.
+func NewRecordReader(r io.Reader) *RecordReader { return &RecordReader{r: r} }
+
+// Next reads one record. It returns io.EOF at a clean record boundary and
+// ErrNotTLS when the header is implausible.
+func (rr *RecordReader) Next() (Record, error) {
+	if _, err := io.ReadFull(rr.r, rr.hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Record{}, io.ErrUnexpectedEOF
+		}
+		return Record{}, err
+	}
+	rec := Record{
+		Type:    RecordType(rr.hdr[0]),
+		Version: binary.BigEndian.Uint16(rr.hdr[1:3]),
+	}
+	n := int(binary.BigEndian.Uint16(rr.hdr[3:5]))
+	if !plausibleRecordHeader(rr.hdr) {
+		return Record{}, ErrNotTLS
+	}
+	rec.Payload = make([]byte, n)
+	if _, err := io.ReadFull(rr.r, rec.Payload); err != nil {
+		return Record{}, fmt.Errorf("tlswire: truncated record: %w", err)
+	}
+	return rec, nil
+}
+
+func plausibleRecordHeader(hdr [5]byte) bool {
+	t := RecordType(hdr[0])
+	if t < RecordChangeCipherSpec || t > RecordApplicationData {
+		return false
+	}
+	if hdr[1] != 0x03 || hdr[2] > 0x04 {
+		return false
+	}
+	return int(binary.BigEndian.Uint16(hdr[3:5])) <= maxRecordLen
+}
+
+// SniffTLS implements the dynamic-protocol-detection primitive: it reports
+// whether prefix (the first bytes a client sent) plausibly begins a TLS
+// session, i.e. a handshake record carrying a ClientHello. Zeek's DPD lets
+// the paper see TLS on ports like 20017 and 50000–51000 (§4.1); this is
+// the equivalent check.
+func SniffTLS(prefix []byte) bool {
+	if len(prefix) < 6 {
+		return false
+	}
+	var hdr [5]byte
+	copy(hdr[:], prefix)
+	if !plausibleRecordHeader(hdr) {
+		return false
+	}
+	return RecordType(hdr[0]) == RecordHandshake && HandshakeType(prefix[5]) == TypeClientHello
+}
+
+// HandshakeReader reassembles handshake messages that may span records.
+type HandshakeReader struct {
+	rr          *RecordReader
+	buf         []byte
+	lastVersion uint16
+	// sawCCS notes a ChangeCipherSpec: in TLS 1.2 everything after it is
+	// encrypted and the monitor must stop interpreting handshake bytes.
+	sawCCS bool
+}
+
+// NewHandshakeReader wraps a record stream.
+func NewHandshakeReader(r io.Reader) *HandshakeReader {
+	return &HandshakeReader{rr: NewRecordReader(r)}
+}
+
+// Handshake is one reassembled handshake message.
+type Handshake struct {
+	Type RecordType // record type that carried it (always handshake)
+	Msg  HandshakeType
+	Body []byte // message body, header stripped
+	// Version is the record-layer version of the first fragment.
+	Version uint16
+}
+
+// ErrEncrypted is returned once the stream transitions to encrypted data;
+// a passive monitor can read nothing further without keys.
+var ErrEncrypted = errors.New("tlswire: remainder of stream is encrypted")
+
+// Next returns the next handshake message, io.EOF at stream end, or
+// ErrEncrypted after ChangeCipherSpec / when an encrypted handshake record
+// (TLS 1.3) is encountered.
+func (hr *HandshakeReader) Next() (Handshake, error) {
+	for {
+		if h, ok, err := hr.popMessage(); err != nil {
+			return Handshake{}, err
+		} else if ok {
+			return h, nil
+		}
+		rec, err := hr.rr.Next()
+		if err != nil {
+			if err == io.EOF && len(hr.buf) > 0 {
+				return Handshake{}, io.ErrUnexpectedEOF
+			}
+			return Handshake{}, err
+		}
+		switch rec.Type {
+		case RecordHandshake:
+			if hr.sawCCS {
+				return Handshake{}, ErrEncrypted
+			}
+			hr.buf = append(hr.buf, rec.Payload...)
+			hr.lastVersion = rec.Version
+		case RecordChangeCipherSpec:
+			hr.sawCCS = true
+		case RecordApplicationData:
+			return Handshake{}, ErrEncrypted
+		case RecordAlert:
+			// Ignore plaintext alerts; encrypted ones arrive as appdata.
+		}
+	}
+}
+
+// popMessage extracts a complete message from the reassembly buffer.
+func (hr *HandshakeReader) popMessage() (Handshake, bool, error) {
+	if len(hr.buf) < 4 {
+		return Handshake{}, false, nil
+	}
+	n := int(hr.buf[1])<<16 | int(hr.buf[2])<<8 | int(hr.buf[3])
+	if n > 1<<20 {
+		return Handshake{}, false, fmt.Errorf("tlswire: handshake message too large: %d", n)
+	}
+	if len(hr.buf) < 4+n {
+		return Handshake{}, false, nil
+	}
+	h := Handshake{
+		Type:    RecordHandshake,
+		Msg:     HandshakeType(hr.buf[0]),
+		Body:    append([]byte(nil), hr.buf[4:4+n]...),
+		Version: hr.lastVersion,
+	}
+	hr.buf = hr.buf[4+n:]
+	return h, true, nil
+}

@@ -1,0 +1,146 @@
+package tlswire
+
+import (
+	"bytes"
+
+	"repro/internal/ids"
+)
+
+// TranscriptSpec describes a handshake to synthesize. The simulator uses
+// it to produce the byte streams a border tap would see for one
+// connection.
+type TranscriptSpec struct {
+	// Version is the negotiated protocol version (VersionTLS12 or
+	// VersionTLS13; 1.0/1.1 behave like 1.2 for our purposes).
+	Version uint16
+	// SNI is the server name in the ClientHello ("" = absent).
+	SNI string
+	// ServerChain is the server's certificate chain, leaf first (DER).
+	ServerChain [][]byte
+	// ClientChain is the client's chain; nil means the server did not
+	// request (or the client did not supply) a certificate.
+	ClientChain [][]byte
+	// RequestClientCert forces a CertificateRequest even when the client
+	// will answer with an empty Certificate message.
+	RequestClientCert bool
+	// Established marks whether the handshake completes; failed handshakes
+	// stop after the server flight.
+	Established bool
+}
+
+// Transcript is the pair of directional byte streams for one connection.
+type Transcript struct {
+	ClientToServer []byte
+	ServerToClient []byte
+}
+
+// Synthesize renders the handshake byte streams. TLS 1.2 exposes both
+// certificate chains on the wire; TLS 1.3 hides everything after
+// ServerHello behind encryption, which is exactly the visibility boundary
+// the paper reports (§3.3: 40.86% of connections are TLS 1.3 and opaque).
+func Synthesize(spec TranscriptSpec, rng *ids.RNG) Transcript {
+	var c2s, s2c bytes.Buffer
+
+	recVer := VersionTLS12
+	if spec.Version <= VersionTLS11 {
+		recVer = spec.Version
+	}
+
+	ch := &ClientHello{
+		LegacyVersion: min16(spec.Version, VersionTLS12),
+		CipherSuites:  []uint16{0x1301, 0xc02f, 0xc030, 0x009c},
+		SNI:           spec.SNI,
+	}
+	fillRandom(&ch.Random, rng)
+	if spec.Version == VersionTLS13 {
+		ch.SupportedVersions = []uint16{VersionTLS13, VersionTLS12}
+	}
+	must(WriteRecord(&c2s, RecordHandshake, VersionTLS10, ch.Marshal()))
+
+	sh := &ServerHello{
+		LegacyVersion: min16(spec.Version, VersionTLS12),
+		CipherSuite:   0xc02f,
+	}
+	fillRandom(&sh.Random, rng)
+	if spec.Version == VersionTLS13 {
+		sh.SelectedVersion = VersionTLS13
+		sh.CipherSuite = 0x1301
+	}
+	must(WriteRecord(&s2c, RecordHandshake, recVer, sh.Marshal()))
+
+	if spec.Version == VersionTLS13 {
+		// Everything else is encrypted: emit ChangeCipherSpec (middlebox
+		// compatibility) then opaque application-data records standing in
+		// for EncryptedExtensions/Certificate/Finished.
+		must(WriteRecord(&s2c, RecordChangeCipherSpec, recVer, []byte{1}))
+		must(WriteRecord(&s2c, RecordApplicationData, recVer, opaque(rng, 1200)))
+		must(WriteRecord(&c2s, RecordChangeCipherSpec, recVer, []byte{1}))
+		must(WriteRecord(&c2s, RecordApplicationData, recVer, opaque(rng, 120)))
+		return Transcript{ClientToServer: c2s.Bytes(), ServerToClient: s2c.Bytes()}
+	}
+
+	// TLS 1.2 server flight: Certificate [CertificateRequest] HelloDone.
+	var flight []byte
+	flight = append(flight, (&CertificateMsg{Chain: spec.ServerChain}).Marshal()...)
+	if spec.RequestClientCert || len(spec.ClientChain) > 0 {
+		flight = append(flight, (&CertificateRequestMsg{}).Marshal()...)
+	}
+	flight = append(flight, wrapHandshake(TypeServerHelloDone, nil)...)
+	must(WriteRecord(&s2c, RecordHandshake, recVer, flight))
+
+	if !spec.Established {
+		// Client abandons: alert and silence.
+		must(WriteRecord(&c2s, RecordAlert, recVer, []byte{2, 40}))
+		return Transcript{ClientToServer: c2s.Bytes(), ServerToClient: s2c.Bytes()}
+	}
+
+	// Client flight: [Certificate] ClientKeyExchange [CertificateVerify]
+	// then CCS + encrypted Finished.
+	var cflight []byte
+	if spec.RequestClientCert || len(spec.ClientChain) > 0 {
+		cflight = append(cflight, (&CertificateMsg{Chain: spec.ClientChain}).Marshal()...)
+	}
+	cflight = append(cflight, wrapHandshake(TypeClientKeyExchange, opaque(rng, 66))...)
+	if len(spec.ClientChain) > 0 {
+		cflight = append(cflight, wrapHandshake(TypeCertificateVerify, opaque(rng, 72))...)
+	}
+	must(WriteRecord(&c2s, RecordHandshake, recVer, cflight))
+	must(WriteRecord(&c2s, RecordChangeCipherSpec, recVer, []byte{1}))
+	must(WriteRecord(&c2s, RecordApplicationData, recVer, opaque(rng, 40)))
+
+	must(WriteRecord(&s2c, RecordChangeCipherSpec, recVer, []byte{1}))
+	must(WriteRecord(&s2c, RecordApplicationData, recVer, opaque(rng, 40)))
+	return Transcript{ClientToServer: c2s.Bytes(), ServerToClient: s2c.Bytes()}
+}
+
+func fillRandom(dst *[32]byte, rng *ids.RNG) {
+	for i := 0; i < 32; i += 8 {
+		v := rng.Uint64()
+		for j := 0; j < 8; j++ {
+			dst[i+j] = byte(v >> (8 * j))
+		}
+	}
+}
+
+func opaque(rng *ids.RNG, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Uint64())
+	}
+	return b
+}
+
+func min16(a, b uint16) uint16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// must panics on impossible buffer-write failures (bytes.Buffer cannot
+// fail); it keeps the synthesis code honest about unchecked errors.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package truststore models the root programs the paper consults to decide
+// whether a certificate is issued by a public or a private CA (§3.2):
+// Mozilla NSS, Apple, Microsoft, and the Common CA Database (CCADB).
+//
+// Per the paper's methodology, "a certificate is deemed to be issued by
+// public CAs when its root or intermediate certificate, or its issuer, is
+// listed in at least one of the major trust stores"; everything else —
+// including self-signed certificates — is private. Classification is
+// therefore a membership question over two key spaces: certificate
+// fingerprints (roots and intermediates) and issuer identities (the
+// organization or CN string as it appears in leaf issuer fields).
+package truststore
+
+import (
+	"crypto/x509"
+	"sort"
+	"strings"
+
+	"repro/internal/certmodel"
+	"repro/internal/ids"
+)
+
+// Program names mirror the stores the paper uses.
+const (
+	ProgramNSS       = "mozilla-nss"
+	ProgramApple     = "apple"
+	ProgramMicrosoft = "microsoft"
+	ProgramCCADB     = "ccadb"
+)
+
+// Store is one root program.
+type Store struct {
+	Name string
+
+	fingerprints map[ids.Fingerprint]bool
+	issuers      map[string]bool // normalized issuer identities
+	pool         *x509.CertPool  // wire-path verification, may be nil
+}
+
+// NewStore creates an empty program.
+func NewStore(name string) *Store {
+	return &Store{
+		Name:         name,
+		fingerprints: make(map[ids.Fingerprint]bool),
+		issuers:      make(map[string]bool),
+		pool:         x509.NewCertPool(),
+	}
+}
+
+// AddCA registers a CA (root or intermediate) by certificate, feeding both
+// the fingerprint set and the wire-path verification pool.
+func (s *Store) AddCA(ca *certmodel.CA) {
+	s.fingerprints[ca.Fingerprint()] = true
+	if cn := ca.Cert.Subject.CommonName; cn != "" {
+		s.issuers[normalize(cn)] = true
+	}
+	for _, org := range ca.Cert.Subject.Organization {
+		s.issuers[normalize(org)] = true
+	}
+	s.pool.AddCert(ca.Cert)
+}
+
+// AddIssuer registers a bare issuer identity (the bulk path's CCADB-style
+// entry, where the store knows the operator but we never materialize DER).
+func (s *Store) AddIssuer(identity string) {
+	if n := normalize(identity); n != "" {
+		s.issuers[n] = true
+	}
+}
+
+// AddFingerprint registers a CA certificate fingerprint without DER.
+func (s *Store) AddFingerprint(fp ids.Fingerprint) { s.fingerprints[fp] = true }
+
+// ContainsFingerprint reports membership of a CA certificate.
+func (s *Store) ContainsFingerprint(fp ids.Fingerprint) bool { return s.fingerprints[fp] }
+
+// ContainsIssuer reports membership of an issuer identity.
+func (s *Store) ContainsIssuer(identity string) bool { return s.issuers[normalize(identity)] }
+
+// Pool returns the x509 verification pool for the wire path.
+func (s *Store) Pool() *x509.CertPool { return s.pool }
+
+// Len returns the number of registered issuer identities.
+func (s *Store) Len() int { return len(s.issuers) }
+
+// Bundle aggregates all programs; the paper's "at least one store" rule.
+type Bundle struct {
+	stores []*Store
+}
+
+// NewBundle creates a bundle over the given stores.
+func NewBundle(stores ...*Store) *Bundle { return &Bundle{stores: stores} }
+
+// Stores returns the member programs.
+func (b *Bundle) Stores() []*Store { return b.stores }
+
+// Store returns the program with the given name, or nil.
+func (b *Bundle) Store(name string) *Store {
+	for _, s := range b.stores {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// IsPublicIssuer reports whether any program trusts the issuer identity.
+func (b *Bundle) IsPublicIssuer(identity string) bool {
+	if strings.TrimSpace(identity) == "" {
+		return false
+	}
+	for _, s := range b.stores {
+		if s.ContainsIssuer(identity) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsPublicFingerprint reports whether any program contains the CA cert.
+func (b *Bundle) IsPublicFingerprint(fp ids.Fingerprint) bool {
+	for _, s := range b.stores {
+		if s.ContainsFingerprint(fp) {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassifyLeaf applies the paper's rule to a leaf plus the fingerprints of
+// the rest of its presented chain: public if any chain member is in a
+// store, or the leaf's issuer identity is. Self-signed leaves whose issuer
+// happens to collide with a public name are still private — a self-signed
+// certificate has no chain to a public root.
+func (b *Bundle) ClassifyLeaf(leaf *certmodel.CertInfo, chainFPs []ids.Fingerprint) Class {
+	if leaf.SelfSigned {
+		return Private
+	}
+	for _, fp := range chainFPs {
+		if b.IsPublicFingerprint(fp) {
+			return Public
+		}
+	}
+	if b.IsPublicIssuer(leaf.IssuerOrg) || b.IsPublicIssuer(leaf.IssuerCN) {
+		return Public
+	}
+	return Private
+}
+
+// VerifyChain runs full x509 path validation against the union of program
+// pools (wire path only). intermediates may be nil.
+func (b *Bundle) VerifyChain(leaf *x509.Certificate, intermediates []*x509.Certificate) bool {
+	interPool := x509.NewCertPool()
+	for _, c := range intermediates {
+		interPool.AddCert(c)
+	}
+	for _, s := range b.stores {
+		opts := x509.VerifyOptions{
+			Roots:         s.pool,
+			Intermediates: interPool,
+			CurrentTime:   leaf.NotBefore.Add(leaf.NotAfter.Sub(leaf.NotBefore) / 2),
+			KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+		}
+		if _, err := leaf.Verify(opts); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Class is the paper's public/private CA classification.
+type Class int
+
+const (
+	Private Class = iota
+	Public
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c == Public {
+		return "public"
+	}
+	return "private"
+}
+
+// PublicIssuers returns the sorted union of issuer identities across all
+// programs — the interception detector's allow-list seed.
+func (b *Bundle) PublicIssuers() []string {
+	set := map[string]bool{}
+	for _, s := range b.stores {
+		for k := range s.issuers {
+			set[k] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func normalize(s string) string {
+	return strings.ToLower(strings.Join(strings.Fields(s), " "))
+}
+
+// DefaultPublicCAs lists the public CA operators the workload generator
+// populates the programs with. The names are real root-program members so
+// the reproduced tables read like the paper's (DigiCert, Let's Encrypt,
+// GoDaddy, IdenTrust, Sectigo appear in Tables 5–6).
+var DefaultPublicCAs = []string{
+	"DigiCert Inc",
+	"Let's Encrypt",
+	"GoDaddy.com, Inc.",
+	"IdenTrust",
+	"Sectigo Limited",
+	"GlobalSign",
+	"Amazon",
+	"Google Trust Services",
+	"Entrust, Inc.",
+	"Apple Inc.",
+	"Microsoft Corporation",
+	"Cisco Systems",
+	"FNMT-RCM",
+}
+
+// DefaultBundle builds the four root programs with overlapping membership:
+// NSS carries everything, Apple/Microsoft drop a couple of operators, and
+// CCADB mirrors NSS plus records intermediate operators. The overlap
+// pattern exercises the "at least one store" rule.
+func DefaultBundle() *Bundle {
+	nss := NewStore(ProgramNSS)
+	apple := NewStore(ProgramApple)
+	ms := NewStore(ProgramMicrosoft)
+	ccadb := NewStore(ProgramCCADB)
+	for i, name := range DefaultPublicCAs {
+		nss.AddIssuer(name)
+		ccadb.AddIssuer(name)
+		if i%5 != 4 {
+			apple.AddIssuer(name)
+		}
+		if i%7 != 6 {
+			ms.AddIssuer(name)
+		}
+	}
+	// Intermediates only CCADB records (the paper's Table 5 footnotes:
+	// issuing intermediates like "GoDaddy Secure Certificate Authority -
+	// G2" or "DigiCert SHA2 Extended Validation Server CA").
+	for _, inter := range []string{
+		"GoDaddy Secure Certificate Authority - G2",
+		"DigiCert SHA2 Extended Validation Server CA",
+		"GeoTrust TLS RSA CA G1",
+		"TrustID Server CA O1",
+		"R3", // Let's Encrypt issuing intermediate
+	} {
+		ccadb.AddIssuer(inter)
+	}
+	return NewBundle(nss, apple, ms, ccadb)
+}

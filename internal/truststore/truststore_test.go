@@ -1,0 +1,207 @@
+package truststore
+
+import (
+	"crypto/x509"
+	"testing"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/ids"
+)
+
+func date(y, m, d int) time.Time {
+	return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC)
+}
+
+func TestStoreIssuerMembership(t *testing.T) {
+	s := NewStore(ProgramNSS)
+	s.AddIssuer("DigiCert Inc")
+	if !s.ContainsIssuer("DigiCert Inc") {
+		t.Fatal("exact match failed")
+	}
+	if !s.ContainsIssuer("digicert   inc") {
+		t.Fatal("normalization (case/space) failed")
+	}
+	if s.ContainsIssuer("EvilCert Inc") {
+		t.Fatal("false membership")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestStoreIgnoresEmptyIssuer(t *testing.T) {
+	s := NewStore(ProgramApple)
+	s.AddIssuer("   ")
+	if s.ContainsIssuer("") || s.Len() != 0 {
+		t.Fatal("empty identity must not be trusted")
+	}
+}
+
+func TestBundleAtLeastOneStoreRule(t *testing.T) {
+	a := NewStore(ProgramApple)
+	n := NewStore(ProgramNSS)
+	n.AddIssuer("OnlyInNSS")
+	b := NewBundle(a, n)
+	if !b.IsPublicIssuer("OnlyInNSS") {
+		t.Fatal("issuer in one store should be public")
+	}
+	if b.IsPublicIssuer("Nowhere") {
+		t.Fatal("unknown issuer should be private")
+	}
+	if b.IsPublicIssuer("") {
+		t.Fatal("empty issuer should never be public")
+	}
+	if b.Store(ProgramNSS) != n || b.Store("nope") != nil {
+		t.Fatal("Store lookup wrong")
+	}
+	if len(b.Stores()) != 2 {
+		t.Fatal("Stores wrong")
+	}
+}
+
+func TestClassifyLeaf(t *testing.T) {
+	b := DefaultBundle()
+	pub := &certmodel.CertInfo{IssuerOrg: "DigiCert Inc"}
+	if b.ClassifyLeaf(pub, nil) != Public {
+		t.Fatal("DigiCert leaf should be public")
+	}
+	priv := &certmodel.CertInfo{IssuerOrg: "Globus Online"}
+	if b.ClassifyLeaf(priv, nil) != Private {
+		t.Fatal("Globus leaf should be private")
+	}
+	// Issuer CN fallback: intermediates recorded by CN.
+	interCN := &certmodel.CertInfo{IssuerCN: "GoDaddy Secure Certificate Authority - G2"}
+	if b.ClassifyLeaf(interCN, nil) != Public {
+		t.Fatal("intermediate CN should classify public")
+	}
+	// Self-signed with a spoofed public issuer name stays private.
+	spoof := &certmodel.CertInfo{IssuerOrg: "DigiCert Inc", SelfSigned: true}
+	if b.ClassifyLeaf(spoof, nil) != Private {
+		t.Fatal("self-signed cert must be private even with a public name")
+	}
+}
+
+func TestClassifyLeafByChainFingerprint(t *testing.T) {
+	s := NewStore(ProgramMicrosoft)
+	fp := ids.FingerprintString("some-root")
+	s.AddFingerprint(fp)
+	b := NewBundle(s)
+	leaf := &certmodel.CertInfo{IssuerOrg: "Unknown Private CA"}
+	if b.ClassifyLeaf(leaf, []ids.Fingerprint{fp}) != Public {
+		t.Fatal("chain fingerprint in store should classify public")
+	}
+	if b.ClassifyLeaf(leaf, []ids.Fingerprint{ids.FingerprintString("other")}) != Private {
+		t.Fatal("unknown chain should classify private")
+	}
+}
+
+func TestVerifyChainWirePath(t *testing.T) {
+	g, err := certmodel.NewGenerator(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := g.NewRootCA("Wire Root", "Wire Org", date(2020, 1, 1), date(2040, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := g.NewIntermediateCA(root, "Wire Inter", "Wire Org", date(2020, 1, 1), date(2035, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(ProgramNSS)
+	s.AddCA(root)
+	b := NewBundle(s)
+
+	leafDER, err := g.IssueLeaf(inter, certmodel.Spec{
+		SubjectCN: "leaf.example.com",
+		NotBefore: date(2022, 1, 1), NotAfter: date(2023, 1, 1),
+		Server: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafInfo, err := certmodel.ParseDER(leafDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafCert, err := x509.ParseCertificate(leafDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.VerifyChain(leafCert, []*x509.Certificate{inter.Cert}) {
+		t.Fatal("chain through intermediate should verify")
+	}
+	// Classification via chain fingerprints also works.
+	if b.ClassifyLeaf(leafInfo, []ids.Fingerprint{inter.Fingerprint(), root.Fingerprint()}) != Public {
+		t.Fatal("chain fingerprints should classify public")
+	}
+
+	// A leaf from an unrelated self-signer fails verification.
+	g2, _ := certmodel.NewGenerator(1)
+	rogueDER, err := g2.IssueLeaf(nil, certmodel.Spec{
+		SubjectCN: "rogue", NotBefore: date(2022, 1, 1), NotAfter: date(2023, 1, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue, err := x509.ParseCertificate(rogueDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.VerifyChain(rogue, nil) {
+		t.Fatal("rogue self-signed leaf must not verify")
+	}
+}
+
+func TestStoreAddCAIndexesNames(t *testing.T) {
+	g, err := certmodel.NewGenerator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := g.NewRootCA("Acme Root CA", "Acme Trust", date(2020, 1, 1), date(2040, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(ProgramCCADB)
+	s.AddCA(ca)
+	if !s.ContainsFingerprint(ca.Fingerprint()) {
+		t.Fatal("fingerprint not indexed")
+	}
+	if !s.ContainsIssuer("Acme Trust") || !s.ContainsIssuer("Acme Root CA") {
+		t.Fatal("subject names not indexed")
+	}
+}
+
+func TestDefaultBundleOverlap(t *testing.T) {
+	b := DefaultBundle()
+	// Every default CA must be public through at least one store.
+	for _, name := range DefaultPublicCAs {
+		if !b.IsPublicIssuer(name) {
+			t.Errorf("%q not public", name)
+		}
+	}
+	// Apple intentionally drops every 5th operator; the bundle still
+	// classifies it public via NSS — the "at least one store" rule.
+	apple := b.Store(ProgramApple)
+	dropped := DefaultPublicCAs[4]
+	if apple.ContainsIssuer(dropped) {
+		t.Fatalf("expected %q to be absent from Apple store", dropped)
+	}
+	if !b.IsPublicIssuer(dropped) {
+		t.Fatal("bundle must still classify it public")
+	}
+	// CCADB-only intermediates classify as public.
+	if !b.IsPublicIssuer("GeoTrust TLS RSA CA G1") {
+		t.Fatal("CCADB intermediate missing")
+	}
+	if len(b.PublicIssuers()) == 0 {
+		t.Fatal("PublicIssuers empty")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Public.String() != "public" || Private.String() != "private" {
+		t.Fatal("Class strings wrong")
+	}
+}

@@ -1,0 +1,403 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/ct"
+	"repro/internal/ids"
+	"repro/internal/zeek"
+)
+
+// registerCT logs genuine public issuances so the interception detector
+// has a comparison set. Only external public domains are logged; campus
+// private domains stay out of CT, mirroring reality (private CAs do not
+// log) and keeping the detector honest.
+func (g *Generator) registerCT(e *Entity) {
+	if e.ServerPlan == nil || e.ServerPlan.IssuerOrg == "" {
+		return
+	}
+	if !g.bundle.IsPublicIssuer(e.ServerPlan.IssuerOrg) {
+		return
+	}
+	sld := g.psl.SLD(e.SNI)
+	if sld == "" {
+		return
+	}
+	g.ctlog.AddChain(ct.Entry{
+		Domain:    sld,
+		IssuerOrg: e.ServerPlan.IssuerOrg,
+		IssuerCN:  e.ServerPlan.IssuerCN,
+		LoggedAt:  certmodel.DayToTime(monthFirstDay(e.StartMonth)),
+	})
+}
+
+// emitCrossShared generates Table 6's population: certificates observed as
+// server certificates in some connections and client certificates in
+// others, spread over /24 subnets with the paper's heavy-tailed quantiles
+// (server 1/1/7/217, client 1/2/43/1851).
+func (g *Generator) emitCrossShared() {
+	const unscaledCerts = 1611
+	n := g.cfg.scaled(unscaledCerts, 40)
+	rng := g.rng.Fork("cross-shared")
+
+	issuers := []struct {
+		org, cn string
+		w       float64
+	}{
+		{"Let's Encrypt", "R3", 0.5158},
+		{"DigiCert Inc", "DigiCert SHA2 Extended Validation Server CA", 0.1434},
+		{"Sectigo Limited", "Sectigo RSA Domain Validation Secure Server CA", 0.0795},
+		{"GoDaddy.com, Inc.", "GoDaddy Secure Certificate Authority - G2", 0.0613},
+		{"GlobalSign", "GlobalSign GCC R3 DV TLS CA", 0.20},
+	}
+	ws := make([]float64, len(issuers))
+	for i, is := range issuers {
+		ws[i] = is.w
+	}
+
+	for i := 0; i < n; i++ {
+		iss := issuers[ids.WeightedPick(rng, ws)]
+		domain := fmt.Sprintf("svc%04d.crossshared.net", i)
+		plan := &CertPlan{
+			IssuerOrg: iss.org, IssuerCN: iss.cn, ValidityDays: 900,
+			CN:      []Content{{Kind: KindDomain, Text: domain, Weight: 1}},
+			SANFill: 1, SAN: []Content{{Kind: KindDomain, Text: domain, Weight: 1}},
+		}
+		cert := g.cert(plan, "cross-shared", "pool", i, 0, 30)
+
+		rank := float64(i) / float64(n)
+		srvSubnets := quantileSpread(rank, 1, 1, 7, 217)
+		cliSubnets := quantileSpread(rank, 1, 2, 43, 1851)
+
+		// The certificate serves as a SERVER certificate from srvSubnets
+		// distinct /24s (inbound-style conns to it)...
+		for s := 0; s < srvSubnets; s++ {
+			ts := certmodel.DayToTime(40 + (i+s)%500)
+			g.ds.Conns = append(g.ds.Conns, zeek.SSLRecord{
+				TS: ts, UID: ids.NewUID(g.uidRNG),
+				OrigIP:   g.alloc.CampusDevice("crossshared/cli", i),
+				OrigPort: uint16(40000 + s%20000),
+				RespIP:   g.alloc.ExternalHostInSubnet("crossshared/srv"+fmt.Sprint(i), s, i),
+				RespPort: 443, Version: "TLSv12", SNI: domain, Established: true,
+				ServerChain: []ids.Fingerprint{cert.Fingerprint},
+				ClientChain: []ids.Fingerprint{g.crossClientHelper(i).Fingerprint},
+				Weight:      2,
+			})
+		}
+		// ...and as a CLIENT certificate from cliSubnets distinct campus
+		// /24s in OUTBOUND connections (the reused-server-cert-as-client
+		// pattern of §5.2.2); outbound placement keeps Table 3's inbound
+		// client census clean.
+		for cIdx := 0; cIdx < cliSubnets; cIdx++ {
+			ts := certmodel.DayToTime(60 + (i+cIdx)%500)
+			g.ds.Conns = append(g.ds.Conns, zeek.SSLRecord{
+				TS: ts, UID: ids.NewUID(g.uidRNG),
+				OrigIP:   g.alloc.CampusHostInSubnet("crossshared/cli"+fmt.Sprint(i), cIdx, cIdx),
+				OrigPort: uint16(40000 + cIdx%20000),
+				RespIP:   g.alloc.ExternalHostInSubnet("crossshared/peer", i%9, i),
+				RespPort: 443, Version: "TLSv12", SNI: "peer.crossshared.net", Established: true,
+				ServerChain: []ids.Fingerprint{g.crossServerHelper(i % 6).Fingerprint},
+				ClientChain: []ids.Fingerprint{cert.Fingerprint},
+				Weight:      2,
+			})
+		}
+	}
+}
+
+// crossClientHelper/crossServerHelper are the fixed counterpart certs in
+// cross-shared connections.
+func (g *Generator) crossClientHelper(i int) *certmodel.CertInfo {
+	plan := &CertPlan{
+		IssuerOrg: campusCA, IssuerCN: campusCA + " Issuing CA", ValidityDays: 730,
+		CN: []Content{{Kind: KindUserAccount, Weight: 1}},
+	}
+	return g.cert(plan, "cross-shared", "helper-cli", i%40, 0, 30)
+}
+
+func (g *Generator) crossServerHelper(i int) *certmodel.CertInfo {
+	plan := privateServerPlan("CrossShared Peer Systems", "crossshared.net")
+	return g.cert(plan, "cross-shared", "helper-srv", i, 0, 30)
+}
+
+// quantileSpread maps a rank in [0,1) onto a distribution hitting the
+// given 50th/75th/99th/100th percentile targets.
+func quantileSpread(rank float64, q50, q75, q99, q100 int) int {
+	switch {
+	case rank < 0.50:
+		return q50
+	case rank < 0.75:
+		return q75
+	case rank < 0.99:
+		// Interpolate between q75 and q99.
+		f := (rank - 0.75) / 0.24
+		return q75 + int(f*float64(q99-q75))
+	case rank < 0.999:
+		f := (rank - 0.99) / 0.009
+		return q99 + int(f*float64(q100-q99)/4)
+	default:
+		return q100
+	}
+}
+
+// emitInterception injects the TLS-interception population the §3.2
+// preprocessing must find and exclude: private "inspection" CAs re-signing
+// popular public domains whose genuine issuers are in CT. Roughly 8.4% of
+// all unique certificates end up intercepted, matching the paper.
+func (g *Generator) emitInterception() {
+	rng := g.rng.Fork("interception")
+	// Target count: x/(total+x) = 8.4%  →  x ≈ 0.0917 × current total.
+	target := int(0.0917 * float64(len(g.ds.Certs)))
+	const proxies = 12
+	perProxy := target/proxies + 1
+	for p := 0; p < proxies; p++ {
+		proxyOrg := fmt.Sprintf("SecureInspect Gateway %02d", p)
+		for i := 0; i < perProxy; i++ {
+			domain := fmt.Sprintf("site%04d.com", (p*perProxy+i)%4000)
+			// CT knows the genuine issuer.
+			g.ctlog.AddChain(ct.Entry{Domain: domain, IssuerOrg: "DigiCert Inc"})
+			plan := &CertPlan{
+				IssuerOrg: proxyOrg, IssuerCN: proxyOrg + " Root",
+				ValidityDays: 30,
+				CN:           []Content{{Kind: KindDomain, Text: "www." + domain, Weight: 1}},
+				SANFill:      1,
+				SAN:          []Content{{Kind: KindDomain, Text: "www." + domain, Weight: 1}},
+			}
+			cert := g.cert(plan, "intercept", fmt.Sprintf("p%d", p), i, 0, 20+i%600)
+			ts := certmodel.DayToTime(20 + (i*13)%650)
+			g.ds.Conns = append(g.ds.Conns, zeek.SSLRecord{
+				TS: ts, UID: ids.NewUID(g.uidRNG),
+				OrigIP:   g.alloc.CampusDevice("intercept/cli", i%500),
+				OrigPort: uint16(32768 + rng.Intn(20000)),
+				RespIP:   g.alloc.ExternalHost("intercept/srv", i),
+				RespPort: 443, Version: "TLSv12", SNI: "www." + domain,
+				Established: true,
+				ServerChain: []ids.Fingerprint{cert.Fingerprint},
+				Weight:      3,
+			})
+		}
+	}
+}
+
+// emitBackground fills in the non-mutual and TLS 1.3 traffic so Figure 1's
+// denominator (total TLS connections) follows the calibrated share curve
+// from StartShare to EndShare, and emits the non-mutual server-certificate
+// populations Table 14 analyzes.
+func (g *Generator) emitBackground() {
+	months := g.cfg.Months
+	// Monthly mutual-TLS weight from everything generated so far.
+	mutual := make([]float64, months)
+	for i := range g.ds.Conns {
+		c := &g.ds.Conns[i]
+		if c.IsMutual() && c.Established {
+			m := monthOf(c.TS)
+			if m >= 0 && m < months {
+				mutual[m] += float64(c.Weight)
+			}
+		}
+	}
+	t0 := mutual[0] / g.cfg.StartShare
+	tN := mutual[months-1] / g.cfg.EndShare
+	total := func(m int) float64 {
+		return t0 + (tN-t0)*float64(m)/float64(months-1)
+	}
+
+	// Non-mutual cert populations (Table 14; unscaled counts from §6.3.6:
+	// 85% public). Each population carries a direction and port mix from
+	// Table 2's non-mutual columns.
+	inPorts := []PortWeight{
+		{Port: 443, Weight: 85.18}, {Port: 25, Weight: 2.35},
+		{Port: 33854, Weight: 2.26}, {Port: 8443, Weight: 2.22},
+		{Port: 52730, Weight: 1.98}, {Port: 993, Weight: 1.5},
+		{Port: 8080, Weight: 1.2}, {Port: 9443, Weight: 1.0},
+	}
+	outPorts := []PortWeight{
+		{Port: 443, Weight: 99.15}, {Port: 993, Weight: 0.44},
+		{Port: 8883, Weight: 0.05}, {Port: 25, Weight: 0.04},
+		{Port: 3128, Weight: 0.03},
+	}
+	pops := []nmPop{
+		{
+			name: "nm-out-public", certs: 3_000_000, volume: 1, ports: outPorts,
+			plan: &CertPlan{
+				IssuerOrg: "Let's Encrypt", IssuerCN: "R3", ValidityDays: 90,
+				CN:      []Content{{Kind: KindHost, Text: "popular-sites.com", Weight: 1}},
+				SANFill: 0.9999,
+				SAN:     []Content{{Kind: KindHost, Text: "popular-sites.com", Weight: 1}},
+			},
+		},
+		{
+			name: "nm-in-public", inbound: true, certs: 170_000, volume: 0.7, ports: inPorts,
+			plan: &CertPlan{
+				IssuerOrg: "Sectigo Limited", ValidityDays: 398,
+				CN:      []Content{{Kind: KindHost, Text: univSLD, Weight: 1}},
+				SANFill: 0.9999,
+				SAN:     []Content{{Kind: KindHost, Text: univSLD, Weight: 1}},
+			},
+		},
+		{
+			name: "nm-in-private", inbound: true, certs: 340_000, volume: 0.3, ports: inPorts,
+			plan: &CertPlan{
+				IssuerOrg: campusCA, IssuerCN: campusCA + " Issuing CA",
+				ValidityDays: 1825,
+				CN: []Content{ // Table 14b's private column
+					{Kind: KindHost, Text: univSLD, Weight: 0.1327},
+					{Kind: KindText, Text: "WebRTC", Weight: 0.42},
+					{Kind: KindText, Text: "twilio", Weight: 0.17},
+					{Kind: KindText, Text: "hangouts", Weight: 0.14},
+					{Kind: KindText, Text: "hmpp", Weight: 0.022},
+					{Kind: KindText, Text: "Dtls", Weight: 0.021},
+					{Kind: KindRandomHex, N: 8, Weight: 0.035},
+					{Kind: KindRandomAlnum, N: 16, Weight: 0.032},
+					{Kind: KindSIP, Text: "voip." + univSLD, Weight: 0.0121},
+					{Kind: KindIP, Weight: 0.005},
+					{Kind: KindLocalhost, Weight: 0.0029},
+					{Kind: KindPersonName, Weight: 0.0011},
+					{Kind: KindUserAccount, Weight: 0.0004},
+				},
+				SANFill: 0.1054,
+				SAN: []Content{
+					{Kind: KindHost, Text: univSLD, Weight: 0.72},
+					{Kind: KindRandomAlnum, N: 16, Weight: 0.267},
+					{Kind: KindText, Text: "WebRTC", Weight: 0.025},
+					{Kind: KindLocalhost, Weight: 0.0107},
+					{Kind: KindIP, Weight: 0.0126},
+				},
+			},
+		},
+		{
+			name: "nm-out-private", certs: 200_000, volume: 0.002, ports: outPorts,
+			plan: &CertPlan{
+				IssuerOrg: "DvTel", ValidityDays: 1825,
+				CN: []Content{
+					{Kind: KindText, Text: "WebRTC", Weight: 0.45},
+					{Kind: KindHost, Text: "dvtelcam.net", Weight: 0.18},
+					{Kind: KindRandomHex, N: 8, Weight: 0.15},
+					{Kind: KindText, Text: "hmpp", Weight: 0.1},
+					{Kind: KindSIP, Text: "cam.dvtelcam.net", Weight: 0.06},
+					{Kind: KindLocalhost, Weight: 0.03},
+					{Kind: KindIP, Weight: 0.03},
+				},
+				SANFill: 0.1054,
+				SAN: []Content{
+					{Kind: KindHost, Text: "dvtelcam.net", Weight: 0.72},
+					{Kind: KindRandomAlnum, N: 16, Weight: 0.28},
+				},
+			},
+		},
+	}
+
+	// Distribute each population's certificates over the months and give
+	// the rows the weight needed to hit the Figure 1 denominator.
+	volSum := map[bool]float64{}
+	for _, p := range pops {
+		volSum[p.inbound] += p.volume
+	}
+	for _, pop := range pops {
+		certs := g.cfg.scaled(pop.certs, 40)
+		perMonth := certs / months
+		if perMonth < 1 {
+			perMonth = 1
+		}
+		rng := g.rng.Fork("bg/" + pop.name)
+		idx := 0
+		for m := 0; m < months; m++ {
+			// This population's share of month m's non-mutual volume.
+			nonMutual := total(m) * (1 - g.cfg.TLS13Share)
+			nonMutual -= mutual[m]
+			if nonMutual < 0 {
+				nonMutual = 0
+			}
+			volume := nonMutual * pop.volume / volSum[pop.inbound]
+			if pop.inbound {
+				volume *= 0.25
+			} else {
+				volume *= 0.75
+			}
+			w := int64(math.Round(volume / float64(perMonth)))
+			if w < 1 {
+				w = 1
+			}
+			day := monthFirstDay(m)
+			for i := 0; i < perMonth; i++ {
+				cert := g.cert(pop.plan, pop.name, "srv", idx, 0, day)
+				idx++
+				ts := certmodel.DayToTime(day + (i*5)%27)
+				var origIP, respIP string
+				if pop.inbound {
+					origIP = g.alloc.ExternalHost(pop.name+"/cli", i)
+					respIP = g.alloc.CampusServer(pop.name, i%40)
+				} else {
+					origIP = g.alloc.CampusDevice(pop.name+"/cli", i%200)
+					respIP = g.alloc.ExternalHost(pop.name+"/srv", idx)
+				}
+				g.ds.Conns = append(g.ds.Conns, zeek.SSLRecord{
+					TS: ts, UID: ids.NewUID(g.uidRNG),
+					OrigIP: origIP, OrigPort: uint16(32768 + rng.Intn(28000)),
+					RespIP: respIP, RespPort: g.pickPort(rng, pop.ports),
+					Version: "TLSv12", SNI: sniFor(pop.plan, i),
+					Established: rng.Float64() > 0.02,
+					ServerChain: []ids.Fingerprint{cert.Fingerprint},
+					Weight:      w,
+				})
+			}
+		}
+	}
+
+	// TLS 1.3 opacity: 40.86% of ALL connections, certificate-free rows.
+	rng := g.rng.Fork("bg/tls13")
+	for m := 0; m < months; m++ {
+		volume := total(m) * g.cfg.TLS13Share
+		const rows = 24
+		w := int64(math.Round(volume / rows))
+		if w < 1 {
+			w = 1
+		}
+		day := monthFirstDay(m)
+		for i := 0; i < rows; i++ {
+			inbound := i%4 == 0
+			var origIP, respIP string
+			if inbound {
+				origIP = g.alloc.ExternalHost("tls13/cli", i)
+				respIP = g.alloc.CampusServer("tls13", i%20)
+			} else {
+				origIP = g.alloc.CampusDevice("tls13/cli", i%200)
+				respIP = g.alloc.ExternalHost("tls13/srv", i)
+			}
+			g.ds.Conns = append(g.ds.Conns, zeek.SSLRecord{
+				TS: certmodel.DayToTime(day + (i*3)%27), UID: ids.NewUID(g.uidRNG),
+				OrigIP: origIP, OrigPort: uint16(32768 + rng.Intn(28000)),
+				RespIP: respIP, RespPort: 443,
+				Version: "TLSv13", SNI: fmt.Sprintf("edge%02d.cdn13.net", i),
+				Established: true,
+				Weight:      w,
+			})
+		}
+	}
+}
+
+// nmPop is one non-mutual certificate population.
+type nmPop struct {
+	name    string
+	inbound bool
+	certs   int
+	volume  float64 // share of the direction's non-mutual volume
+	ports   []PortWeight
+	plan    *CertPlan
+}
+
+func sniFor(plan *CertPlan, i int) string {
+	if len(plan.CN) > 0 && (plan.CN[0].Kind == KindHost || plan.CN[0].Kind == KindDomain) {
+		return fmt.Sprintf("host%04d.%s", i%9999, plan.CN[0].Text)
+	}
+	return ""
+}
+
+// monthOf maps a timestamp to its study-month index.
+func monthOf(ts time.Time) int {
+	y, m, _ := ts.Date()
+	e := certmodel.StudyEpoch
+	return (y-e.Year())*12 + int(m) - int(e.Month())
+}

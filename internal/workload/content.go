@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ids"
+)
+
+// Kind enumerates the kinds of content a generated CN or SAN entry can
+// carry — one per §6.1 information type, plus the free-text and random
+// shapes Table 9 sub-classifies.
+type Kind int
+
+const (
+	// KindEmpty leaves the field empty.
+	KindEmpty Kind = iota
+	// KindDomain emits the entity's domain (Text), optionally with a
+	// per-certificate host label prefix when Text starts with "*.".
+	KindDomain
+	// KindHost emits "hostNNN.<Text>" — a per-certificate hostname.
+	KindHost
+	// KindIP emits an IPv4 literal.
+	KindIP
+	// KindMAC emits a colon-separated MAC address.
+	KindMAC
+	// KindSIP emits "sip:userNNN@Text".
+	KindSIP
+	// KindEmail emits "userNNN@Text".
+	KindEmail
+	// KindUserAccount emits a campus computing ID ("hd7gr" shape).
+	KindUserAccount
+	// KindPersonName emits "First Last" from the name lexicons.
+	KindPersonName
+	// KindText emits Text verbatim (product/org names, "__transfer__",
+	// "Dtls", "Hybrid Runbook Worker", …).
+	KindText
+	// KindRandomHex emits N random hex characters.
+	KindRandomHex
+	// KindUUID emits a canonical 36-char UUID.
+	KindUUID
+	// KindRandomAlnum emits N random mixed-case alphanumerics.
+	KindRandomAlnum
+	// KindLocalhost emits "localhost" or "host.localdomain".
+	KindLocalhost
+)
+
+// Content is one weighted choice in a CN/SAN distribution.
+type Content struct {
+	Kind   Kind
+	Text   string  // meaning depends on Kind
+	N      int     // length for the random kinds
+	Weight float64 // relative weight in the distribution
+}
+
+// contentNames used for person generation, mirrored from nerlite's
+// lexicons so the recognizer's dictionary covers the generated space.
+var genFirstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+	"Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+	"Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Daniel",
+	"Nancy", "Matthew", "Betty", "Anthony", "Sandra", "Mark", "Margaret",
+	"Wei", "Ming", "Hiroshi", "Yuki", "Ahmed", "Fatima", "Raj", "Priya",
+	"Ivan", "Olga", "Hans", "Greta", "Pierre", "Claire", "Diego", "Lucia",
+}
+
+var genLastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Wilson", "Anderson", "Thomas",
+	"Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson",
+	"White", "Harris", "Chen", "Wang", "Li", "Zhang", "Liu", "Yang",
+	"Kim", "Patel", "Singh", "Kumar", "Nguyen", "Tran", "Tanaka", "Suzuki",
+	"Mueller", "Schmidt", "Ivanov", "Dubois", "Rossi", "Ferrari",
+}
+
+// render materializes one content choice for certificate #idx of an
+// entity. All randomness flows through rng so generation is reproducible.
+func (c Content) render(rng *ids.RNG, idx int) string {
+	switch c.Kind {
+	case KindEmpty:
+		return ""
+	case KindDomain:
+		return c.Text
+	case KindHost:
+		return fmt.Sprintf("host%04d.%s", idx%9999, c.Text)
+	case KindIP:
+		return fmt.Sprintf("10.%d.%d.%d", rng.Intn(250)+1, rng.Intn(250)+1, rng.Intn(250)+1)
+	case KindMAC:
+		var b strings.Builder
+		for i := 0; i < 6; i++ {
+			if i > 0 {
+				b.WriteByte(':')
+			}
+			fmt.Fprintf(&b, "%02X", byte(rng.Uint64()))
+		}
+		return b.String()
+	case KindSIP:
+		return fmt.Sprintf("sip:user%04d@%s", idx%9999, orDefault(c.Text, "voip.example.com"))
+	case KindEmail:
+		return fmt.Sprintf("user%04d@%s", idx%9999, orDefault(c.Text, "example.com"))
+	case KindUserAccount:
+		// 2-3 lowercase letters, digit, 1-3 alphanumerics: "hd7gr" shape.
+		letters := "abcdefghijklmnopqrstuvwxyz"
+		var b strings.Builder
+		for i := 0; i < 2+rng.Intn(2); i++ {
+			b.WriteByte(letters[rng.Intn(26)])
+		}
+		b.WriteByte(byte('0' + rng.Intn(10)))
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			b.WriteByte(letters[rng.Intn(26)])
+		}
+		return b.String()
+	case KindPersonName:
+		return ids.Pick(rng, genFirstNames) + " " + ids.Pick(rng, genLastNames)
+	case KindText:
+		return c.Text
+	case KindRandomHex:
+		return randomHex(rng, orN(c.N, 8))
+	case KindUUID:
+		h := randomHex(rng, 32)
+		return h[0:8] + "-" + h[8:12] + "-" + h[12:16] + "-" + h[16:20] + "-" + h[20:32]
+	case KindRandomAlnum:
+		const alnum = "abcdefghjkmnpqrstvwxyzABCDEFGHJKMNPQRSTVWXYZ0123456789"
+		n := orN(c.N, 12)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alnum[rng.Intn(len(alnum))])
+		}
+		return b.String()
+	case KindLocalhost:
+		if rng.Bool(0.5) {
+			return "localhost"
+		}
+		return fmt.Sprintf("host%03d.localdomain", idx%999)
+	default:
+		return ""
+	}
+}
+
+func randomHex(rng *ids.RNG, n int) string {
+	const hexd = "0123456789abcdef"
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(hexd[rng.Intn(16)])
+	}
+	return b.String()
+}
+
+// pickContent draws one weighted choice.
+func pickContent(rng *ids.RNG, cs []Content) Content {
+	if len(cs) == 0 {
+		return Content{Kind: KindEmpty}
+	}
+	ws := make([]float64, len(cs))
+	for i, c := range cs {
+		ws[i] = c.Weight
+	}
+	return cs[ids.WeightedPick(rng, ws)]
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}
+
+func orN(n, d int) int {
+	if n == 0 {
+		return d
+	}
+	return n
+}

@@ -1,0 +1,945 @@
+package workload
+
+// entities.go is the calibration table of the reproduction: one Entity per
+// traffic population the paper reports on, with unscaled counts taken from
+// the paper's tables (see the per-experiment index in DESIGN.md §4).
+
+// Campus identities.
+const (
+	campusCA  = "University of Virginia"
+	healthCA  = "University of Virginia Health System"
+	healthSLD = "uvahealth.com"
+	univSLD   = "virginia.edu"
+)
+
+// CampusIssuers are the university-managed CAs (the §6.1.1 user-account
+// rule requires the issuer to be one of these).
+func CampusIssuers() []string { return []string{campusCA, healthCA} }
+
+// DefaultAssoc is the SLD→association mapping for Table 3.
+func DefaultAssoc() *AssocConfig {
+	return &AssocConfig{
+		HealthSLDs:     []string{healthSLD, "uvahealth.org"},
+		UniversitySLDs: []string{univSLD},
+		VPNHostPrefix:  "vpn.",
+		LocalOrgSLDs:   []string{"cvilleclinic.org", "localco.org"},
+		ThirdPartySLDs: []string{"tablodash.com", "thirdsvc.io"},
+		GlobusSLDs:     []string{"globus.org"},
+	}
+}
+
+// campusClientPlan is the Education-issued client certificate population:
+// personal names and user accounts in CN (Table 8's privacy finding),
+// campus-random SANs.
+func campusClientPlan(issuer string) *CertPlan {
+	return &CertPlan{
+		IssuerOrg:    issuer,
+		IssuerCN:     issuer + " Issuing CA",
+		ValidityDays: 1100,
+		CN: []Content{
+			{Kind: KindPersonName, Weight: 0.62},
+			{Kind: KindUserAccount, Weight: 0.28},
+			{Kind: KindUUID, Weight: 0.10},
+		},
+		SANFill: 0.45,
+		SAN: []Content{
+			{Kind: KindRandomHex, N: 16, Weight: 0.80},
+			{Kind: KindPersonName, Weight: 0.19},
+			{Kind: KindHost, Text: univSLD, Weight: 0.01},
+		},
+	}
+}
+
+// publicClientPlan is a public-CA client certificate with a domain CN.
+func publicClientPlan(issuer, domain string) *CertPlan {
+	return &CertPlan{
+		IssuerOrg:    issuer,
+		IssuerCN:     issuer + " CA",
+		ValidityDays: 900,
+		CN:           []Content{{Kind: KindHost, Text: domain, Weight: 1}},
+		SANFill:      0.95,
+		SAN:          []Content{{Kind: KindHost, Text: domain, Weight: 1}},
+	}
+}
+
+// missingIssuerDevicePlan is the §4.2 "MissingIssuer" device population:
+// empty issuer, machine-generated CNs.
+func missingIssuerDevicePlan() *CertPlan {
+	return &CertPlan{
+		ValidityDays: 1825,
+		CN: []Content{
+			{Kind: KindRandomHex, N: 32, Weight: 0.55},
+			{Kind: KindText, Text: "__transfer__", Weight: 0.12},
+			{Kind: KindText, Text: "Dtls", Weight: 0.08},
+			{Kind: KindRandomHex, N: 8, Weight: 0.08},
+			{Kind: KindUUID, Weight: 0.03},
+			{Kind: KindSIP, Text: "voip." + univSLD, Weight: 0.04},
+			{Kind: KindEmail, Text: univSLD, Weight: 0.02},
+			{Kind: KindLocalhost, Weight: 0.011},
+			{Kind: KindMAC, Weight: 0.004},
+			{Kind: KindIP, Weight: 0.0005},
+			{Kind: KindRandomAlnum, N: 20, Weight: 0.055},
+		},
+	}
+}
+
+// webrtcClientPlan is the dominant client-certificate population: per-
+// connection self-signed certs with CN "WebRTC" (98.7% of client
+// Org/Product CNs, §6.3.4).
+func webrtcClientPlan() *CertPlan {
+	return &CertPlan{
+		SelfSigned:   true,
+		ValidityDays: 30,
+		CN: []Content{
+			{Kind: KindText, Text: "WebRTC", Weight: 0.955},
+			{Kind: KindText, Text: "twilio", Weight: 0.008},
+			{Kind: KindText, Text: "hangouts", Weight: 0.006},
+			{Kind: KindText, Text: "Lenovo ThinkPad", Weight: 0.004},
+			{Kind: KindText, Text: "Android Keystore", Weight: 0.003},
+			{Kind: KindRandomHex, N: 8, Weight: 0.012},
+			{Kind: KindRandomHex, N: 32, Weight: 0.012},
+		},
+	}
+}
+
+// webrtcServerPlan covers server-private CN content (Table 8 column 2 and
+// Table 9's random buckets: len8 46%, len32 17%, len36 9%).
+func webrtcServerPlan() *CertPlan {
+	return &CertPlan{
+		SelfSigned:   true,
+		ValidityDays: 30,
+		CN: []Content{
+			{Kind: KindText, Text: "WebRTC", Weight: 0.700},
+			{Kind: KindText, Text: "twilio", Weight: 0.048},
+			{Kind: KindText, Text: "hangouts", Weight: 0.028},
+			{Kind: KindSIP, Text: "sip.example.net", Weight: 0.0455},
+			{Kind: KindRandomHex, N: 8, Weight: 0.073},
+			{Kind: KindRandomHex, N: 32, Weight: 0.027},
+			{Kind: KindUUID, Weight: 0.014},
+			{Kind: KindRandomAlnum, N: 20, Weight: 0.011},
+			{Kind: KindText, Text: "__transfer__", Weight: 0.020},
+			{Kind: KindText, Text: "Dtls", Weight: 0.012},
+			{Kind: KindIP, Weight: 0.0008},
+			{Kind: KindHost, Text: "media.example.net", Weight: 0.0034},
+		},
+		SANFill: 0.004,
+		SAN: []Content{
+			{Kind: KindHost, Text: "media.example.net", Weight: 0.877},
+			{Kind: KindText, Text: "WebRTC", Weight: 0.079},
+			{Kind: KindRandomAlnum, N: 24, Weight: 0.059},
+			{Kind: KindLocalhost, Weight: 0.007},
+			{Kind: KindIP, Weight: 0.007},
+		},
+	}
+}
+
+// publicServerPlan is a public-CA server certificate for a domain.
+func publicServerPlan(issuer, domain string) *CertPlan {
+	return &CertPlan{
+		IssuerOrg:    issuer,
+		IssuerCN:     issuer + " TLS CA",
+		ValidityDays: 900,
+		CN:           []Content{{Kind: KindHost, Text: domain, Weight: 1}},
+		SANFill:      1.0,
+		SAN:          []Content{{Kind: KindHost, Text: domain, Weight: 1}},
+	}
+}
+
+// privateServerPlan is a campus/vendor private-CA server certificate.
+func privateServerPlan(issuer, domain string) *CertPlan {
+	return &CertPlan{
+		IssuerOrg:    issuer,
+		IssuerCN:     issuer + " Issuing CA",
+		ValidityDays: 1095,
+		CN:           []Content{{Kind: KindHost, Text: domain, Weight: 1}},
+	}
+}
+
+// corpClientPlan is a private corporate client certificate.
+func corpClientPlan(org string) *CertPlan {
+	return &CertPlan{
+		IssuerOrg:    org,
+		IssuerCN:     org + " Device CA",
+		ValidityDays: 1095,
+		CN:           []Content{{Kind: KindRandomAlnum, N: 16, Weight: 1}},
+	}
+}
+
+// Entities returns the full mTLS roster (unscaled counts).
+func Entities() []Entity {
+	var es []Entity
+
+	// ------------------------------------------------------------------
+	// INBOUND mutual TLS (≈565M connections; Tables 2–3, Figure 1).
+	// ------------------------------------------------------------------
+	es = append(es,
+		// University Health: 64.91% of inbound mTLS connections, 41.1% of
+		// clients, Education-issued client certs (99.96%), with the
+		// October–December 2023 surge.
+		Entity{
+			Name: "health", Inbound: true, Health: true,
+			SNI:     "portal." + healthSLD,
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 40, Clients: 41100,
+			ServerPlan:       privateServerPlan(healthCA, healthSLD),
+			ClientPlan:       campusClientPlan(healthCA),
+			ClientPlan2:      publicClientPlan("Entrust, Inc.", "clinicpartner.com"),
+			ClientPlan2Share: 0.0094,
+			Conns:            363_500_000,
+			Shape:            ShapeHealthSurge,
+		},
+		// University Server / FileWave device management on port 20017
+		// (24.89% of inbound mTLS, Table 2) with MissingIssuer client
+		// certs (95.84%, Table 3).
+		Entity{
+			Name: "filewave", Inbound: true,
+			SNI:     "mdm." + univSLD,
+			Ports:   []PortWeight{{Port: 20017, Weight: 1}},
+			Servers: 4, Clients: 4500, MinClients: 12,
+			ServerPlan:       privateServerPlan("FileWave", univSLD),
+			ClientPlan:       missingIssuerDevicePlan(),
+			ClientPlan2:      publicClientPlan("DigiCert Inc", univSLD),
+			ClientPlan2Share: 0.037,
+			Conns:            139_400_000,
+			Shape:            ShapeGrowth,
+		},
+		// University LDAPS access control on 636 (6.36% of inbound mTLS).
+		Entity{
+			Name: "ldaps", Inbound: true,
+			SNI:     "ldap." + univSLD,
+			Ports:   []PortWeight{{Port: 636, Weight: 1}},
+			Servers: 6, Clients: 500,
+			ServerPlan: privateServerPlan(campusCA, univSLD),
+			ClientPlan: campusClientPlan(campusCA),
+			Conns:      35_600_000,
+			Shape:      ShapeGrowth,
+		},
+		// University VPN: tiny connection share (0.30%) but 14.73% of
+		// clients — every remote user authenticates occasionally.
+		Entity{
+			Name: "vpn", Inbound: true,
+			SNI:     "vpn." + univSLD,
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 4, Clients: 14730,
+			ServerPlan:       privateServerPlan(campusCA, univSLD),
+			ClientPlan:       campusClientPlan(campusCA),
+			ClientPlan2:      publicClientPlan("GlobalSign", "remotehome.net"),
+			ClientPlan2Share: 0.0001,
+			Conns:            1_680_000,
+			Shape:            ShapeGrowth,
+		},
+		// Local organizations: public-CA client certs (96.62%).
+		Entity{
+			Name: "localorg", Inbound: true,
+			SNI:     "services.cvilleclinic.org",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 12, Clients: 2200, MinClients: 30,
+			ServerPlan:       publicServerPlan("Sectigo Limited", "cvilleclinic.org"),
+			ClientPlan:       publicClientPlan("IdenTrust", "cvilleclinic.org"),
+			ClientPlan2:      corpClientPlan("Cville Health Partners Inc"),
+			ClientPlan2Share: 0.0132,
+			Conns:            13_500_000,
+			Shape:            ShapeGrowth,
+		},
+		// Local-org serial collisions: serials 01/02/03 within the same
+		// private issuer (§5.1.2), short validity.
+		Entity{
+			Name: "localorg-serial01", Inbound: true,
+			SNI:     "gw.localco.org",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 3, Clients: 120, MinClients: 6,
+			ServerPlan: &CertPlan{
+				IssuerOrg: "LocalCo Systems", SerialFixed: "01",
+				ValidityDays: 14, ReissueDays: 14,
+				CN: []Content{{Kind: KindHost, Text: "localco.org", Weight: 1}},
+			},
+			ClientPlan: &CertPlan{
+				IssuerOrg: "LocalCo Systems", SerialFixed: "02",
+				ValidityDays: 14, ReissueDays: 14,
+				CN: []Content{{Kind: KindRandomHex, N: 8, Weight: 1}},
+			},
+			Conns: 400_000,
+		},
+		// ViptelaClient: every certificate — client or server — carries
+		// serial 024680 (§5.1.2).
+		Entity{
+			Name: "viptela", Inbound: true,
+			SNI:     "sdwan.localco.org",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 4, Clients: 180, MinClients: 6,
+			ServerPlan: &CertPlan{
+				IssuerCN: "ViptelaClient", SerialFixed: "024680",
+				ValidityDays: 14, ReissueDays: 14,
+				CN: []Content{{Kind: KindHost, Text: "localco.org", Weight: 1}},
+			},
+			ClientPlan: &CertPlan{
+				IssuerCN: "ViptelaClient", SerialFixed: "024680",
+				ValidityDays: 14, ReissueDays: 14,
+				CN: []Content{{Kind: KindRandomHex, N: 8, Weight: 1}},
+			},
+			Conns: 270_000,
+		},
+		// Outset Medical (tablodash.com): third-party dialysis service on
+		// port 9093; the SAME certificate is presented by both endpoints
+		// (Table 5, 4,403 clients, 700-day activity).
+		Entity{
+			Name: "outset", Inbound: true,
+			SNI:     "fleet.tablodash.com",
+			Ports:   []PortWeight{{Port: 9093, Weight: 1}},
+			Servers: 3, Clients: 4403, MinClients: 20,
+			SharedCert: true,
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Outset Medical", ValidityDays: 1460,
+				CN: []Content{{Kind: KindRandomHex, N: 8, Weight: 1}},
+			},
+			Conns: 1_460_000,
+			Shape: ShapeGrowth,
+		},
+		// Misc third-party inbound HTTPS.
+		Entity{
+			Name: "thirdparty-misc", Inbound: true,
+			SNI:     "api.thirdsvc.io",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 5, Clients: 300,
+			ServerPlan: publicServerPlan("DigiCert Inc", "thirdsvc.io"),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "zqxsvc", ValidityDays: 365, // Private - Others
+				CN: []Content{{Kind: KindRandomAlnum, N: 14, Weight: 1}},
+			},
+			ClientPlan2:      publicClientPlan("GoDaddy.com, Inc.", "thirdsvc.io"),
+			ClientPlan2Share: 0.55,
+			Conns:            280_000,
+		},
+		// Globus with SNI (the small Table 3 "Globus" association row).
+		Entity{
+			Name: "globus-sni", Inbound: true,
+			SNI:     "transfer.globus.org",
+			Ports:   []PortWeight{{Port: 50000, PortHigh: 51000, Weight: 1}},
+			Servers: 4, Clients: 60, MinClients: 4,
+			ServerPlan: privateServerPlan(campusCA, univSLD),
+			ClientPlan: campusClientPlan(campusCA),
+			Conns:      340_000,
+		},
+		// Globus FXP DCAU: the headline §5.1.2 finding. SNI is the
+		// literal string "FXP DCAU Cert" (no SLD extracts → Unknown
+		// association), serial 00, 14-day shared certificates reissued
+		// for 700 days: 7.49M connections, 798 clients, ~39k unique
+		// certs at full scale.
+		Entity{
+			Name: "globus-in", Inbound: true,
+			SNI:     "FXP DCAU Cert",
+			Ports:   []PortWeight{{Port: 50000, PortHigh: 51000, Weight: 1}},
+			Servers: 8, Clients: 798, MinClients: 4,
+			SharedCert: true,
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Globus Online", IssuerCN: "FXP DCAU Cert",
+				SerialFixed: "00", ValidityDays: 14, ReissueDays: 14,
+				CN: []Content{
+					{Kind: KindText, Text: "__transfer__", Weight: 0.84},
+					{Kind: KindRandomHex, N: 8, Weight: 0.16},
+				},
+			},
+			Conns: 7_490_000,
+		},
+		// Unknown-association device traffic: missing SNI, missing
+		// issuer, 36.58% of inbound clients but few connections.
+		Entity{
+			Name: "unknown-dev", Inbound: true,
+			SNI:     "",
+			Ports:   []PortWeight{{Port: 443, Weight: 0.7}, {Port: 8443, Weight: 0.3}},
+			Servers: 20, Clients: 40000,
+			ServerPlan: missingIssuerDevicePlan(),
+			ClientPlan: missingIssuerDevicePlan(),
+			Conns:      900_000,
+			Shape:      ShapeGrowth,
+		},
+		// Expired inbound client certificates (Figure 5a): VPN 45.83%,
+		// Local Organization 32.79%, Third Party 15.38%.
+		Entity{
+			Name: "vpn-expired", Inbound: true,
+			SNI:     "vpn." + univSLD,
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 4, Clients: 1100, MinClients: 24,
+			ServerPlan: privateServerPlan(campusCA, univSLD),
+			ClientPlan: &CertPlan{
+				IssuerOrg: campusCA, IssuerCN: campusCA + " Issuing CA",
+				ValidityDays: 730, ExpiredMinDays: 10, ExpiredMaxDays: 1200,
+				CN: []Content{
+					{Kind: KindPersonName, Weight: 0.6},
+					{Kind: KindUserAccount, Weight: 0.4},
+				},
+			},
+			Conns: 500_000,
+		},
+		Entity{
+			Name: "localorg-expired", Inbound: true,
+			SNI:     "services.cvilleclinic.org",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 3, Clients: 790, MinClients: 8,
+			ServerPlan: publicServerPlan("Sectigo Limited", "cvilleclinic.org"),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "IdenTrust", IssuerCN: "TrustID Server CA O1",
+				ValidityDays: 398, ExpiredMinDays: 10, ExpiredMaxDays: 900,
+				CN:      []Content{{Kind: KindHost, Text: "cvilleclinic.org", Weight: 1}},
+				SANFill: 0.9,
+				SAN:     []Content{{Kind: KindHost, Text: "cvilleclinic.org", Weight: 1}},
+			},
+			Conns: 350_000,
+		},
+		Entity{
+			Name: "thirdparty-expired", Inbound: true,
+			SNI:     "api.thirdsvc.io",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 2, Clients: 370, MinClients: 8,
+			ServerPlan: publicServerPlan("DigiCert Inc", "thirdsvc.io"),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "zqxsvc", ValidityDays: 365,
+				ExpiredMinDays: 30, ExpiredMaxDays: 700,
+				CN: []Content{{Kind: KindRandomAlnum, N: 14, Weight: 1}},
+			},
+			Conns: 180_000,
+		},
+		// Inbound dummy-issuer populations (Table 4): 'Unspecified'
+		// client certs across campus servers (with the 1024-bit RSA keys
+		// §5.1.1 flags), and Default Company Ltd / Internet Widgits at
+		// local organizations.
+		Entity{
+			Name: "in-dummy-unspecified", Inbound: true,
+			SNI:     "devices." + univSLD,
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 452, MinServers: 8, Clients: 2000,
+			ServerPlan: privateServerPlan(campusCA, univSLD),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Unspecified", ValidityDays: 3650,
+				CN: []Content{{Kind: KindRandomHex, N: 32, Weight: 1}},
+			},
+			Conns: 566_996,
+		},
+		Entity{
+			Name: "in-dummy-localorg", Inbound: true,
+			SNI:     "iot.localco.org",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 21, MinServers: 3, Clients: 95, MinClients: 5,
+			ServerPlan: privateServerPlan("LocalCo Systems", "localco.org"),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Default Company Ltd", ValidityDays: 3650,
+				CN: []Content{{Kind: KindRandomHex, N: 8, Weight: 1}},
+			},
+			ClientPlan2: &CertPlan{
+				IssuerOrg: "Internet Widgits Pty Ltd", ValidityDays: 3650,
+				CN: []Content{{Kind: KindRandomHex, N: 8, Weight: 1}},
+			},
+			ClientPlan2Share: 0.4,
+			Conns:            95_000,
+		},
+		// The 13 'Unspecified' dummy certs with 1024-bit RSA keys that
+		// §5.1.1 calls out (NIST-disallowed since 2013).
+		Entity{
+			Name: "in-dummy-weakkeys", Inbound: true,
+			SNI:     "legacy." + univSLD,
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 2, Clients: 13, MinClients: 3,
+			ServerPlan: privateServerPlan(campusCA, univSLD),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Unspecified", ValidityDays: 3650,
+				WeakRSAShare: 1,
+				CN:           []Content{{Kind: KindRandomHex, N: 32, Weight: 1}},
+			},
+			Conns: 8_300,
+		},
+	)
+
+	// ------------------------------------------------------------------
+	// OUTBOUND mutual TLS (≈640M connections; Table 2, Figure 2).
+	// ------------------------------------------------------------------
+	es = append(es,
+		// amazonaws.com: 28.51% of outbound mTLS; public server certs,
+		// private client issuers that do not match the server's domain.
+		Entity{
+			Name: "aws", SNI: "data.amazonaws.com",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 600, Clients: 2600, MinClients: 20,
+			ServerPlan: publicServerPlan("Amazon", "amazonaws.com"),
+			ClientPlan: &CertPlan{ // missing issuer: the 37.84% finding
+				ValidityDays:      1095,
+				LongValidityShare: 0.20, LongValidityMin: 10000, LongValidityMax: 40000,
+				CN: []Content{{Kind: KindRandomAlnum, N: 16, Weight: 1}},
+			},
+			ClientPlan2:      corpClientPlan("Insight Analytics Inc"),
+			ClientPlan2Share: 0.75,
+			Conns:            182_500_000,
+			Shape:            ShapeGrowth,
+		},
+		// rapid7.com: 27.44%, disappears after September 2023 (§4.1's
+		// outbound decline).
+		Entity{
+			Name: "rapid7", SNI: "endpoint.rapid7.com",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 300, Clients: 2400,
+			ServerPlan: publicServerPlan("DigiCert Inc", "rapid7.com"),
+			ClientPlan: corpClientPlan("Rapid7 LLC"),
+			Conns:      175_600_000,
+			EndMonth:   16,
+			Shape:      ShapeGrowth,
+		},
+		// gpcloudservice.com: 13.33%.
+		Entity{
+			Name: "gpcloud", SNI: "svc.gpcloudservice.com",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 200, Clients: 900, MinClients: 16,
+			ServerPlan: publicServerPlan("Let's Encrypt", "gpcloudservice.com"),
+			ClientPlan: &CertPlan{ // missing issuer, with Figure 4's long tail
+				ValidityDays:      1825,
+				LongValidityShare: 0.6, LongValidityMin: 10000, LongValidityMax: 40000,
+				CN: []Content{{Kind: KindRandomHex, N: 32, Weight: 1}},
+			},
+			Conns: 85_300_000,
+			Shape: ShapeGrowth,
+		},
+		// Remaining outbound HTTPS cloud/SaaS mix.
+		Entity{
+			Name: "othercloud", SNI: "app.example-saas.com",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 900, Clients: 2000, MinClients: 16,
+			ServerPlan: publicServerPlan("Sectigo Limited", "example-saas.com"),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Example SaaS Devices Inc", ValidityDays: 1460,
+				LongValidityShare: 0.12, LongValidityMin: 10000, LongValidityMax: 40000,
+				CN: []Content{{Kind: KindRandomAlnum, N: 16, Weight: 1}},
+			},
+			ClientPlan2: &CertPlan{ // dummy-issuer tail of Figure 4
+				IssuerOrg: "Internet Widgits Pty Ltd", ValidityDays: 3650,
+				LongValidityShare: 0.3, LongValidityMin: 10000, LongValidityMax: 40000,
+				CN: []Content{{Kind: KindRandomHex, N: 8, Weight: 1}},
+			},
+			ClientPlan2Share: 0.08,
+			Conns:            88_900_000,
+			Shape:            ShapeGrowth,
+		},
+		// MQTT over TLS on 8883 (3.69%): Honeywell alarmnet IoT fleet —
+		// including the incorrect-date client certs of Table 11.
+		Entity{
+			Name: "mqtt-alarmnet", SNI: "mqtt.alarmnet.com",
+			Ports:   []PortWeight{{Port: 8883, Weight: 1}},
+			Servers: 40, Clients: 5200,
+			ServerPlan: privateServerPlan("Honeywell International Inc", "alarmnet.com"),
+			ClientPlan: corpClientPlan("Honeywell International Inc"),
+			Conns:      23_600_000,
+			Shape:      ShapeGrowth,
+		},
+		Entity{
+			Name: "alarmnet-baddates", SNI: "mqtt.alarmnet.com",
+			Ports:   []PortWeight{{Port: 8883, Weight: 1}},
+			Servers: 4, Clients: 1934, MinClients: 12,
+			ServerPlan: privateServerPlan("Honeywell International Inc", "alarmnet.com"),
+			ClientPlan: &CertPlan{
+				IssuerOrg:      "Honeywell International Inc",
+				IncorrectDates: true, IncorrectNotBeforeYear: 2021, IncorrectNotAfterYear: 1815,
+				CN: []Content{{Kind: KindRandomAlnum, N: 16, Weight: 1}},
+			},
+			Conns: 1_200_000,
+		},
+		Entity{
+			Name: "clouddevice-baddates", SNI: "hub.clouddevice.io",
+			Ports:   []PortWeight{{Port: 8883, Weight: 1}},
+			Servers: 3, Clients: 1645, MinClients: 10,
+			ServerPlan: privateServerPlan("Honeywell International Inc", "clouddevice.io"),
+			ClientPlan: &CertPlan{
+				IssuerOrg:      "Honeywell International Inc",
+				IncorrectDates: true, IncorrectNotBeforeYear: 2021, IncorrectNotAfterYear: 1815,
+				CN: []Content{{Kind: KindRandomAlnum, N: 16, Weight: 1}},
+			},
+			Conns: 900_000,
+		},
+		// IDrive: incorrect dates at BOTH endpoints (Table 12: 718
+		// clients, 701-day activity).
+		Entity{
+			Name: "idrive-baddates", SNI: "backup.idrive.com",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 6, Clients: 718, MinClients: 10,
+			ServerPlan: &CertPlan{
+				IssuerOrg:      "IDrive Inc Certificate Authority",
+				IncorrectDates: true, IncorrectNotBeforeYear: 2020, IncorrectNotAfterYear: 1850,
+				CN: []Content{{Kind: KindHost, Text: "idrive.com", Weight: 1}},
+			},
+			ClientPlan: &CertPlan{
+				IssuerOrg:      "IDrive Inc Certificate Authority",
+				IncorrectDates: true, IncorrectNotBeforeYear: 2019, IncorrectNotAfterYear: 1849,
+				CN: []Content{{Kind: KindRandomHex, N: 16, Weight: 1}},
+			},
+			Conns: 2_400_000,
+		},
+		// SDS: both endpoints, epoch 1970 → 1831, missing SNI, 17
+		// clients for 474 days.
+		Entity{
+			Name: "sds-baddates", SNI: "",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 2, Clients: 17, MinClients: 4,
+			ServerPlan: &CertPlan{
+				IssuerOrg:      "SDS",
+				IncorrectDates: true, IncorrectNotBeforeYear: 1970, IncorrectNotAfterYear: 1831,
+				CN: []Content{{Kind: KindRandomHex, N: 8, Weight: 1}},
+			},
+			ClientPlan: &CertPlan{
+				IssuerOrg:      "SDS",
+				IncorrectDates: true, IncorrectNotBeforeYear: 1970, IncorrectNotAfterYear: 1831,
+				CN: []Content{{Kind: KindRandomHex, N: 8, Weight: 1}},
+			},
+			Conns: 50_000, StartMonth: 7,
+		},
+		// Remaining Table 11 incorrect-date singles.
+		Entity{
+			Name: "rcgen-baddates", SNI: "",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 1, Clients: 2, MinClients: 2,
+			ServerPlan: publicServerPlan("Let's Encrypt", "peer-svc.net"),
+			ClientPlan: &CertPlan{
+				IssuerOrg:      "rcgen",
+				IncorrectDates: true, IncorrectNotBeforeYear: 1975, IncorrectNotAfterYear: 1757,
+				CN: []Content{{Kind: KindRandomHex, N: 8, Weight: 1}},
+			},
+			Conns: 2_000, StartMonth: 10, EndMonth: 12,
+		},
+		Entity{
+			Name: "ayoba-baddates", SNI: "chat.ayoba.me",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 2, Clients: 15, MinClients: 3,
+			ServerPlan: publicServerPlan("Let's Encrypt", "ayoba.me"),
+			ClientPlan: &CertPlan{
+				IssuerOrg:      "OpenPGP to X.509 Bridge",
+				IncorrectDates: true, IncorrectNotBeforeYear: 2022, IncorrectNotAfterYear: 2022,
+				CN: []Content{{Kind: KindPersonName, Weight: 1}},
+			},
+			Conns: 12_000, StartMonth: 3, EndMonth: 8,
+		},
+		// SMTP / SMTPS mail relays: public-CA client certificates whose
+		// CNs are mail-infrastructure domains (§6.3.3's 38%).
+		Entity{
+			Name: "smtp25", SNI: "mx.mailhub.com",
+			Ports:   []PortWeight{{Port: 25, Weight: 1}},
+			Servers: 120, Clients: 900,
+			ServerPlan: publicServerPlan("DigiCert Inc", "mailhub.com"),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Let's Encrypt", IssuerCN: "R3", ValidityDays: 90,
+				ReissueDays: 90,
+				CN: []Content{
+					{Kind: KindHost, Text: "smtp.mailhub.com", Weight: 0.5},
+					{Kind: KindHost, Text: "mx.mailhub.com", Weight: 0.3},
+					{Kind: KindHost, Text: "mail.mailhub.com", Weight: 0.2},
+				},
+				SANFill: 0.98,
+				SAN:     []Content{{Kind: KindHost, Text: "smtp.mailhub.com", Weight: 1}},
+			},
+			Conns: 21_600_000,
+			Shape: ShapeGrowth,
+		},
+		Entity{
+			Name: "smtps465", SNI: "smtp.mailhub.com",
+			Ports:   []PortWeight{{Port: 465, Weight: 1}},
+			Servers: 90, Clients: 700,
+			ServerPlan: publicServerPlan("GlobalSign", "mailhub.com"),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Let's Encrypt", IssuerCN: "R3", ValidityDays: 90,
+				ReissueDays: 90,
+				CN:          []Content{{Kind: KindHost, Text: "mail.mailhub.com", Weight: 1}},
+				SANFill:     0.98,
+				SAN:         []Content{{Kind: KindHost, Text: "mail.mailhub.com", Weight: 1}},
+			},
+			Conns: 21_200_000,
+			Shape: ShapeGrowth,
+		},
+		// Splunk forwarders on 9997 (1.48%) plus the Table 5 shared-cert
+		// sliver (4 clients, 114 days).
+		Entity{
+			Name: "splunk", SNI: "inputs.splunkcloud.com",
+			Ports:   []PortWeight{{Port: 9997, Weight: 1}},
+			Servers: 60, Clients: 800,
+			ServerPlan: publicServerPlan("DigiCert Inc", "splunkcloud.com"),
+			ClientPlan: corpClientPlan("Splunk"),
+			Conns:      9_470_000,
+			Shape:      ShapeGrowth,
+		},
+		Entity{
+			Name: "splunk-shared", SNI: "hec.splunkcloud.com",
+			Ports:   []PortWeight{{Port: 9997, Weight: 1}},
+			Servers: 1, Clients: 4, MinClients: 4,
+			SharedCert: true,
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Splunk", ValidityDays: 1095,
+				CN: []Content{{Kind: KindHost, Text: "splunkcloud.com", Weight: 1}},
+			},
+			Conns: 40_000, StartMonth: 12, EndMonth: 15,
+		},
+		// Globus outbound FXP DCAU (Table 5: 105 clients, 699 days).
+		Entity{
+			Name: "globus-out", SNI: "FXP DCAU Cert",
+			Ports:   []PortWeight{{Port: 50000, PortHigh: 51000, Weight: 1}},
+			Servers: 30, Clients: 105, MinClients: 4,
+			SharedCert: true,
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Globus Online", IssuerCN: "FXP DCAU Cert",
+				SerialFixed: "00", ValidityDays: 14, ReissueDays: 14,
+				CN: []Content{
+					{Kind: KindText, Text: "__transfer__", Weight: 0.84},
+					{Kind: KindRandomHex, N: 8, Weight: 0.16},
+				},
+			},
+			Conns: 5_930_000,
+		},
+		// GuardiCore: client serial 01, server serial 03E8, missing SNI,
+		// >2-year validity, whole-study activity (§5.1.2).
+		Entity{
+			Name: "guardicore", SNI: "",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 43, MinServers: 6, Clients: 57, MinClients: 8,
+			ServerPlan: &CertPlan{
+				IssuerOrg: "GuardiCore", SerialFixed: "03E8", ValidityDays: 900,
+				CN: []Content{{Kind: KindRandomHex, N: 16, Weight: 1}},
+			},
+			ClientPlan: &CertPlan{
+				IssuerOrg: "GuardiCore", SerialFixed: "01", ValidityDays: 900,
+				CN: []Content{{Kind: KindRandomHex, N: 16, Weight: 1}},
+			},
+			Conns: 904,
+		},
+		// Apple services with ~1,000-day-expired public client certs
+		// (Figure 5b's cluster: 337 of 339).
+		Entity{
+			Name: "apple-expired", SNI: "push.apple.com",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 40, Clients: 337, MinClients: 30,
+			ServerPlan: publicServerPlan("Apple Inc.", "apple.com"),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Apple Inc.", IssuerCN: "Apple Application CA",
+				ValidityDays: 730, ExpiredMinDays: 950, ExpiredMaxDays: 1050,
+				CN: []Content{{Kind: KindUUID, Weight: 1}},
+			},
+			Conns: 2_000_000,
+			Shape: ShapeGrowth,
+		},
+		Entity{
+			Name: "microsoft-expired", SNI: "agent.azure.com",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 2, Clients: 2, MinClients: 2,
+			ServerPlan: publicServerPlan("Microsoft Corporation", "azure.com"),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Microsoft Corporation", IssuerCN: "Microsoft Device CA",
+				ValidityDays: 730, ExpiredMinDays: 900, ExpiredMaxDays: 1100,
+				CN: []Content{{Kind: KindRandomAlnum, N: 20, Weight: 1}},
+			},
+			Conns: 40_000,
+		},
+		// Expired private-issuer outbound client certs (Figure 5b's
+		// scattered private marginal).
+		Entity{
+			Name: "expired-priv-out", SNI: "relay.example-iot.net",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 10, Clients: 900, MinClients: 25,
+			ServerPlan: publicServerPlan("Let's Encrypt", "example-iot.net"),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Example IoT Devices Inc", ValidityDays: 365,
+				ExpiredMinDays: 10, ExpiredMaxDays: 1500,
+				CN: []Content{{Kind: KindRandomAlnum, N: 16, Weight: 1}},
+			},
+			Conns: 600_000,
+		},
+		// Azure Sphere / Hybrid Runbook Worker / Apple iPhone device
+		// populations: the public-CA client certificates of §6.3.3.
+		Entity{
+			Name: "azuresphere", SNI: "sphere.azure.net",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 30, Clients: 6163, MinClients: 40,
+			ServerPlan: publicServerPlan("Microsoft Corporation", "azure.net"),
+			ClientPlan: &CertPlan{
+				IssuerOrg:    "Microsoft Corporation",
+				IssuerCN:     "Microsoft Azure Sphere f3a9",
+				ValidityDays: 365,
+				CN:           []Content{{Kind: KindRandomAlnum, N: 24, Weight: 1}},
+			},
+			Conns: 3_000_000,
+			Shape: ShapeGrowth,
+		},
+		Entity{
+			Name: "runbook", SNI: "automation.azure.com",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 20, Clients: 5660, MinClients: 30,
+			ServerPlan: publicServerPlan("Microsoft Corporation", "azure.com"),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Microsoft Corporation", IssuerCN: "Microsoft Azure CA",
+				ValidityDays: 1095,
+				CN:           []Content{{Kind: KindText, Text: "Hybrid Runbook Worker", Weight: 1}},
+			},
+			Conns: 2_800_000,
+			Shape: ShapeGrowth,
+		},
+		Entity{
+			Name: "iphone-device", SNI: "courier.apple.com",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 30, Clients: 1340, MinClients: 8,
+			ServerPlan: publicServerPlan("Apple Inc.", "apple.com"),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Apple Inc.", IssuerCN: "Apple iPhone Device CA",
+				ValidityDays: 730,
+				CN:           []Content{{Kind: KindUUID, Weight: 1}},
+			},
+			Conns: 1_500_000,
+			Shape: ShapeGrowth,
+		},
+		Entity{
+			Name: "webex-clients", SNI: "mtg.webex.com",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 20, Clients: 760, MinClients: 6,
+			ServerPlan: publicServerPlan("Cisco Systems", "webex.com"),
+			ClientPlan: publicClientPlan("Cisco Systems", "webex.com"),
+			Conns:      900_000,
+		},
+		Entity{
+			Name: "pubperson-clients", SNI: "login.partner-idp.com",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 4, Clients: 133, MinClients: 6,
+			ServerPlan: publicServerPlan("Entrust, Inc.", "partner-idp.com"),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Entrust, Inc.", IssuerCN: "Entrust Class 1 Client CA",
+				ValidityDays: 1095,
+				CN:           []Content{{Kind: KindPersonName, Weight: 1}},
+			},
+			Conns: 90_000,
+		},
+		// Vendor-managed devices (AT&T / Red Hat / Samsung): the §6.3.4
+		// "22% of random client CNs relate to vendor services" bucket.
+		Entity{
+			Name: "vendor-devices", SNI: "telemetry.vendornet.com",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 40, Clients: 50000,
+			ServerPlan: publicServerPlan("DigiCert Inc", "vendornet.com"),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "AT&T Services Inc", ValidityDays: 1825,
+				CN: []Content{{Kind: KindRandomAlnum, N: 20, Weight: 1}},
+			},
+			ClientPlan2: &CertPlan{
+				IssuerOrg: "Red Hat Inc", ValidityDays: 1825,
+				CN: []Content{{Kind: KindRandomAlnum, N: 20, Weight: 1}},
+			},
+			ClientPlan2Share: 0.4,
+			Conns:            4_000_000,
+			Shape:            ShapeGrowth,
+		},
+		// The WebRTC population: per-connection self-signed certificates
+		// on both endpoints — the bulk of all unique mTLS certificates
+		// (client Org/Product CN 92.49%, server 79.30%).
+		Entity{
+			Name: "webrtc", SNI: "",
+			Ports:   []PortWeight{{Port: 30000, PortHigh: 49999, Weight: 1}},
+			Servers: 100, Clients: 3_020_000,
+			PerConnCerts: true, NewServerCertProb: 0.69,
+			ServerPlan: webrtcServerPlan(),
+			ClientPlan: webrtcClientPlan(),
+			Conns:      3_300_000,
+			Shape:      ShapeGrowth,
+		},
+		// Corp.-Miscellaneous on 3128 (Amazon FireHose, Mixpanel).
+		Entity{
+			Name: "corp-misc-3128", SNI: "firehose.analytics-misc.com",
+			Ports:   []PortWeight{{Port: 3128, Weight: 1}},
+			Servers: 12, Clients: 120,
+			ServerPlan: publicServerPlan("Amazon", "analytics-misc.com"),
+			ClientPlan: corpClientPlan("Mixpanel"),
+			Conns:      180_000,
+		},
+		// Outbound dummy-issuer servers (Table 4) and the both-endpoint
+		// dummies of Table 10.
+		Entity{
+			Name: "out-dummy-widgits-server", SNI: "dev.widgitsapp.io",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 511, MinServers: 10, Clients: 150, MinClients: 5,
+			ServerPlan: &CertPlan{
+				IssuerOrg: "Internet Widgits Pty Ltd", SelfSigned: true,
+				ValidityDays: 3650,
+				CN:           []Content{{Kind: KindHost, Text: "widgitsapp.io", Weight: 1}},
+			},
+			ClientPlan: corpClientPlan("Widgits Consumer Inc"),
+			Conns:      3_689,
+		},
+		Entity{
+			Name: "out-dummy-defaultco-server", SNI: "box.defaultapp.cn",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 147, MinServers: 6, Clients: 40, MinClients: 3,
+			ServerPlan: &CertPlan{
+				IssuerOrg: "Default Company Ltd", SelfSigned: true,
+				ValidityDays: 3650,
+				CN:           []Content{{Kind: KindHost, Text: "defaultapp.cn", Weight: 1}},
+			},
+			ClientPlan: corpClientPlan("Default Devices Co"),
+			Conns:      331,
+		},
+		Entity{
+			Name: "out-dummy-acme-server", SNI: "srv.acmeapp.com",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 20, MinServers: 4, Clients: 10, MinClients: 3,
+			ServerPlan: &CertPlan{
+				IssuerOrg: "Acme Co", SelfSigned: true, ValidityDays: 3650,
+				CN: []Content{{Kind: KindHost, Text: "acmeapp.com", Weight: 1}},
+			},
+			ClientPlan: corpClientPlan("Acme Fleet Inc"),
+			Conns:      26,
+		},
+		Entity{
+			Name: "out-dummy-widgits-client", SNI: "collector.widgitsiot.com",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 73, MinServers: 5, Clients: 500, MinClients: 8,
+			ServerPlan: publicServerPlan("Let's Encrypt", "widgitsiot.com"),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Internet Widgits Pty Ltd", ValidityDays: 3650,
+				WeakRSAShare: 0.01,
+				CN:           []Content{{Kind: KindRandomHex, N: 8, Weight: 1}},
+			},
+			Conns: 69_069,
+		},
+		// Table 10: dummy issuers at BOTH endpoints.
+		Entity{
+			Name: "fireboard-bothdummy", SNI: "cloud.fireboard.io",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 3, Clients: 9, MinClients: 4,
+			ServerPlan: &CertPlan{
+				IssuerOrg: "Internet Widgits Pty Ltd", SelfSigned: true,
+				ValidityDays: 3650, Version: 1,
+				CN: []Content{{Kind: KindHost, Text: "fireboard.io", Weight: 1}},
+			},
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Internet Widgits Pty Ltd", ValidityDays: 3650,
+				Version: 1,
+				CN:      []Content{{Kind: KindRandomHex, N: 8, Weight: 1}},
+			},
+			Conns: 60_000, StartMonth: 1, EndMonth: 21,
+		},
+		Entity{
+			Name: "aws-bothdummy", SNI: "test.amazonaws.com",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 2, Clients: 7, MinClients: 3,
+			ServerPlan: &CertPlan{
+				IssuerOrg: "Internet Widgits Pty Ltd", SelfSigned: true,
+				ValidityDays: 3650,
+				CN:           []Content{{Kind: KindHost, Text: "amazonaws.com", Weight: 1}},
+			},
+			ClientPlan: &CertPlan{
+				IssuerOrg: "Internet Widgits Pty Ltd", ValidityDays: 3650,
+				CN: []Content{{Kind: KindRandomHex, N: 8, Weight: 1}},
+			},
+			Conns: 2_000, StartMonth: 5, EndMonth: 5,
+		},
+		// Figure 4's extreme: one client certificate valid 83,432 days
+		// (~228 years), servers under tmdxdev.com.
+		Entity{
+			Name: "tmdx-extreme", SNI: "dev.tmdxdev.com",
+			Ports:   []PortWeight{{Port: 443, Weight: 1}},
+			Servers: 1, Clients: 1, MinClients: 1,
+			ServerPlan: publicServerPlan("Let's Encrypt", "tmdxdev.com"),
+			ClientPlan: &CertPlan{
+				IssuerOrg: "TMDX Systems Inc", ValidityDays: 83432,
+				CN: []Content{{Kind: KindRandomHex, N: 16, Weight: 1}},
+			},
+			Conns: 5_000,
+		},
+	)
+	return es
+}

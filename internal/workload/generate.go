@@ -1,0 +1,291 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/ct"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/psl"
+	"repro/internal/truststore"
+	"repro/internal/zeek"
+)
+
+// Generator materializes the entity roster into a zeek.Dataset.
+type Generator struct {
+	cfg    Config
+	rng    *ids.RNG
+	alloc  *netsim.Allocator
+	bundle *truststore.Bundle
+	ctlog  *ct.Log
+	psl    *psl.List
+	ds     *zeek.Dataset
+
+	certCache map[string]*certmodel.CertInfo
+	uidRNG    *ids.RNG
+}
+
+// NewGenerator prepares a generator for cfg.
+func NewGenerator(cfg Config) *Generator {
+	if cfg.CertScale <= 0 {
+		cfg.CertScale = 200
+	}
+	if cfg.Months <= 0 {
+		cfg.Months = 23
+	}
+	root := ids.NewRNG(cfg.Seed)
+	return &Generator{
+		cfg:       cfg,
+		rng:       root.Fork("workload"),
+		alloc:     netsim.NewAllocator(netsim.DefaultPlan()),
+		bundle:    truststore.DefaultBundle(),
+		ctlog:     ct.NewLog(),
+		psl:       psl.Default(),
+		ds:        zeek.NewDataset(),
+		certCache: make(map[string]*certmodel.CertInfo),
+		uidRNG:    root.Fork("uids"),
+	}
+}
+
+// Generate runs the full synthesis and returns the Build. It panics if
+// the entity roster fails validation — the roster is code, and an invalid
+// calibration table is a programming error, not an input error.
+func Generate(cfg Config) *Build {
+	g := NewGenerator(cfg)
+	entities := Entities()
+	if err := Validate(entities, g.cfg.Months); err != nil {
+		panic(err)
+	}
+	for _, e := range entities {
+		g.emitEntity(&e)
+	}
+	g.emitCrossShared()
+	g.emitInterception()
+	g.emitBackground()
+	return &Build{
+		Raw:           g.ds,
+		CT:            g.ctlog,
+		Bundle:        g.bundle,
+		CampusIssuers: CampusIssuers(),
+		Assoc:         DefaultAssoc(),
+		Plan:          g.alloc.Plan(),
+		Months:        g.cfg.Months,
+	}
+}
+
+// monthFirstDay returns the study-day offset of month m's first day.
+func monthFirstDay(m int) int {
+	return int(certmodel.DayToTime(0).AddDate(0, m, 0).Sub(certmodel.DayToTime(0)).Hours() / 24)
+}
+
+// cert returns (minting if needed) the cached certificate for a holder.
+func (g *Generator) cert(plan *CertPlan, entity, kind string, holder, reissue, firstUseDay int) *certmodel.CertInfo {
+	key := fmt.Sprintf("%s/%s/%d/%d", entity, kind, holder, reissue)
+	if c, ok := g.certCache[key]; ok {
+		return c
+	}
+	// Per-cert RNG forked from the key: cache misses never perturb the
+	// global stream, keeping generation order-independent.
+	crng := g.rng.Fork(key)
+	c := plan.mint(crng, entity+"/"+kind, holder, reissue, firstUseDay)
+	if c.SelfSigned && c.IssuerOrg == "" && c.IssuerCN == "" {
+		c.IssuerCN = c.SubjectCN
+	}
+	g.certCache[key] = c
+	g.ds.AddCert(c)
+	return c
+}
+
+func (g *Generator) pickPort(rng *ids.RNG, ports []PortWeight) uint16 {
+	if len(ports) == 0 {
+		return 443
+	}
+	ws := make([]float64, len(ports))
+	for i, p := range ports {
+		ws[i] = p.Weight
+	}
+	pw := ports[ids.WeightedPick(rng, ws)]
+	if pw.PortHigh > pw.Port {
+		return pw.Port + uint16(rng.Intn(int(pw.PortHigh-pw.Port)+1))
+	}
+	return pw.Port
+}
+
+// emitEntity renders one entity's connections and certificates.
+func (g *Generator) emitEntity(e *Entity) {
+	shape := e.Shape
+	if shape == nil {
+		shape = ShapeFlat
+	}
+	start := e.StartMonth
+	end := e.effectiveEnd(g.cfg.Months)
+	if start > end {
+		start = end
+	}
+	var shapeSum float64
+	for m := start; m <= end; m++ {
+		shapeSum += shape(m)
+	}
+	if shapeSum <= 0 {
+		shapeSum = 1
+	}
+
+	clients := g.cfg.scaled(e.Clients, e.MinClients)
+	servers := g.cfg.scaled(e.Servers, e.MinServers)
+	if servers == 0 {
+		servers = 1
+	}
+	firstUseDay := monthFirstDay(start)
+	ern := g.rng.Fork("entity/" + e.Name)
+
+	if e.PerConnCerts {
+		g.emitPerConnEntity(e, ern, clients, servers, start, end, shape, shapeSum)
+		return
+	}
+
+	clientSubnets := e.ClientSubnets
+	if clientSubnets == 0 {
+		clientSubnets = clients/50 + 1
+	}
+	plan2Clients := int(math.Ceil(e.ClientPlan2Share * float64(clients)))
+
+	for m := start; m <= end; m++ {
+		monthConns := float64(e.Conns) * shape(m) / shapeSum
+		if clients == 0 {
+			continue
+		}
+		weight := int64(math.Round(monthConns / float64(clients)))
+		if weight < 1 {
+			weight = 1
+		}
+		day := monthFirstDay(m)
+		for c := 0; c < clients; c++ {
+			// tsDay drives both the timestamp and the re-issuance index so
+			// short-lived certificates are observed within their window.
+			tsDay := day + (c*7+m*3)%27
+			ts := certmodel.DayToTime(tsDay)
+			srvIdx := (c + m) % servers
+
+			var clientCert, serverCert *certmodel.CertInfo
+			if e.ClientPlan != nil {
+				ri := e.ClientPlan.reissueIndex(firstUseDay, tsDay)
+				clientCert = g.cert(e.ClientPlan, e.Name, "cli", c, ri, firstUseDay)
+			}
+			if e.SharedCert {
+				serverCert = clientCert
+			} else if e.ServerPlan != nil {
+				ri := e.ServerPlan.reissueIndex(firstUseDay, tsDay)
+				serverCert = g.cert(e.ServerPlan, e.Name, "srv", srvIdx, ri, firstUseDay)
+			}
+			g.emitConn(e, ern, ts, c, srvIdx, clientSubnets, clientCert, serverCert, weight)
+
+			// Secondary client certificate (Table 3's secondary issuer).
+			if e.ClientPlan2 != nil && c < plan2Clients {
+				cc2 := g.cert(e.ClientPlan2, e.Name, "cli2", c, 0, firstUseDay)
+				sc2 := serverCert
+				if e.SharedCert {
+					sc2 = cc2
+				}
+				w2 := weight / 10
+				if w2 < 1 {
+					w2 = 1
+				}
+				g.emitConn(e, ern, ts, c, srvIdx, clientSubnets, cc2, sc2, w2)
+			}
+		}
+	}
+	g.registerCT(e)
+}
+
+// emitPerConnEntity handles WebRTC-style populations where certificates
+// are per-connection: rows == client certificates.
+func (g *Generator) emitPerConnEntity(e *Entity, ern *ids.RNG, clients, servers, start, end int, shape MonthShape, shapeSum float64) {
+	rows := clients // one row per unique client certificate
+	if rows == 0 {
+		return
+	}
+	newSrvProb := e.NewServerCertProb
+	if newSrvProb <= 0 {
+		newSrvProb = 1
+	}
+	totalW := float64(e.Conns)
+	weight := int64(math.Round(totalW / float64(rows)))
+	if weight < 1 {
+		weight = 1
+	}
+	months := end - start + 1
+	srvSerial := 0
+	for r := 0; r < rows; r++ {
+		// Place the row in a month proportionally to the shape.
+		mOff := pickMonthByShape(ern, start, end, shape, shapeSum, r, rows)
+		day := monthFirstDay(mOff) + (r*11+mOff)%27
+		ts := certmodel.DayToTime(day)
+		clientCert := g.cert(e.ClientPlan, e.Name, "cli", r, 0, day)
+		if ern.Bool(newSrvProb) || srvSerial == 0 {
+			srvSerial++
+		}
+		serverCert := g.cert(e.ServerPlan, e.Name, "srv", srvSerial, 0, day)
+		g.emitConn(e, ern, ts, r, srvSerial%servers, rows/50+1, clientCert, serverCert, weight)
+		_ = months
+	}
+}
+
+// pickMonthByShape deterministically spreads row r over the window with
+// density proportional to the shape.
+func pickMonthByShape(rng *ids.RNG, start, end int, shape MonthShape, shapeSum float64, r, rows int) int {
+	target := (float64(r) + 0.5) / float64(rows) * shapeSum
+	var acc float64
+	for m := start; m <= end; m++ {
+		acc += shape(m)
+		if acc >= target {
+			return m
+		}
+	}
+	return end
+}
+
+// emitConn appends one ssl.log row.
+func (g *Generator) emitConn(e *Entity, ern *ids.RNG, ts time.Time, c, srvIdx, clientSubnets int, clientCert, serverCert *certmodel.CertInfo, weight int64) {
+	var origIP, respIP string
+	if e.Inbound {
+		origIP = g.alloc.ExternalHostInSubnet(e.Name+"/cli", c%clientSubnets, c)
+		if e.Health {
+			respIP = g.alloc.HealthServer(e.Name, srvIdx)
+		} else {
+			respIP = g.alloc.CampusServer(e.Name, srvIdx)
+		}
+	} else {
+		origIP = g.alloc.CampusDevice(e.Name+"/cli", c)
+		respIP = g.alloc.ExternalHostInSubnet(e.Name+"/srv", srvIdx/4, srvIdx)
+	}
+	established := true
+	if e.EstablishedShare > 0 && e.EstablishedShare < 1 {
+		established = ern.Bool(e.EstablishedShare)
+	}
+	rec := zeek.SSLRecord{
+		TS:          ts,
+		UID:         ids.NewUID(g.uidRNG),
+		OrigIP:      origIP,
+		OrigPort:    uint16(32768 + ern.Intn(28000)),
+		RespIP:      respIP,
+		RespPort:    g.pickPort(ern, e.Ports),
+		Version:     "TLSv12",
+		SNI:         e.SNI,
+		Established: established,
+		Weight:      weight,
+	}
+	if e.TLS13 {
+		rec.Version = "TLSv13"
+	} else {
+		if serverCert != nil {
+			rec.ServerChain = []ids.Fingerprint{serverCert.Fingerprint}
+		}
+		if clientCert != nil {
+			rec.ClientChain = []ids.Fingerprint{clientCert.Fingerprint}
+		}
+	}
+	g.ds.Conns = append(g.ds.Conns, rec)
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/certmodel"
+)
+
+// TestWireSampleEquivalence proves the wire path — real DER, real TLS
+// byte streams, the passive analyzer — recovers the same certificate
+// population the bulk path emits directly: same subjects, same issuer
+// identities, same serial behaviour, same mutuality.
+func TestWireSampleEquivalence(t *testing.T) {
+	cfg := Default()
+	const n = 12
+	ds, err := WireSample(cfg, "globus-in", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Conns) != n {
+		t.Fatalf("conns = %d, want %d", len(ds.Conns), n)
+	}
+	for i := range ds.Conns {
+		c := &ds.Conns[i]
+		if !c.IsMutual() || !c.Established {
+			t.Fatalf("wire conn %d not mutual/established: %+v", i, c)
+		}
+		// Globus presents the SAME certificate at both endpoints.
+		if c.ServerLeaf() != c.ClientLeaf() {
+			t.Fatalf("wire conn %d lost same-cert sharing", i)
+		}
+		leaf := ds.Cert(c.ClientLeaf())
+		if leaf == nil {
+			t.Fatal("leaf not recovered from wire")
+		}
+		// The §5.1.2 dummy serial survives DER encoding and re-parsing.
+		if leaf.SerialHex != "00" {
+			t.Fatalf("serial = %q, want 00", leaf.SerialHex)
+		}
+		if got := leaf.ValidityDays(); got != 14 {
+			t.Fatalf("validity = %d days, want 14", got)
+		}
+		// SNI is the literal Globus string, as in the bulk path.
+		if c.SNI != "FXP DCAU Cert" {
+			t.Fatalf("SNI = %q", c.SNI)
+		}
+	}
+}
+
+func TestWireSampleNonShared(t *testing.T) {
+	cfg := Default()
+	ds, err := WireSample(cfg, "mqtt-alarmnet", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Conns {
+		c := &ds.Conns[i]
+		if !c.IsMutual() {
+			t.Fatal("not mutual")
+		}
+		if c.ServerLeaf() == c.ClientLeaf() {
+			t.Fatal("non-shared entity produced shared certs")
+		}
+	}
+	// Client certs carry the Honeywell issuer through real DER.
+	var honeywell int
+	for _, cert := range ds.Certs {
+		if cert.IssuerOrg == "Honeywell International Inc" {
+			honeywell++
+		}
+	}
+	if honeywell == 0 {
+		t.Fatal("issuer identity lost on the wire path")
+	}
+}
+
+func TestWireSampleIncorrectDates(t *testing.T) {
+	// Incorrect-date certs (Figure 3) survive real DER round trips.
+	cfg := Default()
+	ds, err := WireSample(cfg, "idrive-baddates", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bad int
+	for _, cert := range ds.Certs {
+		if cert.HasIncorrectDates() {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Fatal("incorrect dates lost on the wire path")
+	}
+	// And they still land before the epoch the paper reports (1849/1850).
+	for _, cert := range ds.Certs {
+		if cert.HasIncorrectDates() && cert.NotAfter.After(certmodel.DayToTime(0)) {
+			t.Fatalf("bad-date cert NotAfter = %v, want 19th century", cert.NotAfter)
+		}
+	}
+}
+
+func TestWireSampleErrors(t *testing.T) {
+	cfg := Default()
+	if _, err := WireSample(cfg, "no-such-entity", 1); err == nil {
+		t.Fatal("unknown entity should error")
+	}
+}

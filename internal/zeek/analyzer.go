@@ -1,0 +1,180 @@
+package zeek
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/ids"
+	"repro/internal/tlswire"
+)
+
+// ConnMeta is the transport-layer context for one captured connection.
+type ConnMeta struct {
+	TS       time.Time
+	OrigIP   string
+	OrigPort uint16
+	RespIP   string
+	RespPort uint16
+}
+
+// Analyzer is the passive monitor: it consumes captured byte streams and
+// produces ssl.log / x509.log records. It is the wire-path equivalent of
+// Zeek's SSL analyzer with dynamic protocol detection — it does not care
+// what port the traffic arrived on, only whether the bytes sniff as TLS.
+type Analyzer struct {
+	rng *ids.RNG
+
+	// SSL collects connection records; X509 collects first-seen
+	// certificate records (deduplicated by fingerprint, as Zeek's
+	// known-certs suppression would).
+	SSL  []SSLRecord
+	X509 []X509Record
+
+	seen map[ids.Fingerprint]bool
+	// ParseErrors counts certificates that appeared on the wire but did
+	// not parse as DER; their fingerprints still appear in chains.
+	ParseErrors int
+}
+
+// NewAnalyzer creates an analyzer whose UIDs come from rng.
+func NewAnalyzer(rng *ids.RNG) *Analyzer {
+	return &Analyzer{rng: rng, seen: make(map[ids.Fingerprint]bool)}
+}
+
+// ErrNotTLS re-exports the wire-level sniff failure.
+var ErrNotTLS = tlswire.ErrNotTLS
+
+// sideResult is what one direction of the capture yields.
+type sideResult struct {
+	sni        string
+	version    uint16 // ServerHello-negotiated (server side only)
+	chain      [][]byte
+	sawCertReq bool
+	encrypted  bool // the stream progressed into encrypted data
+}
+
+// AnalyzeStreams processes one connection's two directional streams
+// (originator→responder and responder→originator) and appends the
+// resulting records. It returns the ssl.log record for convenience.
+func (a *Analyzer) AnalyzeStreams(meta ConnMeta, c2s, s2c []byte) (*SSLRecord, error) {
+	if !tlswire.SniffTLS(c2s) {
+		return nil, ErrNotTLS
+	}
+	client, err := parseSide(c2s, true)
+	if err != nil {
+		return nil, fmt.Errorf("zeek: client stream: %w", err)
+	}
+	server, err := parseSide(s2c, false)
+	if err != nil {
+		return nil, fmt.Errorf("zeek: server stream: %w", err)
+	}
+
+	version := server.version
+	if version == 0 {
+		version = tlswire.VersionTLS12
+	}
+	rec := SSLRecord{
+		TS:       meta.TS,
+		UID:      ids.NewUID(a.rng),
+		OrigIP:   meta.OrigIP,
+		OrigPort: meta.OrigPort,
+		RespIP:   meta.RespIP,
+		RespPort: meta.RespPort,
+		Version:  tlswire.VersionString(version),
+		SNI:      client.sni,
+		// Handshake completion: both sides transitioned to encrypted
+		// traffic. A client that alerted and hung up never encrypts.
+		Established: client.encrypted && server.encrypted,
+		ServerChain: a.ingestChain(meta.TS, server.chain),
+		ClientChain: a.ingestChain(meta.TS, client.chain),
+		Weight:      1,
+	}
+	a.SSL = append(a.SSL, rec)
+	return &a.SSL[len(a.SSL)-1], nil
+}
+
+// ingestChain fingerprints every wire certificate and emits x509 records
+// for the ones that parse; unparsable DER still contributes a fingerprint
+// so the connection's chain remains complete.
+func (a *Analyzer) ingestChain(ts time.Time, chain [][]byte) []ids.Fingerprint {
+	if len(chain) == 0 {
+		return nil
+	}
+	fps := make([]ids.Fingerprint, 0, len(chain))
+	for _, der := range chain {
+		fp := ids.FingerprintBytes(der)
+		fps = append(fps, fp)
+		if a.seen[fp] {
+			continue
+		}
+		a.seen[fp] = true
+		info, err := certmodel.ParseDER(der)
+		if err != nil {
+			a.ParseErrors++
+			continue
+		}
+		a.X509 = append(a.X509, X509Record{TS: ts, ID: ids.NewFileID(fp), Cert: info})
+	}
+	return fps
+}
+
+// parseSide walks one direction's handshake messages.
+func parseSide(stream []byte, isClient bool) (sideResult, error) {
+	var res sideResult
+	hr := tlswire.NewHandshakeReader(bytes.NewReader(stream))
+	for {
+		h, err := hr.Next()
+		if err == io.EOF {
+			return res, nil
+		}
+		if errors.Is(err, tlswire.ErrEncrypted) {
+			res.encrypted = true
+			return res, nil
+		}
+		if err != nil {
+			return res, err
+		}
+		switch h.Msg {
+		case tlswire.TypeClientHello:
+			if !isClient {
+				continue
+			}
+			ch, err := tlswire.ParseClientHello(h.Body)
+			if err != nil {
+				return res, err
+			}
+			res.sni = ch.SNI
+		case tlswire.TypeServerHello:
+			if isClient {
+				continue
+			}
+			sh, err := tlswire.ParseServerHello(h.Body)
+			if err != nil {
+				return res, err
+			}
+			res.version = sh.NegotiatedVersion()
+		case tlswire.TypeCertificate:
+			cm, err := tlswire.ParseCertificateMsg(h.Body)
+			if err != nil {
+				return res, err
+			}
+			res.chain = cm.Chain
+		case tlswire.TypeCertificateRequest:
+			res.sawCertReq = true
+		}
+	}
+}
+
+// Dataset materializes the analyzer's output as a joined dataset.
+func (a *Analyzer) Dataset() *Dataset {
+	d := NewDataset()
+	d.Conns = append(d.Conns, a.SSL...)
+	for _, rec := range a.X509 {
+		d.AddCert(rec.Cert)
+	}
+	return d
+}

@@ -1,0 +1,51 @@
+package zeek_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/ids"
+	"repro/internal/tlswire"
+	"repro/internal/zeek"
+)
+
+// ExampleAnalyzer shows the passive monitor recovering an ssl.log record
+// from raw TLS bytes.
+func ExampleAnalyzer() {
+	gen, err := certmodel.NewGenerator(2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	der, err := gen.IssueLeaf(nil, certmodel.Spec{
+		SubjectCN: "demo.example.com",
+		NotBefore: time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:  time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tr := tlswire.Synthesize(tlswire.TranscriptSpec{
+		Version:     tlswire.VersionTLS12,
+		SNI:         "demo.example.com",
+		ServerChain: [][]byte{der},
+		ClientChain: [][]byte{der}, // same cert at both endpoints (§5.2.1)
+		Established: true,
+	}, ids.NewRNG(9))
+
+	an := zeek.NewAnalyzer(ids.NewRNG(1))
+	rec, err := an.AnalyzeStreams(zeek.ConnMeta{RespPort: 9093}, tr.ClientToServer, tr.ServerToClient)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("mutual:", rec.IsMutual())
+	fmt.Println("shared cert:", rec.ServerLeaf() == rec.ClientLeaf())
+	fmt.Println("sni:", rec.SNI)
+	// Output:
+	// mutual: true
+	// shared cert: true
+	// sni: demo.example.com
+}

@@ -1,0 +1,77 @@
+package zeek
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+	"repro/internal/tlswire"
+)
+
+// Property: for ANY synthesized handshake, the analyzer's view agrees
+// with the spec that produced it — mutuality, establishment, SNI, version
+// visibility, and chain lengths. This is the wire path's end-to-end
+// correctness contract, checked over randomized specs.
+func TestAnalyzerSpecAgreementProperty(t *testing.T) {
+	rng := ids.NewRNG(2024)
+	f := func(sniSeed uint8, serverChainLen, clientChainLen uint8, tls13, established, requestCert bool) bool {
+		spec := tlswire.TranscriptSpec{
+			Version:           tlswire.VersionTLS12,
+			Established:       established,
+			RequestClientCert: requestCert,
+		}
+		if tls13 {
+			spec.Version = tlswire.VersionTLS13
+		}
+		if sniSeed%3 != 0 {
+			spec.SNI = "host" + string('a'+rune(sniSeed%26)) + ".example.com"
+		}
+		for i := 0; i < int(serverChainLen%3)+1; i++ {
+			spec.ServerChain = append(spec.ServerChain, []byte{0x30, byte(i), byte(sniSeed)})
+		}
+		for i := 0; i < int(clientChainLen%3); i++ {
+			spec.ClientChain = append(spec.ClientChain, []byte{0x31, byte(i), byte(sniSeed)})
+		}
+
+		tr := tlswire.Synthesize(spec, rng.Fork(string(rune(sniSeed))+string(rune(serverChainLen))))
+		a := NewAnalyzer(ids.NewRNG(uint64(sniSeed)))
+		rec, err := a.AnalyzeStreams(ConnMeta{}, tr.ClientToServer, tr.ServerToClient)
+		if err != nil {
+			return false
+		}
+
+		if rec.SNI != spec.SNI {
+			return false
+		}
+		if tls13 {
+			// TLS 1.3: certificates invisible, connection established.
+			return rec.Version == "TLSv13" &&
+				len(rec.ServerChain) == 0 && len(rec.ClientChain) == 0 &&
+				rec.Established
+		}
+		if rec.Version != "TLSv12" {
+			return false
+		}
+		if len(rec.ServerChain) != len(spec.ServerChain) {
+			return false
+		}
+		if established {
+			if !rec.Established {
+				return false
+			}
+			if len(rec.ClientChain) != len(spec.ClientChain) {
+				return false
+			}
+			// Mutuality holds exactly when the client presented a chain.
+			if rec.IsMutual() != (len(spec.ClientChain) > 0) {
+				return false
+			}
+		} else if rec.Established {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package zeek
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/ids"
+	"repro/internal/tlswire"
+)
+
+// Malformed-input handling: a real log pipeline sees corrupt files.
+
+func TestReadSSLCorruptTimestamp(t *testing.T) {
+	row := strings.Join([]string{
+		"not-a-number", "Cx", "1.2.3.4", "1", "5.6.7.8", "443",
+		"TLSv12", "-", "T", "(empty)", "(empty)", "1",
+	}, "\t")
+	in := "#path\tssl\n" + row + "\n"
+	if _, err := ReadSSL(strings.NewReader(in)); err == nil {
+		t.Fatal("corrupt timestamp accepted")
+	}
+}
+
+func TestReadSSLCorruptPort(t *testing.T) {
+	row := strings.Join([]string{
+		"1.5", "Cx", "1.2.3.4", "eighty", "5.6.7.8", "443",
+		"TLSv12", "-", "T", "(empty)", "(empty)", "1",
+	}, "\t")
+	in := "#path\tssl\n" + row + "\n"
+	if _, err := ReadSSL(strings.NewReader(in)); err == nil {
+		t.Fatal("corrupt port accepted")
+	}
+}
+
+func TestReadX509CorruptRow(t *testing.T) {
+	row := strings.Join([]string{
+		"1.5", "F1", "fp", "three", "00", "-", "-",
+		"(empty)", "(empty)", "(empty)", "(empty)",
+		"1.0", "2.0", "ecdsa", "256", "F",
+	}, "\t")
+	in := "#path\tx509\n" + row + "\n"
+	if _, err := ReadX509(strings.NewReader(in)); err == nil {
+		t.Fatal("corrupt cert version accepted")
+	}
+}
+
+func TestReadSSLSkipsCommentsAndBlankLines(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewSSLWriter(&buf)
+	rec := SSLRecord{TS: time.Unix(5, 0), UID: "Cx", OrigIP: "1.1.1.1", RespIP: "2.2.2.2", RespPort: 443, Weight: 1}
+	if err := w.Write(&rec); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	noisy := "#close 2024\n\n" + buf.String() + "\n#close again\n"
+	recs, err := ReadSSL(strings.NewReader(noisy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("rows = %d", len(recs))
+	}
+}
+
+// Property: SSL records survive a TSV round trip for arbitrary SNI and IP
+// strings (the writer must escape whatever the wire hands it).
+func TestSSLRoundTripProperty(t *testing.T) {
+	f := func(sni string, port uint16, weight uint16, established bool) bool {
+		if strings.ContainsAny(sni, "\x00") {
+			return true // NUL never occurs in SNI; scanner treats lines as text
+		}
+		if strings.ContainsRune(sni, '\n') || strings.ContainsRune(sni, '\r') {
+			sni = strings.NewReplacer("\n", "", "\r", "").Replace(sni)
+		}
+		rec := SSLRecord{
+			TS: time.Unix(100, 0), UID: "Cprop", OrigIP: "10.0.0.1",
+			OrigPort: 1024, RespIP: "192.0.2.1", RespPort: port,
+			Version: "TLSv12", SNI: sni, Established: established,
+			Weight: int64(weight) + 1,
+		}
+		var buf bytes.Buffer
+		w := NewSSLWriter(&buf)
+		if err := w.Write(&rec); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := ReadSSL(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		return got[0].SNI == sni && got[0].RespPort == port &&
+			got[0].Established == established && got[0].Weight == int64(weight)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Truncated-capture handling: the analyzer must degrade gracefully when a
+// capture cuts off mid-handshake (long-lived flows at collection start).
+func TestAnalyzerTruncatedCapture(t *testing.T) {
+	g, err := certmodel.NewGenerator(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := g.IssueLeaf(nil, certmodel.Spec{
+		SubjectCN: "trunc.example.com",
+		NotBefore: time.Unix(0, 0), NotAfter: time.Unix(1e9, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := ids.NewRNG(77)
+	tr := tlswire.Synthesize(tlswire.TranscriptSpec{
+		Version: tlswire.VersionTLS12, SNI: "trunc.example.com",
+		ServerChain: [][]byte{der}, ClientChain: [][]byte{der},
+		Established: true,
+	}, rng)
+
+	// Cut the server stream at every prefix length; the analyzer must
+	// never panic, and whole-record prefixes must parse.
+	for cut := 0; cut <= len(tr.ServerToClient); cut += 13 {
+		a := NewAnalyzer(ids.NewRNG(1))
+		_, err := a.AnalyzeStreams(ConnMeta{}, tr.ClientToServer, tr.ServerToClient[:cut])
+		_ = err // some cuts error (truncated record) — that is correct behaviour
+	}
+	// Cutting the client stream below the ClientHello makes it non-TLS.
+	a := NewAnalyzer(ids.NewRNG(2))
+	if _, err := a.AnalyzeStreams(ConnMeta{}, tr.ClientToServer[:3], nil); err == nil {
+		t.Fatal("3-byte prefix should not analyze")
+	}
+}
+
+// Mid-capture start: a flow whose beginning was missed (application data
+// only) must be rejected as not-TLS-handshake rather than misparsed.
+func TestAnalyzerMidStreamCapture(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tlswire.WriteRecord(&buf, tlswire.RecordApplicationData, tlswire.VersionTLS12,
+		[]byte("opaque ciphertext")); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(ids.NewRNG(3))
+	if _, err := a.AnalyzeStreams(ConnMeta{}, buf.Bytes(), nil); err == nil {
+		t.Fatal("mid-stream capture should not sniff as a TLS handshake start")
+	}
+}
+
+// Weighted totals must be conserved across serialization — percentages in
+// every table depend on it.
+func TestWeightConservation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewSSLWriter(&buf)
+	var want int64
+	for i := 0; i < 200; i++ {
+		rec := SSLRecord{
+			TS: time.Unix(int64(i), 0), UID: ids.UID("C" + strings.Repeat("x", 17)),
+			OrigIP: "10.0.0.1", RespIP: "192.0.2.1", RespPort: 443,
+			Version: "TLSv12", Weight: int64(i%97) + 1,
+		}
+		want += rec.Weight
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	recs, err := ReadSSL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	for i := range recs {
+		got += recs[i].Weight
+	}
+	if got != want {
+		t.Fatalf("weight not conserved: %d vs %d", got, want)
+	}
+}

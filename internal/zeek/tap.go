@@ -1,0 +1,163 @@
+package zeek
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Tap is an inline passive monitor: a TCP pass-through proxy that relays
+// bytes between a client and a backend unchanged while capturing both
+// directions, then runs the TLS analyzer over the captured streams when
+// the connection closes. It is the deployable version of the border
+// mirror the paper's collection used (§3.1) — cmd/tlstap wires it to
+// flags, and the test suite drives real crypto/tls mutual handshakes
+// through it.
+type Tap struct {
+	// Backend is the upstream address ("host:port") connections are
+	// relayed to.
+	Backend string
+	// Analyzer receives the captured streams. It is guarded internally;
+	// multiple proxied connections may complete concurrently.
+	Analyzer *Analyzer
+	// OnRecord, when set, is invoked for every analyzed connection.
+	OnRecord func(*SSLRecord)
+	// OnError, when set, receives per-connection analysis errors (e.g.
+	// non-TLS traffic relayed through the tap).
+	OnError func(error)
+	// DialTimeout bounds the backend dial (default 5s).
+	DialTimeout time.Duration
+
+	mu sync.Mutex
+	wg sync.WaitGroup
+}
+
+// Serve accepts connections from ln until ctx is cancelled or the
+// listener fails. It blocks; cancel ctx to stop. Outstanding relays are
+// drained before Serve returns.
+func (t *Tap) Serve(ctx context.Context, ln net.Listener) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close()
+		case <-done:
+		}
+	}()
+	var retErr error
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				retErr = ctx.Err()
+			} else {
+				retErr = err
+			}
+			break
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.ServeConn(conn)
+		}()
+	}
+	t.wg.Wait()
+	if errors.Is(retErr, net.ErrClosed) || errors.Is(retErr, context.Canceled) {
+		return nil
+	}
+	return retErr
+}
+
+// ServeConn relays a single accepted connection to the backend, capturing
+// both directions, and analyzes the capture when both sides finish.
+func (t *Tap) ServeConn(client net.Conn) {
+	defer client.Close()
+	timeout := t.DialTimeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	backend, err := net.DialTimeout("tcp", t.Backend, timeout)
+	if err != nil {
+		t.reportErr(err)
+		return
+	}
+	defer backend.Close()
+
+	start := time.Now()
+	var c2s, s2c capture
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go relay(&wg, backend, client, &c2s) // client -> backend
+	go relay(&wg, client, backend, &s2c) // backend -> client
+	wg.Wait()
+
+	meta := ConnMeta{TS: start}
+	if addr, ok := addrPort(client.RemoteAddr()); ok {
+		meta.OrigIP, meta.OrigPort = addr.Addr().String(), addr.Port()
+	}
+	if addr, ok := addrPort(backend.RemoteAddr()); ok {
+		meta.RespIP, meta.RespPort = addr.Addr().String(), addr.Port()
+	}
+
+	t.mu.Lock()
+	rec, err := t.Analyzer.AnalyzeStreams(meta, c2s.bytes(), s2c.bytes())
+	t.mu.Unlock()
+	if err != nil {
+		t.reportErr(err)
+		return
+	}
+	if t.OnRecord != nil {
+		t.OnRecord(rec)
+	}
+}
+
+func (t *Tap) reportErr(err error) {
+	if t.OnError != nil {
+		t.OnError(err)
+	}
+}
+
+// capture is a concurrency-safe byte sink.
+type capture struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (c *capture) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.buf = append(c.buf, p...)
+	c.mu.Unlock()
+	return len(p), nil
+}
+
+func (c *capture) bytes() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf
+}
+
+// relay copies src→dst, teeing into cap, and half-closes dst when src
+// finishes so TLS close_notify sequences propagate.
+func relay(wg *sync.WaitGroup, dst, src net.Conn, cap *capture) {
+	defer wg.Done()
+	io.Copy(io.MultiWriter(dst, cap), src) //nolint:errcheck — relay best-effort
+	if hc, ok := dst.(interface{ CloseWrite() error }); ok {
+		hc.CloseWrite() //nolint:errcheck
+	} else {
+		dst.Close()
+	}
+}
+
+func addrPort(a net.Addr) (netip.AddrPort, bool) {
+	tcp, ok := a.(*net.TCPAddr)
+	if !ok {
+		return netip.AddrPort{}, false
+	}
+	ap := tcp.AddrPort()
+	return ap, ap.IsValid()
+}

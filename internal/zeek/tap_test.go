@@ -1,0 +1,262 @@
+package zeek
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/ids"
+)
+
+// tapHarness stands up: a real mutual-TLS backend, a Tap in front of it,
+// and returns a dial function plus the collected records.
+type tapHarness struct {
+	tapAddr string
+	cliCfg  *tls.Config
+
+	mu      sync.Mutex
+	records []*SSLRecord
+	errs    []error
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func newTapHarness(t *testing.T) *tapHarness {
+	t.Helper()
+	gen, err := certmodel.NewGenerator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, na := time.Now().Add(-time.Hour), time.Now().Add(24*time.Hour)
+	ca, err := gen.NewRootCA("Tap Root", "Tap Org", nb, na)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverDER, err := gen.IssueLeaf(ca, certmodel.Spec{
+		SubjectCN: "tap.example.com", SANDNS: []string{"tap.example.com"},
+		NotBefore: nb, NotAfter: na, Server: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverKey := gen.LastKey()
+	clientDER, err := gen.IssueLeaf(ca, certmodel.Spec{
+		SubjectCN: "tap-client", NotBefore: nb, NotAfter: na, Client: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientKey := gen.LastKey()
+
+	pool := x509.NewCertPool()
+	pool.AddCert(ca.Cert)
+
+	// Backend: an echo server requiring client certs over TLS 1.2.
+	backendLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { backendLn.Close() })
+	srvCfg := &tls.Config{
+		Certificates: []tls.Certificate{{Certificate: [][]byte{serverDER, ca.DER}, PrivateKey: serverKey}},
+		ClientAuth:   tls.RequireAndVerifyClientCert,
+		ClientCAs:    pool,
+		MinVersion:   tls.VersionTLS12,
+		MaxVersion:   tls.VersionTLS12,
+	}
+	go func() {
+		for {
+			conn, err := backendLn.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				s := tls.Server(conn, srvCfg)
+				defer s.Close()
+				if err := s.Handshake(); err != nil {
+					return
+				}
+				io.Copy(s, s) //nolint:errcheck — echo until EOF
+			}()
+		}
+	}()
+
+	h := &tapHarness{done: make(chan struct{})}
+	tap := &Tap{
+		Backend:  backendLn.Addr().String(),
+		Analyzer: NewAnalyzer(ids.NewRNG(55)),
+		OnRecord: func(r *SSLRecord) {
+			h.mu.Lock()
+			h.records = append(h.records, r)
+			h.mu.Unlock()
+		},
+		OnError: func(err error) {
+			h.mu.Lock()
+			h.errs = append(h.errs, err)
+			h.mu.Unlock()
+		},
+	}
+	tapLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	h.cancel = cancel
+	go func() {
+		defer close(h.done)
+		tap.Serve(ctx, tapLn) //nolint:errcheck
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-h.done
+	})
+
+	h.tapAddr = tapLn.Addr().String()
+	h.cliCfg = &tls.Config{
+		RootCAs:      pool,
+		Certificates: []tls.Certificate{{Certificate: [][]byte{clientDER, ca.DER}, PrivateKey: clientKey}},
+		ServerName:   "tap.example.com",
+		MinVersion:   tls.VersionTLS12,
+		MaxVersion:   tls.VersionTLS12,
+	}
+	return h
+}
+
+func (h *tapHarness) snapshot() ([]*SSLRecord, []error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]*SSLRecord(nil), h.records...), append([]error(nil), h.errs...)
+}
+
+func (h *tapHarness) waitRecords(t *testing.T, n int) []*SSLRecord {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		recs, _ := h.snapshot()
+		if len(recs) >= n {
+			return recs
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	recs, errs := h.snapshot()
+	t.Fatalf("timed out waiting for %d records (have %d, errs %v)", n, len(recs), errs)
+	return nil
+}
+
+func TestTapCapturesMutualTLS(t *testing.T) {
+	h := newTapHarness(t)
+
+	conn, err := tls.Dial("tcp", h.tapAddr, h.cliCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "ping through the tap\n")
+	buf := make([]byte, 32)
+	if _, err := conn.Read(buf); err != nil && err != io.EOF {
+		t.Fatalf("echo read: %v", err)
+	}
+	conn.Close()
+
+	recs := h.waitRecords(t, 1)
+	rec := recs[0]
+	if !rec.IsMutual() {
+		t.Fatal("tap missed mutual authentication")
+	}
+	if !rec.Established {
+		t.Fatal("tap missed establishment")
+	}
+	if rec.SNI != "tap.example.com" {
+		t.Fatalf("SNI = %q", rec.SNI)
+	}
+	if rec.Version != "TLSv12" {
+		t.Fatalf("version = %q", rec.Version)
+	}
+	if rec.OrigIP == "" || rec.RespIP == "" {
+		t.Fatalf("endpoints missing: %+v", rec)
+	}
+}
+
+func TestTapMultipleConnections(t *testing.T) {
+	h := newTapHarness(t)
+	const n = 5
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := tls.Dial("tcp", h.tapAddr, h.cliCfg)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(conn, "hello\n")
+			conn.Close()
+		}()
+	}
+	wg.Wait()
+	recs := h.waitRecords(t, n)
+	for _, r := range recs {
+		if !r.IsMutual() {
+			t.Fatal("concurrent capture lost mutuality")
+		}
+	}
+}
+
+func TestTapReportsNonTLS(t *testing.T) {
+	h := newTapHarness(t)
+	raw, err := net.Dial("tcp", h.tapAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(raw, "GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+	raw.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		_, errs := h.snapshot()
+		if len(errs) > 0 {
+			return // non-TLS correctly reported as an analysis error
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("non-TLS traffic produced no error")
+}
+
+func TestTapBackendDown(t *testing.T) {
+	var errs []error
+	var mu sync.Mutex
+	tap := &Tap{
+		Backend:  "127.0.0.1:1", // nothing listens here
+		Analyzer: NewAnalyzer(ids.NewRNG(1)),
+		OnError: func(err error) {
+			mu.Lock()
+			errs = append(errs, err)
+			mu.Unlock()
+		},
+		DialTimeout: 200 * time.Millisecond,
+	}
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	done := make(chan struct{})
+	go func() {
+		tap.ServeConn(c1)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("ServeConn hung on dead backend")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) == 0 {
+		t.Fatal("dead backend produced no error")
+	}
+}

@@ -1,0 +1,392 @@
+package zeek
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/ids"
+)
+
+// Zeek TSV conventions.
+const (
+	unsetField = "-"       // Zeek's "unset"
+	setEmpty   = "(empty)" // Zeek's empty vector
+	fieldSep   = "\t"
+)
+
+var sslFields = []string{
+	"ts", "uid", "id.orig_h", "id.orig_p", "id.resp_h", "id.resp_p",
+	"version", "server_name", "established",
+	"cert_chain_fps", "client_cert_chain_fps", "weight",
+}
+
+var x509Fields = []string{
+	"ts", "id", "fingerprint", "certificate.version", "certificate.serial",
+	"certificate.issuer", "certificate.subject",
+	"san.dns", "san.ip", "san.email", "san.uri",
+	"certificate.not_valid_before", "certificate.not_valid_after",
+	"certificate.key_alg", "certificate.key_length", "self_signed",
+}
+
+// SSLWriter emits ssl.log in Zeek TSV format.
+type SSLWriter struct {
+	w      *bufio.Writer
+	opened bool
+}
+
+// NewSSLWriter wraps w.
+func NewSSLWriter(w io.Writer) *SSLWriter { return &SSLWriter{w: bufio.NewWriter(w)} }
+
+func writeHeader(w *bufio.Writer, path string, fields []string) error {
+	if _, err := fmt.Fprintf(w, "#separator \\x09\n#path\t%s\n#fields\t%s\n",
+		path, strings.Join(fields, fieldSep)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Write appends one record.
+func (sw *SSLWriter) Write(r *SSLRecord) error {
+	if !sw.opened {
+		if err := writeHeader(sw.w, "ssl", sslFields); err != nil {
+			return err
+		}
+		sw.opened = true
+	}
+	cols := []string{
+		formatTS(r.TS),
+		string(r.UID),
+		orUnset(r.OrigIP),
+		strconv.Itoa(int(r.OrigPort)),
+		orUnset(r.RespIP),
+		strconv.Itoa(int(r.RespPort)),
+		orUnset(r.Version),
+		orUnset(escapeField(r.SNI)),
+		boolStr(r.Established),
+		joinFPs(r.ServerChain),
+		joinFPs(r.ClientChain),
+		strconv.FormatInt(max64(r.Weight, 1), 10),
+	}
+	_, err := sw.w.WriteString(strings.Join(cols, fieldSep) + "\n")
+	return err
+}
+
+// Flush flushes buffered rows.
+func (sw *SSLWriter) Flush() error { return sw.w.Flush() }
+
+// X509Writer emits x509.log in Zeek TSV format.
+type X509Writer struct {
+	w      *bufio.Writer
+	opened bool
+}
+
+// NewX509Writer wraps w.
+func NewX509Writer(w io.Writer) *X509Writer { return &X509Writer{w: bufio.NewWriter(w)} }
+
+// Write appends one record.
+func (xw *X509Writer) Write(r *X509Record) error {
+	if !xw.opened {
+		if err := writeHeader(xw.w, "x509", x509Fields); err != nil {
+			return err
+		}
+		xw.opened = true
+	}
+	c := r.Cert
+	cols := []string{
+		formatTS(r.TS),
+		string(r.ID),
+		string(c.Fingerprint),
+		strconv.Itoa(c.Version),
+		orUnset(c.SerialHex),
+		orUnset(escapeField(c.IssuerDN())),
+		orUnset(escapeField(c.SubjectDN())),
+		joinStrs(c.SANDNS),
+		joinStrs(c.SANIP),
+		joinStrs(c.SANEmail),
+		joinStrs(c.SANURI),
+		formatTS(c.NotBefore),
+		formatTS(c.NotAfter),
+		c.KeyAlg.String(),
+		strconv.Itoa(c.KeyBits),
+		boolStr(c.SelfSigned),
+	}
+	_, err := xw.w.WriteString(strings.Join(cols, fieldSep) + "\n")
+	return err
+}
+
+// Flush flushes buffered rows.
+func (xw *X509Writer) Flush() error { return xw.w.Flush() }
+
+// ReadSSL parses an ssl.log stream.
+func ReadSSL(r io.Reader) ([]SSLRecord, error) {
+	var out []SSLRecord
+	err := readTSV(r, "ssl", len(sslFields), func(cols []string) error {
+		ts, err := parseTS(cols[0])
+		if err != nil {
+			return err
+		}
+		op, err := strconv.Atoi(cols[3])
+		if err != nil {
+			return fmt.Errorf("zeek: orig port: %w", err)
+		}
+		rp, err := strconv.Atoi(cols[5])
+		if err != nil {
+			return fmt.Errorf("zeek: resp port: %w", err)
+		}
+		w, err := strconv.ParseInt(cols[11], 10, 64)
+		if err != nil {
+			return fmt.Errorf("zeek: weight: %w", err)
+		}
+		out = append(out, SSLRecord{
+			TS:          ts,
+			UID:         ids.UID(cols[1]),
+			OrigIP:      unsetOr(cols[2]),
+			OrigPort:    uint16(op),
+			RespIP:      unsetOr(cols[4]),
+			RespPort:    uint16(rp),
+			Version:     unsetOr(cols[6]),
+			SNI:         unescapeField(unsetOr(cols[7])),
+			Established: cols[8] == "T",
+			ServerChain: splitFPs(cols[9]),
+			ClientChain: splitFPs(cols[10]),
+			Weight:      w,
+		})
+		return nil
+	})
+	return out, err
+}
+
+// ReadX509 parses an x509.log stream.
+func ReadX509(r io.Reader) ([]X509Record, error) {
+	var out []X509Record
+	err := readTSV(r, "x509", len(x509Fields), func(cols []string) error {
+		ts, err := parseTS(cols[0])
+		if err != nil {
+			return err
+		}
+		nb, err := parseTS(cols[11])
+		if err != nil {
+			return err
+		}
+		na, err := parseTS(cols[12])
+		if err != nil {
+			return err
+		}
+		ver, err := strconv.Atoi(cols[3])
+		if err != nil {
+			return fmt.Errorf("zeek: cert version: %w", err)
+		}
+		bits, err := strconv.Atoi(cols[14])
+		if err != nil {
+			return fmt.Errorf("zeek: key length: %w", err)
+		}
+		icn, iorg := certmodel.ParseDN(unescapeField(unsetOr(cols[5])))
+		scn, sorg := certmodel.ParseDN(unescapeField(unsetOr(cols[6])))
+		cert := &certmodel.CertInfo{
+			Fingerprint: ids.Fingerprint(cols[2]),
+			Version:     ver,
+			SerialHex:   unsetOr(cols[4]),
+			IssuerCN:    icn,
+			IssuerOrg:   iorg,
+			SubjectCN:   scn,
+			SubjectOrg:  sorg,
+			SANDNS:      splitStrs(cols[7]),
+			SANIP:       splitStrs(cols[8]),
+			SANEmail:    splitStrs(cols[9]),
+			SANURI:      splitStrs(cols[10]),
+			NotBefore:   nb,
+			NotAfter:    na,
+			KeyAlg:      parseKeyAlg(cols[13]),
+			KeyBits:     bits,
+			SelfSigned:  cols[15] == "T",
+		}
+		out = append(out, X509Record{TS: ts, ID: ids.FileID(cols[1]), Cert: cert})
+		return nil
+	})
+	return out, err
+}
+
+// LoadDataset reads both logs and joins them.
+func LoadDataset(ssl, x509 io.Reader) (*Dataset, error) {
+	conns, err := ReadSSL(ssl)
+	if err != nil {
+		return nil, err
+	}
+	certs, err := ReadX509(x509)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDataset()
+	d.Conns = conns
+	for _, rec := range certs {
+		d.AddCert(rec.Cert)
+	}
+	return d, nil
+}
+
+func readTSV(r io.Reader, wantPath string, nFields int, row func([]string) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "#path"+fieldSep) {
+				if got := strings.TrimPrefix(line, "#path"+fieldSep); got != wantPath {
+					return fmt.Errorf("zeek: log path %q, want %q", got, wantPath)
+				}
+			}
+			continue
+		}
+		cols := strings.Split(line, fieldSep)
+		if len(cols) != nFields {
+			return fmt.Errorf("zeek: line %d has %d fields, want %d", lineNo, len(cols), nFields)
+		}
+		if err := row(cols); err != nil {
+			return fmt.Errorf("zeek: line %d: %w", lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+func formatTS(t time.Time) string {
+	return strconv.FormatFloat(float64(t.UnixNano())/1e9, 'f', 6, 64)
+}
+
+func parseTS(s string) (time.Time, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("zeek: timestamp %q: %w", s, err)
+	}
+	sec := int64(f)
+	nsec := int64((f - float64(sec)) * 1e9)
+	return time.Unix(sec, nsec).UTC(), nil
+}
+
+func parseKeyAlg(s string) certmodel.KeyAlg {
+	switch s {
+	case "rsa":
+		return certmodel.KeyRSA
+	case "ecdsa":
+		return certmodel.KeyECDSA
+	default:
+		return certmodel.KeyUnknown
+	}
+}
+
+func orUnset(s string) string {
+	if s == "" {
+		return unsetField
+	}
+	return s
+}
+
+func unsetOr(s string) string {
+	if s == unsetField {
+		return ""
+	}
+	return s
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "T"
+	}
+	return "F"
+}
+
+func joinStrs(xs []string) string {
+	if len(xs) == 0 {
+		return setEmpty
+	}
+	esc := make([]string, len(xs))
+	for i, x := range xs {
+		esc[i] = escapeField(x)
+	}
+	return strings.Join(esc, ",")
+}
+
+func splitStrs(s string) []string {
+	if s == setEmpty || s == unsetField || s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = unescapeField(parts[i])
+	}
+	return parts
+}
+
+// escapeField protects the TSV structure: tabs, newlines, commas (vector
+// separator) and the escape character itself are hex-escaped, Zeek style.
+func escapeField(s string) string {
+	if !strings.ContainsAny(s, "\t\n\r,\\") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\t':
+			b.WriteString(`\x09`)
+		case '\n':
+			b.WriteString(`\x0a`)
+		case '\r':
+			b.WriteString(`\x0d`)
+		case ',':
+			b.WriteString(`\x2c`)
+		case '\\':
+			b.WriteString(`\x5c`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func unescapeField(s string) string {
+	if !strings.Contains(s, `\x`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+3 < len(s) && s[i+1] == 'x' {
+			hi := unhex(s[i+2])
+			lo := unhex(s[i+3])
+			if hi >= 0 && lo >= 0 {
+				b.WriteByte(byte(hi<<4 | lo))
+				i += 3
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func unhex(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

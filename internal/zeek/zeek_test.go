@@ -1,0 +1,386 @@
+package zeek
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/ids"
+	"repro/internal/tlswire"
+)
+
+func date(y, m, d int) time.Time {
+	return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC)
+}
+
+func sampleCert(t *testing.T, serial string) *certmodel.CertInfo {
+	t.Helper()
+	c := &certmodel.CertInfo{
+		SerialHex: serial,
+		Version:   3,
+		IssuerCN:  "FXP DCAU Cert", IssuerOrg: "Globus Online",
+		SubjectCN: "user, with comma", SubjectOrg: "Univ",
+		SANDNS:    []string{"a.example.com", "b.example.com"},
+		SANIP:     []string{"192.0.2.1"},
+		NotBefore: date(2023, 1, 1), NotAfter: date(2023, 1, 15),
+		KeyAlg: certmodel.KeyECDSA, KeyBits: 256,
+	}
+	c.Fingerprint = certmodel.SyntheticFingerprint(c, serial)
+	return c
+}
+
+func TestSSLRecordMutual(t *testing.T) {
+	r := &SSLRecord{}
+	if r.IsMutual() {
+		t.Fatal("empty record is not mutual")
+	}
+	r.ServerChain = []ids.Fingerprint{"s"}
+	if r.IsMutual() {
+		t.Fatal("server-only is not mutual")
+	}
+	r.ClientChain = []ids.Fingerprint{"c"}
+	if !r.IsMutual() {
+		t.Fatal("both chains should be mutual")
+	}
+	if r.ServerLeaf() != "s" || r.ClientLeaf() != "c" {
+		t.Fatal("leaf accessors wrong")
+	}
+	if (&SSLRecord{}).ServerLeaf() != "" || (&SSLRecord{}).ClientLeaf() != "" {
+		t.Fatal("empty leaves should be empty")
+	}
+}
+
+func TestTSVRoundTripSSL(t *testing.T) {
+	recs := []SSLRecord{
+		{
+			TS: date(2022, 5, 1), UID: "CaaaaaaaaaaaaaaaaA",
+			OrigIP: "10.1.2.3", OrigPort: 51000, RespIP: "198.51.100.7", RespPort: 443,
+			Version: "TLSv12", SNI: "health.virginia.edu", Established: true,
+			ServerChain: []ids.Fingerprint{"f1", "f2"},
+			ClientChain: []ids.Fingerprint{"f3"},
+			Weight:      25,
+		},
+		{
+			TS: date(2022, 5, 2), UID: "CbbbbbbbbbbbbbbbbB",
+			OrigIP: "10.9.9.9", OrigPort: 40000, RespIP: "203.0.113.5", RespPort: 8883,
+			Version: "TLSv13", SNI: "", Established: false,
+			Weight: 1,
+		},
+	}
+	var buf bytes.Buffer
+	w := NewSSLWriter(&buf)
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#fields") {
+		t.Fatal("missing header")
+	}
+	got, err := ReadSSL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if got[0].SNI != "health.virginia.edu" || !got[0].Established || got[0].Weight != 25 {
+		t.Fatalf("row 0 = %+v", got[0])
+	}
+	if len(got[0].ServerChain) != 2 || got[0].ServerChain[1] != "f2" {
+		t.Fatalf("chain = %v", got[0].ServerChain)
+	}
+	if got[1].SNI != "" || got[1].Established || len(got[1].ServerChain) != 0 {
+		t.Fatalf("row 1 = %+v", got[1])
+	}
+	if !got[0].TS.Equal(date(2022, 5, 1)) {
+		t.Fatalf("ts = %v", got[0].TS)
+	}
+}
+
+func TestTSVRoundTripX509(t *testing.T) {
+	cert := sampleCert(t, "00")
+	rec := X509Record{TS: date(2022, 6, 1), ID: ids.NewFileID(cert.Fingerprint), Cert: cert}
+	var buf bytes.Buffer
+	w := NewX509Writer(&buf)
+	if err := w.Write(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadX509(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	c := got[0].Cert
+	if c.SerialHex != "00" || c.IssuerOrg != "Globus Online" || c.IssuerCN != "FXP DCAU Cert" {
+		t.Fatalf("issuer fields = %+v", c)
+	}
+	if c.SubjectCN != "user, with comma" {
+		t.Fatalf("comma in CN did not round-trip: %q", c.SubjectCN)
+	}
+	if len(c.SANDNS) != 2 || c.SANDNS[0] != "a.example.com" {
+		t.Fatalf("SAN = %v", c.SANDNS)
+	}
+	if !c.NotBefore.Equal(date(2023, 1, 1)) || !c.NotAfter.Equal(date(2023, 1, 15)) {
+		t.Fatalf("validity = %v..%v", c.NotBefore, c.NotAfter)
+	}
+	if c.KeyAlg != certmodel.KeyECDSA || c.KeyBits != 256 {
+		t.Fatalf("key = %v/%d", c.KeyAlg, c.KeyBits)
+	}
+	if c.Fingerprint != cert.Fingerprint {
+		t.Fatal("fingerprint changed")
+	}
+}
+
+func TestEscapeFieldRoundTrip(t *testing.T) {
+	cases := []string{"plain", "tab\there", "comma,there", `back\slash`, "nl\nhere", ""}
+	for _, c := range cases {
+		got := unescapeField(escapeField(c))
+		if got != c {
+			t.Errorf("round trip %q -> %q", c, got)
+		}
+		if strings.ContainsAny(escapeField(c), "\t\n,") {
+			t.Errorf("escaped form of %q still contains separators", c)
+		}
+	}
+}
+
+func TestReadSSLRejectsWrongPath(t *testing.T) {
+	cert := sampleCert(t, "01")
+	var buf bytes.Buffer
+	w := NewX509Writer(&buf)
+	if err := w.Write(&X509Record{TS: date(2022, 1, 1), ID: "F1", Cert: cert}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	if _, err := ReadSSL(&buf); err == nil {
+		t.Fatal("reading x509 log as ssl log should fail")
+	}
+}
+
+func TestReadSSLRejectsBadFieldCount(t *testing.T) {
+	in := "#path\tssl\nonly\tthree\tcols\n"
+	if _, err := ReadSSL(strings.NewReader(in)); err == nil {
+		t.Fatal("short row should fail")
+	}
+}
+
+func TestDatasetMergeAndLookup(t *testing.T) {
+	d1 := NewDataset()
+	c1 := sampleCert(t, "0A")
+	d1.AddCert(c1)
+	d1.Conns = append(d1.Conns, SSLRecord{UID: "C1"})
+
+	d2 := NewDataset()
+	c2 := sampleCert(t, "0B")
+	d2.AddCert(c2)
+	// Duplicate of c1 must not overwrite.
+	dup := *c1
+	dup.SubjectCN = "changed"
+	d2.AddCert(&dup)
+	d2.Conns = append(d2.Conns, SSLRecord{UID: "C2"})
+
+	d1.Merge(d2)
+	if len(d1.Conns) != 2 || len(d1.Certs) != 2 {
+		t.Fatalf("merge sizes: conns=%d certs=%d", len(d1.Conns), len(d1.Certs))
+	}
+	if d1.Cert(c1.Fingerprint).SubjectCN != "user, with comma" {
+		t.Fatal("first observation should win")
+	}
+	if d1.Cert("missing") != nil {
+		t.Fatal("missing cert should be nil")
+	}
+}
+
+// End-to-end wire test: real DER certs → synthesized handshake bytes →
+// analyzer → ssl/x509 records.
+func TestAnalyzerWirePath(t *testing.T) {
+	g, err := certmodel.NewGenerator(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := g.NewRootCA("Campus CA", "University", date(2020, 1, 1), date(2040, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverDER, err := g.IssueLeaf(ca, certmodel.Spec{
+		SubjectCN: "vpn.virginia.edu", SANDNS: []string{"vpn.virginia.edu"},
+		NotBefore: date(2022, 1, 1), NotAfter: date(2023, 1, 1), Server: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientDER, err := g.IssueLeaf(ca, certmodel.Spec{
+		SubjectCN: "student0001",
+		NotBefore: date(2022, 1, 1), NotAfter: date(2023, 1, 1), Client: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := ids.NewRNG(21)
+	tr := tlswire.Synthesize(tlswire.TranscriptSpec{
+		Version:     tlswire.VersionTLS12,
+		SNI:         "vpn.virginia.edu",
+		ServerChain: [][]byte{serverDER, ca.DER},
+		ClientChain: [][]byte{clientDER},
+		Established: true,
+	}, rng)
+
+	a := NewAnalyzer(ids.NewRNG(22))
+	meta := ConnMeta{
+		TS: date(2022, 6, 1), OrigIP: "10.0.0.5", OrigPort: 55123,
+		RespIP: "128.143.1.1", RespPort: 443,
+	}
+	rec, err := a.AnalyzeStreams(meta, tr.ClientToServer, tr.ServerToClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.IsMutual() {
+		t.Fatal("mutual handshake not detected")
+	}
+	if !rec.Established {
+		t.Fatal("completed handshake not marked established")
+	}
+	if rec.SNI != "vpn.virginia.edu" || rec.Version != "TLSv12" {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if len(rec.ServerChain) != 2 || len(rec.ClientChain) != 1 {
+		t.Fatalf("chains = %d/%d", len(rec.ServerChain), len(rec.ClientChain))
+	}
+	ds := a.Dataset()
+	leaf := ds.Cert(rec.ServerLeaf())
+	if leaf == nil || leaf.SubjectCN != "vpn.virginia.edu" {
+		t.Fatalf("server leaf = %+v", leaf)
+	}
+	cl := ds.Cert(rec.ClientLeaf())
+	if cl == nil || cl.SubjectCN != "student0001" {
+		t.Fatalf("client leaf = %+v", cl)
+	}
+	if cl.IssuerOrg != "University" {
+		t.Fatalf("client issuer = %q", cl.IssuerOrg)
+	}
+	if a.ParseErrors != 0 {
+		t.Fatalf("parse errors = %d", a.ParseErrors)
+	}
+	// Certificates deduplicate on a second identical connection.
+	tr2 := tlswire.Synthesize(tlswire.TranscriptSpec{
+		Version: tlswire.VersionTLS12, SNI: "vpn.virginia.edu",
+		ServerChain: [][]byte{serverDER, ca.DER}, ClientChain: [][]byte{clientDER},
+		Established: true,
+	}, rng)
+	if _, err := a.AnalyzeStreams(meta, tr2.ClientToServer, tr2.ServerToClient); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.X509) != 3 {
+		t.Fatalf("x509 records = %d, want 3 (dedup)", len(a.X509))
+	}
+	if len(a.SSL) != 2 {
+		t.Fatalf("ssl records = %d", len(a.SSL))
+	}
+}
+
+func TestAnalyzerTLS13Opacity(t *testing.T) {
+	rng := ids.NewRNG(31)
+	tr := tlswire.Synthesize(tlswire.TranscriptSpec{
+		Version:     tlswire.VersionTLS13,
+		SNI:         "cloud.example.com",
+		ServerChain: [][]byte{[]byte("hidden")},
+		ClientChain: [][]byte{[]byte("hidden2")},
+		Established: true,
+	}, rng)
+	a := NewAnalyzer(ids.NewRNG(32))
+	rec, err := a.AnalyzeStreams(ConnMeta{TS: date(2023, 1, 1)}, tr.ClientToServer, tr.ServerToClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Version != "TLSv13" {
+		t.Fatalf("version = %q", rec.Version)
+	}
+	if len(rec.ServerChain) != 0 || len(rec.ClientChain) != 0 {
+		t.Fatal("TLS 1.3 certs must be invisible to the monitor (§3.3)")
+	}
+	if !rec.Established {
+		t.Fatal("1.3 connection should be established")
+	}
+	if rec.IsMutual() {
+		t.Fatal("mutuality is unknowable for 1.3; must not be flagged")
+	}
+}
+
+func TestAnalyzerRejectsNonTLS(t *testing.T) {
+	a := NewAnalyzer(ids.NewRNG(1))
+	_, err := a.AnalyzeStreams(ConnMeta{}, []byte("SSH-2.0-OpenSSH_9.0\r\n"), nil)
+	if !errors.Is(err, ErrNotTLS) {
+		t.Fatalf("want ErrNotTLS, got %v", err)
+	}
+}
+
+func TestAnalyzerFailedHandshake(t *testing.T) {
+	rng := ids.NewRNG(5)
+	tr := tlswire.Synthesize(tlswire.TranscriptSpec{
+		Version: tlswire.VersionTLS12, SNI: "x.com",
+		ServerChain: [][]byte{[]byte("junk-der")}, ClientChain: [][]byte{[]byte("c")},
+		Established: false,
+	}, rng)
+	a := NewAnalyzer(ids.NewRNG(6))
+	rec, err := a.AnalyzeStreams(ConnMeta{}, tr.ClientToServer, tr.ServerToClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Established {
+		t.Fatal("aborted handshake marked established")
+	}
+	// The junk server DER still fingerprints into the chain but produced
+	// no x509 record.
+	if len(rec.ServerChain) != 1 {
+		t.Fatalf("server chain = %v", rec.ServerChain)
+	}
+	if a.ParseErrors != 1 {
+		t.Fatalf("parse errors = %d", a.ParseErrors)
+	}
+	if len(a.X509) != 0 {
+		t.Fatal("junk DER must not produce x509 records")
+	}
+}
+
+func TestLoadDataset(t *testing.T) {
+	cert := sampleCert(t, "02")
+	var sslBuf, x509Buf bytes.Buffer
+	sw := NewSSLWriter(&sslBuf)
+	rec := SSLRecord{
+		TS: date(2022, 5, 1), UID: "Cx", OrigIP: "10.0.0.1", RespIP: "1.2.3.4",
+		RespPort: 443, Version: "TLSv12", Established: true,
+		ServerChain: []ids.Fingerprint{cert.Fingerprint}, Weight: 3,
+	}
+	if err := sw.Write(&rec); err != nil {
+		t.Fatal(err)
+	}
+	sw.Flush()
+	xw := NewX509Writer(&x509Buf)
+	if err := xw.Write(&X509Record{TS: date(2022, 5, 1), ID: "F1", Cert: cert}); err != nil {
+		t.Fatal(err)
+	}
+	xw.Flush()
+	ds, err := LoadDataset(&sslBuf, &x509Buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Conns) != 1 || len(ds.Certs) != 1 {
+		t.Fatalf("dataset sizes wrong: %d/%d", len(ds.Conns), len(ds.Certs))
+	}
+	if got := ds.Cert(ds.Conns[0].ServerLeaf()); got == nil || got.SerialHex != "02" {
+		t.Fatal("join via fingerprint failed")
+	}
+}

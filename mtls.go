@@ -1,0 +1,127 @@
+// Package mtls is the public facade of the reproduction of "Mutual TLS in
+// Practice: A Deep Dive into Certificate Configurations and Privacy
+// Issues" (IMC 2024).
+//
+// The typical flow is three calls:
+//
+//	build := mtls.Generate(mtls.DefaultConfig()) // synthesize the campus dataset
+//	analysis := mtls.Analyze(build)              // run the paper's pipeline
+//	fmt.Print(mtls.Render(analysis))             // print every table/figure
+//
+// Generate produces a 23-month synthetic border-traffic dataset calibrated
+// to the paper's published numbers (internal/workload); Analyze runs
+// preprocessing (CT-based interception filtering) and all analyses
+// (internal/core); Render and Experiments format the results. Datasets can
+// also round-trip through Zeek-style TSV logs with WriteLogs/OpenLogs, and
+// live TLS traffic can be ingested with the zeek.Analyzer (see
+// examples/livecapture).
+package mtls
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workload"
+	"repro/internal/zeek"
+)
+
+// Config re-exports the workload configuration.
+type Config = workload.Config
+
+// Build re-exports the generated dataset bundle.
+type Build = workload.Build
+
+// Analysis re-exports the full result set.
+type Analysis = core.Analysis
+
+// DefaultConfig returns the calibrated generator configuration
+// (CertScale 200, 23 months, Figure 1 anchors at 1.99%/3.61%).
+func DefaultConfig() Config { return workload.Default() }
+
+// Generate synthesizes the campus dataset.
+func Generate(cfg Config) *Build { return workload.Generate(cfg) }
+
+// Analyze runs the paper's full pipeline on a build.
+func Analyze(b *Build) *Analysis { return core.Run(InputFromBuild(b)) }
+
+// InputFromBuild adapts a generated build into the core pipeline's input.
+func InputFromBuild(b *Build) *core.Input {
+	return &core.Input{
+		Raw:           b.Raw,
+		CT:            b.CT,
+		Bundle:        b.Bundle,
+		CampusIssuers: b.CampusIssuers,
+		Assoc: core.AssocMap{
+			HealthSLDs:     b.Assoc.HealthSLDs,
+			UniversitySLDs: b.Assoc.UniversitySLDs,
+			VPNHostPrefix:  b.Assoc.VPNHostPrefix,
+			LocalOrgSLDs:   b.Assoc.LocalOrgSLDs,
+			ThirdPartySLDs: b.Assoc.ThirdPartySLDs,
+			GlobusSLDs:     b.Assoc.GlobusSLDs,
+		},
+		Plan:   b.Plan,
+		Months: b.Months,
+	}
+}
+
+// Render formats every reproduced table and figure as text.
+func Render(a *Analysis) string { return report.RenderAll(a) }
+
+// Experiments renders the paper-vs-measured EXPERIMENTS.md content.
+func Experiments(a *Analysis, scaleNote string) string {
+	return report.ExperimentsMarkdown(a, scaleNote)
+}
+
+// WriteLogs persists a dataset as Zeek-style ssl.log and x509.log files in
+// dir (created if needed).
+func WriteLogs(ds *zeek.Dataset, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	sslF, err := os.Create(filepath.Join(dir, "ssl.log"))
+	if err != nil {
+		return err
+	}
+	defer sslF.Close()
+	sw := zeek.NewSSLWriter(sslF)
+	for i := range ds.Conns {
+		if err := sw.Write(&ds.Conns[i]); err != nil {
+			return fmt.Errorf("mtls: write ssl.log: %w", err)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+
+	x509F, err := os.Create(filepath.Join(dir, "x509.log"))
+	if err != nil {
+		return err
+	}
+	defer x509F.Close()
+	xw := zeek.NewX509Writer(x509F)
+	for _, c := range certsSorted(ds) {
+		rec := zeek.X509Record{TS: c.NotBefore, ID: fileIDFor(c), Cert: c}
+		if err := xw.Write(&rec); err != nil {
+			return fmt.Errorf("mtls: write x509.log: %w", err)
+		}
+	}
+	return xw.Flush()
+}
+
+// OpenLogs loads a dataset previously written with WriteLogs.
+func OpenLogs(dir string) (*zeek.Dataset, error) {
+	sslF, err := os.Open(filepath.Join(dir, "ssl.log"))
+	if err != nil {
+		return nil, err
+	}
+	defer sslF.Close()
+	x509F, err := os.Open(filepath.Join(dir, "x509.log"))
+	if err != nil {
+		return nil, err
+	}
+	defer x509F.Close()
+	return zeek.LoadDataset(sslF, x509F)
+}

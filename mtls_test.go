@@ -1,0 +1,100 @@
+package mtls
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.CertScale = 2000
+	return cfg
+}
+
+func TestEndToEnd(t *testing.T) {
+	build := Generate(smallConfig())
+	a := Analyze(build)
+	if a.CertStats.Row("Total").Total == 0 {
+		t.Fatal("no certificates analyzed")
+	}
+	out := Render(a)
+	for _, want := range []string{
+		"Table 1", "Figure 1", "Table 2", "Table 3", "Figure 2",
+		"Table 4", "Table 5", "Table 6", "Figure 3", "Figure 4",
+		"Figure 5", "Table 7", "Table 8", "Table 9", "Table 10",
+		"Table 13", "Table 14",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing section %q", want)
+		}
+	}
+	exp := Experiments(a, "scale note")
+	if !strings.Contains(exp, "| Experiment |") || !strings.Contains(exp, "shape checks hold") {
+		t.Fatal("experiments markdown malformed")
+	}
+}
+
+func TestLogsRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "logs")
+	build := Generate(smallConfig())
+	if err := WriteLogs(build.Raw, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"ssl.log", "x509.log"} {
+		if fi, err := os.Stat(filepath.Join(dir, f)); err != nil || fi.Size() == 0 {
+			t.Fatalf("log %s missing or empty: %v", f, err)
+		}
+	}
+	ds, err := OpenLogs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Conns) != len(build.Raw.Conns) {
+		t.Fatalf("conns: wrote %d, read %d", len(build.Raw.Conns), len(ds.Conns))
+	}
+	if len(ds.Certs) != len(build.Raw.Certs) {
+		t.Fatalf("certs: wrote %d, read %d", len(build.Raw.Certs), len(ds.Certs))
+	}
+	// The reloaded dataset joins correctly: every mutual conn's leaf certs
+	// resolve.
+	missing := 0
+	for i := range ds.Conns {
+		c := &ds.Conns[i]
+		if c.IsMutual() {
+			if ds.Cert(c.ServerLeaf()) == nil || ds.Cert(c.ClientLeaf()) == nil {
+				missing++
+			}
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d mutual conns lost their certificates in the round trip", missing)
+	}
+}
+
+func TestAnalysisOnReloadedLogs(t *testing.T) {
+	dir := t.TempDir()
+	build := Generate(smallConfig())
+	a1 := Analyze(build)
+	if err := WriteLogs(build.Raw, dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := OpenLogs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build.Raw = ds
+	a2 := Analyze(build)
+	// Key statistics must survive the TSV round trip exactly.
+	if a1.CertStats.Row("Total").Total != a2.CertStats.Row("Total").Total {
+		t.Fatalf("cert totals differ: %d vs %d",
+			a1.CertStats.Row("Total").Total, a2.CertStats.Row("Total").Total)
+	}
+	if a1.Prevalence.FirstShare() != a2.Prevalence.FirstShare() {
+		t.Fatal("prevalence differs after round trip")
+	}
+	if a1.SharingSame.InboundConns != a2.SharingSame.InboundConns {
+		t.Fatal("sharing stats differ after round trip")
+	}
+}

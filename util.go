@@ -1,0 +1,24 @@
+package mtls
+
+import (
+	"sort"
+
+	"repro/internal/certmodel"
+	"repro/internal/ids"
+	"repro/internal/zeek"
+)
+
+// certsSorted returns the dataset's certificates in fingerprint order so
+// log output is deterministic.
+func certsSorted(ds *zeek.Dataset) []*certmodel.CertInfo {
+	out := make([]*certmodel.CertInfo, 0, len(ds.Certs))
+	for _, c := range ds.Certs {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}
+
+func fileIDFor(c *certmodel.CertInfo) ids.FileID {
+	return ids.NewFileID(c.Fingerprint)
+}
