@@ -521,7 +521,7 @@ func BenchmarkTSVRoundTrip(b *testing.B) {
 }
 
 // BenchmarkEndToEnd measures generate + analyze at reduced scale — the
-// whole reproduction in one number.
+// whole reproduction in one number (Workers 0 = one per CPU).
 func BenchmarkEndToEnd(b *testing.B) {
 	cfg := DefaultConfig()
 	cfg.CertScale = 2000
@@ -531,6 +531,118 @@ func BenchmarkEndToEnd(b *testing.B) {
 		if a.CertStats.Row("Total").Total == 0 {
 			b.Fatal("empty analysis")
 		}
+	}
+}
+
+// BenchmarkEndToEndSerial is BenchmarkEndToEnd pinned to the serial
+// legacy path — the concurrency speedup is EndToEnd vs EndToEndSerial.
+func BenchmarkEndToEndSerial(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.CertScale = 2000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := AnalyzeWorkers(Generate(cfg), 1)
+		if a.CertStats.Row("Total").Total == 0 {
+			b.Fatal("empty analysis")
+		}
+	}
+}
+
+// --- Concurrency & caching ablations --------------------------------------
+//
+// Each pair isolates one mechanism of the parallel pipeline: sharded
+// preprocessing, analysis fan-out, and the hot-path caches. All variants
+// produce byte-identical analyses (TestParallelDeterminism).
+
+// benchInputWorkers clones the shared bench input with a worker setting.
+func benchInputWorkers(b *testing.B, workers int, noCache bool) *core.Input {
+	b.Helper()
+	benchPipeline(b)
+	in := *benchIn
+	in.Workers = workers
+	in.NoCache = noCache
+	return &in
+}
+
+// BenchmarkAblationPreprocessSerial measures §3.2 preprocessing on the
+// single-threaded legacy path…
+func BenchmarkAblationPreprocessSerial(b *testing.B) {
+	in := benchInputWorkers(b, 1, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.NewPipeline(in).PreprocessReport().RawCerts == 0 {
+			b.Fatal("no certs")
+		}
+	}
+}
+
+// …BenchmarkAblationPreprocessSharded the same work sharded across one
+// worker per CPU…
+func BenchmarkAblationPreprocessSharded(b *testing.B) {
+	in := benchInputWorkers(b, 0, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.NewPipeline(in).PreprocessReport().RawCerts == 0 {
+			b.Fatal("no certs")
+		}
+	}
+}
+
+// …and BenchmarkAblationPreprocessNoCache the serial path with the
+// PSL-split and issuer-classification memos disabled, isolating what the
+// caches alone buy.
+func BenchmarkAblationPreprocessNoCache(b *testing.B) {
+	in := benchInputWorkers(b, 1, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.NewPipeline(in).PreprocessReport().RawCerts == 0 {
+			b.Fatal("no certs")
+		}
+	}
+}
+
+// BenchmarkAblationAnalysesSerial measures the 21 table/figure analyses
+// run sequentially over a prebuilt pipeline…
+func BenchmarkAblationAnalysesSerial(b *testing.B) {
+	p := core.NewPipeline(benchInputWorkers(b, 1, false))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.RunAll().CertStats.Row("Total").Total == 0 {
+			b.Fatal("empty analysis")
+		}
+	}
+}
+
+// …and BenchmarkAblationAnalysesFanOut the same analyses dispatched
+// across the bounded worker pool.
+func BenchmarkAblationAnalysesFanOut(b *testing.B) {
+	p := core.NewPipeline(benchInputWorkers(b, 0, false))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.RunAll().CertStats.Row("Total").Total == 0 {
+			b.Fatal("empty analysis")
+		}
+	}
+}
+
+// BenchmarkPipelineParallel sweeps worker counts over the full pipeline
+// (preprocess + analyses) so the bench trajectory records the scaling
+// curve, not just the endpoints.
+func BenchmarkPipelineParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			in := benchInputWorkers(b, workers, false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if core.NewPipeline(in).RunAll().CertStats.Row("Total").Total == 0 {
+					b.Fatal("empty analysis")
+				}
+			}
+		})
 	}
 }
 

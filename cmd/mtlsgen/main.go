@@ -4,6 +4,9 @@
 // Usage:
 //
 //	mtlsgen -out ./data -scale 200 -seed 20240504
+//	mtlsgen -out ./data -verify -workers 8   # re-open the logs and run the
+//	                                         # pipeline over them as a check
+//	                                         # (0 workers = one per CPU)
 package main
 
 import (
@@ -20,6 +23,8 @@ func main() {
 	out := flag.String("out", "data", "output directory for ssl.log / x509.log")
 	scale := flag.Int("scale", 0, "certificate scale divisor (default from config: 200)")
 	seed := flag.Uint64("seed", 0, "generator seed (default from config)")
+	verify := flag.Bool("verify", false, "re-open the written logs and run the analysis pipeline over them")
+	workers := flag.Int("workers", 0, "pipeline workers for -verify: 0 = one per CPU, 1 = serial, n = exactly n")
 	flag.Parse()
 
 	cfg := mtls.DefaultConfig()
@@ -36,4 +41,17 @@ func main() {
 	}
 	fmt.Fprintf(os.Stdout, "wrote %d connections and %d certificates to %s (scale 1/%d, seed %d)\n",
 		len(build.Raw.Conns), len(build.Raw.Certs), *out, cfg.CertScale, cfg.Seed)
+
+	if *verify {
+		ds, err := mtls.OpenLogs(*out)
+		if err != nil {
+			log.Fatalf("mtlsgen: verify: open logs: %v", err)
+		}
+		build.Raw = ds
+		a := mtls.AnalyzeWorkers(build, *workers)
+		fmt.Fprintf(os.Stdout,
+			"verified: %d raw conns, %d raw certs, %d interception issuers excluded %d certs\n",
+			a.Preprocess.RawConns, a.Preprocess.RawCerts,
+			len(a.Preprocess.InterceptionIssuers), a.Preprocess.ExcludedCerts)
+	}
 }

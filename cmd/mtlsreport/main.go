@@ -7,6 +7,8 @@
 //	mtlsreport                      # generate in memory and report
 //	mtlsreport -logs ./data         # analyze logs written by mtlsgen
 //	mtlsreport -experiments EXP.md  # also write the comparison document
+//	mtlsreport -workers 8           # shard the pipeline across 8 workers
+//	                                # (0 = one per CPU, 1 = serial)
 package main
 
 import (
@@ -24,6 +26,7 @@ func main() {
 	scale := flag.Int("scale", 0, "certificate scale divisor when generating")
 	seed := flag.Uint64("seed", 0, "generator seed when generating")
 	experiments := flag.String("experiments", "", "path to write EXPERIMENTS.md content")
+	workers := flag.Int("workers", 0, "pipeline workers: 0 = one per CPU, 1 = serial, n = exactly n")
 	quiet := flag.Bool("quiet", false, "suppress the full table dump")
 	flag.Parse()
 
@@ -44,7 +47,7 @@ func main() {
 		build.Raw = ds
 	}
 
-	analysis := mtls.Analyze(build)
+	analysis := mtls.AnalyzeWorkers(build, *workers)
 	if !*quiet {
 		fmt.Print(mtls.Render(analysis))
 	}

@@ -123,14 +123,65 @@ func New(b *truststore.Bundle) *Classifier { return &Classifier{Bundle: b} }
 // presence of either the issuer of the leaf certificate … or the issuer
 // organization in CCADB or major trust stores").
 func (c *Classifier) Category(leaf *certmodel.CertInfo, chain []ids.Fingerprint) Category {
+	return c.CategoryWith(nil, leaf, chain)
+}
+
+// CategoryWith is Category with the string-keyed fuzzy matching memoized
+// through m. Only the private-org categorization is cached — it is a
+// pure function of the issuer string, whereas the public check depends
+// on the presented chain and stays per-certificate. A nil memo is valid
+// and uncached.
+func (c *Classifier) CategoryWith(m *Memo, leaf *certmodel.CertInfo, chain []ids.Fingerprint) Category {
 	if c.Bundle.ClassifyLeaf(leaf, chain) == truststore.Public {
 		return Public
 	}
 	if leaf.MissingIssuer() {
 		return MissingIssuer
 	}
-	org := leaf.IssuerKey()
-	return CategorizePrivateOrg(org)
+	return m.CategorizePrivateOrg(leaf.IssuerKey())
+}
+
+// Memo caches the issuer-string classification work — the dummy-issuer
+// fuzzy match and the private-org categorization, both pure functions of
+// the raw issuer string. Distinct issuers number in the hundreds while
+// certificates number in the millions, so one map hit replaces a cosine
+// similarity over the dummy lexicon plus the marker scans. A nil *Memo
+// is valid and simply uncached. Not safe for concurrent use; each
+// pipeline worker owns one.
+type Memo struct {
+	cats  map[string]Category
+	dummy map[string]bool
+}
+
+// NewMemo creates an empty memo.
+func NewMemo() *Memo {
+	return &Memo{cats: make(map[string]Category), dummy: make(map[string]bool)}
+}
+
+// CategorizePrivateOrg is the memoized CategorizePrivateOrg.
+func (m *Memo) CategorizePrivateOrg(org string) Category {
+	if m == nil {
+		return CategorizePrivateOrg(org)
+	}
+	if v, ok := m.cats[org]; ok {
+		return v
+	}
+	v := CategorizePrivateOrg(org)
+	m.cats[org] = v
+	return v
+}
+
+// IsDummyIssuer is the memoized IsDummyIssuer.
+func (m *Memo) IsDummyIssuer(org string) bool {
+	if m == nil {
+		return IsDummyIssuer(org)
+	}
+	if v, ok := m.dummy[org]; ok {
+		return v
+	}
+	v := IsDummyIssuer(org)
+	m.dummy[org] = v
+	return v
 }
 
 // CategorizePrivateOrg maps a private issuer organization string to its

@@ -92,3 +92,28 @@ func TestCategoryStrings(t *testing.T) {
 		t.Fatal("unknown category string wrong")
 	}
 }
+
+func TestMemoMatchesUncached(t *testing.T) {
+	orgs := []string{
+		"Internet Widgits Pty Ltd", "University of Somewhere",
+		"Ministry of Testing", "OVH Hosting", "Cisco Systems, Inc.",
+		"zx9 qq7", "", "Internet Widgits Pty Ltd", // repeat hits the memo
+	}
+	m := NewMemo()
+	for _, org := range orgs {
+		if got, want := m.CategorizePrivateOrg(org), CategorizePrivateOrg(org); got != want {
+			t.Errorf("Memo.CategorizePrivateOrg(%q) = %v, want %v", org, got, want)
+		}
+		if got, want := m.IsDummyIssuer(org), IsDummyIssuer(org); got != want {
+			t.Errorf("Memo.IsDummyIssuer(%q) = %v, want %v", org, got, want)
+		}
+	}
+	// A nil memo is valid and uncached.
+	var nilMemo *Memo
+	if got := nilMemo.CategorizePrivateOrg("Internet Widgits Pty Ltd"); got != Dummy {
+		t.Fatalf("nil memo CategorizePrivateOrg = %v, want Dummy", got)
+	}
+	if !nilMemo.IsDummyIssuer("Internet Widgits Pty Ltd") {
+		t.Fatal("nil memo IsDummyIssuer = false, want true")
+	}
+}

@@ -27,31 +27,39 @@ type Analysis struct {
 	Versions     *VersionReport      // §3.3
 }
 
-// Run executes the whole pipeline.
-func Run(in *Input) *Analysis {
-	p := NewPipeline(in)
-	return &Analysis{
-		Preprocess:   p.PreprocessReport(),
-		CertStats:    p.CertStats(),
-		Prevalence:   p.Prevalence(),
-		Services:     p.Services(),
-		Inbound:      p.Inbound(),
-		Outbound:     p.Outbound(),
-		DummyIssuers: p.DummyIssuers(),
-		Serials:      p.Serials(),
-		SharingSame:  p.SharingSame(),
-		SharingCross: p.SharingCross(),
-		BadDates:     p.BadDates(),
-		Validity:     p.Validity(),
-		Expired:      p.Expired(),
-		Utilization:  p.Utilization(),
-		Contents:     p.Contents(),
-		Unidentified: p.Unidentified(),
-		SharedInfo:   p.SharedInfo(),
-		NonMutual:    p.NonMutual(),
-		Concerns:     p.Concerns(),
-		SANTypes:     p.SANTypes(),
-		Durations:    p.Durations(),
-		Versions:     p.Versions(),
-	}
+// Run executes the whole pipeline with the concurrency requested by
+// in.Workers.
+func Run(in *Input) *Analysis { return NewPipeline(in).RunAll() }
+
+// RunAll executes every analysis over the preprocessed state. The
+// table/figure computations are independent and only read the shared
+// enriched views, so they fan out across the pipeline's worker pool;
+// with one worker they run in the legacy sequential order. Either way
+// the resulting Analysis is identical.
+func (p *Pipeline) RunAll() *Analysis {
+	a := &Analysis{Preprocess: p.PreprocessReport()}
+	runTasks(p.workers, []func(){
+		func() { a.CertStats = p.CertStats() },
+		func() { a.Prevalence = p.Prevalence() },
+		func() { a.Services = p.Services() },
+		func() { a.Inbound = p.Inbound() },
+		func() { a.Outbound = p.Outbound() },
+		func() { a.DummyIssuers = p.DummyIssuers() },
+		func() { a.Serials = p.Serials() },
+		func() { a.SharingSame = p.SharingSame() },
+		func() { a.SharingCross = p.SharingCross() },
+		func() { a.BadDates = p.BadDates() },
+		func() { a.Validity = p.Validity() },
+		func() { a.Expired = p.Expired() },
+		func() { a.Utilization = p.Utilization() },
+		func() { a.Contents = p.Contents() },
+		func() { a.Unidentified = p.Unidentified() },
+		func() { a.SharedInfo = p.SharedInfo() },
+		func() { a.NonMutual = p.NonMutual() },
+		func() { a.Concerns = p.Concerns() },
+		func() { a.SANTypes = p.SANTypes() },
+		func() { a.Durations = p.Durations() },
+		func() { a.Versions = p.Versions() },
+	})
+	return a
 }

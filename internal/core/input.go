@@ -39,6 +39,15 @@ type Input struct {
 	Plan *netsim.Plan
 	// Months is the study length.
 	Months int
+	// Workers bounds pipeline concurrency: 0 selects one worker per CPU
+	// (GOMAXPROCS), 1 forces the exact serial legacy path, and n>1 shards
+	// preprocessing and fans the analyses out across n workers. Every
+	// setting produces an identical Analysis.
+	Workers int
+	// NoCache disables the PSL-split and issuer-classification memos.
+	// The caches never change results; the switch exists so the ablation
+	// benchmarks can measure them.
+	NoCache bool
 }
 
 // AssocMap is the paper's manual SLD categorization (§4.2).
@@ -64,45 +73,65 @@ const (
 
 // Associate classifies a connection's server side.
 func (m *AssocMap) Associate(host, sld string) string {
-	if m.VPNHostPrefix != "" && strings.HasPrefix(strings.ToLower(host), m.VPNHostPrefix) {
+	return m.index().associate(host, sld)
+}
+
+// assocIndex is the hot-path form of AssocMap: one lowercase-keyed map
+// lookup per connection instead of a linear scan over every SLD list.
+type assocIndex struct {
+	vpnPrefix string
+	bySLD     map[string]string
+}
+
+// index compiles the lookup once. Insertion order encodes Associate's
+// category precedence: the first list claiming an SLD wins.
+func (m *AssocMap) index() *assocIndex {
+	ix := &assocIndex{
+		vpnPrefix: strings.ToLower(m.VPNHostPrefix),
+		bySLD:     make(map[string]string),
+	}
+	add := func(slds []string, label string) {
+		for _, s := range slds {
+			k := strings.ToLower(s)
+			if _, ok := ix.bySLD[k]; !ok {
+				ix.bySLD[k] = label
+			}
+		}
+	}
+	add(m.HealthSLDs, AssocHealth)
+	add(m.UniversitySLDs, AssocUniversity)
+	add(m.LocalOrgSLDs, AssocLocalOrg)
+	add(m.ThirdPartySLDs, AssocThirdParty)
+	add(m.GlobusSLDs, AssocGlobus)
+	return ix
+}
+
+func (ix *assocIndex) associate(host, sld string) string {
+	if p := ix.vpnPrefix; p != "" &&
+		len(host) >= len(p) && strings.EqualFold(host[:len(p)], p) {
 		return AssocVPN
 	}
 	if sld == "" {
 		return AssocUnknown
 	}
-	switch {
-	case contains(m.HealthSLDs, sld):
-		return AssocHealth
-	case contains(m.UniversitySLDs, sld):
-		return AssocUniversity
-	case contains(m.LocalOrgSLDs, sld):
-		return AssocLocalOrg
-	case contains(m.ThirdPartySLDs, sld):
-		return AssocThirdParty
-	case contains(m.GlobusSLDs, sld):
-		return AssocGlobus
-	default:
-		return AssocUnknown
+	if label, ok := ix.bySLD[strings.ToLower(sld)]; ok {
+		return label
 	}
-}
-
-func contains(xs []string, v string) bool {
-	for _, x := range xs {
-		if strings.EqualFold(x, v) {
-			return true
-		}
-	}
-	return false
+	return AssocUnknown
 }
 
 // connView is one enriched connection: the record plus everything the
 // analyses derive from it once.
 type connView struct {
-	rec        *zeek.SSLRecord
-	dir        netsim.Direction
-	month      int
-	sld        string
-	tld        string
+	rec   *zeek.SSLRecord
+	dir   netsim.Direction
+	month int
+	sld   string
+	tld   string
+	// sniSLD is the SLD extracted from the SNI alone, without the
+	// certificate-name fallback applied to sld — the Table 5 / Figure 4
+	// grouping key, precomputed so analyses never re-split hostnames.
+	sniSLD     string
 	assoc      string
 	serverCert *certmodel.CertInfo
 	clientCert *certmodel.CertInfo
@@ -144,6 +173,30 @@ func (u *certUsage) observe(ts time.Time) {
 	}
 	if ts.After(u.lastSeen) {
 		u.lastSeen = ts
+	}
+}
+
+// merge folds a later shard's observations of the same certificate into
+// u. The classification fields (cert, class, category, dummyIssuer) stay
+// with u — the entry from the earlier shard — so the chain observed
+// first in record order wins, exactly as on the serial path.
+func (u *certUsage) merge(o *certUsage) {
+	u.asServer = u.asServer || o.asServer
+	u.asClient = u.asClient || o.asClient
+	u.mutualServer = u.mutualServer || o.mutualServer
+	u.mutualClient = u.mutualClient || o.mutualClient
+	u.sharedSameConn = u.sharedSameConn || o.sharedSameConn
+	if !o.firstSeen.IsZero() && (u.firstSeen.IsZero() || o.firstSeen.Before(u.firstSeen)) {
+		u.firstSeen = o.firstSeen
+	}
+	if o.lastSeen.After(u.lastSeen) {
+		u.lastSeen = o.lastSeen
+	}
+	for k := range o.serverSubnets {
+		u.serverSubnets[k] = struct{}{}
+	}
+	for k := range o.clientSubnets {
+		u.clientSubnets[k] = struct{}{}
 	}
 }
 
@@ -194,105 +247,167 @@ func preprocess(in *Input) *enriched {
 		RawConns:            len(in.Raw.Conns),
 	}
 
-	var tls13W, totalW int64
-	e.conns = make([]connView, 0, len(e.ds.Conns))
-	for i := range e.ds.Conns {
-		rec := &e.ds.Conns[i]
-		totalW += rec.Weight
-		if rec.Version == "TLSv13" {
-			tls13W += rec.Weight
-		}
-		cv := connView{
-			rec:   rec,
-			dir:   in.Plan.DirectionOf(rec.OrigIP, rec.RespIP),
-			month: monthIndex(rec.TS),
-		}
-		split := e.psl.Split(rec.SNI)
-		cv.sld = split.Registrable()
-		cv.tld = split.TLD()
-		// §4.2: when the SNI is absent, resolve server information from
-		// the leaf certificates' SAN DNS / CN.
-		cv.serverCert = e.ds.Cert(rec.ServerLeaf())
-		cv.clientCert = e.ds.Cert(rec.ClientLeaf())
-		if cv.sld == "" {
-			cv.sld, cv.tld = e.resolveFromCerts(cv.serverCert, cv.clientCert)
-		}
-		cv.assoc = in.Assoc.Associate(rec.SNI, cv.sld)
-		cv.mutual = rec.IsMutual() && rec.Established
-
-		e.observeConn(&cv)
-		e.conns = append(e.conns, cv)
-	}
-	if totalW > 0 {
-		e.pre.TLS13ConnShare = float64(tls13W) / float64(totalW)
+	if workers := workerCount(in.Workers); workers > 1 && len(e.ds.Conns) >= workers {
+		e.enrichParallel(workers)
+	} else {
+		e.enrichSerial()
 	}
 	return e
 }
 
+// finishWeights derives the §3.3 opacity share from the (possibly
+// per-shard-summed) connection weights.
+func (e *enriched) finishWeights(tls13W, totalW int64) {
+	if totalW > 0 {
+		e.pre.TLS13ConnShare = float64(tls13W) / float64(totalW)
+	}
+}
+
+// enricher holds one worker's enrichment state: a shard-local usage
+// accumulator plus the hot-path caches (PSL splits and issuer
+// classifications repeat heavily, so each worker memoizes them without
+// any synchronization). The serial path uses a single enricher.
+type enricher struct {
+	e              *enriched
+	assoc          *assocIndex
+	split          *psl.SplitCache // nil when Input.NoCache
+	memo           *classify.Memo  // nil when Input.NoCache
+	usage          map[ids.Fingerprint]*certUsage
+	tls13W, totalW int64
+}
+
+func (e *enriched) newEnricher(ix *assocIndex) *enricher {
+	w := &enricher{e: e, assoc: ix, usage: make(map[ids.Fingerprint]*certUsage)}
+	if !e.input.NoCache {
+		w.split = psl.NewSplitCache(e.psl)
+		w.memo = classify.NewMemo()
+	}
+	return w
+}
+
+func (w *enricher) splitHost(host string) psl.Result {
+	if w.split != nil {
+		return w.split.Split(host)
+	}
+	return w.e.psl.Split(host)
+}
+
+// enrich builds the view for one connection record.
+func (w *enricher) enrich(rec *zeek.SSLRecord) connView {
+	e := w.e
+	w.totalW += rec.Weight
+	if rec.Version == "TLSv13" {
+		w.tls13W += rec.Weight
+	}
+	cv := connView{
+		rec:   rec,
+		dir:   e.input.Plan.DirectionOf(rec.OrigIP, rec.RespIP),
+		month: monthIndex(rec.TS),
+	}
+	split := w.splitHost(rec.SNI)
+	cv.sniSLD = split.Registrable()
+	cv.sld = cv.sniSLD
+	cv.tld = split.TLD()
+	// §4.2: when the SNI is absent, resolve server information from
+	// the leaf certificates' SAN DNS / CN.
+	cv.serverCert = e.ds.Cert(rec.ServerLeaf())
+	cv.clientCert = e.ds.Cert(rec.ClientLeaf())
+	if cv.sld == "" {
+		cv.sld, cv.tld = w.resolveFromCerts(cv.serverCert, cv.clientCert)
+	}
+	cv.assoc = w.assoc.associate(rec.SNI, cv.sld)
+	cv.mutual = rec.IsMutual() && rec.Established
+
+	w.observeConn(&cv)
+	return cv
+}
+
 // resolveFromCerts recovers SLD/TLD from certificate names when SNI is
-// missing.
-func (e *enriched) resolveFromCerts(server, client *certmodel.CertInfo) (string, string) {
-	for _, c := range []*certmodel.CertInfo{server, client} {
+// missing: SAN DNS entries first, then the subject CN, server before
+// client.
+func (w *enricher) resolveFromCerts(server, client *certmodel.CertInfo) (string, string) {
+	for _, c := range [2]*certmodel.CertInfo{server, client} {
 		if c == nil {
 			continue
 		}
-		for _, name := range append(append([]string(nil), c.SANDNS...), c.SubjectCN) {
-			if r := e.psl.Split(name); r.Registrable() != "" {
+		for _, name := range c.SANDNS {
+			if r := w.splitHost(name); r.Registrable() != "" {
 				return r.Registrable(), r.TLD()
 			}
+		}
+		if r := w.splitHost(c.SubjectCN); r.Registrable() != "" {
+			return r.Registrable(), r.TLD()
 		}
 	}
 	return "", ""
 }
 
 // observeConn updates per-certificate usage.
-func (e *enriched) observeConn(cv *connView) {
+func (w *enricher) observeConn(cv *connView) {
 	rec := cv.rec
 	if cv.serverCert != nil {
-		u := e.usageOf(cv.serverCert, rec.ServerChain)
+		u := w.usageOf(cv.serverCert, rec.ServerChain)
 		u.asServer = true
 		if cv.mutual {
 			u.mutualServer = true
 		}
 		u.observe(rec.TS)
-		if u.serverSubnets == nil {
-			u.serverSubnets = make(map[ids.SubnetKey]struct{})
-		}
 		u.serverSubnets[ids.SubnetOfString(rec.RespIP)] = struct{}{}
 	}
 	if cv.clientCert != nil {
-		u := e.usageOf(cv.clientCert, rec.ClientChain)
+		u := w.usageOf(cv.clientCert, rec.ClientChain)
 		u.asClient = true
 		if cv.mutual {
 			u.mutualClient = true
 		}
 		u.observe(rec.TS)
-		if u.clientSubnets == nil {
-			u.clientSubnets = make(map[ids.SubnetKey]struct{})
-		}
 		u.clientSubnets[ids.SubnetOfString(rec.OrigIP)] = struct{}{}
 	}
 	if cv.mutual && rec.ServerLeaf() == rec.ClientLeaf() && cv.serverCert != nil {
-		e.usageOf(cv.serverCert, rec.ServerChain).sharedSameConn = true
+		w.usageOf(cv.serverCert, rec.ServerChain).sharedSameConn = true
 	}
 }
 
-func (e *enriched) usageOf(c *certmodel.CertInfo, chain []ids.Fingerprint) *certUsage {
-	if u, ok := e.usage[c.Fingerprint]; ok {
+// usageOf returns (creating if needed) the shard-local usage entry. The
+// subnet sets are initialized at creation so the per-connection hot loop
+// stays branch-free.
+func (w *enricher) usageOf(c *certmodel.CertInfo, chain []ids.Fingerprint) *certUsage {
+	if u, ok := w.usage[c.Fingerprint]; ok {
 		return u
 	}
+	u := newCertUsage(w.e, w.memo, c, chain)
+	w.usage[c.Fingerprint] = u
+	return u
+}
+
+// newCertUsage classifies a certificate the first time it is observed. A
+// nil memo skips the issuer-string caching (NoCache mode) but computes
+// the same values.
+func newCertUsage(e *enriched, memo *classify.Memo, c *certmodel.CertInfo, chain []ids.Fingerprint) *certUsage {
 	var rest []ids.Fingerprint
 	if len(chain) > 1 {
 		rest = chain[1:]
 	}
-	u := &certUsage{
-		cert:        c,
-		class:       e.input.Bundle.ClassifyLeaf(c, rest),
-		category:    e.cls.Category(c, rest),
-		dummyIssuer: classify.IsDummyIssuer(c.IssuerOrg),
+	return &certUsage{
+		cert:          c,
+		class:         e.input.Bundle.ClassifyLeaf(c, rest),
+		category:      e.cls.CategoryWith(memo, c, rest),
+		dummyIssuer:   memo.IsDummyIssuer(c.IssuerOrg),
+		serverSubnets: make(map[ids.SubnetKey]struct{}),
+		clientSubnets: make(map[ids.SubnetKey]struct{}),
 	}
-	e.usage[c.Fingerprint] = u
-	return u
+}
+
+// usageOf on the enriched state is the analysis-path lookup. Every
+// certificate reachable from a connection view is registered during
+// preprocessing, so this is a pure read — safe under the concurrent
+// analysis fan-out. A miss (impossible for pipeline-built views)
+// synthesizes an unstored entry rather than mutating shared state.
+func (e *enriched) usageOf(c *certmodel.CertInfo, chain []ids.Fingerprint) *certUsage {
+	if u, ok := e.usage[c.Fingerprint]; ok {
+		return u
+	}
+	return newCertUsage(e, nil, c, chain)
 }
 
 // monthIndex maps a timestamp to its study-month offset.

@@ -128,7 +128,10 @@ func (e *enriched) dummyIssuers() *DummyIssuerReport {
 		if a.Side != b.Side {
 			return a.Side < b.Side
 		}
-		return a.Conns > b.Conns
+		if a.Conns != b.Conns {
+			return a.Conns > b.Conns
+		}
+		return a.IssuerOrg < b.IssuerOrg
 	})
 	for k, a := range both {
 		rep.BothEndpoints = append(rep.BothEndpoints, DummyBothRow{
@@ -141,7 +144,14 @@ func (e *enriched) dummyIssuers() *DummyIssuerReport {
 		if rep.BothEndpoints[i].Clients != rep.BothEndpoints[j].Clients {
 			return rep.BothEndpoints[i].Clients > rep.BothEndpoints[j].Clients
 		}
-		return rep.BothEndpoints[i].SLD < rep.BothEndpoints[j].SLD
+		a, b := rep.BothEndpoints[i], rep.BothEndpoints[j]
+		if a.SLD != b.SLD {
+			return a.SLD < b.SLD
+		}
+		if a.ClientIssuer != b.ClientIssuer {
+			return a.ClientIssuer < b.ClientIssuer
+		}
+		return a.ServerIssuer < b.ServerIssuer
 	})
 	return rep
 }

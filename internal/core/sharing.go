@@ -54,7 +54,7 @@ func (e *enriched) sharingSame() *SharingSameReport {
 		case netsim.Outbound:
 			rep.OutboundConns += cv.rec.Weight
 		}
-		sld := cv.rawSLD(e)
+		sld := cv.rawSLD()
 		k := key{cv.dir.String(), sld, cv.serverCert.IssuerKey()}
 		a, ok := groups[k]
 		if !ok {
@@ -87,17 +87,20 @@ func (e *enriched) sharingSame() *SharingSameReport {
 		if a.Clients != b.Clients {
 			return a.Clients > b.Clients
 		}
-		return a.SLD < b.SLD
+		if a.SLD != b.SLD {
+			return a.SLD < b.SLD
+		}
+		return a.IssuerKey < b.IssuerKey
 	})
 	return rep
 }
 
 // rawSLD renders the Table 5 SLD column: SLD from SNI only, with the
 // paper's "- (missing SNI)" placeholder (Globus's non-hostname SNI also
-// extracts nothing).
-func (cv *connView) rawSLD(e *enriched) string {
-	if sld := e.psl.SLD(cv.rec.SNI); sld != "" {
-		return sld
+// extracts nothing). The split itself is precomputed at enrichment.
+func (cv *connView) rawSLD() string {
+	if cv.sniSLD != "" {
+		return cv.sniSLD
 	}
 	return "- (missing SNI)"
 }

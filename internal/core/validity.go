@@ -73,7 +73,7 @@ func (e *enriched) badDates() *BadDatesReport {
 		if !cv.mutual {
 			continue
 		}
-		sld := cv.rawSLD(e)
+		sld := cv.rawSLD()
 		ts := cv.rec.TS.Unix()
 		cliBad := cv.clientCert != nil && cv.clientCert.HasIncorrectDates()
 		srvBad := cv.serverCert != nil && cv.serverCert.HasIncorrectDates()
@@ -118,7 +118,19 @@ func (e *enriched) badDates() *BadDatesReport {
 			return rep.Rows[i].Clients > rep.Rows[j].Clients
 		}
 		a, b := rep.Rows[i], rep.Rows[j]
-		return a.SLD+a.Side+a.IssuerKey < b.SLD+b.Side+b.IssuerKey
+		if a.SLD != b.SLD {
+			return a.SLD < b.SLD
+		}
+		if a.Side != b.Side {
+			return a.Side < b.Side
+		}
+		if a.IssuerKey != b.IssuerKey {
+			return a.IssuerKey < b.IssuerKey
+		}
+		if a.NotBeforeYear != b.NotBeforeYear {
+			return a.NotBeforeYear < b.NotBeforeYear
+		}
+		return a.NotAfterYear < b.NotAfterYear
 	})
 	for k, a := range both {
 		rep.BothEndpoints = append(rep.BothEndpoints, BadDatesBothRow{
@@ -131,7 +143,14 @@ func (e *enriched) badDates() *BadDatesReport {
 		if rep.BothEndpoints[i].Clients != rep.BothEndpoints[j].Clients {
 			return rep.BothEndpoints[i].Clients > rep.BothEndpoints[j].Clients
 		}
-		return rep.BothEndpoints[i].SLD < rep.BothEndpoints[j].SLD
+		a, b := rep.BothEndpoints[i], rep.BothEndpoints[j]
+		if a.SLD != b.SLD {
+			return a.SLD < b.SLD
+		}
+		if a.ClientIssuer != b.ClientIssuer {
+			return a.ClientIssuer < b.ClientIssuer
+		}
+		return a.ServerIssuer < b.ServerIssuer
 	})
 	return rep
 }
@@ -194,7 +213,7 @@ func (e *enriched) validity() *ValidityReport {
 		}
 		if days > rep.MaxValidityDays {
 			rep.MaxValidityDays = days
-			rep.MaxValiditySLD = cv.rawSLD(e)
+			rep.MaxValiditySLD = cv.rawSLD()
 		}
 	}
 	rep.ExtremeCategories = cats.Top(5)
@@ -261,7 +280,7 @@ func (e *enriched) expired() *ExpiredReport {
 					DurationDays:          u.durationDays(),
 					Public:                u.class == truststore.Public,
 					IssuerOrg:             c.IssuerOrg,
-					SLD:                   cv.rawSLD(e),
+					SLD:                   cv.rawSLD(),
 				},
 				inbound: cv.dir == netsim.Inbound,
 			}
@@ -291,12 +310,29 @@ func (e *enriched) expired() *ExpiredReport {
 			}
 		}
 	}
-	sort.Slice(rep.Inbound.Points, func(i, j int) bool {
-		return rep.Inbound.Points[i].DaysExpiredAtFirstUse < rep.Inbound.Points[j].DaysExpiredAtFirstUse
-	})
-	sort.Slice(rep.Outbound.Points, func(i, j int) bool {
-		return rep.Outbound.Points[i].DaysExpiredAtFirstUse < rep.Outbound.Points[j].DaysExpiredAtFirstUse
-	})
+	sort.Slice(rep.Inbound.Points, lessExpiredPoints(rep.Inbound.Points))
+	sort.Slice(rep.Outbound.Points, lessExpiredPoints(rep.Outbound.Points))
 	rep.Inbound.AssocShares = inAssoc.Top(5)
 	return rep
+}
+
+// lessExpiredPoints orders Figure 5 points by a total key so the scatter
+// is identical however the source map was iterated.
+func lessExpiredPoints(ps []ExpiredPoint) func(i, j int) bool {
+	return func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a.DaysExpiredAtFirstUse != b.DaysExpiredAtFirstUse {
+			return a.DaysExpiredAtFirstUse < b.DaysExpiredAtFirstUse
+		}
+		if a.DurationDays != b.DurationDays {
+			return a.DurationDays < b.DurationDays
+		}
+		if a.SLD != b.SLD {
+			return a.SLD < b.SLD
+		}
+		if a.IssuerOrg != b.IssuerOrg {
+			return a.IssuerOrg < b.IssuerOrg
+		}
+		return !a.Public && b.Public
+	}
 }

@@ -1,0 +1,38 @@
+package psl
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitCacheMatchesList(t *testing.T) {
+	l := Default()
+	c := NewSplitCache(l)
+	hosts := []string{
+		"www.example.co.uk", "EXAMPLE.com.", "host.compute.amazonaws.com",
+		"10.0.0.1", "localhost", "", "a.b.example.edu", "www.ck", "x.y.ck",
+		// repeats must come from the cache and stay identical
+		"www.example.co.uk", "EXAMPLE.com.",
+	}
+	for _, h := range hosts {
+		if got, want := c.Split(h), l.Split(h); !reflect.DeepEqual(got, want) {
+			t.Errorf("SplitCache.Split(%q) = %+v, want %+v", h, got, want)
+		}
+	}
+	if c.SLD("www.example.co.uk") != l.SLD("www.example.co.uk") {
+		t.Error("SLD mismatch")
+	}
+	if c.TLD("www.example.co.uk") != l.TLD("www.example.co.uk") {
+		t.Error("TLD mismatch")
+	}
+}
+
+func TestSplitCacheMemoizes(t *testing.T) {
+	c := NewSplitCache(Default())
+	c.Split("a.example.com")
+	c.Split("a.example.com")
+	c.Split("b.example.com")
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+}

@@ -44,8 +44,19 @@ func DefaultConfig() Config { return workload.Default() }
 // Generate synthesizes the campus dataset.
 func Generate(cfg Config) *Build { return workload.Generate(cfg) }
 
-// Analyze runs the paper's full pipeline on a build.
-func Analyze(b *Build) *Analysis { return core.Run(InputFromBuild(b)) }
+// Analyze runs the paper's full pipeline on a build, using one worker
+// per CPU (see AnalyzeWorkers).
+func Analyze(b *Build) *Analysis { return AnalyzeWorkers(b, 0) }
+
+// AnalyzeWorkers runs the pipeline with explicit concurrency: 0 uses one
+// worker per CPU, 1 runs the exact serial legacy path, n>1 shards
+// preprocessing and fans the analyses out across n workers. The Analysis
+// is identical at every setting.
+func AnalyzeWorkers(b *Build, workers int) *Analysis {
+	in := InputFromBuild(b)
+	in.Workers = workers
+	return core.Run(in)
+}
 
 // InputFromBuild adapts a generated build into the core pipeline's input.
 func InputFromBuild(b *Build) *core.Input {
