@@ -1,0 +1,220 @@
+// Command mtlsd is the long-running monitor: it tails a directory of
+// Zeek-style ssl.log / x509.log files, ingests new rows into the
+// incremental analysis engine (internal/stream), and serves every table
+// and figure of the paper as JSON over HTTP — continuously, without
+// re-reading the logs from scratch.
+//
+// Endpoints:
+//
+//	GET /healthz          liveness (200 "ok")
+//	GET /stats            engine counters (ingested, dropped, rebuilds, ...)
+//	GET /reports/         list of report names
+//	GET /reports/{name}   one report, e.g. /reports/table1, /reports/figure5
+//
+// Usage:
+//
+//	mtlsgen -out ./data                # produce logs (once, or keep appending)
+//	mtlsd -logs ./data -listen :8411   # tail and serve
+//	curl -s localhost:8411/reports/table1 | jq .
+//
+// With -checkpoint the engine state is periodically persisted (atomic
+// write) together with the log-file byte offsets; on restart mtlsd
+// restores the state and resumes tailing exactly where it stopped, so
+// reports after the restart match an uninterrupted run.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	mtls "repro"
+	"repro/internal/stream"
+	"repro/internal/zeek"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mtlsd: ")
+
+	logs := flag.String("logs", "", "directory with ssl.log/x509.log to tail (required)")
+	listen := flag.String("listen", "127.0.0.1:8411", "HTTP listen address")
+	poll := flag.Duration("poll", 2*time.Second, "log poll interval")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file (restore on start, persist periodically)")
+	ckptEvery := flag.Duration("checkpoint-every", time.Minute, "checkpoint interval (0 = only on shutdown)")
+	retention := flag.Duration("retention", 0, "connection retention window (0 = keep everything)")
+	buffer := flag.Int("buffer", 0, "ingest buffer size (0 = engine default)")
+	drop := flag.Bool("drop", false, "shed events when the buffer is full instead of blocking the tailer")
+	scale := flag.Int("scale", 0, "context scale divisor (must match the generator's)")
+	seed := flag.Uint64("seed", 0, "context seed (must match the generator's)")
+	workers := flag.Int("workers", 0, "report workers: 0 = one per CPU, 1 = serial")
+	flag.Parse()
+
+	if *logs == "" {
+		log.Fatal("-logs is required")
+	}
+
+	// The analysis context (trust bundle, CT log, association map) is
+	// deterministic in (seed, scale); regenerate it the way mtlsreport
+	// does so the daemon agrees with the generator that wrote the logs.
+	cfg := mtls.DefaultConfig()
+	if *scale > 0 {
+		cfg.CertScale = *scale
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	in := mtls.InputFromBuild(mtls.Generate(cfg))
+	in.Raw = nil
+	in.Workers = *workers
+
+	scfg := stream.Config{Input: in, Buffer: *buffer, Retention: *retention}
+	if *drop {
+		scfg.Policy = stream.Drop
+	}
+
+	sslTail := zeek.NewSSLTail(filepath.Join(*logs, "ssl.log"))
+	x509Tail := zeek.NewX509Tail(filepath.Join(*logs, "x509.log"))
+
+	var eng *stream.Engine
+	if *checkpoint != "" {
+		if e, cursor, err := stream.Restore(scfg, *checkpoint); err == nil {
+			eng = e
+			sslTail.SetOffset(cursor["ssl.log"])
+			x509Tail.SetOffset(cursor["x509.log"])
+			st := e.Stats()
+			log.Printf("restored checkpoint %s: %d conns, %d certs, resuming at ssl.log:%d x509.log:%d",
+				*checkpoint, st.ConnsIngested, st.UniqueCerts, cursor["ssl.log"], cursor["x509.log"])
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Fatalf("restore %s: %v", *checkpoint, err)
+		}
+	}
+	if eng == nil {
+		e, err := stream.New(scfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = e
+	}
+	defer eng.Close()
+
+	// Tailer: single producer goroutine. Certificates are polled before
+	// connections each cycle so enrichment resolves chains on first try
+	// (out-of-order arrivals still converge, via a rebuild).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	tailerDone := make(chan struct{})
+	go func() {
+		defer close(tailerDone)
+		ticker := time.NewTicker(*poll)
+		defer ticker.Stop()
+		var lastCkpt time.Time
+		for {
+			certs, err := x509Tail.Poll()
+			if err != nil {
+				log.Printf("x509.log: %v", err)
+			}
+			for i := range certs {
+				eng.IngestCert(&certs[i])
+			}
+			conns, err := sslTail.Poll()
+			if err != nil {
+				log.Printf("ssl.log: %v", err)
+			}
+			for i := range conns {
+				eng.IngestConn(&conns[i])
+			}
+			if len(certs) > 0 || len(conns) > 0 {
+				log.Printf("ingested %d conns, %d certs", len(conns), len(certs))
+			}
+			if *checkpoint != "" && *ckptEvery > 0 && time.Since(lastCkpt) >= *ckptEvery {
+				if err := writeCheckpoint(eng, sslTail, x509Tail, *checkpoint); err != nil {
+					log.Printf("checkpoint: %v", err)
+				}
+				lastCkpt = time.Now()
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+		}
+	}()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, eng.Stats())
+	})
+	mux.HandleFunc("/reports/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.Trim(strings.TrimPrefix(r.URL.Path, "/reports/"), "/")
+		if name == "" {
+			writeJSON(w, stream.ReportNames())
+			return
+		}
+		out, err := eng.Report(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, out)
+	})
+
+	srv := &http.Server{Addr: *listen, Handler: mux}
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.ListenAndServe() }()
+	log.Printf("serving on http://%s (reports: /reports/)", *listen)
+
+	select {
+	case err := <-srvErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Print("shutting down")
+	<-tailerDone // no producer left; offsets are final
+	if *checkpoint != "" {
+		if err := writeCheckpoint(eng, sslTail, x509Tail, *checkpoint); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		} else {
+			log.Printf("checkpointed to %s", *checkpoint)
+		}
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+}
+
+// writeCheckpoint drains the engine (so the state covers everything the
+// tails have read) and persists it together with the tail offsets. Only
+// the tailer goroutine produces events, and it is the caller here, so
+// after Drain the offsets are exactly consistent with the applied state.
+func writeCheckpoint(eng *stream.Engine, ssl *zeek.SSLTail, x509 *zeek.X509Tail, path string) error {
+	eng.Drain()
+	return eng.WriteCheckpoint(path, map[string]int64{
+		"ssl.log":  ssl.Offset(),
+		"x509.log": x509.Offset(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -6,12 +6,14 @@
 //
 //	mtlsreport                      # generate in memory and report
 //	mtlsreport -logs ./data         # analyze logs written by mtlsgen
+//	mtlsreport -json                # emit the full Analysis as JSON
 //	mtlsreport -experiments EXP.md  # also write the comparison document
 //	mtlsreport -workers 8           # shard the pipeline across 8 workers
 //	                                # (0 = one per CPU, 1 = serial)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +30,7 @@ func main() {
 	experiments := flag.String("experiments", "", "path to write EXPERIMENTS.md content")
 	workers := flag.Int("workers", 0, "pipeline workers: 0 = one per CPU, 1 = serial, n = exactly n")
 	quiet := flag.Bool("quiet", false, "suppress the full table dump")
+	asJSON := flag.Bool("json", false, "emit the full analysis as JSON instead of rendered tables")
 	flag.Parse()
 
 	cfg := mtls.DefaultConfig()
@@ -48,7 +51,14 @@ func main() {
 	}
 
 	analysis := mtls.AnalyzeWorkers(build, *workers)
-	if !*quiet {
+	switch {
+	case *asJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(analysis); err != nil {
+			log.Fatalf("mtlsreport: encode json: %v", err)
+		}
+	case !*quiet:
 		fmt.Print(mtls.Render(analysis))
 	}
 	if *experiments != "" {

@@ -1,6 +1,8 @@
 // Command zeekcat inspects Zeek-style logs written by mtlsgen: it prints
 // row summaries with optional filters, the grep/less of this repository's
-// log format.
+// log format. Rows stream straight off the TSV parser — nothing is
+// buffered and the scan stops as soon as -n rows have matched, so peeking
+// at the head of a multi-gigabyte log is O(rows printed).
 //
 // Usage:
 //
@@ -12,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"strings"
 
-	mtls "repro"
+	"repro/internal/zeek"
 )
 
 func main() {
@@ -27,45 +31,62 @@ func main() {
 	n := flag.Int("n", 40, "max rows to print")
 	flag.Parse()
 
-	ds, err := mtls.OpenLogs(*logs)
-	if err != nil {
-		log.Fatalf("zeekcat: %v", err)
-	}
-
 	if *certs {
-		printed := 0
-		for _, c := range ds.Certs {
-			if *issuer != "" && !strings.Contains(strings.ToLower(c.IssuerDN()), strings.ToLower(*issuer)) {
-				continue
+		f, err := os.Open(filepath.Join(*logs, "x509.log"))
+		if err != nil {
+			log.Fatalf("zeekcat: %v", err)
+		}
+		defer f.Close()
+		wantIssuer := strings.ToLower(*issuer)
+		printed, scanned := 0, 0
+		err = zeek.ForEachX509(f, func(rec *zeek.X509Record) error {
+			scanned++
+			c := rec.Cert
+			if wantIssuer != "" && !strings.Contains(strings.ToLower(c.IssuerDN()), wantIssuer) {
+				return nil
 			}
 			fmt.Printf("%s serial=%s issuer=%q subject=%q validity=%s..%s\n",
 				c.Fingerprint.Short(), c.SerialHex, c.IssuerDN(), c.SubjectDN(),
 				c.NotBefore.Format("2006-01-02"), c.NotAfter.Format("2006-01-02"))
 			printed++
 			if printed >= *n {
-				break
+				return zeek.ErrStop
 			}
+			return nil
+		})
+		if err != nil {
+			log.Fatalf("zeekcat: %v", err)
 		}
-		fmt.Printf("(%d of %d certificates)\n", printed, len(ds.Certs))
+		fmt.Printf("(%d certificates shown, %d rows scanned)\n", printed, scanned)
 		return
 	}
 
-	printed := 0
-	for i := range ds.Conns {
-		c := &ds.Conns[i]
+	f, err := os.Open(filepath.Join(*logs, "ssl.log"))
+	if err != nil {
+		log.Fatalf("zeekcat: %v", err)
+	}
+	defer f.Close()
+	wantSNI := strings.ToLower(*sni)
+	printed, scanned := 0, 0
+	err = zeek.ForEachSSL(f, func(c *zeek.SSLRecord) error {
+		scanned++
 		if *mutualOnly && !c.IsMutual() {
-			continue
+			return nil
 		}
-		if *sni != "" && !strings.Contains(strings.ToLower(c.SNI), strings.ToLower(*sni)) {
-			continue
+		if wantSNI != "" && !strings.Contains(strings.ToLower(c.SNI), wantSNI) {
+			return nil
 		}
 		fmt.Printf("%s %s %s:%d -> %s:%d %s sni=%q mutual=%v est=%v w=%d\n",
 			c.TS.Format("2006-01-02"), c.UID, c.OrigIP, c.OrigPort, c.RespIP, c.RespPort,
 			c.Version, c.SNI, c.IsMutual(), c.Established, c.Weight)
 		printed++
 		if printed >= *n {
-			break
+			return zeek.ErrStop
 		}
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("zeekcat: %v", err)
 	}
-	fmt.Printf("(%d of %d connections)\n", printed, len(ds.Conns))
+	fmt.Printf("(%d connections shown, %d rows scanned)\n", printed, scanned)
 }

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"repro/internal/certmodel"
+	"repro/internal/ids"
+	"repro/internal/zeek"
+)
+
+// ConnRecord is the connection event the analyses consume — one ssl.log
+// row. The streaming engine ingests these one at a time; the batch path
+// reads them from a Dataset. They are the same type so both paths feed
+// identical data through identical code.
+type ConnRecord = zeek.SSLRecord
+
+// CertRecord is the certificate event — one x509.log row.
+type CertRecord = zeek.X509Record
+
+// Builder constructs the enriched analysis state incrementally, one
+// connection at a time, using the exact enricher the batch serial path
+// runs (enrichSerial). It is the core of the streaming engine: the engine
+// decides which records are admitted (interception filtering, windowing)
+// and the Builder turns the admitted sequence into the same state
+// NewPipeline would produce for an equivalent filtered dataset.
+//
+// The caller owns ordering: feeding the same certificates and the same
+// connections in the same order as a batch run yields a deeply equal
+// Analysis, because certificate classification is first-observation-wins
+// exactly as on the serial path.
+type Builder struct {
+	e *enriched
+	w *enricher
+}
+
+// NewBuilder returns an empty Builder for the input's analysis context
+// (trust bundle, CT log, association map, netsim plan). in.Raw is ignored
+// — the Builder accumulates its own dataset from AddCert/AddConn.
+func NewBuilder(in *Input) *Builder {
+	e := newEnriched(in)
+	e.ds = zeek.NewDataset()
+	return &Builder{e: e, w: e.newEnricher(in.Assoc.index())}
+}
+
+// AddCert registers a certificate for chain resolution. First observation
+// of a fingerprint wins, matching zeek.Dataset.AddCert.
+func (b *Builder) AddCert(c *certmodel.CertInfo) { b.e.ds.AddCert(c) }
+
+// HasCert reports whether a fingerprint is already resolvable.
+func (b *Builder) HasCert(fp ids.Fingerprint) bool { return b.e.ds.Cert(fp) != nil }
+
+// AddConn enriches one connection and appends it to the analysis state.
+// The record pointer is retained by the enriched view; callers must not
+// mutate it afterwards.
+func (b *Builder) AddConn(rec *ConnRecord) {
+	b.e.conns = append(b.e.conns, b.w.enrich(rec))
+}
+
+// Conns reports how many connections have been added.
+func (b *Builder) Conns() int { return len(b.e.conns) }
+
+// Pipeline materializes the current state as an analysis pipeline. pre
+// carries the §3.2 preprocessing statistics the caller tracked (the
+// streaming engine runs interception filtering itself); its TLS 1.3
+// opacity share is derived here from the accumulated connection weights,
+// as on the batch path. Pipeline may be called repeatedly as more records
+// arrive; the analyses only read the state, so an Analysis materialized
+// mid-stream is a consistent snapshot of everything added so far.
+func (b *Builder) Pipeline(pre *PreprocessReport) *Pipeline {
+	b.e.usage = b.w.usage
+	b.e.pre = pre
+	b.e.finishWeights(b.w.tls13W, b.w.totalW)
+	return &Pipeline{e: b.e, workers: workerCount(b.e.input.Workers)}
+}

@@ -226,15 +226,23 @@ type PreprocessReport struct {
 	TLS13ConnShare float64
 }
 
-// preprocess runs interception filtering and builds the enriched views.
-func preprocess(in *Input) *enriched {
-	e := &enriched{
+// newEnriched builds the empty analysis state for an input — the single
+// construction point shared by the batch preprocess and the incremental
+// Builder, so both paths classify and enrich with identical substrate.
+func newEnriched(in *Input) *enriched {
+	p := psl.Default()
+	return &enriched{
 		input: in,
-		psl:   psl.Default(),
+		psl:   p,
 		cls:   classify.New(in.Bundle),
-		info:  infotype.New(psl.Default(), in.CampusIssuers),
+		info:  infotype.New(p, in.CampusIssuers),
 		usage: make(map[ids.Fingerprint]*certUsage),
 	}
+}
+
+// preprocess runs interception filtering and builds the enriched views.
+func preprocess(in *Input) *enriched {
+	e := newEnriched(in)
 
 	det := &interception.Detector{Bundle: in.Bundle, CT: in.CT, PSL: e.psl, MinDomains: 2}
 	res := det.Run(in.Raw)

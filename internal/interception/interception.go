@@ -16,8 +16,6 @@
 package interception
 
 import (
-	"sort"
-
 	"repro/internal/certmodel"
 	"repro/internal/ct"
 	"repro/internal/ids"
@@ -89,70 +87,15 @@ type Detector struct {
 }
 
 // Run inspects every connection's server leaf and returns the confirmed
-// interception issuers plus the certificates to exclude.
+// interception issuers plus the certificates to exclude. It is the batch
+// form of the incremental Stream: one Observe per connection, then
+// Result — so the one-shot and streaming paths share one implementation.
 func (d *Detector) Run(ds *zeek.Dataset) *Result {
-	min := d.MinDomains
-	if min <= 0 {
-		min = 2
-	}
-	// issuer -> set of domains where CT contradicts the observation
-	contradicted := map[string]map[string]bool{}
-	// issuer -> cert fingerprints observed as server leaves
-	observed := map[string]map[ids.Fingerprint]bool{}
-
+	s := d.NewStream(ds.Cert)
 	for i := range ds.Conns {
-		conn := &ds.Conns[i]
-		leafFP := conn.ServerLeaf()
-		if leafFP == "" {
-			continue
-		}
-		leaf := ds.Cert(leafFP)
-		if leaf == nil {
-			continue
-		}
-		// Step 1: only untrusted server issuers are candidates.
-		if d.Bundle.ClassifyLeaf(leaf, conn.ServerChain[1:]) == truststore.Public {
-			continue
-		}
-		issuer := leaf.IssuerKey()
-		if issuer == "" {
-			continue
-		}
-		if observed[issuer] == nil {
-			observed[issuer] = map[ids.Fingerprint]bool{}
-		}
-		observed[issuer][leafFP] = true
-
-		// Step 2: CT comparison on the connection's domain.
-		domain := d.PSL.SLD(conn.SNI)
-		if domain == "" && len(leaf.SANDNS) > 0 {
-			domain = d.PSL.SLD(leaf.SANDNS[0])
-		}
-		if domain == "" || !d.CT.Known(domain) {
-			continue
-		}
-		if !d.CT.HasIssuer(domain, issuer) {
-			if contradicted[issuer] == nil {
-				contradicted[issuer] = map[string]bool{}
-			}
-			contradicted[issuer][domain] = true
-		}
+		s.Observe(&ds.Conns[i])
 	}
-
-	res := &Result{ExcludedCerts: make(map[ids.Fingerprint]bool)}
-	res.CandidateCount = len(contradicted)
-	for issuer, domains := range contradicted {
-		// Step 3: corroboration across domains.
-		if len(domains) < min {
-			continue
-		}
-		res.Issuers = append(res.Issuers, issuer)
-		for fp := range observed[issuer] {
-			res.ExcludedCerts[fp] = true
-		}
-	}
-	sort.Strings(res.Issuers)
-	return res
+	return s.Result()
 }
 
 // Filter returns a copy of ds with excluded certificates' connections'

@@ -1,0 +1,271 @@
+package interception
+
+import (
+	"sort"
+
+	"repro/internal/certmodel"
+	"repro/internal/ids"
+	"repro/internal/truststore"
+	"repro/internal/zeek"
+)
+
+// CertSource resolves a fingerprint to a certificate, or nil when the
+// certificate has not been observed (yet). zeek.Dataset.Cert satisfies it.
+type CertSource func(ids.Fingerprint) *certmodel.CertInfo
+
+// Stream is the incremental form of the Detector: the same three-step
+// filter (§3.2), maintained one observation at a time so a long-running
+// monitor can keep the interception verdict current while records arrive.
+// Detector.Run is a thin loop over a Stream, so the batch and streaming
+// paths share one implementation.
+//
+// A connection whose server leaf certificate has not arrived yet is
+// parked in a pending set and processed when ObserveCert delivers the
+// certificate — the outcome is therefore independent of how ssl.log and
+// x509.log rows interleave, and draining a finite input produces exactly
+// Detector.Run's result.
+//
+// The exclusion set only ever grows. Gen increases monotonically every
+// time it does, so callers can detect retroactive exclusions (a newly
+// confirmed issuer invalidates conclusions drawn from its earlier
+// certificates) with one comparison.
+type Stream struct {
+	d     *Detector
+	min   int
+	certs CertSource
+
+	// observed: issuer -> server-leaf fingerprints presented under it.
+	observed map[string]map[ids.Fingerprint]bool
+	// contradicted: issuer -> domains where CT disagrees.
+	contradicted map[string]map[string]bool
+	// pending: leaf fingerprint -> conns waiting for that certificate.
+	pending map[ids.Fingerprint][]PendingRef
+	// confirmed issuers (contradicted on >= min domains).
+	confirmed map[string]bool
+	// excluded = union of observed[issuer] over confirmed issuers.
+	excluded map[ids.Fingerprint]bool
+
+	gen uint64
+}
+
+// PendingRef is one connection observation parked until its server leaf
+// certificate arrives: the SNI (for the CT domain lookup) and the rest of
+// the presented chain (for trust classification).
+type PendingRef struct {
+	SNI  string
+	Rest []ids.Fingerprint
+}
+
+// NewStream returns an incremental detector resolving certificates
+// through certs.
+func (d *Detector) NewStream(certs CertSource) *Stream {
+	min := d.MinDomains
+	if min <= 0 {
+		min = 2
+	}
+	return &Stream{
+		d:            d,
+		min:          min,
+		certs:        certs,
+		observed:     map[string]map[ids.Fingerprint]bool{},
+		contradicted: map[string]map[string]bool{},
+		pending:      map[ids.Fingerprint][]PendingRef{},
+		confirmed:    map[string]bool{},
+		excluded:     map[ids.Fingerprint]bool{},
+	}
+}
+
+// Observe feeds one connection. If the server leaf certificate is not
+// resolvable yet the observation is parked until ObserveCert delivers it.
+func (s *Stream) Observe(conn *zeek.SSLRecord) {
+	leafFP := conn.ServerLeaf()
+	if leafFP == "" {
+		return
+	}
+	ref := PendingRef{SNI: conn.SNI, Rest: conn.ServerChain[1:]}
+	leaf := s.certs(leafFP)
+	if leaf == nil {
+		s.pending[leafFP] = append(s.pending[leafFP], ref)
+		return
+	}
+	s.observe(leaf, ref)
+}
+
+// ObserveCert notifies the stream that a certificate became resolvable,
+// draining any connections that were waiting for it. Call it on the first
+// observation of each fingerprint.
+func (s *Stream) ObserveCert(c *certmodel.CertInfo) {
+	refs := s.pending[c.Fingerprint]
+	if refs == nil {
+		return
+	}
+	delete(s.pending, c.Fingerprint)
+	for _, ref := range refs {
+		s.observe(c, ref)
+	}
+}
+
+// observe is the per-connection body of Detector.Run.
+func (s *Stream) observe(leaf *certmodel.CertInfo, ref PendingRef) {
+	// Step 1: only untrusted server issuers are candidates.
+	if s.d.Bundle.ClassifyLeaf(leaf, ref.Rest) == truststore.Public {
+		return
+	}
+	issuer := leaf.IssuerKey()
+	if issuer == "" {
+		return
+	}
+	if s.observed[issuer] == nil {
+		s.observed[issuer] = map[ids.Fingerprint]bool{}
+	}
+	if !s.observed[issuer][leaf.Fingerprint] {
+		s.observed[issuer][leaf.Fingerprint] = true
+		if s.confirmed[issuer] {
+			s.exclude(leaf.Fingerprint)
+		}
+	}
+
+	// Step 2: CT comparison on the connection's domain.
+	domain := s.d.PSL.SLD(ref.SNI)
+	if domain == "" && len(leaf.SANDNS) > 0 {
+		domain = s.d.PSL.SLD(leaf.SANDNS[0])
+	}
+	if domain == "" || !s.d.CT.Known(domain) {
+		return
+	}
+	if s.d.CT.HasIssuer(domain, issuer) {
+		return
+	}
+	if s.contradicted[issuer] == nil {
+		s.contradicted[issuer] = map[string]bool{}
+	}
+	s.contradicted[issuer][domain] = true
+
+	// Step 3: corroboration across domains confirms the issuer; every
+	// certificate it was ever seen issuing becomes excluded.
+	if !s.confirmed[issuer] && len(s.contradicted[issuer]) >= s.min {
+		s.confirmed[issuer] = true
+		for fp := range s.observed[issuer] {
+			s.exclude(fp)
+		}
+	}
+}
+
+func (s *Stream) exclude(fp ids.Fingerprint) {
+	if !s.excluded[fp] {
+		s.excluded[fp] = true
+		s.gen++
+	}
+}
+
+// Gen is the exclusion-set generation: it increases whenever a
+// certificate joins the exclusion set and never decreases.
+func (s *Stream) Gen() uint64 { return s.gen }
+
+// Excluded reports whether a fingerprint is currently excluded. The
+// verdict can flip from false to true as evidence accumulates, never
+// back.
+func (s *Stream) Excluded(fp ids.Fingerprint) bool { return s.excluded[fp] }
+
+// ExcludedCount is the current exclusion-set size.
+func (s *Stream) ExcludedCount() int { return len(s.excluded) }
+
+// ConfirmedCount is how many issuers are currently confirmed as
+// interception.
+func (s *Stream) ConfirmedCount() int { return len(s.confirmed) }
+
+// PendingCount is how many connections are parked waiting for their
+// server leaf certificate.
+func (s *Stream) PendingCount() int {
+	n := 0
+	for _, refs := range s.pending {
+		n += len(refs)
+	}
+	return n
+}
+
+// Result materializes the current verdict in Detector.Run's format:
+// sorted confirmed issuers plus a copy of the exclusion set.
+func (s *Stream) Result() *Result {
+	res := &Result{ExcludedCerts: make(map[ids.Fingerprint]bool, len(s.excluded))}
+	res.CandidateCount = len(s.contradicted)
+	for issuer := range s.confirmed {
+		res.Issuers = append(res.Issuers, issuer)
+	}
+	for fp := range s.excluded {
+		res.ExcludedCerts[fp] = true
+	}
+	sort.Strings(res.Issuers)
+	return res
+}
+
+// StreamState is the serializable snapshot of a Stream, exported so the
+// streaming engine can checkpoint the detector alongside its own state
+// (the detector is cumulative: evicted connections still count toward
+// issuer confirmation, so it cannot be rebuilt from a retention window).
+type StreamState struct {
+	Observed     map[string]map[ids.Fingerprint]bool
+	Contradicted map[string]map[string]bool
+	Pending      map[ids.Fingerprint][]PendingRef
+	Confirmed    map[string]bool
+	Excluded     map[ids.Fingerprint]bool
+	Gen          uint64
+}
+
+// Snapshot copies the stream's state for serialization.
+func (s *Stream) Snapshot() *StreamState {
+	st := &StreamState{
+		Observed:     make(map[string]map[ids.Fingerprint]bool, len(s.observed)),
+		Contradicted: make(map[string]map[string]bool, len(s.contradicted)),
+		Pending:      make(map[ids.Fingerprint][]PendingRef, len(s.pending)),
+		Confirmed:    make(map[string]bool, len(s.confirmed)),
+		Excluded:     make(map[ids.Fingerprint]bool, len(s.excluded)),
+		Gen:          s.gen,
+	}
+	for k, v := range s.observed {
+		st.Observed[k] = copyMap(v)
+	}
+	for k, v := range s.contradicted {
+		st.Contradicted[k] = copyMap(v)
+	}
+	for k, v := range s.pending {
+		st.Pending[k] = append([]PendingRef(nil), v...)
+	}
+	for k := range s.confirmed {
+		st.Confirmed[k] = true
+	}
+	for k := range s.excluded {
+		st.Excluded[k] = true
+	}
+	return st
+}
+
+// RestoreStream rebuilds a Stream from a snapshot.
+func (d *Detector) RestoreStream(certs CertSource, st *StreamState) *Stream {
+	s := d.NewStream(certs)
+	for k, v := range st.Observed {
+		s.observed[k] = copyMap(v)
+	}
+	for k, v := range st.Contradicted {
+		s.contradicted[k] = copyMap(v)
+	}
+	for k, v := range st.Pending {
+		s.pending[k] = append([]PendingRef(nil), v...)
+	}
+	for k := range st.Confirmed {
+		s.confirmed[k] = true
+	}
+	for k := range st.Excluded {
+		s.excluded[k] = true
+	}
+	s.gen = st.Gen
+	return s
+}
+
+func copyMap[K comparable](m map[K]bool) map[K]bool {
+	out := make(map[K]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,469 @@
+// Package stream is the incremental analysis engine: it consumes
+// core.ConnRecord / core.CertRecord events one at a time — as a border
+// tap or log tailer produces them — and keeps the enriched joint
+// SSL×X509 state of the paper's pipeline current, so any table or figure
+// can be materialized at any point mid-stream. cmd/mtlsd wraps it in a
+// long-running daemon.
+//
+// # Equivalence contract
+//
+// Feeding a finite dataset through the engine (certificates and
+// connections in any interleaving, connections in dataset order) and
+// draining it produces an Analysis deeply equal to mtls.Analyze on the
+// same input. The engine shares the batch pipeline's implementation
+// rather than reimplementing it: enrichment goes through core.Builder
+// (the same enricher the serial batch path runs) and interception
+// filtering through interception.Stream (which Detector.Run itself wraps).
+//
+// # Retroactive evidence and rebuilds
+//
+// Two kinds of evidence arrive late in a stream and invalidate earlier
+// conclusions, both impossible in batch where all data is present up
+// front: a certificate can arrive after connections that referenced it
+// (their enrichment resolved the chain to nil), and an issuer can be
+// confirmed as TLS interception after its certificates were already
+// admitted (§3.2 excludes them retroactively). The engine detects both —
+// a generation counter on the exclusion set, a missing-reference set for
+// late certificates — and marks the derived state dirty; the next
+// materialization rebuilds it from the retained raw records through the
+// same Builder path. Rebuilds are counted in Stats. Between rebuilds
+// (the steady state once the certificate roster has settled) ingestion
+// is purely incremental.
+//
+// # Bounded memory
+//
+// Connection state is the unbounded dimension of a long-running monitor;
+// Config.Retention bounds it with a sliding time window over connection
+// timestamps. Eviction drops raw connections older than the watermark
+// minus the retention and rebuilds derived state on the next
+// materialization, so reports then describe the retained window. The
+// certificate roster and the interception detector are cumulative by
+// design: certificates are the deduplicated entity the paper counts, and
+// evicted connections must still count toward issuer confirmation.
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/interception"
+	"repro/internal/psl"
+)
+
+// Policy selects what Ingest does when the bounded buffer is full.
+type Policy int
+
+const (
+	// Block applies backpressure: Ingest waits for buffer space. This is
+	// the lossless default — right when the producer is a log tailer that
+	// can simply fall behind.
+	Block Policy = iota
+	// Drop sheds load: Ingest discards the event, counts it in
+	// Stats.Dropped, and returns false. Right when the producer is a live
+	// tap that must never stall the capture path.
+	Drop
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Input is the analysis context (trust bundle, CT log, association
+	// map, netsim plan, months, workers). Input.Raw is ignored — the
+	// engine accumulates its own dataset from the ingested events.
+	Input *core.Input
+	// Buffer is the ingest channel capacity (default 1024).
+	Buffer int
+	// Policy is the full-buffer behavior (default Block).
+	Policy Policy
+	// Retention bounds connection state to a sliding window of this
+	// length behind the newest connection timestamp. 0 retains
+	// everything (required for batch equivalence).
+	Retention time.Duration
+	// EvictEvery is how many connection events elapse between eviction
+	// sweeps when Retention is set (default 1024).
+	EvictEvery int
+}
+
+// Stats is the engine's operational counters, served by mtlsd /stats.
+type Stats struct {
+	ConnsIngested uint64 // connection events applied
+	CertsIngested uint64 // certificate events applied (incl. duplicates)
+	Dropped       uint64 // events shed under Policy Drop
+	Retained      int    // connections currently in the window
+	Evicted       uint64 // connections dropped by retention
+	Rebuilds      uint64 // derived-state rebuilds (retroactive evidence)
+	Dirty         bool   // derived state awaiting rebuild
+
+	UniqueCerts         int // certificate roster size
+	ExcludedCerts       int // §3.2 interception exclusions so far
+	InterceptionIssuers int // confirmed interception issuers so far
+	PendingCerts        int // conns parked awaiting their leaf certificate
+
+	Watermark      time.Time // newest connection timestamp seen
+	LastCheckpoint time.Time // zero until the first checkpoint
+	CheckpointAge  float64   // seconds since LastCheckpoint (0 if none)
+}
+
+// event is one ingest-queue entry: a connection, a certificate, or a
+// flush barrier.
+type event struct {
+	conn  *core.ConnRecord
+	cert  *certmodel.CertInfo
+	flush chan struct{}
+}
+
+// Engine is the incremental analysis engine. Create with New, feed with
+// IngestConn/IngestCert, materialize with Analysis or Report.
+type Engine struct {
+	cfg  Config
+	det  *interception.Detector
+	ch   chan event
+	done chan struct{}
+
+	sendMu  sync.RWMutex // guards closed + ch against Close
+	closed  bool
+	dropped atomic.Uint64
+
+	mu sync.Mutex // guards all state below
+
+	// Raw state — ground truth, never invalidated.
+	roster map[ids.Fingerprint]*certmodel.CertInfo
+	conns  []core.ConnRecord
+	icpt   *interception.Stream
+
+	// Derived state — the batch pipeline's enriched views, kept current
+	// incrementally; rebuilt from raw state when dirty.
+	b *core.Builder
+	// bGen is the exclusion-set generation the derived state reflects.
+	bGen uint64
+	// missing tracks leaf fingerprints that an enriched connection failed
+	// to resolve; the fingerprint arriving later invalidates that
+	// enrichment.
+	missing map[ids.Fingerprint]bool
+	dirty   bool
+
+	connsIngested uint64
+	certsIngested uint64
+	evicted       uint64
+	rebuilds      uint64
+	sinceEvict    int
+	watermark     time.Time
+	lastCkpt      time.Time
+}
+
+// New starts an engine. Call Close to stop it.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Input == nil {
+		return nil, fmt.Errorf("stream: Config.Input is required")
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 1024
+	}
+	if cfg.EvictEvery <= 0 {
+		cfg.EvictEvery = 1024
+	}
+	e := &Engine{
+		cfg:    cfg,
+		ch:     make(chan event, cfg.Buffer),
+		done:   make(chan struct{}),
+		roster: make(map[ids.Fingerprint]*certmodel.CertInfo),
+	}
+	// The detector must match the batch preprocess exactly (core uses
+	// MinDomains 2 over the default PSL).
+	e.det = &interception.Detector{
+		Bundle: cfg.Input.Bundle, CT: cfg.Input.CT, PSL: psl.Default(), MinDomains: 2,
+	}
+	e.icpt = e.det.NewStream(e.lookupCert)
+	e.resetBuilderLocked()
+	go e.run()
+	return e, nil
+}
+
+// lookupCert is the detector's certificate source: the raw roster.
+func (e *Engine) lookupCert(fp ids.Fingerprint) *certmodel.CertInfo { return e.roster[fp] }
+
+// resetBuilderLocked replaces the derived state with an empty Builder.
+func (e *Engine) resetBuilderLocked() {
+	e.b = core.NewBuilder(e.cfg.Input)
+	e.missing = make(map[ids.Fingerprint]bool)
+	e.bGen = e.icpt.Gen()
+	e.dirty = false
+}
+
+// IngestConn feeds one connection event. The record is copied; the
+// caller may reuse it. Returns false when the event was dropped (Policy
+// Drop with a full buffer) or the engine is closed.
+func (e *Engine) IngestConn(rec *core.ConnRecord) bool {
+	c := *rec
+	return e.send(event{conn: &c}, e.cfg.Policy == Block)
+}
+
+// IngestCert feeds one certificate event.
+func (e *Engine) IngestCert(rec *core.CertRecord) bool {
+	return e.send(event{cert: rec.Cert}, e.cfg.Policy == Block)
+}
+
+func (e *Engine) send(ev event, block bool) bool {
+	e.sendMu.RLock()
+	defer e.sendMu.RUnlock()
+	if e.closed {
+		return false
+	}
+	if block {
+		e.ch <- ev
+		return true
+	}
+	select {
+	case e.ch <- ev:
+		return true
+	default:
+		e.dropped.Add(1)
+		return false
+	}
+}
+
+// Drain blocks until every event ingested before the call has been
+// applied. It is never dropped, regardless of policy.
+func (e *Engine) Drain() {
+	done := make(chan struct{})
+	if !e.send(event{flush: done}, true) {
+		return
+	}
+	<-done
+}
+
+// Close drains the queue, stops the apply loop, and makes further
+// ingests return false. Materialization remains available.
+func (e *Engine) Close() {
+	e.sendMu.Lock()
+	if e.closed {
+		e.sendMu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.ch)
+	e.sendMu.Unlock()
+	<-e.done
+}
+
+// run is the single apply goroutine. It batches queued events under one
+// lock acquisition to keep lock churn off the hot path.
+func (e *Engine) run() {
+	defer close(e.done)
+	for ev := range e.ch {
+		e.mu.Lock()
+		e.applyLocked(ev)
+	drain:
+		for i := 0; i < 256; i++ {
+			select {
+			case next, ok := <-e.ch:
+				if !ok {
+					e.mu.Unlock()
+					return
+				}
+				e.applyLocked(next)
+			default:
+				break drain
+			}
+		}
+		e.mu.Unlock()
+	}
+}
+
+func (e *Engine) applyLocked(ev event) {
+	switch {
+	case ev.flush != nil:
+		close(ev.flush)
+	case ev.cert != nil:
+		e.applyCertLocked(ev.cert)
+	case ev.conn != nil:
+		e.applyConnLocked(ev.conn)
+	}
+}
+
+// applyCertLocked admits one certificate: first observation of a
+// fingerprint joins the roster (as zeek.Dataset.AddCert would), wakes any
+// parked detector observations, and — unless it arrived too late or is
+// excluded — becomes resolvable for future enrichment.
+func (e *Engine) applyCertLocked(c *certmodel.CertInfo) {
+	e.certsIngested++
+	if _, ok := e.roster[c.Fingerprint]; ok {
+		return // first observation wins
+	}
+	e.roster[c.Fingerprint] = c
+	e.icpt.ObserveCert(c)
+	if e.icpt.Gen() != e.bGen {
+		e.dirty = true
+	}
+	if e.dirty {
+		return
+	}
+	if e.missing[c.Fingerprint] {
+		// An already-enriched connection resolved this fingerprint to
+		// nil; the batch pipeline would have resolved it.
+		e.dirty = true
+		return
+	}
+	if !e.icpt.Excluded(c.Fingerprint) {
+		e.b.AddCert(c)
+	}
+}
+
+// applyConnLocked admits one connection: it is retained raw (the window
+// the derived state can always be rebuilt from), observed by the
+// interception detector, and — when the derived state is clean and the
+// connection survives the §3.2 filter — enriched immediately.
+func (e *Engine) applyConnLocked(rec *core.ConnRecord) {
+	e.connsIngested++
+	if rec.TS.After(e.watermark) {
+		e.watermark = rec.TS
+	}
+	e.conns = append(e.conns, *rec)
+	stored := &e.conns[len(e.conns)-1]
+
+	e.icpt.Observe(stored)
+	if e.icpt.Gen() != e.bGen {
+		e.dirty = true
+	}
+	if !e.dirty {
+		if sl := stored.ServerLeaf(); sl != "" && e.icpt.Excluded(sl) {
+			// Filtered out, as interception.Filter drops it in batch.
+		} else {
+			e.noteMissingLocked(stored)
+			e.b.AddConn(stored)
+		}
+	}
+
+	if e.cfg.Retention > 0 {
+		e.sinceEvict++
+		if e.sinceEvict >= e.cfg.EvictEvery {
+			e.sinceEvict = 0
+			e.evictLocked()
+		}
+	}
+}
+
+// noteMissingLocked records leaf fingerprints this connection will fail
+// to resolve, so their late arrival invalidates the enrichment.
+func (e *Engine) noteMissingLocked(rec *core.ConnRecord) {
+	if fp := rec.ServerLeaf(); fp != "" {
+		if _, ok := e.roster[fp]; !ok {
+			e.missing[fp] = true
+		}
+	}
+	if fp := rec.ClientLeaf(); fp != "" {
+		if _, ok := e.roster[fp]; !ok {
+			e.missing[fp] = true
+		}
+	}
+}
+
+// evictLocked drops connections that fell out of the retention window. A
+// fresh slice is allocated because enriched views hold pointers into the
+// old backing array.
+func (e *Engine) evictLocked() {
+	cutoff := e.watermark.Add(-e.cfg.Retention)
+	kept := make([]core.ConnRecord, 0, len(e.conns))
+	for i := range e.conns {
+		if !e.conns[i].TS.Before(cutoff) {
+			kept = append(kept, e.conns[i])
+		}
+	}
+	if len(kept) == len(e.conns) {
+		return
+	}
+	e.evicted += uint64(len(e.conns) - len(kept))
+	e.conns = kept
+	e.dirty = true
+}
+
+// rebuildLocked reconstructs the derived state from the retained raw
+// records under the current exclusion set — the same code path as
+// incremental ingestion, replayed.
+func (e *Engine) rebuildLocked() {
+	e.resetBuilderLocked()
+	for fp, c := range e.roster {
+		if !e.icpt.Excluded(fp) {
+			e.b.AddCert(c)
+		}
+	}
+	for i := range e.conns {
+		rec := &e.conns[i]
+		if sl := rec.ServerLeaf(); sl != "" && e.icpt.Excluded(sl) {
+			continue
+		}
+		e.noteMissingLocked(rec)
+		e.b.AddConn(rec)
+	}
+	e.rebuilds++
+}
+
+// pipelineLocked materializes the current state as a core.Pipeline,
+// rebuilding first if retroactive evidence arrived.
+func (e *Engine) pipelineLocked() *core.Pipeline {
+	if e.dirty {
+		e.rebuildLocked()
+	}
+	return e.b.Pipeline(e.preReportLocked())
+}
+
+// preReportLocked assembles the §3.2 statistics exactly as the batch
+// preprocess reports them: raw counts before filtering, the confirmed
+// issuer list, and the exclusion share of the certificate roster.
+func (e *Engine) preReportLocked() *core.PreprocessReport {
+	res := e.icpt.Result()
+	return &core.PreprocessReport{
+		InterceptionIssuers: res.Issuers,
+		ExcludedCerts:       len(res.ExcludedCerts),
+		ExcludedShare:       res.ExcludedShare(len(e.roster)),
+		RawCerts:            len(e.roster),
+		RawConns:            int(e.connsIngested),
+	}
+}
+
+// Analysis materializes every table and figure over the state applied so
+// far — mid-stream this is a consistent snapshot; after Drain on a
+// finite input it deep-equals the batch pipeline's Analysis. Ingestion
+// pauses while the analyses run.
+func (e *Engine) Analysis() *core.Analysis {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pipelineLocked().RunAll()
+}
+
+// WithPipeline runs fn over a materialized pipeline while holding the
+// engine's state lock; fn must not retain the pipeline.
+func (e *Engine) WithPipeline(fn func(*core.Pipeline)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fn(e.pipelineLocked())
+}
+
+// Stats returns the operational counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Stats{
+		ConnsIngested:       e.connsIngested,
+		CertsIngested:       e.certsIngested,
+		Dropped:             e.dropped.Load(),
+		Retained:            len(e.conns),
+		Evicted:             e.evicted,
+		Rebuilds:            e.rebuilds,
+		Dirty:               e.dirty,
+		UniqueCerts:         len(e.roster),
+		ExcludedCerts:       e.icpt.ExcludedCount(),
+		InterceptionIssuers: e.icpt.ConfirmedCount(),
+		PendingCerts:        e.icpt.PendingCount(),
+		Watermark:           e.watermark,
+		LastCheckpoint:      e.lastCkpt,
+	}
+	if !e.lastCkpt.IsZero() {
+		st.CheckpointAge = time.Since(e.lastCkpt).Seconds()
+	}
+	return st
+}

@@ -1,0 +1,438 @@
+package stream
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	mtls "repro"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workload"
+	"repro/internal/zeek"
+)
+
+func inputFromBuild(b *workload.Build) *core.Input {
+	return &core.Input{
+		Raw:           b.Raw,
+		CT:            b.CT,
+		Bundle:        b.Bundle,
+		CampusIssuers: b.CampusIssuers,
+		Assoc: core.AssocMap{
+			HealthSLDs:     b.Assoc.HealthSLDs,
+			UniversitySLDs: b.Assoc.UniversitySLDs,
+			VPNHostPrefix:  b.Assoc.VPNHostPrefix,
+			LocalOrgSLDs:   b.Assoc.LocalOrgSLDs,
+			ThirdPartySLDs: b.Assoc.ThirdPartySLDs,
+			GlobusSLDs:     b.Assoc.GlobusSLDs,
+		},
+		Plan:   b.Plan,
+		Months: b.Months,
+	}
+}
+
+func genBuild(seed uint64, scale int) *workload.Build {
+	cfg := workload.Default()
+	cfg.Seed = seed
+	cfg.CertScale = scale
+	return workload.Generate(cfg)
+}
+
+// feed pushes a build through an engine: certificates first, then
+// connections in dataset order — the interleaving a well-ordered log
+// replay produces.
+func feed(t *testing.T, e *Engine, b *workload.Build) {
+	t.Helper()
+	for _, c := range b.Raw.Certs {
+		if !e.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c}) {
+			t.Fatal("cert event rejected")
+		}
+	}
+	for i := range b.Raw.Conns {
+		if !e.IngestConn(&b.Raw.Conns[i]) {
+			t.Fatal("conn event rejected")
+		}
+	}
+}
+
+func newEngine(t *testing.T, in *core.Input, mutate func(*Config)) *Engine {
+	t.Helper()
+	cfg := Config{Input: in}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// TestStreamMatchesBatch is the load-bearing contract: draining a finite
+// dataset through the engine produces an Analysis deeply equal to the
+// batch pipeline's, across seeds and scales.
+func TestStreamMatchesBatch(t *testing.T) {
+	for _, tc := range []struct {
+		seed  uint64
+		scale int
+	}{
+		{seed: 20240504, scale: 1200},
+		{seed: 7, scale: 1200},
+		{seed: 99, scale: 1200},
+		{seed: 20240504, scale: 600},
+		{seed: 7, scale: 600},
+		{seed: 99, scale: 600},
+	} {
+		b := genBuild(tc.seed, tc.scale)
+		batch := core.Run(inputFromBuild(b))
+
+		in := inputFromBuild(b)
+		in.Raw = nil // the engine accumulates its own dataset
+		e := newEngine(t, in, nil)
+		feed(t, e, b)
+		e.Drain()
+		got := e.Analysis()
+
+		if !reflect.DeepEqual(batch, got) {
+			t.Errorf("seed=%d scale=%d: stream analysis differs from batch", tc.seed, tc.scale)
+		}
+		if st := e.Stats(); st.Dropped != 0 {
+			t.Errorf("seed=%d scale=%d: unexpected drops: %d", tc.seed, tc.scale, st.Dropped)
+		}
+	}
+}
+
+// TestStreamMatchesBatchParallelMaterialize checks the contract holds
+// when materialization fans the analyses out across workers.
+func TestStreamMatchesBatchParallelMaterialize(t *testing.T) {
+	b := genBuild(20240504, 1000)
+	batch := core.Run(inputFromBuild(b))
+
+	in := inputFromBuild(b)
+	in.Raw = nil
+	in.Workers = 4
+	e := newEngine(t, in, nil)
+	feed(t, e, b)
+	e.Drain()
+	if got := e.Analysis(); !reflect.DeepEqual(batch, got) {
+		t.Error("parallel materialization differs from batch")
+	}
+}
+
+// TestStreamOutOfOrderCerts feeds every connection before any
+// certificate: enrichment initially resolves nothing, the interception
+// detector parks every observation, and the late certificates invalidate
+// the derived state. The drained result must still equal batch.
+func TestStreamOutOfOrderCerts(t *testing.T) {
+	b := genBuild(20240504, 1000)
+	batch := core.Run(inputFromBuild(b))
+
+	in := inputFromBuild(b)
+	in.Raw = nil
+	e := newEngine(t, in, nil)
+	for i := range b.Raw.Conns {
+		e.IngestConn(&b.Raw.Conns[i])
+	}
+	for _, c := range b.Raw.Certs {
+		e.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c})
+	}
+	e.Drain()
+	if got := e.Analysis(); !reflect.DeepEqual(batch, got) {
+		t.Error("out-of-order stream analysis differs from batch")
+	}
+	if st := e.Stats(); st.Rebuilds == 0 {
+		t.Error("late certificates should have forced a rebuild")
+	}
+}
+
+// TestMidStreamMaterialization asserts a snapshot taken mid-stream is a
+// consistent prefix analysis (no panic, sane counters) and that
+// continuing afterwards still converges to the batch result.
+func TestMidStreamMaterialization(t *testing.T) {
+	b := genBuild(20240504, 1000)
+	batch := core.Run(inputFromBuild(b))
+
+	in := inputFromBuild(b)
+	in.Raw = nil
+	e := newEngine(t, in, nil)
+	for _, c := range b.Raw.Certs {
+		e.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c})
+	}
+	half := len(b.Raw.Conns) / 2
+	for i := 0; i < half; i++ {
+		e.IngestConn(&b.Raw.Conns[i])
+	}
+	e.Drain()
+	mid := e.Analysis()
+	if mid.Preprocess.RawConns != half {
+		t.Fatalf("mid-stream RawConns = %d, want %d", mid.Preprocess.RawConns, half)
+	}
+	if mid.CertStats.Row("Total").Total == 0 {
+		t.Fatal("mid-stream analysis is empty")
+	}
+
+	for i := half; i < len(b.Raw.Conns); i++ {
+		e.IngestConn(&b.Raw.Conns[i])
+	}
+	e.Drain()
+	if got := e.Analysis(); !reflect.DeepEqual(batch, got) {
+		t.Error("post-snapshot analysis differs from batch")
+	}
+}
+
+// TestCheckpointRestoreResume kills the engine mid-stream, restores from
+// the checkpoint, replays the remainder, and requires the final reports
+// to be identical — deep-equal as structs and byte-identical rendered.
+func TestCheckpointRestoreResume(t *testing.T) {
+	b := genBuild(20240504, 1000)
+	in := inputFromBuild(b)
+	in.Raw = nil
+
+	// Uninterrupted run.
+	full := newEngine(t, in, nil)
+	feed(t, full, b)
+	full.Drain()
+	want := full.Analysis()
+
+	// Interrupted run: checkpoint after 40% of the connections.
+	e := newEngine(t, in, nil)
+	for _, c := range b.Raw.Certs {
+		e.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c})
+	}
+	cut := len(b.Raw.Conns) * 2 / 5
+	for i := 0; i < cut; i++ {
+		e.IngestConn(&b.Raw.Conns[i])
+	}
+	e.Drain()
+	path := filepath.Join(t.TempDir(), "mtlsd.ckpt")
+	cursor := map[string]int64{"conn_index": int64(cut)}
+	if err := e.WriteCheckpoint(path, cursor); err != nil {
+		t.Fatal(err)
+	}
+	e.Close() // the "kill"
+
+	restored, gotCursor, err := Restore(Config{Input: in}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(restored.Close)
+	if gotCursor["conn_index"] != int64(cut) {
+		t.Fatalf("cursor = %v, want conn_index=%d", gotCursor, cut)
+	}
+	for i := cut; i < len(b.Raw.Conns); i++ {
+		restored.IngestConn(&b.Raw.Conns[i])
+	}
+	restored.Drain()
+	got := restored.Analysis()
+
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("restored analysis differs from uninterrupted run")
+	}
+	if report.RenderAll(want) != report.RenderAll(got) {
+		t.Fatal("rendered reports are not byte-identical after restore")
+	}
+}
+
+// TestBackpressureDrop verifies the Drop policy sheds load without
+// corrupting state, and that drops are counted.
+func TestBackpressureDrop(t *testing.T) {
+	b := genBuild(20240504, 2000)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	e := newEngine(t, in, func(c *Config) { c.Policy = Drop; c.Buffer = 8 })
+
+	// Stall the apply loop by holding the state lock, then flood.
+	hold := make(chan struct{})
+	release := make(chan struct{})
+	go e.WithPipeline(func(*core.Pipeline) { close(hold); <-release })
+	<-hold
+	var accepted, dropped int
+	for i := range b.Raw.Conns {
+		if e.IngestConn(&b.Raw.Conns[i]) {
+			accepted++
+		} else {
+			dropped++
+		}
+	}
+	close(release)
+	e.Drain()
+
+	if dropped == 0 {
+		t.Fatal("expected drops with a stalled consumer and an 8-slot buffer")
+	}
+	st := e.Stats()
+	if st.Dropped != uint64(dropped) {
+		t.Fatalf("Stats.Dropped = %d, want %d", st.Dropped, dropped)
+	}
+	if st.ConnsIngested != uint64(accepted) {
+		t.Fatalf("ConnsIngested = %d, want %d accepted", st.ConnsIngested, accepted)
+	}
+	if a := e.Analysis(); a.Preprocess.RawConns != accepted {
+		t.Fatalf("RawConns = %d, want %d", a.Preprocess.RawConns, accepted)
+	}
+}
+
+// TestBackpressureBlock verifies the Block policy never drops: a stalled
+// consumer delays the producer, and everything lands.
+func TestBackpressureBlock(t *testing.T) {
+	b := genBuild(20240504, 2000)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	e := newEngine(t, in, func(c *Config) { c.Buffer = 8 })
+
+	hold := make(chan struct{})
+	release := make(chan struct{})
+	go e.WithPipeline(func(*core.Pipeline) { close(hold); <-release })
+	<-hold
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := range b.Raw.Conns {
+			e.IngestConn(&b.Raw.Conns[i])
+		}
+	}()
+	select {
+	case <-done:
+		t.Fatal("producer finished against a stalled consumer with an 8-slot buffer")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	<-done
+	e.Drain()
+	if st := e.Stats(); st.Dropped != 0 || st.ConnsIngested != uint64(len(b.Raw.Conns)) {
+		t.Fatalf("block policy: dropped=%d ingested=%d want 0/%d",
+			st.Dropped, st.ConnsIngested, len(b.Raw.Conns))
+	}
+}
+
+// TestWindowedEviction bounds connection state with a short retention and
+// checks old connections leave the window while reports stay
+// materializable and cumulative counters keep the full history.
+func TestWindowedEviction(t *testing.T) {
+	b := genBuild(20240504, 1000)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	retention := 120 * 24 * time.Hour // 4 months of a 23-month stream
+	e := newEngine(t, in, func(c *Config) {
+		c.Retention = retention
+		c.EvictEvery = 256
+	})
+	feed(t, e, b)
+	e.Drain()
+
+	st := e.Stats()
+	if st.Evicted == 0 {
+		t.Fatal("expected evictions with a 4-month window over 23 months")
+	}
+	if st.Retained >= len(b.Raw.Conns) {
+		t.Fatalf("retained %d of %d, expected a bounded window", st.Retained, len(b.Raw.Conns))
+	}
+	a := e.Analysis()
+	if a.Preprocess.RawConns != len(b.Raw.Conns) {
+		t.Fatalf("cumulative RawConns = %d, want %d", a.Preprocess.RawConns, len(b.Raw.Conns))
+	}
+	// The prevalence series must cover only the retained window (plus
+	// slack for the eviction cadence), not the whole study.
+	if months := len(a.Prevalence.Overall); months > 7 {
+		t.Fatalf("windowed prevalence spans %d months, want <= 7", months)
+	}
+	// Certificates are cumulative by design.
+	if a.Preprocess.RawCerts != len(b.Raw.Certs) {
+		t.Fatalf("RawCerts = %d, want %d", a.Preprocess.RawCerts, len(b.Raw.Certs))
+	}
+}
+
+// TestReportRegistry materializes every named report and checks the
+// registry covers the full Analysis surface.
+func TestReportRegistry(t *testing.T) {
+	b := genBuild(20240504, 2000)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	e := newEngine(t, in, nil)
+	feed(t, e, b)
+	e.Drain()
+
+	names := ReportNames()
+	if len(names) != 22 {
+		t.Fatalf("report names = %d, want 22", len(names))
+	}
+	for _, name := range names {
+		out, err := e.Report(name)
+		if err != nil {
+			t.Fatalf("Report(%q): %v", name, err)
+		}
+		if out == nil || reflect.ValueOf(out).IsNil() {
+			t.Fatalf("Report(%q) returned nil", name)
+		}
+	}
+	if _, err := e.Report("nope"); err == nil {
+		t.Fatal("unknown report name must error")
+	}
+}
+
+// TestIngestAfterClose: a closed engine rejects events instead of
+// panicking, and still materializes.
+func TestIngestAfterClose(t *testing.T) {
+	b := genBuild(20240504, 2000)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	e, err := New(Config{Input: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, e, b)
+	e.Close()
+	if e.IngestConn(&b.Raw.Conns[0]) {
+		t.Fatal("ingest after close must return false")
+	}
+	e.Drain() // must not hang
+	if a := e.Analysis(); a.CertStats.Row("Total").Total == 0 {
+		t.Fatal("closed engine must still materialize")
+	}
+}
+
+// TestLogReplayMatchesBatch round-trips the dataset through the TSV logs
+// and the tailing readers — the daemon's exact ingestion path — and
+// checks the drained stream still equals batch on the same logs.
+func TestLogReplayMatchesBatch(t *testing.T) {
+	b := genBuild(20240504, 1500)
+	dir := t.TempDir()
+	if err := mtls.WriteLogs(b.Raw, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Batch over the reloaded logs (fingerprint identity survives the
+	// round trip, so this matches the daemon's view).
+	reloaded, err := mtls.OpenLogs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := inputFromBuild(b)
+	bin.Raw = reloaded
+	batch := core.Run(bin)
+
+	in := inputFromBuild(b)
+	in.Raw = nil
+	e := newEngine(t, in, nil)
+	xt := zeek.NewX509Tail(filepath.Join(dir, "x509.log"))
+	st := zeek.NewSSLTail(filepath.Join(dir, "ssl.log"))
+	certs, err := xt.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range certs {
+		e.IngestCert(&certs[i])
+	}
+	conns, err := st.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range conns {
+		e.IngestConn(&conns[i])
+	}
+	e.Drain()
+	if got := e.Analysis(); !reflect.DeepEqual(batch, got) {
+		t.Error("log-replayed stream analysis differs from batch over the same logs")
+	}
+}

@@ -1,0 +1,59 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// reportFns maps the daemon's report names (URL path leaves under
+// /reports/) to pipeline stages. Names follow the paper's table/figure
+// numbering, plus the unnumbered §-level reports.
+var reportFns = map[string]func(*core.Pipeline) any{
+	"preprocess": func(p *core.Pipeline) any { return p.PreprocessReport() },
+	"table1":     func(p *core.Pipeline) any { return p.CertStats() },
+	"figure1":    func(p *core.Pipeline) any { return p.Prevalence() },
+	"table2":     func(p *core.Pipeline) any { return p.Services() },
+	"table3":     func(p *core.Pipeline) any { return p.Inbound() },
+	"figure2":    func(p *core.Pipeline) any { return p.Outbound() },
+	"table4":     func(p *core.Pipeline) any { return p.DummyIssuers() },
+	"serials":    func(p *core.Pipeline) any { return p.Serials() },
+	"table5":     func(p *core.Pipeline) any { return p.SharingSame() },
+	"table6":     func(p *core.Pipeline) any { return p.SharingCross() },
+	"figure3":    func(p *core.Pipeline) any { return p.BadDates() },
+	"figure4":    func(p *core.Pipeline) any { return p.Validity() },
+	"figure5":    func(p *core.Pipeline) any { return p.Expired() },
+	"table7":     func(p *core.Pipeline) any { return p.Utilization() },
+	"table8":     func(p *core.Pipeline) any { return p.Contents() },
+	"table9":     func(p *core.Pipeline) any { return p.Unidentified() },
+	"table13":    func(p *core.Pipeline) any { return p.SharedInfo() },
+	"table14":    func(p *core.Pipeline) any { return p.NonMutual() },
+	"concerns":   func(p *core.Pipeline) any { return p.Concerns() },
+	"santypes":   func(p *core.Pipeline) any { return p.SANTypes() },
+	"durations":  func(p *core.Pipeline) any { return p.Durations() },
+	"versions":   func(p *core.Pipeline) any { return p.Versions() },
+}
+
+// ReportNames lists every materializable report, sorted.
+func ReportNames() []string {
+	names := make([]string, 0, len(reportFns))
+	for n := range reportFns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Report materializes one named report over the current state. The
+// returned value is a fresh report struct safe to serialize after the
+// call.
+func (e *Engine) Report(name string) (any, error) {
+	fn, ok := reportFns[name]
+	if !ok {
+		return nil, fmt.Errorf("stream: unknown report %q", name)
+	}
+	var out any
+	e.WithPipeline(func(p *core.Pipeline) { out = fn(p) })
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package zeek
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// tail incrementally reads one Zeek TSV log file. Each poll opens the
+// file, seeks to the byte offset reached last time, and consumes every
+// complete line that has appeared since; a trailing partial line (a row
+// the writer has not finished flushing) is left for the next poll. A file
+// that shrinks below the saved offset is treated as rotated and read
+// again from the start. The offset is exposed so a daemon can persist it
+// in a checkpoint and resume tailing exactly where ingestion stopped.
+type tail struct {
+	path     string
+	wantPath string
+	nFields  int
+	offset   int64
+	line     int64
+}
+
+// poll consumes newly appended complete rows, invoking row per data line.
+// The offset advances past every line handed to row (and past malformed
+// lines, so one corrupt row cannot wedge the tailer), but never past a
+// partial trailing line.
+func (t *tail) poll(row func([]string) error) error {
+	f, err := os.Open(t.path)
+	if os.IsNotExist(err) {
+		return nil // not written yet; keep polling
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if fi.Size() < t.offset {
+		// Truncated or rotated in place: start over.
+		t.offset = 0
+		t.line = 0
+	}
+	if fi.Size() == t.offset {
+		return nil
+	}
+	if _, err := f.Seek(t.offset, io.SeekStart); err != nil {
+		return err
+	}
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	last := bytes.LastIndexByte(buf, '\n')
+	if last < 0 {
+		return nil // only a partial line so far
+	}
+	data := buf[:last+1]
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		line := string(data[:nl])
+		data = data[nl+1:]
+		t.offset += int64(nl) + 1
+		t.line++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "#path"+fieldSep) {
+				if got := strings.TrimPrefix(line, "#path"+fieldSep); got != t.wantPath {
+					return fmt.Errorf("zeek: tail %s: log path %q, want %q", t.path, got, t.wantPath)
+				}
+			}
+			continue
+		}
+		cols := strings.Split(line, fieldSep)
+		if len(cols) != t.nFields {
+			return fmt.Errorf("zeek: tail %s: line %d has %d fields, want %d",
+				t.path, t.line, len(cols), t.nFields)
+		}
+		if err := row(cols); err != nil {
+			return fmt.Errorf("zeek: tail %s: line %d: %w", t.path, t.line, err)
+		}
+	}
+	return nil
+}
+
+// SSLTail incrementally reads an ssl.log as it is written.
+type SSLTail struct{ t tail }
+
+// NewSSLTail tails the ssl.log at path from the beginning.
+func NewSSLTail(path string) *SSLTail {
+	return &SSLTail{t: tail{path: path, wantPath: "ssl", nFields: len(sslFields)}}
+}
+
+// Poll returns the connection rows appended since the previous poll (nil
+// when nothing new). Rows parsed before an error are still returned.
+func (s *SSLTail) Poll() ([]SSLRecord, error) {
+	var out []SSLRecord
+	err := s.t.poll(func(cols []string) error {
+		rec, err := parseSSLCols(cols)
+		if err != nil {
+			return err
+		}
+		out = append(out, rec)
+		return nil
+	})
+	return out, err
+}
+
+// Offset is the byte position reached so far, for checkpointing.
+func (s *SSLTail) Offset() int64 { return s.t.offset }
+
+// SetOffset resumes tailing from a checkpointed byte position.
+func (s *SSLTail) SetOffset(off int64) { s.t.offset = off }
+
+// X509Tail incrementally reads an x509.log as it is written.
+type X509Tail struct{ t tail }
+
+// NewX509Tail tails the x509.log at path from the beginning.
+func NewX509Tail(path string) *X509Tail {
+	return &X509Tail{t: tail{path: path, wantPath: "x509", nFields: len(x509Fields)}}
+}
+
+// Poll returns the certificate rows appended since the previous poll.
+func (x *X509Tail) Poll() ([]X509Record, error) {
+	var out []X509Record
+	err := x.t.poll(func(cols []string) error {
+		rec, err := parseX509Cols(cols)
+		if err != nil {
+			return err
+		}
+		out = append(out, rec)
+		return nil
+	})
+	return out, err
+}
+
+// Offset is the byte position reached so far, for checkpointing.
+func (x *X509Tail) Offset() int64 { return x.t.offset }
+
+// SetOffset resumes tailing from a checkpointed byte position.
+func (x *X509Tail) SetOffset(off int64) { x.t.offset = off }

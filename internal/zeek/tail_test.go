@@ -1,0 +1,185 @@
+package zeek
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+func tailRec(uid string, ts time.Time) SSLRecord {
+	return SSLRecord{
+		TS: ts, UID: ids.UID(uid), OrigIP: "10.0.0.1", OrigPort: 1234,
+		RespIP: "192.0.2.1", RespPort: 443, Version: "TLSv12", SNI: "example.com",
+		Established: true, ServerChain: []ids.Fingerprint{"aa"}, Weight: 1,
+	}
+}
+
+// writeRows appends ssl.log rows (with header on first write) to path.
+func writeRows(t *testing.T, path string, recs ...SSLRecord) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewSSLWriter(f)
+	w.opened = fi.Size() > 0 // only the first append writes the header
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTailIncremental drives the tailer through appends, a partial line,
+// and its completion.
+func TestTailIncremental(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ssl.log")
+	tl := NewSSLTail(path)
+
+	// File absent: no rows, no error.
+	if recs, err := tl.Poll(); err != nil || len(recs) != 0 {
+		t.Fatalf("absent file: recs=%d err=%v", len(recs), err)
+	}
+
+	ts := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	writeRows(t, path, tailRec("C1", ts), tailRec("C2", ts.Add(time.Minute)))
+	recs, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].UID != "C1" || recs[1].UID != "C2" {
+		t.Fatalf("first poll: %+v", recs)
+	}
+
+	// Nothing new.
+	if recs, err := tl.Poll(); err != nil || len(recs) != 0 {
+		t.Fatalf("idle poll: recs=%d err=%v", len(recs), err)
+	}
+
+	// Append a complete row plus a partial line; only the complete row
+	// must be consumed.
+	writeRows(t, path, tailRec("C3", ts.Add(2*time.Minute)))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("1654050000.000000\tC4\t10.0.0.1\t1234"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, err = tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].UID != "C3" {
+		t.Fatalf("partial-line poll: %+v", recs)
+	}
+
+	// Complete the partial line; the row must come through intact.
+	f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\t192.0.2.1\t443\tTLSv13\texample.com\tT\taa\t(empty)\t1\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, err = tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].UID != "C4" || recs[0].Version != "TLSv13" {
+		t.Fatalf("completed-line poll: %+v", recs)
+	}
+}
+
+// TestTailOffsetResume checks that a fresh tailer seeked to a saved
+// offset continues without re-reading or skipping rows.
+func TestTailOffsetResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ssl.log")
+	ts := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	writeRows(t, path, tailRec("C1", ts), tailRec("C2", ts.Add(time.Second)))
+
+	tl := NewSSLTail(path)
+	if recs, err := tl.Poll(); err != nil || len(recs) != 2 {
+		t.Fatalf("prefix: recs=%d err=%v", len(recs), err)
+	}
+	saved := tl.Offset()
+
+	writeRows(t, path, tailRec("C3", ts.Add(2*time.Second)))
+
+	resumed := NewSSLTail(path)
+	resumed.SetOffset(saved)
+	recs, err := resumed.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].UID != "C3" {
+		t.Fatalf("resume: %+v", recs)
+	}
+}
+
+// TestTailRotation: a file that shrinks is re-read from the start.
+func TestTailRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ssl.log")
+	ts := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	writeRows(t, path, tailRec("C1", ts), tailRec("C2", ts.Add(time.Second)))
+
+	tl := NewSSLTail(path)
+	if recs, err := tl.Poll(); err != nil || len(recs) != 2 {
+		t.Fatalf("prefix: recs=%d err=%v", len(recs), err)
+	}
+
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	writeRows(t, path, tailRec("R1", ts.Add(time.Hour)))
+	recs, err := tl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].UID != "R1" {
+		t.Fatalf("rotation: %+v", recs)
+	}
+}
+
+// TestForEachSSLStop: ErrStop ends iteration cleanly.
+func TestForEachSSLStop(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ssl.log")
+	ts := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	writeRows(t, path, tailRec("C1", ts), tailRec("C2", ts), tailRec("C3", ts))
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var seen int
+	if err := ForEachSSL(f, func(r *SSLRecord) error {
+		seen++
+		if seen == 2 {
+			return ErrStop
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 2 {
+		t.Fatalf("seen = %d, want 2", seen)
+	}
+}

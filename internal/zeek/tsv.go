@@ -2,6 +2,7 @@ package zeek
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -122,40 +123,126 @@ func (xw *X509Writer) Write(r *X509Record) error {
 // Flush flushes buffered rows.
 func (xw *X509Writer) Flush() error { return xw.w.Flush() }
 
-// ReadSSL parses an ssl.log stream.
-func ReadSSL(r io.Reader) ([]SSLRecord, error) {
-	var out []SSLRecord
+// parseSSLCols decodes one ssl.log row.
+func parseSSLCols(cols []string) (SSLRecord, error) {
+	ts, err := parseTS(cols[0])
+	if err != nil {
+		return SSLRecord{}, err
+	}
+	op, err := strconv.Atoi(cols[3])
+	if err != nil {
+		return SSLRecord{}, fmt.Errorf("zeek: orig port: %w", err)
+	}
+	rp, err := strconv.Atoi(cols[5])
+	if err != nil {
+		return SSLRecord{}, fmt.Errorf("zeek: resp port: %w", err)
+	}
+	w, err := strconv.ParseInt(cols[11], 10, 64)
+	if err != nil {
+		return SSLRecord{}, fmt.Errorf("zeek: weight: %w", err)
+	}
+	return SSLRecord{
+		TS:          ts,
+		UID:         ids.UID(cols[1]),
+		OrigIP:      unsetOr(cols[2]),
+		OrigPort:    uint16(op),
+		RespIP:      unsetOr(cols[4]),
+		RespPort:    uint16(rp),
+		Version:     unsetOr(cols[6]),
+		SNI:         unescapeField(unsetOr(cols[7])),
+		Established: cols[8] == "T",
+		ServerChain: splitFPs(cols[9]),
+		ClientChain: splitFPs(cols[10]),
+		Weight:      w,
+	}, nil
+}
+
+// parseX509Cols decodes one x509.log row.
+func parseX509Cols(cols []string) (X509Record, error) {
+	ts, err := parseTS(cols[0])
+	if err != nil {
+		return X509Record{}, err
+	}
+	nb, err := parseTS(cols[11])
+	if err != nil {
+		return X509Record{}, err
+	}
+	na, err := parseTS(cols[12])
+	if err != nil {
+		return X509Record{}, err
+	}
+	ver, err := strconv.Atoi(cols[3])
+	if err != nil {
+		return X509Record{}, fmt.Errorf("zeek: cert version: %w", err)
+	}
+	bits, err := strconv.Atoi(cols[14])
+	if err != nil {
+		return X509Record{}, fmt.Errorf("zeek: key length: %w", err)
+	}
+	icn, iorg := certmodel.ParseDN(unescapeField(unsetOr(cols[5])))
+	scn, sorg := certmodel.ParseDN(unescapeField(unsetOr(cols[6])))
+	cert := &certmodel.CertInfo{
+		Fingerprint: ids.Fingerprint(cols[2]),
+		Version:     ver,
+		SerialHex:   unsetOr(cols[4]),
+		IssuerCN:    icn,
+		IssuerOrg:   iorg,
+		SubjectCN:   scn,
+		SubjectOrg:  sorg,
+		SANDNS:      splitStrs(cols[7]),
+		SANIP:       splitStrs(cols[8]),
+		SANEmail:    splitStrs(cols[9]),
+		SANURI:      splitStrs(cols[10]),
+		NotBefore:   nb,
+		NotAfter:    na,
+		KeyAlg:      parseKeyAlg(cols[13]),
+		KeyBits:     bits,
+		SelfSigned:  cols[15] == "T",
+	}
+	return X509Record{TS: ts, ID: ids.FileID(cols[1]), Cert: cert}, nil
+}
+
+// ErrStop, returned from a ForEach callback, stops iteration without
+// error — the streaming reader's early exit.
+var ErrStop = errors.New("zeek: stop iteration")
+
+// ForEachSSL streams an ssl.log, invoking fn once per row without
+// materializing the whole log. fn may return ErrStop to end early.
+func ForEachSSL(r io.Reader, fn func(*SSLRecord) error) error {
 	err := readTSV(r, "ssl", len(sslFields), func(cols []string) error {
-		ts, err := parseTS(cols[0])
+		rec, err := parseSSLCols(cols)
 		if err != nil {
 			return err
 		}
-		op, err := strconv.Atoi(cols[3])
+		return fn(&rec)
+	})
+	if errors.Is(err, ErrStop) {
+		return nil
+	}
+	return err
+}
+
+// ForEachX509 streams an x509.log row by row. fn may return ErrStop to
+// end early.
+func ForEachX509(r io.Reader, fn func(*X509Record) error) error {
+	err := readTSV(r, "x509", len(x509Fields), func(cols []string) error {
+		rec, err := parseX509Cols(cols)
 		if err != nil {
-			return fmt.Errorf("zeek: orig port: %w", err)
+			return err
 		}
-		rp, err := strconv.Atoi(cols[5])
-		if err != nil {
-			return fmt.Errorf("zeek: resp port: %w", err)
-		}
-		w, err := strconv.ParseInt(cols[11], 10, 64)
-		if err != nil {
-			return fmt.Errorf("zeek: weight: %w", err)
-		}
-		out = append(out, SSLRecord{
-			TS:          ts,
-			UID:         ids.UID(cols[1]),
-			OrigIP:      unsetOr(cols[2]),
-			OrigPort:    uint16(op),
-			RespIP:      unsetOr(cols[4]),
-			RespPort:    uint16(rp),
-			Version:     unsetOr(cols[6]),
-			SNI:         unescapeField(unsetOr(cols[7])),
-			Established: cols[8] == "T",
-			ServerChain: splitFPs(cols[9]),
-			ClientChain: splitFPs(cols[10]),
-			Weight:      w,
-		})
+		return fn(&rec)
+	})
+	if errors.Is(err, ErrStop) {
+		return nil
+	}
+	return err
+}
+
+// ReadSSL parses an ssl.log stream.
+func ReadSSL(r io.Reader) ([]SSLRecord, error) {
+	var out []SSLRecord
+	err := ForEachSSL(r, func(rec *SSLRecord) error {
+		out = append(out, *rec)
 		return nil
 	})
 	return out, err
@@ -164,48 +251,8 @@ func ReadSSL(r io.Reader) ([]SSLRecord, error) {
 // ReadX509 parses an x509.log stream.
 func ReadX509(r io.Reader) ([]X509Record, error) {
 	var out []X509Record
-	err := readTSV(r, "x509", len(x509Fields), func(cols []string) error {
-		ts, err := parseTS(cols[0])
-		if err != nil {
-			return err
-		}
-		nb, err := parseTS(cols[11])
-		if err != nil {
-			return err
-		}
-		na, err := parseTS(cols[12])
-		if err != nil {
-			return err
-		}
-		ver, err := strconv.Atoi(cols[3])
-		if err != nil {
-			return fmt.Errorf("zeek: cert version: %w", err)
-		}
-		bits, err := strconv.Atoi(cols[14])
-		if err != nil {
-			return fmt.Errorf("zeek: key length: %w", err)
-		}
-		icn, iorg := certmodel.ParseDN(unescapeField(unsetOr(cols[5])))
-		scn, sorg := certmodel.ParseDN(unescapeField(unsetOr(cols[6])))
-		cert := &certmodel.CertInfo{
-			Fingerprint: ids.Fingerprint(cols[2]),
-			Version:     ver,
-			SerialHex:   unsetOr(cols[4]),
-			IssuerCN:    icn,
-			IssuerOrg:   iorg,
-			SubjectCN:   scn,
-			SubjectOrg:  sorg,
-			SANDNS:      splitStrs(cols[7]),
-			SANIP:       splitStrs(cols[8]),
-			SANEmail:    splitStrs(cols[9]),
-			SANURI:      splitStrs(cols[10]),
-			NotBefore:   nb,
-			NotAfter:    na,
-			KeyAlg:      parseKeyAlg(cols[13]),
-			KeyBits:     bits,
-			SelfSigned:  cols[15] == "T",
-		}
-		out = append(out, X509Record{TS: ts, ID: ids.FileID(cols[1]), Cert: cert})
+	err := ForEachX509(r, func(rec *X509Record) error {
+		out = append(out, *rec)
 		return nil
 	})
 	return out, err
