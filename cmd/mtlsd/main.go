@@ -8,19 +8,25 @@
 //
 //	GET /healthz          liveness (200 "ok")
 //	GET /stats            engine counters (ingested, dropped, rebuilds, ...)
+//	GET /metrics          Prometheus text exposition (?format=json for JSON)
 //	GET /reports/         list of report names
 //	GET /reports/{name}   one report, e.g. /reports/table1, /reports/figure5
+//	GET /debug/pprof/...  runtime profiles (only with -pprof)
 //
 // Usage:
 //
 //	mtlsgen -out ./data                # produce logs (once, or keep appending)
 //	mtlsd -logs ./data -listen :8411   # tail and serve
 //	curl -s localhost:8411/reports/table1 | jq .
+//	curl -s localhost:8411/metrics     # ingest lag, rebuild churn, HTTP latency
 //
 // With -checkpoint the engine state is periodically persisted (atomic
 // write) together with the log-file byte offsets; on restart mtlsd
 // restores the state and resumes tailing exactly where it stopped, so
-// reports after the restart match an uninterrupted run.
+// reports after the restart match an uninterrupted run. Every shutdown
+// path — SIGINT/SIGTERM, or the HTTP server failing — drains the tailer
+// and writes a final checkpoint before exiting; nothing short of a kill
+// loses tailed state.
 package main
 
 import (
@@ -29,118 +35,212 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	mtls "repro"
+	"repro/internal/metrics"
 	"repro/internal/stream"
 	"repro/internal/zeek"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mtlsd: ")
+// options carries every flag so run is testable without a real command
+// line.
+type options struct {
+	logs       string
+	listen     string
+	poll       time.Duration
+	checkpoint string
+	ckptEvery  time.Duration
+	retention  time.Duration
+	buffer     int
+	drop       bool
+	scale      int
+	seed       uint64
+	workers    int
+	pprof      bool
+	logLevel   string
+}
 
-	logs := flag.String("logs", "", "directory with ssl.log/x509.log to tail (required)")
-	listen := flag.String("listen", "127.0.0.1:8411", "HTTP listen address")
-	poll := flag.Duration("poll", 2*time.Second, "log poll interval")
-	checkpoint := flag.String("checkpoint", "", "checkpoint file (restore on start, persist periodically)")
-	ckptEvery := flag.Duration("checkpoint-every", time.Minute, "checkpoint interval (0 = only on shutdown)")
-	retention := flag.Duration("retention", 0, "connection retention window (0 = keep everything)")
-	buffer := flag.Int("buffer", 0, "ingest buffer size (0 = engine default)")
-	drop := flag.Bool("drop", false, "shed events when the buffer is full instead of blocking the tailer")
-	scale := flag.Int("scale", 0, "context scale divisor (must match the generator's)")
-	seed := flag.Uint64("seed", 0, "context seed (must match the generator's)")
-	workers := flag.Int("workers", 0, "report workers: 0 = one per CPU, 1 = serial")
+func main() {
+	var o options
+	flag.StringVar(&o.logs, "logs", "", "directory with ssl.log/x509.log to tail (required)")
+	flag.StringVar(&o.listen, "listen", "127.0.0.1:8411", "HTTP listen address")
+	flag.DurationVar(&o.poll, "poll", 2*time.Second, "log poll interval")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file (restore on start, persist periodically)")
+	flag.DurationVar(&o.ckptEvery, "checkpoint-every", time.Minute, "checkpoint interval (0 = only on shutdown)")
+	flag.DurationVar(&o.retention, "retention", 0, "connection retention window (0 = keep everything)")
+	flag.IntVar(&o.buffer, "buffer", 0, "ingest buffer size (0 = engine default)")
+	flag.BoolVar(&o.drop, "drop", false, "shed events when the buffer is full instead of blocking the tailer")
+	flag.IntVar(&o.scale, "scale", 0, "context scale divisor (must match the generator's)")
+	flag.Uint64Var(&o.seed, "seed", 0, "context seed (must match the generator's)")
+	flag.IntVar(&o.workers, "workers", 0, "report workers: 0 = one per CPU, 1 = serial")
+	flag.BoolVar(&o.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	flag.StringVar(&o.logLevel, "log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
-	if *logs == "" {
-		log.Fatal("-logs is required")
+	logger := newLogger(os.Stderr, o.logLevel)
+	os.Exit(run(context.Background(), o, logger, nil))
+}
+
+// newLogger builds the daemon's structured logger.
+func newLogger(w *os.File, level string) *slog.Logger {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		lvl = slog.LevelInfo
 	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: lvl}))
+}
+
+// run is the daemon body; main exits with its return value. Splitting it
+// from main keeps every teardown step (engine close, final checkpoint)
+// on the normal return path — the old log.Fatal exit skipped the
+// deferred close and the final checkpoint, losing hours of tailed state
+// to a port conflict. ready, when non-nil, is invoked with the bound
+// listen address once the HTTP socket is open (tests listen on :0).
+func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr string)) int {
+	if o.logs == "" {
+		logger.Error("-logs is required")
+		return 2
+	}
+
+	// Bind the socket first: a port conflict must fail fast, before any
+	// state exists that a failed exit could lose.
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		logger.Error("listen", "addr", o.listen, "err", err)
+		return 1
+	}
+
+	reg := metrics.New()
 
 	// The analysis context (trust bundle, CT log, association map) is
 	// deterministic in (seed, scale); regenerate it the way mtlsreport
 	// does so the daemon agrees with the generator that wrote the logs.
 	cfg := mtls.DefaultConfig()
-	if *scale > 0 {
-		cfg.CertScale = *scale
+	if o.scale > 0 {
+		cfg.CertScale = o.scale
 	}
-	if *seed != 0 {
-		cfg.Seed = *seed
+	if o.seed != 0 {
+		cfg.Seed = o.seed
 	}
 	in := mtls.InputFromBuild(mtls.Generate(cfg))
 	in.Raw = nil
-	in.Workers = *workers
+	in.Workers = o.workers
 
-	scfg := stream.Config{Input: in, Buffer: *buffer, Retention: *retention}
-	if *drop {
+	scfg := stream.Config{Input: in, Buffer: o.buffer, Retention: o.retention, Metrics: reg}
+	if o.drop {
 		scfg.Policy = stream.Drop
 	}
 
-	sslTail := zeek.NewSSLTail(filepath.Join(*logs, "ssl.log"))
-	x509Tail := zeek.NewX509Tail(filepath.Join(*logs, "x509.log"))
+	sslTail := zeek.NewSSLTail(filepath.Join(o.logs, "ssl.log"))
+	x509Tail := zeek.NewX509Tail(filepath.Join(o.logs, "x509.log"))
+	sslTail.Instrument(reg)
+	x509Tail.Instrument(reg)
 
 	var eng *stream.Engine
-	if *checkpoint != "" {
-		if e, cursor, err := stream.Restore(scfg, *checkpoint); err == nil {
+	if o.checkpoint != "" {
+		if e, cursor, err := stream.Restore(scfg, o.checkpoint); err == nil {
 			eng = e
 			sslTail.SetOffset(cursor["ssl.log"])
 			x509Tail.SetOffset(cursor["x509.log"])
 			st := e.Stats()
-			log.Printf("restored checkpoint %s: %d conns, %d certs, resuming at ssl.log:%d x509.log:%d",
-				*checkpoint, st.ConnsIngested, st.UniqueCerts, cursor["ssl.log"], cursor["x509.log"])
+			logger.Info("restored checkpoint", "path", o.checkpoint,
+				"conns", st.ConnsIngested, "certs", st.UniqueCerts,
+				"ssl_offset", cursor["ssl.log"], "x509_offset", cursor["x509.log"])
 		} else if !errors.Is(err, os.ErrNotExist) {
-			log.Fatalf("restore %s: %v", *checkpoint, err)
+			logger.Error("restore checkpoint", "path", o.checkpoint, "err", err)
+			ln.Close()
+			return 1
 		}
 	}
 	if eng == nil {
 		e, err := stream.New(scfg)
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("start engine", "err", err)
+			ln.Close()
+			return 1
 		}
 		eng = e
 	}
 	defer eng.Close()
 
+	ckptMetrics := struct {
+		writes *metrics.Counter
+		errs   *metrics.Counter
+	}{
+		writes: reg.Counter("mtlsd_checkpoint_writes_total", "checkpoints attempted by the daemon"),
+		errs:   reg.Counter("mtlsd_checkpoint_errors_total", "checkpoint attempts that failed"),
+	}
+	checkpoint := func(final bool) {
+		if o.checkpoint == "" {
+			return
+		}
+		ckptMetrics.writes.Inc()
+		if err := writeCheckpoint(eng, sslTail, x509Tail, o.checkpoint); err != nil {
+			ckptMetrics.errs.Inc()
+			logger.Error("checkpoint", "path", o.checkpoint, "final", final, "err", err)
+		} else if final {
+			logger.Info("final checkpoint written", "path", o.checkpoint)
+		}
+	}
+
 	// Tailer: single producer goroutine. Certificates are polled before
 	// connections each cycle so enrichment resolves chains on first try
-	// (out-of-order arrivals still converge, via a rebuild).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// (out-of-order arrivals still converge, via a rebuild). Each Poll
+	// consumes at most one chunk of backlog, so the inner loops keep
+	// polling until a cycle drains — memory stays bounded while catch-up
+	// after a restart proceeds at full speed.
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	tailerDone := make(chan struct{})
 	go func() {
 		defer close(tailerDone)
-		ticker := time.NewTicker(*poll)
+		ticker := time.NewTicker(o.poll)
 		defer ticker.Stop()
 		var lastCkpt time.Time
 		for {
-			certs, err := x509Tail.Poll()
-			if err != nil {
-				log.Printf("x509.log: %v", err)
-			}
-			for i := range certs {
-				eng.IngestCert(&certs[i])
-			}
-			conns, err := sslTail.Poll()
-			if err != nil {
-				log.Printf("ssl.log: %v", err)
-			}
-			for i := range conns {
-				eng.IngestConn(&conns[i])
-			}
-			if len(certs) > 0 || len(conns) > 0 {
-				log.Printf("ingested %d conns, %d certs", len(conns), len(certs))
-			}
-			if *checkpoint != "" && *ckptEvery > 0 && time.Since(lastCkpt) >= *ckptEvery {
-				if err := writeCheckpoint(eng, sslTail, x509Tail, *checkpoint); err != nil {
-					log.Printf("checkpoint: %v", err)
+			var nCerts, nConns int
+			for {
+				certs, err := x509Tail.Poll()
+				if err != nil {
+					logger.Warn("tail x509.log", "err", err)
 				}
+				for i := range certs {
+					eng.IngestCert(&certs[i])
+				}
+				nCerts += len(certs)
+				if len(certs) == 0 || ctx.Err() != nil {
+					break
+				}
+			}
+			for {
+				conns, err := sslTail.Poll()
+				if err != nil {
+					logger.Warn("tail ssl.log", "err", err)
+				}
+				for i := range conns {
+					eng.IngestConn(&conns[i])
+				}
+				nConns += len(conns)
+				if len(conns) == 0 || ctx.Err() != nil {
+					break
+				}
+			}
+			if nCerts > 0 || nConns > 0 {
+				logger.Debug("ingested", "conns", nConns, "certs", nCerts)
+			}
+			if o.ckptEvery > 0 && time.Since(lastCkpt) >= o.ckptEvery {
+				checkpoint(false)
 				lastCkpt = time.Now()
 			}
 			select {
@@ -151,57 +251,121 @@ func main() {
 		}
 	}()
 
+	srv := &http.Server{Handler: newMux(eng, reg, logger, o.pprof)}
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.Serve(ln) }()
+	logger.Info("serving", "addr", ln.Addr().String(), "pprof", o.pprof)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	code := 0
+	select {
+	case err := <-srvErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			// Server died underneath us; shut the rest down cleanly —
+			// the tailer keeps its state, and the final checkpoint below
+			// still runs.
+			logger.Error("http server", "err", err)
+			code = 1
+		}
+		stop() // release the tailer
+	case <-ctx.Done():
+		logger.Info("shutting down", "reason", "signal")
+	}
+
+	<-tailerDone // no producer left; offsets are final
+	checkpoint(true)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+	return code
+}
+
+// newMux assembles the daemon's routes with per-endpoint request
+// counters and latency histograms. The reports handler distinguishes an
+// unknown report name (404, a client mistake) from a materialization
+// failure (500, our bug).
+func newMux(eng reporter, reg *metrics.Registry, logger *slog.Logger, withPprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(path string, h http.HandlerFunc) {
+		mux.HandleFunc(path, instrument(reg, path, h))
+	}
+	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, eng.Stats())
 	})
-	mux.HandleFunc("/reports/", func(w http.ResponseWriter, r *http.Request) {
+	handle("/reports/", func(w http.ResponseWriter, r *http.Request) {
 		name := strings.Trim(strings.TrimPrefix(r.URL.Path, "/reports/"), "/")
 		if name == "" {
 			writeJSON(w, stream.ReportNames())
 			return
 		}
 		out, err := eng.Report(name)
-		if err != nil {
+		switch {
+		case errors.Is(err, stream.ErrUnknownReport):
 			http.Error(w, err.Error(), http.StatusNotFound)
-			return
+		case err != nil:
+			logger.Error("materialize report", "name", name, "err", err)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		default:
+			writeJSON(w, out)
 		}
-		writeJSON(w, out)
 	})
-
-	srv := &http.Server{Addr: *listen, Handler: mux}
-	srvErr := make(chan error, 1)
-	go func() { srvErr <- srv.ListenAndServe() }()
-	log.Printf("serving on http://%s (reports: /reports/)", *listen)
-
-	select {
-	case err := <-srvErr:
-		log.Fatal(err)
-	case <-ctx.Done():
+	// /metrics is served unwrapped: scraping must stay readable even
+	// while it mutates the HTTP series it would otherwise self-count.
+	mux.Handle("/metrics", metrics.Handler(reg))
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+	return mux
+}
 
-	log.Print("shutting down")
-	<-tailerDone // no producer left; offsets are final
-	if *checkpoint != "" {
-		if err := writeCheckpoint(eng, sslTail, x509Tail, *checkpoint); err != nil {
-			log.Printf("final checkpoint: %v", err)
-		} else {
-			log.Printf("checkpointed to %s", *checkpoint)
-		}
+// reporter is the slice of *stream.Engine the HTTP layer needs; tests
+// substitute failing stubs to exercise the error mapping.
+type reporter interface {
+	Report(name string) (any, error)
+	Stats() stream.Stats
+}
+
+// instrument wraps a handler with a per-endpoint latency histogram and a
+// per-endpoint, per-status request counter.
+func instrument(reg *metrics.Registry, path string, h http.HandlerFunc) http.HandlerFunc {
+	dur := reg.Histogram("mtlsd_http_request_seconds", "HTTP request handling latency", nil, "path", path)
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		dur.Since(t0)
+		reg.Counter("mtlsd_http_requests_total", "HTTP requests served",
+			"path", path, "code", strconv.Itoa(sw.code)).Inc()
 	}
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	srv.Shutdown(shutdownCtx)
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	s.code = code
+	s.ResponseWriter.WriteHeader(code)
 }
 
 // writeCheckpoint drains the engine (so the state covers everything the
 // tails have read) and persists it together with the tail offsets. Only
-// the tailer goroutine produces events, and it is the caller here, so
-// after Drain the offsets are exactly consistent with the applied state.
+// the tailer goroutine produces events, and it is the caller here (or
+// the tailer has already exited), so after Drain the offsets are exactly
+// consistent with the applied state.
 func writeCheckpoint(eng *stream.Engine, ssl *zeek.SSLTail, x509 *zeek.X509Tail, path string) error {
 	eng.Drain()
 	return eng.WriteCheckpoint(path, map[string]int64{

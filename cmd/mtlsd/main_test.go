@@ -1,0 +1,319 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	mtls "repro"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// testScale keeps the generated dataset small enough for fast e2e runs.
+const testScale = 2000
+
+func writeTestLogs(t *testing.T) (dir string, cfg mtls.Config) {
+	t.Helper()
+	cfg = mtls.DefaultConfig()
+	cfg.CertScale = testScale
+	build := mtls.Generate(cfg)
+	dir = t.TempDir()
+	if err := mtls.WriteLogs(build.Raw, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir, cfg
+}
+
+func testLogger(t *testing.T) *slog.Logger {
+	t.Helper()
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelDebug}))
+}
+
+// startDaemon runs the daemon in-process on an ephemeral port and
+// returns its base URL plus a cancel that triggers a clean shutdown and
+// a channel carrying run's exit code.
+func startDaemon(t *testing.T, o options) (base string, cancel context.CancelFunc, exit chan int) {
+	t.Helper()
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	readyCh := make(chan string, 1)
+	exit = make(chan int, 1)
+	go func() {
+		exit <- run(ctx, o, testLogger(t), func(addr string) { readyCh <- addr })
+	}()
+	select {
+	case addr := <-readyCh:
+		return "http://" + addr, cancelCtx, exit
+	case code := <-exit:
+		cancelCtx()
+		t.Fatalf("daemon exited before ready: code %d", code)
+		return "", nil, nil
+	}
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, string(body)
+}
+
+// waitIngested polls /stats until the engine has applied connections.
+func waitIngested(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, body := httpGet(t, base+"/stats")
+		if code == http.StatusOK {
+			var st stream.Stats
+			if err := json.Unmarshal([]byte(body), &st); err == nil && st.ConnsIngested > 0 {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("daemon never ingested connections")
+}
+
+// TestDaemonEndToEnd drives a live daemon over HTTP: liveness, stats,
+// the metrics exposition (ingest, tail lag, rebuilds, HTTP latency),
+// report success, 404-vs-500 mapping, and pprof behind the flag.
+func TestDaemonEndToEnd(t *testing.T) {
+	dir, cfg := writeTestLogs(t)
+	base, cancel, exit := startDaemon(t, options{
+		logs:     dir,
+		listen:   "127.0.0.1:0",
+		poll:     50 * time.Millisecond,
+		scale:    cfg.CertScale,
+		pprof:    true,
+		logLevel: "debug",
+	})
+	defer func() {
+		cancel()
+		<-exit
+	}()
+
+	if code, body := httpGet(t, base+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	waitIngested(t, base)
+
+	// Reports: list, one table, unknown name -> 404 (not 500, not 200).
+	if code, body := httpGet(t, base+"/reports/"); code != 200 || !strings.Contains(body, "table1") {
+		t.Errorf("report list: %d %s", code, body)
+	}
+	code, body := httpGet(t, base+"/reports/table1")
+	if code != 200 {
+		t.Errorf("table1: %d %s", code, body)
+	}
+	var table1 struct{ Rows []struct{ Total int } }
+	if err := json.Unmarshal([]byte(body), &table1); err != nil || len(table1.Rows) == 0 {
+		t.Errorf("table1 body: %v %s", err, body)
+	}
+	if code, _ := httpGet(t, base+"/reports/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown report: %d, want 404", code)
+	}
+
+	// Metrics: Prometheus text with the core series, all live.
+	code, metricsBody := httpGet(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, series := range []string{
+		"stream_conns_ingested_total",
+		"stream_certs_ingested_total",
+		"stream_rebuilds_total",
+		"tail_lag_bytes{file=\"ssl\"}",
+		"tail_bytes_read_total{file=\"ssl\"}",
+		"tail_rotations_total{file=\"x509\"}",
+		"mtlsd_http_request_seconds_count{path=\"/healthz\"}",
+		"mtlsd_http_requests_total{path=\"/healthz\",code=\"200\"}",
+		"stream_apply_latency_seconds_bucket",
+	} {
+		if !strings.Contains(metricsBody, series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+	for _, nonZero := range []string{"stream_conns_ingested_total ", "tail_bytes_read_total{file=\"ssl\"} "} {
+		for _, line := range strings.Split(metricsBody, "\n") {
+			if strings.HasPrefix(line, nonZero) && strings.HasSuffix(line, " 0") {
+				t.Errorf("series %s is zero after ingestion", nonZero)
+			}
+		}
+	}
+
+	// JSON exposition of the same registry.
+	if code, body := httpGet(t, base+"/metrics?format=json"); code != 200 {
+		t.Errorf("/metrics json: %d", code)
+	} else {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(body), &m); err != nil {
+			t.Errorf("metrics json decode: %v", err)
+		}
+	}
+
+	// pprof is mounted when the flag is on.
+	if code, _ := httpGet(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("pprof cmdline: %d", code)
+	}
+}
+
+// TestDaemonPprofOffByDefault: without -pprof the profile endpoints are
+// not mounted.
+func TestDaemonPprofOffByDefault(t *testing.T) {
+	dir, cfg := writeTestLogs(t)
+	base, cancel, exit := startDaemon(t, options{
+		logs: dir, listen: "127.0.0.1:0", poll: 50 * time.Millisecond, scale: cfg.CertScale,
+	})
+	defer func() {
+		cancel()
+		<-exit
+	}()
+	if code, _ := httpGet(t, base+"/debug/pprof/cmdline"); code != http.StatusNotFound {
+		t.Errorf("pprof mounted without -pprof: %d", code)
+	}
+}
+
+// TestDaemonSIGTERMCheckpoint: a real SIGTERM shuts the daemon down
+// cleanly (exit 0) and the final checkpoint lands, restorable with the
+// tail offsets intact — the state-loss regression for the old
+// log.Fatal shutdown path.
+func TestDaemonSIGTERMCheckpoint(t *testing.T) {
+	dir, cfg := writeTestLogs(t)
+	ckpt := filepath.Join(t.TempDir(), "mtlsd.ckpt")
+	base, cancel, exit := startDaemon(t, options{
+		logs:       dir,
+		listen:     "127.0.0.1:0",
+		poll:       50 * time.Millisecond,
+		scale:      cfg.CertScale,
+		checkpoint: ckpt,
+		ckptEvery:  time.Hour, // periodic path stays quiet; only shutdown writes
+	})
+	defer cancel()
+	waitIngested(t, base)
+
+	// The daemon's signal.NotifyContext owns SIGTERM while running, so
+	// signalling our own process exercises the real shutdown path.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d after SIGTERM, want 0", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	fi, err := os.Stat(ckpt)
+	if err != nil {
+		t.Fatalf("final checkpoint missing: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("final checkpoint empty")
+	}
+	in := mtls.InputFromBuild(mtls.Generate(cfg))
+	in.Raw = nil
+	restored, cursor, err := stream.Restore(stream.Config{Input: in}, ckpt)
+	if err != nil {
+		t.Fatalf("restore final checkpoint: %v", err)
+	}
+	defer restored.Close()
+	if restored.Stats().ConnsIngested == 0 {
+		t.Error("restored engine has no connections")
+	}
+	if cursor["ssl.log"] == 0 || cursor["x509.log"] == 0 {
+		t.Errorf("cursor offsets not persisted: %v", cursor)
+	}
+}
+
+// TestDaemonListenConflict: a busy port fails fast with a nonzero exit
+// before any state is touched (the old path log.Fatal'd much later).
+func TestDaemonListenConflict(t *testing.T) {
+	dir, cfg := writeTestLogs(t)
+	base, cancel, exit := startDaemon(t, options{
+		logs: dir, listen: "127.0.0.1:0", poll: 50 * time.Millisecond, scale: cfg.CertScale,
+	})
+	defer func() {
+		cancel()
+		<-exit
+	}()
+	addr := strings.TrimPrefix(base, "http://")
+
+	ctx, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	code := run(ctx, options{logs: dir, listen: addr, scale: cfg.CertScale}, testLogger(t), nil)
+	if code == 0 {
+		t.Fatal("second daemon on the same port must fail")
+	}
+}
+
+// TestReportsHandler500: an internal materialization failure maps to
+// 500, not 404 — exercised against a stub reporter so the failure is
+// deterministic.
+func TestReportsHandler500(t *testing.T) {
+	reg := metrics.New()
+	mux := newMux(failingReporter{}, reg, testLogger(t), false)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	res, err := http.Get(srv.URL + "/reports/table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusInternalServerError {
+		t.Errorf("internal failure: %d, want 500", res.StatusCode)
+	}
+
+	res, err = http.Get(srv.URL + "/reports/definitely-not-a-report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown report: %d, want 404", res.StatusCode)
+	}
+
+	// The status-labeled request counters observed both outcomes.
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`code="500"`, `code="404"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("request counter missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+// failingReporter fails materialization for known names and reports
+// unknown ones with the typed sentinel, mirroring the engine's contract.
+type failingReporter struct{}
+
+func (failingReporter) Report(name string) (any, error) {
+	if name == "table1" {
+		return nil, fmt.Errorf("simulated materialization failure")
+	}
+	return nil, fmt.Errorf("%w: %q", stream.ErrUnknownReport, name)
+}
+
+func (failingReporter) Stats() stream.Stats { return stream.Stats{} }

@@ -10,6 +10,8 @@
 //	mtlsreport -experiments EXP.md  # also write the comparison document
 //	mtlsreport -workers 8           # shard the pipeline across 8 workers
 //	                                # (0 = one per CPU, 1 = serial)
+//	mtlsreport -timings             # print per-stage wall times to stderr
+//	                                # (Prometheus text, same registry as mtlsd)
 package main
 
 import (
@@ -18,8 +20,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	mtls "repro"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -31,7 +35,19 @@ func main() {
 	workers := flag.Int("workers", 0, "pipeline workers: 0 = one per CPU, 1 = serial, n = exactly n")
 	quiet := flag.Bool("quiet", false, "suppress the full table dump")
 	asJSON := flag.Bool("json", false, "emit the full analysis as JSON instead of rendered tables")
+	timings := flag.Bool("timings", false, "print per-stage wall times to stderr (Prometheus text format)")
 	flag.Parse()
+
+	// Stage timings go through the same metrics substrate the daemon
+	// exposes on /metrics, so a batch run and a long-running monitor
+	// report the pipeline's cost in the same series shapes.
+	reg := metrics.New()
+	stage := func(name string, f func()) {
+		t0 := time.Now()
+		f()
+		reg.Gauge("report_stage_seconds", "wall time of one mtlsreport stage", "stage", name).
+			Set(time.Since(t0).Seconds())
+	}
 
 	cfg := mtls.DefaultConfig()
 	if *scale > 0 {
@@ -41,32 +57,47 @@ func main() {
 		cfg.Seed = *seed
 	}
 
-	build := mtls.Generate(cfg)
+	var build *mtls.Build
+	stage("generate", func() { build = mtls.Generate(cfg) })
 	if *logs != "" {
-		ds, err := mtls.OpenLogs(*logs)
-		if err != nil {
-			log.Fatalf("mtlsreport: open logs: %v", err)
-		}
-		build.Raw = ds
+		stage("open_logs", func() {
+			ds, err := mtls.OpenLogs(*logs)
+			if err != nil {
+				log.Fatalf("mtlsreport: open logs: %v", err)
+			}
+			build.Raw = ds
+		})
 	}
 
-	analysis := mtls.AnalyzeWorkers(build, *workers)
+	var analysis *mtls.Analysis
+	stage("analyze", func() { analysis = mtls.AnalyzeWorkers(build, *workers) })
+	reg.Gauge("report_workers", "resolved pipeline worker request (0 = per CPU)").Set(float64(*workers))
+
 	switch {
 	case *asJSON:
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(analysis); err != nil {
-			log.Fatalf("mtlsreport: encode json: %v", err)
-		}
+		stage("render", func() {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(analysis); err != nil {
+				log.Fatalf("mtlsreport: encode json: %v", err)
+			}
+		})
 	case !*quiet:
-		fmt.Print(mtls.Render(analysis))
+		stage("render", func() { fmt.Print(mtls.Render(analysis)) })
 	}
 	if *experiments != "" {
-		note := fmt.Sprintf("Counts are scaled by 1/%d (connection weights are unscaled); seed %d.",
-			cfg.CertScale, cfg.Seed)
-		if err := os.WriteFile(*experiments, []byte(mtls.Experiments(analysis, note)), 0o644); err != nil {
-			log.Fatalf("mtlsreport: write experiments: %v", err)
+		stage("experiments", func() {
+			note := fmt.Sprintf("Counts are scaled by 1/%d (connection weights are unscaled); seed %d.",
+				cfg.CertScale, cfg.Seed)
+			if err := os.WriteFile(*experiments, []byte(mtls.Experiments(analysis, note)), 0o644); err != nil {
+				log.Fatalf("mtlsreport: write experiments: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *experiments)
+		})
+	}
+	if *timings {
+		if err := reg.WritePrometheus(os.Stderr); err != nil {
+			log.Fatalf("mtlsreport: write timings: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *experiments)
 	}
 }

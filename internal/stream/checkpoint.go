@@ -3,6 +3,7 @@ package stream
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -41,6 +42,7 @@ type checkpointState struct {
 // the cursor is consistent with the applied state — i.e. Drain first,
 // then read tail offsets, then checkpoint.
 func (e *Engine) WriteCheckpoint(path string, cursor map[string]int64) error {
+	defer e.m.checkpointDur.Since(time.Now())
 	e.mu.Lock()
 	st := checkpointState{
 		Version:       checkpointVersion,
@@ -51,8 +53,12 @@ func (e *Engine) WriteCheckpoint(path string, cursor map[string]int64) error {
 		Rebuilds:      e.rebuilds,
 		Watermark:     e.watermark,
 		Roster:        make([]*certmodel.CertInfo, 0, len(e.roster)),
-		Conns:         e.conns, // apply loop only appends; safe to encode under mu
-		Interception:  e.icpt.Snapshot(),
+		// The retained connections are copied under the lock: encoding
+		// happens after Unlock, and a concurrent eviction sweep or append
+		// mutates e.conns while gob walks it — encoding the live slice
+		// here produced torn checkpoints.
+		Conns:        append([]core.ConnRecord(nil), e.conns...),
+		Interception: e.icpt.Snapshot(),
 	}
 	for _, c := range e.roster {
 		st.Roster = append(st.Roster, c)
@@ -69,7 +75,8 @@ func (e *Engine) WriteCheckpoint(path string, cursor map[string]int64) error {
 	if err != nil {
 		return fmt.Errorf("stream: checkpoint: %w", err)
 	}
-	if err := gob.NewEncoder(f).Encode(&st); err != nil {
+	cw := &countingWriter{w: f}
+	if err := gob.NewEncoder(cw).Encode(&st); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("stream: checkpoint encode: %w", err)
@@ -82,10 +89,24 @@ func (e *Engine) WriteCheckpoint(path string, cursor map[string]int64) error {
 		os.Remove(tmp)
 		return fmt.Errorf("stream: checkpoint rename: %w", err)
 	}
+	e.m.checkpoints.Inc()
+	e.m.checkpointBytes.Set(float64(cw.n))
 	e.mu.Lock()
 	e.lastCkpt = time.Now()
 	e.mu.Unlock()
 	return nil
+}
+
+// countingWriter tracks bytes written, for the checkpoint size gauge.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // Restore starts an engine from a checkpoint written by WriteCheckpoint

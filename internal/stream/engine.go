@@ -52,6 +52,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/interception"
+	"repro/internal/metrics"
 	"repro/internal/psl"
 )
 
@@ -86,6 +87,11 @@ type Config struct {
 	// EvictEvery is how many connection events elapse between eviction
 	// sweeps when Retention is set (default 1024).
 	EvictEvery int
+	// Metrics receives the engine's operational series (ingest counters,
+	// queue latency, rebuild/materialize/evict durations, buffer
+	// occupancy). Nil disables exposition; the engine still instruments
+	// into a private registry so call sites stay unconditional.
+	Metrics *metrics.Registry
 }
 
 // Stats is the engine's operational counters, served by mtlsd /stats.
@@ -109,11 +115,13 @@ type Stats struct {
 }
 
 // event is one ingest-queue entry: a connection, a certificate, or a
-// flush barrier.
+// flush barrier. enq stamps when the producer enqueued it, so the apply
+// loop can observe queue latency.
 type event struct {
 	conn  *core.ConnRecord
 	cert  *certmodel.CertInfo
 	flush chan struct{}
+	enq   time.Time
 }
 
 // Engine is the incremental analysis engine. Create with New, feed with
@@ -127,6 +135,8 @@ type Engine struct {
 	sendMu  sync.RWMutex // guards closed + ch against Close
 	closed  bool
 	dropped atomic.Uint64
+
+	m *engineMetrics
 
 	mu sync.Mutex // guards all state below
 
@@ -178,6 +188,7 @@ func New(cfg Config) (*Engine, error) {
 		Bundle: cfg.Input.Bundle, CT: cfg.Input.CT, PSL: psl.Default(), MinDomains: 2,
 	}
 	e.icpt = e.det.NewStream(e.lookupCert)
+	e.m = newEngineMetrics(cfg.Metrics, e)
 	e.resetBuilderLocked()
 	go e.run()
 	return e, nil
@@ -199,12 +210,12 @@ func (e *Engine) resetBuilderLocked() {
 // Drop with a full buffer) or the engine is closed.
 func (e *Engine) IngestConn(rec *core.ConnRecord) bool {
 	c := *rec
-	return e.send(event{conn: &c}, e.cfg.Policy == Block)
+	return e.send(event{conn: &c, enq: time.Now()}, e.cfg.Policy == Block)
 }
 
 // IngestCert feeds one certificate event.
 func (e *Engine) IngestCert(rec *core.CertRecord) bool {
-	return e.send(event{cert: rec.Cert}, e.cfg.Policy == Block)
+	return e.send(event{cert: rec.Cert, enq: time.Now()}, e.cfg.Policy == Block)
 }
 
 func (e *Engine) send(ev event, block bool) bool {
@@ -222,6 +233,7 @@ func (e *Engine) send(ev event, block bool) bool {
 		return true
 	default:
 		e.dropped.Add(1)
+		e.m.dropped.Inc()
 		return false
 	}
 }
@@ -279,8 +291,10 @@ func (e *Engine) applyLocked(ev event) {
 	case ev.flush != nil:
 		close(ev.flush)
 	case ev.cert != nil:
+		e.m.applyLatency.Since(ev.enq)
 		e.applyCertLocked(ev.cert)
 	case ev.conn != nil:
+		e.m.applyLatency.Since(ev.enq)
 		e.applyConnLocked(ev.conn)
 	}
 }
@@ -291,6 +305,7 @@ func (e *Engine) applyLocked(ev event) {
 // excluded — becomes resolvable for future enrichment.
 func (e *Engine) applyCertLocked(c *certmodel.CertInfo) {
 	e.certsIngested++
+	e.m.certsIngested.Inc()
 	if _, ok := e.roster[c.Fingerprint]; ok {
 		return // first observation wins
 	}
@@ -319,6 +334,7 @@ func (e *Engine) applyCertLocked(c *certmodel.CertInfo) {
 // connection survives the §3.2 filter — enriched immediately.
 func (e *Engine) applyConnLocked(rec *core.ConnRecord) {
 	e.connsIngested++
+	e.m.connsIngested.Inc()
 	if rec.TS.After(e.watermark) {
 		e.watermark = rec.TS
 	}
@@ -345,6 +361,7 @@ func (e *Engine) applyConnLocked(rec *core.ConnRecord) {
 			e.evictLocked()
 		}
 	}
+	e.m.retained.Set(float64(len(e.conns)))
 }
 
 // noteMissingLocked records leaf fingerprints this connection will fail
@@ -366,6 +383,7 @@ func (e *Engine) noteMissingLocked(rec *core.ConnRecord) {
 // fresh slice is allocated because enriched views hold pointers into the
 // old backing array.
 func (e *Engine) evictLocked() {
+	defer e.m.evictDur.Since(time.Now())
 	cutoff := e.watermark.Add(-e.cfg.Retention)
 	kept := make([]core.ConnRecord, 0, len(e.conns))
 	for i := range e.conns {
@@ -376,7 +394,9 @@ func (e *Engine) evictLocked() {
 	if len(kept) == len(e.conns) {
 		return
 	}
-	e.evicted += uint64(len(e.conns) - len(kept))
+	dropped := uint64(len(e.conns) - len(kept))
+	e.evicted += dropped
+	e.m.evicted.Add(dropped)
 	e.conns = kept
 	e.dirty = true
 }
@@ -385,6 +405,7 @@ func (e *Engine) evictLocked() {
 // records under the current exclusion set — the same code path as
 // incremental ingestion, replayed.
 func (e *Engine) rebuildLocked() {
+	defer e.m.rebuildDur.Since(time.Now())
 	e.resetBuilderLocked()
 	for fp, c := range e.roster {
 		if !e.icpt.Excluded(fp) {
@@ -400,6 +421,7 @@ func (e *Engine) rebuildLocked() {
 		e.b.AddConn(rec)
 	}
 	e.rebuilds++
+	e.m.rebuilds.Inc()
 }
 
 // pipelineLocked materializes the current state as a core.Pipeline,
@@ -430,16 +452,19 @@ func (e *Engine) preReportLocked() *core.PreprocessReport {
 // finite input it deep-equals the batch pipeline's Analysis. Ingestion
 // pauses while the analyses run.
 func (e *Engine) Analysis() *core.Analysis {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.pipelineLocked().RunAll()
+	var a *core.Analysis
+	e.WithPipeline(func(p *core.Pipeline) { a = p.RunAll() })
+	return a
 }
 
 // WithPipeline runs fn over a materialized pipeline while holding the
-// engine's state lock; fn must not retain the pipeline.
+// engine's state lock; fn must not retain the pipeline. The whole
+// materialization (any pending rebuild plus fn) is observed in
+// stream_materialize_seconds.
 func (e *Engine) WithPipeline(fn func(*core.Pipeline)) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer e.m.materializeDur.Since(time.Now())
 	fn(e.pipelineLocked())
 }
 

@@ -1,0 +1,59 @@
+package stream
+
+import (
+	"repro/internal/metrics"
+)
+
+// engineMetrics is the engine's instrumentation: counters for the event
+// flow, histograms for the costs that dominate a long-running monitor
+// (queue latency, rebuild and materialization duration, eviction sweeps,
+// checkpoint writes), and gauges for current occupancy. Registered into
+// Config.Metrics; when the caller passes no registry a private one is
+// created so every call site stays unconditional.
+type engineMetrics struct {
+	connsIngested *metrics.Counter
+	certsIngested *metrics.Counter
+	dropped       *metrics.Counter
+	evicted       *metrics.Counter
+	rebuilds      *metrics.Counter
+	checkpoints   *metrics.Counter
+
+	applyLatency   *metrics.Histogram // enqueue -> apply
+	rebuildDur     *metrics.Histogram
+	materializeDur *metrics.Histogram
+	evictDur       *metrics.Histogram
+	checkpointDur  *metrics.Histogram
+
+	retained        *metrics.Gauge
+	checkpointBytes *metrics.Gauge
+}
+
+// newEngineMetrics registers the engine's series. The occupancy gauges
+// read channel length/capacity through callbacks — safe without the
+// engine lock because channel len is internally synchronized.
+func newEngineMetrics(r *metrics.Registry, e *Engine) *engineMetrics {
+	if r == nil {
+		r = metrics.New()
+	}
+	m := &engineMetrics{
+		connsIngested: r.Counter("stream_conns_ingested_total", "connection events applied"),
+		certsIngested: r.Counter("stream_certs_ingested_total", "certificate events applied (incl. duplicates)"),
+		dropped:       r.Counter("stream_events_dropped_total", "events shed under Policy Drop"),
+		evicted:       r.Counter("stream_conns_evicted_total", "connections dropped by the retention window"),
+		rebuilds:      r.Counter("stream_rebuilds_total", "derived-state rebuilds (retroactive evidence)"),
+		checkpoints:   r.Counter("stream_checkpoints_total", "checkpoints written"),
+
+		applyLatency:   r.Histogram("stream_apply_latency_seconds", "ingest enqueue to apply latency", nil),
+		rebuildDur:     r.Histogram("stream_rebuild_seconds", "derived-state rebuild duration", nil),
+		materializeDur: r.Histogram("stream_materialize_seconds", "report materialization duration (incl. any rebuild)", nil),
+		evictDur:       r.Histogram("stream_evict_seconds", "retention eviction sweep duration", nil),
+		checkpointDur:  r.Histogram("stream_checkpoint_seconds", "checkpoint serialization+rename duration", nil),
+
+		retained:        r.Gauge("stream_conns_retained", "connections currently in the window"),
+		checkpointBytes: r.Gauge("stream_checkpoint_bytes", "size of the last checkpoint written"),
+	}
+	r.GaugeFunc("stream_buffer_occupancy", "events waiting in the ingest buffer",
+		func() float64 { return float64(len(e.ch)) })
+	r.Gauge("stream_buffer_capacity", "ingest buffer capacity").Set(float64(cap(e.ch)))
+	return m
+}

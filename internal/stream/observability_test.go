@@ -1,0 +1,205 @@
+package stream
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// TestWriteCheckpointConcurrentWithEviction is the regression for the
+// checkpoint race: the retained-connection slice used to be captured
+// under the engine lock but gob-encoded after Unlock, while eviction
+// sweeps and appends kept mutating it — a recipe for torn checkpoints.
+// Run an eviction-heavy ingestion (EvictEvery 1, tiny window) while
+// checkpointing in a tight loop; meaningful under -race, and every
+// written checkpoint must restore to a consistent engine.
+func TestWriteCheckpointConcurrentWithEviction(t *testing.T) {
+	b := genBuild(20240504, 2000)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	in.Workers = 1
+	e := newEngine(t, in, func(c *Config) {
+		c.Retention = time.Hour // far shorter than the 23-month span
+		c.EvictEvery = 1
+	})
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "race.ckpt")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, c := range b.Raw.Certs {
+			e.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c})
+		}
+		for i := range b.Raw.Conns {
+			e.IngestConn(&b.Raw.Conns[i])
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		// Each checkpointer writes its own file: the engine supports
+		// concurrent WriteCheckpoint calls, but two writers on one path
+		// would race on the shared temp file, which is the caller's
+		// concern, not the engine's.
+		mine := filepath.Join(dir, "race"+string(rune('a'+w))+".ckpt")
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := e.WriteCheckpoint(mine, map[string]int64{"ssl.log": 1}); err != nil {
+					t.Error(err)
+					return
+				}
+				// Interleave materializations so rebuilds (which walk the
+				// retained slice) contend with the encoder too.
+				if _, err := e.Report("table1"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+	e.Drain()
+	if err := e.WriteCheckpoint(path, map[string]int64{"ssl.log": 1}); err != nil {
+		t.Fatal(err)
+	}
+	restored, cursor, err := Restore(Config{Input: in}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if cursor["ssl.log"] != 1 {
+		t.Errorf("cursor = %v", cursor)
+	}
+	st, rst := e.Stats(), restored.Stats()
+	if st.ConnsIngested != rst.ConnsIngested || st.UniqueCerts != rst.UniqueCerts {
+		t.Errorf("restored stats diverge: %+v vs %+v", st, rst)
+	}
+}
+
+// TestReportUnknownIsTypedError: unknown names wrap ErrUnknownReport so
+// the daemon can 404 them, distinct from internal failures.
+func TestReportUnknownIsTypedError(t *testing.T) {
+	b := genBuild(7, 2000)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	e := newEngine(t, in, nil)
+	_, err := e.Report("nope")
+	if !errors.Is(err, ErrUnknownReport) {
+		t.Fatalf("err = %v, want ErrUnknownReport", err)
+	}
+	if _, err := e.Report("table1"); err != nil {
+		t.Fatalf("known report errored: %v", err)
+	}
+}
+
+// TestReportPanicRecovered: a panicking report fn becomes an error, not
+// a daemon crash, and the engine lock is released for later calls.
+func TestReportPanicRecovered(t *testing.T) {
+	b := genBuild(7, 2000)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	e := newEngine(t, in, nil)
+
+	reportFns["__boom"] = func(*core.Pipeline) any { panic("kaboom") }
+	defer delete(reportFns, "__boom")
+
+	_, err := e.Report("__boom")
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not surfaced as error: %v", err)
+	}
+	if errors.Is(err, ErrUnknownReport) {
+		t.Fatal("panic must not masquerade as an unknown report")
+	}
+	if _, err := e.Report("table1"); err != nil {
+		t.Fatalf("engine wedged after recovered panic: %v", err)
+	}
+}
+
+// TestEngineMetrics: the registry's series agree with the engine's own
+// Stats counters after a full drain, and the latency/duration
+// histograms saw traffic.
+func TestEngineMetrics(t *testing.T) {
+	b := genBuild(20240504, 2000)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	reg := metrics.New()
+	e := newEngine(t, in, func(c *Config) { c.Metrics = reg })
+	feed(t, e, b)
+	e.Drain()
+	if a := e.Analysis(); a == nil {
+		t.Fatal("nil analysis")
+	}
+	ckpt := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := e.WriteCheckpoint(ckpt, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	st := e.Stats()
+	if got := reg.Counter("stream_conns_ingested_total", "").Value(); got != st.ConnsIngested {
+		t.Errorf("conns counter = %d, stats = %d", got, st.ConnsIngested)
+	}
+	if got := reg.Counter("stream_certs_ingested_total", "").Value(); got != st.CertsIngested {
+		t.Errorf("certs counter = %d, stats = %d", got, st.CertsIngested)
+	}
+	if got := reg.Counter("stream_rebuilds_total", "").Value(); got != st.Rebuilds {
+		t.Errorf("rebuilds counter = %d, stats = %d", got, st.Rebuilds)
+	}
+	if got := reg.Histogram("stream_apply_latency_seconds", "", nil).Count(); got != st.ConnsIngested+st.CertsIngested {
+		t.Errorf("apply latency observations = %d, want %d", got, st.ConnsIngested+st.CertsIngested)
+	}
+	if reg.Histogram("stream_materialize_seconds", "", nil).Count() == 0 {
+		t.Error("materialize histogram empty after Analysis")
+	}
+	if reg.Counter("stream_checkpoints_total", "").Value() != 1 {
+		t.Error("checkpoint counter != 1")
+	}
+	if reg.Gauge("stream_checkpoint_bytes", "").Value() <= 0 {
+		t.Error("checkpoint bytes gauge not set")
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"stream_conns_ingested_total",
+		"stream_buffer_capacity",
+		"stream_buffer_occupancy",
+		"stream_conns_retained",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+// TestMetricsDoNotChangeResults: an instrumented engine produces the
+// same Analysis as an uninstrumented one (observability is pure).
+func TestMetricsDoNotChangeResults(t *testing.T) {
+	b := genBuild(99, 2000)
+	base := core.Run(inputFromBuild(b))
+
+	in := inputFromBuild(b)
+	in.Raw = nil
+	e := newEngine(t, in, func(c *Config) { c.Metrics = metrics.New() })
+	feed(t, e, b)
+	e.Drain()
+	if got := e.Analysis(); !reflect.DeepEqual(base, got) {
+		t.Error("instrumented engine diverges from batch")
+	}
+}

@@ -1,11 +1,17 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/core"
 )
+
+// ErrUnknownReport marks a Report call for a name that does not exist.
+// Callers serving reports over HTTP use it to tell a client error (404)
+// from an internal materialization failure (500).
+var ErrUnknownReport = errors.New("stream: unknown report")
 
 // reportFns maps the daemon's report names (URL path leaves under
 // /reports/) to pipeline stages. Names follow the paper's table/figure
@@ -47,13 +53,20 @@ func ReportNames() []string {
 
 // Report materializes one named report over the current state. The
 // returned value is a fresh report struct safe to serialize after the
-// call.
-func (e *Engine) Report(name string) (any, error) {
+// call. An unknown name returns an error wrapping ErrUnknownReport; a
+// panic during materialization (a bug, not a client mistake) is
+// recovered into a plain error so one bad report cannot take down a
+// long-running daemon.
+func (e *Engine) Report(name string) (out any, err error) {
 	fn, ok := reportFns[name]
 	if !ok {
-		return nil, fmt.Errorf("stream: unknown report %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownReport, name)
 	}
-	var out any
+	defer func() {
+		if p := recover(); p != nil {
+			out, err = nil, fmt.Errorf("stream: report %s: %v", name, p)
+		}
+	}()
 	e.WithPipeline(func(p *core.Pipeline) { out = fn(p) })
 	return out, nil
 }
