@@ -69,6 +69,8 @@ type options struct {
 	workers    int
 	pprof      bool
 	logLevel   string
+	strict     bool
+	quarantine string
 }
 
 func main() {
@@ -86,6 +88,8 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "report workers: 0 = one per CPU, 1 = serial")
 	flag.BoolVar(&o.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.StringVar(&o.logLevel, "log-level", "info", "log level: debug, info, warn, error")
+	flag.BoolVar(&o.strict, "strict", false, "fail-stop on malformed log rows instead of quarantining them")
+	flag.StringVar(&o.quarantine, "quarantine", "", "append rejected rows to this file (permissive mode only)")
 	flag.Parse()
 
 	logger := newLogger(os.Stderr, o.logLevel)
@@ -142,10 +146,35 @@ func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr st
 		scfg.Policy = stream.Drop
 	}
 
+	// Malformed-row policy. Permissive (the default) quarantines bad rows
+	// and keeps tailing — one corrupt line must not wedge a monitor that
+	// runs for months; -strict restores fail-stop for operators who would
+	// rather halt than skip. RejectTotals pre-registers the zero-valued
+	// rejection series so /metrics shows the family from boot.
+	zopts := zeek.Options{Strict: o.strict, Metrics: reg}
+	if o.quarantine != "" {
+		if o.strict {
+			logger.Error("-quarantine is meaningless with -strict (strict mode never skips rows)")
+			ln.Close()
+			return 2
+		}
+		q, err := zeek.OpenQuarantine(o.quarantine)
+		if err != nil {
+			logger.Error("open quarantine", "path", o.quarantine, "err", err)
+			ln.Close()
+			return 1
+		}
+		defer q.Close()
+		zopts.Quarantine = q
+	}
+	zeek.RejectTotals(reg)
+
 	sslTail := zeek.NewSSLTail(filepath.Join(o.logs, "ssl.log"))
 	x509Tail := zeek.NewX509Tail(filepath.Join(o.logs, "x509.log"))
 	sslTail.Instrument(reg)
 	x509Tail.Instrument(reg)
+	sslTail.SetOptions(zopts)
+	x509Tail.SetOptions(zopts)
 
 	var eng *stream.Engine
 	if o.checkpoint != "" {
@@ -208,12 +237,24 @@ func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr st
 		ticker := time.NewTicker(o.poll)
 		defer ticker.Stop()
 		var lastCkpt time.Time
+		// Persistent poll errors (an unreadable disk, or strict mode
+		// parked on a malformed row) back off exponentially instead of
+		// burning a full-rate retry loop: the offset does not advance, so
+		// retrying every poll interval re-reads the same failure.
+		x509Backoff := newBackoff(o.poll)
+		sslBackoff := newBackoff(o.poll)
+		x509Errs := reg.Counter(tailErrMetric, tailErrHelp, "file", "x509.log")
+		sslErrs := reg.Counter(tailErrMetric, tailErrHelp, "file", "ssl.log")
 		for {
 			var nCerts, nConns int
-			for {
+			for x509Backoff.ready(time.Now()) {
 				certs, err := x509Tail.Poll()
 				if err != nil {
-					logger.Warn("tail x509.log", "err", err)
+					x509Errs.Inc()
+					logger.Warn("tail x509.log", "err", err,
+						"backoff", x509Backoff.failure(time.Now()))
+				} else {
+					x509Backoff.success()
 				}
 				for i := range certs {
 					eng.IngestCert(&certs[i])
@@ -223,10 +264,14 @@ func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr st
 					break
 				}
 			}
-			for {
+			for sslBackoff.ready(time.Now()) {
 				conns, err := sslTail.Poll()
 				if err != nil {
-					logger.Warn("tail ssl.log", "err", err)
+					sslErrs.Inc()
+					logger.Warn("tail ssl.log", "err", err,
+						"backoff", sslBackoff.failure(time.Now()))
+				} else {
+					sslBackoff.success()
 				}
 				for i := range conns {
 					eng.IngestConn(&conns[i])
@@ -297,7 +342,13 @@ func newMux(eng reporter, reg *metrics.Registry, logger *slog.Logger, withPprof 
 		fmt.Fprintln(w, "ok")
 	})
 	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, eng.Stats())
+		total, byReason := zeek.RejectTotals(reg)
+		writeJSON(w, daemonStats{
+			Stats:            eng.Stats(),
+			RowsRejected:     total,
+			RejectedByReason: byReason,
+			TailErrors:       tailErrTotal(reg),
+		})
 	})
 	handle("/reports/", func(w http.ResponseWriter, r *http.Request) {
 		name := strings.Trim(strings.TrimPrefix(r.URL.Path, "/reports/"), "/")
@@ -334,6 +385,78 @@ func newMux(eng reporter, reg *metrics.Registry, logger *slog.Logger, withPprof 
 type reporter interface {
 	Report(name string) (any, error)
 	Stats() stream.Stats
+}
+
+// daemonStats is the /stats payload: the engine counters plus the
+// ingestion-health counters owned by the daemon. Embedding keeps the
+// JSON shape a strict superset of stream.Stats, so existing scrapers
+// keep working.
+type daemonStats struct {
+	stream.Stats
+	RowsRejected     uint64            // malformed log rows quarantined
+	RejectedByReason map[string]uint64 `json:",omitempty"` // "file/reason" -> count
+	TailErrors       uint64            // tail polls that returned an error
+}
+
+const (
+	tailErrMetric = "mtlsd_tail_errors_total"
+	tailErrHelp   = "tail polls that returned an error"
+)
+
+// tailErrTotal sums the per-file tail error counters.
+func tailErrTotal(reg *metrics.Registry) uint64 {
+	var n uint64
+	for _, f := range []string{"ssl.log", "x509.log"} {
+		n += reg.Counter(tailErrMetric, tailErrHelp, "file", f).Value()
+	}
+	return n
+}
+
+// backoff is the per-file retry schedule for persistent tail errors:
+// the first failure waits one poll interval, each consecutive failure
+// doubles the wait up to a cap, and any success resets it. Poll cadence
+// for healthy files is untouched — the schedule only gates how soon a
+// failing file is retried.
+type backoff struct {
+	base, max time.Duration
+	delay     time.Duration
+	until     time.Time
+}
+
+// backoffCap bounds the retry delay: 32 doublings of a sub-second poll
+// would otherwise reach minutes, and an operator fixing the disk should
+// not wait longer than this for ingestion to notice.
+const backoffCap = time.Minute
+
+func newBackoff(base time.Duration) *backoff {
+	max := 32 * base
+	if max > backoffCap {
+		max = backoffCap
+	}
+	if max < base {
+		max = base
+	}
+	return &backoff{base: base, max: max}
+}
+
+// ready reports whether the backed-off file may be polled again.
+func (b *backoff) ready(now time.Time) bool { return !now.Before(b.until) }
+
+// failure records a failed poll and returns the wait before the next try.
+func (b *backoff) failure(now time.Time) time.Duration {
+	if b.delay == 0 {
+		b.delay = b.base
+	} else if b.delay *= 2; b.delay > b.max {
+		b.delay = b.max
+	}
+	b.until = now.Add(b.delay)
+	return b.delay
+}
+
+// success resets the schedule after a clean poll.
+func (b *backoff) success() {
+	b.delay = 0
+	b.until = time.Time{}
 }
 
 // instrument wraps a handler with a per-endpoint latency histogram and a

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"syscall"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	mtls "repro"
 	"repro/internal/metrics"
 	"repro/internal/stream"
+	"repro/internal/zeek"
 )
 
 // testScale keeps the generated dataset small enough for fast e2e runs.
@@ -90,6 +92,237 @@ func waitIngested(t *testing.T, base string) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	t.Fatal("daemon never ingested connections")
+}
+
+// waitConns polls /stats until exactly want connection events have been
+// applied.
+func waitConns(t *testing.T, base string, want uint64) daemonStats {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var st daemonStats
+	for time.Now().Before(deadline) {
+		code, body := httpGet(t, base+"/stats")
+		if code == http.StatusOK {
+			if err := json.Unmarshal([]byte(body), &st); err == nil && st.ConnsIngested >= want {
+				return st
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("daemon never reached %d ingested connections (last: %d)", want, st.ConnsIngested)
+	return st
+}
+
+// TestDaemonMalformedRow is the end-to-end poison-pill regression: a
+// daemon tailing a live log receives a malformed row mid-stream, must
+// keep ingesting everything behind it, must surface the rejection in
+// /stats, /metrics, and the quarantine file, and its reports must
+// deep-equal a batch engine fed only the valid rows.
+func TestDaemonMalformedRow(t *testing.T) {
+	cfg := mtls.DefaultConfig()
+	cfg.CertScale = testScale
+	build := mtls.Generate(cfg)
+	conns := build.Raw.Conns
+	half := len(conns) / 2
+
+	// Daemon dir: full x509.log, ssl.log holding only the first half.
+	dir := t.TempDir()
+	if err := mtls.WriteLogs(build.Raw, dir); err != nil {
+		t.Fatal(err)
+	}
+	sslPath := filepath.Join(dir, "ssl.log")
+	f, err := os.Create(sslPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := zeek.NewSSLWriter(f)
+	for i := range conns[:half] {
+		if err := w.Write(&conns[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	quarantine := filepath.Join(t.TempDir(), "quarantine.log")
+	base, cancel, exit := startDaemon(t, options{
+		logs:       dir,
+		listen:     "127.0.0.1:0",
+		poll:       50 * time.Millisecond,
+		scale:      cfg.CertScale,
+		quarantine: quarantine,
+	})
+	defer func() {
+		cancel()
+		<-exit
+	}()
+	waitConns(t, base, uint64(half))
+
+	// Mid-stream poison: a zero weight and a truncated row, then the
+	// rest of the valid connections behind them.
+	f, err = os.OpenFile(sslPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("1654041600.000000\tPOISON\t10.0.0.1\t1234\t192.0.2.1\t443\tTLSv12\tbad.example\tT\t-\t-\t0\n" +
+		"truncated\trow\n"); err != nil {
+		t.Fatal(err)
+	}
+	w = zeek.NewSSLWriter(f)
+	w.SkipHeader()
+	for i := half; i < len(conns); i++ {
+		if err := w.Write(&conns[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Every valid row lands despite the poison pills between them.
+	st := waitConns(t, base, uint64(len(conns)))
+	if st.RowsRejected != 2 {
+		t.Fatalf("RowsRejected = %d, want 2", st.RowsRejected)
+	}
+	if st.RejectedByReason["ssl/"+string(zeek.RejectWeight)] != 1 ||
+		st.RejectedByReason["ssl/"+string(zeek.RejectFieldCount)] != 1 {
+		t.Fatalf("RejectedByReason = %v", st.RejectedByReason)
+	}
+
+	// The rejection counter is visible on /metrics, labeled by reason.
+	code, metricsBody := httpGet(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, line := range []string{
+		`zeek_rows_rejected_total{file="ssl",reason="weight"} 1`,
+		`zeek_rows_rejected_total{file="ssl",reason="field_count"} 1`,
+	} {
+		if !strings.Contains(metricsBody, line) {
+			t.Errorf("/metrics missing %q", line)
+		}
+	}
+
+	// The quarantine file retains both raw rows for forensics.
+	qraw, err := os.ReadFile(quarantine)
+	if err != nil {
+		t.Fatalf("quarantine file: %v", err)
+	}
+	if !strings.Contains(string(qraw), "POISON") || !strings.Contains(string(qraw), string(zeek.RejectFieldCount)) {
+		t.Fatalf("quarantine missing rejected rows:\n%s", qraw)
+	}
+
+	// Reports must equal a batch engine fed only the valid rows: the
+	// malformed lines changed counters, never analysis results.
+	in := mtls.InputFromBuild(mtls.Generate(cfg))
+	in.Raw = nil
+	ref, err := stream.New(stream.Config{Input: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	xf, err := os.Open(filepath.Join(dir, "x509.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	certs, err := zeek.ReadX509(xf)
+	xf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range certs {
+		ref.IngestCert(&certs[i])
+	}
+	for i := range conns {
+		ref.IngestConn(&conns[i])
+	}
+	ref.Drain()
+
+	for _, name := range stream.ReportNames() {
+		code, body := httpGet(t, base+"/reports/"+name)
+		if code != 200 {
+			t.Fatalf("report %s: HTTP %d", name, code)
+		}
+		wantOut, err := ref.Report(name)
+		if err != nil {
+			t.Fatalf("reference report %s: %v", name, err)
+		}
+		wantJSON, err := json.Marshal(wantOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got, want any
+		if err := json.Unmarshal([]byte(body), &got); err != nil {
+			t.Fatalf("report %s body: %v", name, err)
+		}
+		if err := json.Unmarshal(wantJSON, &want); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("report %s diverged from valid-rows batch reference", name)
+		}
+	}
+}
+
+// TestDaemonStrictQuarantineConflict: -strict with -quarantine is a
+// configuration error (strict mode never skips rows), refused at boot.
+func TestDaemonStrictQuarantineConflict(t *testing.T) {
+	dir, cfg := writeTestLogs(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	code := run(ctx, options{
+		logs: dir, listen: "127.0.0.1:0", scale: cfg.CertScale,
+		strict: true, quarantine: filepath.Join(t.TempDir(), "q.log"),
+	}, testLogger(t), nil)
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2 (usage error)", code)
+	}
+}
+
+// TestBackoff pins the tail-error retry schedule: first failure waits
+// one base interval, consecutive failures double up to the cap, and a
+// success resets the schedule.
+func TestBackoff(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	b := newBackoff(100 * time.Millisecond)
+
+	if !b.ready(now) {
+		t.Fatal("fresh backoff must be ready")
+	}
+	if d := b.failure(now); d != 100*time.Millisecond {
+		t.Fatalf("first failure delay = %v, want 100ms", d)
+	}
+	if b.ready(now.Add(50 * time.Millisecond)) {
+		t.Fatal("ready before the delay elapsed")
+	}
+	if !b.ready(now.Add(100 * time.Millisecond)) {
+		t.Fatal("not ready after the delay elapsed")
+	}
+	for i, want := range []time.Duration{200, 400, 800, 1600, 3200, 3200} {
+		if d := b.failure(now); d != want*time.Millisecond {
+			t.Fatalf("failure %d delay = %v, want %v (cap = 32x base)", i+2, d, want*time.Millisecond)
+		}
+	}
+	b.success()
+	if !b.ready(now) {
+		t.Fatal("not ready after success reset")
+	}
+	if d := b.failure(now); d != 100*time.Millisecond {
+		t.Fatalf("post-reset failure delay = %v, want 100ms", d)
+	}
+
+	// A slow poll interval is capped at one minute, not 32x.
+	slow := newBackoff(5 * time.Second)
+	var last time.Duration
+	for i := 0; i < 10; i++ {
+		last = slow.failure(now)
+	}
+	if last != time.Minute {
+		t.Fatalf("slow-poll cap = %v, want 1m", last)
+	}
 }
 
 // TestDaemonEndToEnd drives a live daemon over HTTP: liveness, stats,

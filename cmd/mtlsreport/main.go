@@ -36,6 +36,8 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress the full table dump")
 	asJSON := flag.Bool("json", false, "emit the full analysis as JSON instead of rendered tables")
 	timings := flag.Bool("timings", false, "print per-stage wall times to stderr (Prometheus text format)")
+	strict := flag.Bool("strict", false, "fail on the first malformed log row instead of skipping it")
+	quarantine := flag.String("quarantine", "", "append rejected rows to this file (with -logs, permissive mode)")
 	flag.Parse()
 
 	// Stage timings go through the same metrics substrate the daemon
@@ -61,9 +63,27 @@ func main() {
 	stage("generate", func() { build = mtls.Generate(cfg) })
 	if *logs != "" {
 		stage("open_logs", func() {
-			ds, err := mtls.OpenLogs(*logs)
+			// Permissive by default: a malformed row is skipped (and
+			// summarized on stderr) rather than killing the whole run;
+			// -strict restores fail-fast.
+			opts := mtls.LogOptions{Strict: *strict, Metrics: reg}
+			if *quarantine != "" {
+				if *strict {
+					log.Fatal("mtlsreport: -quarantine is meaningless with -strict (strict mode never skips rows)")
+				}
+				q, err := mtls.OpenQuarantine(*quarantine)
+				if err != nil {
+					log.Fatalf("mtlsreport: open quarantine: %v", err)
+				}
+				defer q.Close()
+				opts.Quarantine = q
+			}
+			ds, err := mtls.OpenLogsWith(*logs, opts)
 			if err != nil {
 				log.Fatalf("mtlsreport: open logs: %v", err)
+			}
+			if total, byReason := mtls.RejectTotals(reg); total > 0 {
+				fmt.Fprintf(os.Stderr, "mtlsreport: skipped %d malformed log rows: %v\n", total, byReason)
 			}
 			build.Raw = ds
 		})

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -29,7 +30,19 @@ func main() {
 	issuer := flag.String("issuer", "", "filter: certificate issuer substring (with -certs)")
 	certs := flag.Bool("certs", false, "list certificates instead of connections")
 	n := flag.Int("n", 40, "max rows to print")
+	strict := flag.Bool("strict", false, "fail on the first malformed row instead of skipping it")
 	flag.Parse()
+
+	// Permissive by default: zeekcat is a peeking tool, and a corrupt row
+	// halfway through a log should not hide everything after it. Skipped
+	// rows are tallied in the trailer so they stay visible.
+	opts := zeek.Options{Strict: *strict}
+	rejected := func() uint64 { return 0 }
+	if !*strict {
+		q := zeek.NewQuarantine(io.Discard)
+		opts.Quarantine = q
+		rejected = q.Count
+	}
 
 	if *certs {
 		f, err := os.Open(filepath.Join(*logs, "x509.log"))
@@ -39,7 +52,7 @@ func main() {
 		defer f.Close()
 		wantIssuer := strings.ToLower(*issuer)
 		printed, scanned := 0, 0
-		err = zeek.ForEachX509(f, func(rec *zeek.X509Record) error {
+		err = zeek.ForEachX509With(f, opts, func(rec *zeek.X509Record) error {
 			scanned++
 			c := rec.Cert
 			if wantIssuer != "" && !strings.Contains(strings.ToLower(c.IssuerDN()), wantIssuer) {
@@ -57,7 +70,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("zeekcat: %v", err)
 		}
-		fmt.Printf("(%d certificates shown, %d rows scanned)\n", printed, scanned)
+		fmt.Printf("(%d certificates shown, %d rows scanned, %d malformed rows skipped)\n", printed, scanned, rejected())
 		return
 	}
 
@@ -68,7 +81,7 @@ func main() {
 	defer f.Close()
 	wantSNI := strings.ToLower(*sni)
 	printed, scanned := 0, 0
-	err = zeek.ForEachSSL(f, func(c *zeek.SSLRecord) error {
+	err = zeek.ForEachSSLWith(f, opts, func(c *zeek.SSLRecord) error {
 		scanned++
 		if *mutualOnly && !c.IsMutual() {
 			return nil
@@ -88,5 +101,5 @@ func main() {
 	if err != nil {
 		log.Fatalf("zeekcat: %v", err)
 	}
-	fmt.Printf("(%d connections shown, %d rows scanned)\n", printed, scanned)
+	fmt.Printf("(%d connections shown, %d rows scanned, %d malformed rows skipped)\n", printed, scanned, rejected())
 }

@@ -99,6 +99,7 @@ type Stats struct {
 	ConnsIngested uint64 // connection events applied
 	CertsIngested uint64 // certificate events applied (incl. duplicates)
 	Dropped       uint64 // events shed under Policy Drop
+	Rejected      uint64 // invalid events refused at the ingest boundary
 	Retained      int    // connections currently in the window
 	Evicted       uint64 // connections dropped by retention
 	Rebuilds      uint64 // derived-state rebuilds (retroactive evidence)
@@ -132,9 +133,10 @@ type Engine struct {
 	ch   chan event
 	done chan struct{}
 
-	sendMu  sync.RWMutex // guards closed + ch against Close
-	closed  bool
-	dropped atomic.Uint64
+	sendMu   sync.RWMutex // guards closed + ch against Close
+	closed   bool
+	dropped  atomic.Uint64
+	rejected atomic.Uint64
 
 	m *engineMetrics
 
@@ -206,15 +208,34 @@ func (e *Engine) resetBuilderLocked() {
 }
 
 // IngestConn feeds one connection event. The record is copied; the
-// caller may reuse it. Returns false when the event was dropped (Policy
-// Drop with a full buffer) or the engine is closed.
+// caller may reuse it. Returns false when the event was rejected as
+// invalid, dropped (Policy Drop with a full buffer), or the engine is
+// closed.
+//
+// A nil record or a weight below 1 is rejected up front (counted in
+// Stats.Rejected): the parsers guarantee weight >= 1, but the engine is
+// also fed by taps and tests, and a zero/negative weight would silently
+// corrupt every weighted percentage the reports derive.
 func (e *Engine) IngestConn(rec *core.ConnRecord) bool {
+	if rec == nil || rec.Weight < 1 {
+		e.rejected.Add(1)
+		e.m.rejected.Inc()
+		return false
+	}
 	c := *rec
 	return e.send(event{conn: &c, enq: time.Now()}, e.cfg.Policy == Block)
 }
 
-// IngestCert feeds one certificate event.
+// IngestCert feeds one certificate event. A nil record, a nil
+// certificate, or an empty fingerprint is rejected (counted in
+// Stats.Rejected) — an unkeyed certificate could never be resolved from
+// a chain and would only poison the roster.
 func (e *Engine) IngestCert(rec *core.CertRecord) bool {
+	if rec == nil || rec.Cert == nil || rec.Cert.Fingerprint == "" {
+		e.rejected.Add(1)
+		e.m.rejected.Inc()
+		return false
+	}
 	return e.send(event{cert: rec.Cert, enq: time.Now()}, e.cfg.Policy == Block)
 }
 
@@ -476,6 +497,7 @@ func (e *Engine) Stats() Stats {
 		ConnsIngested:       e.connsIngested,
 		CertsIngested:       e.certsIngested,
 		Dropped:             e.dropped.Load(),
+		Rejected:            e.rejected.Load(),
 		Retained:            len(e.conns),
 		Evicted:             e.evicted,
 		Rebuilds:            e.rebuilds,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	mtls "repro"
+	"repro/internal/certmodel"
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/workload"
@@ -390,6 +391,50 @@ func TestIngestAfterClose(t *testing.T) {
 	e.Drain() // must not hang
 	if a := e.Analysis(); a.CertStats.Row("Total").Total == 0 {
 		t.Fatal("closed engine must still materialize")
+	}
+}
+
+// TestIngestRejectsInvalid checks the ingest boundary refuses events the
+// apply loop could not handle sensibly — nil records, weightless
+// connections, fingerprint-less certificates — and counts each refusal
+// in Stats.Rejected without disturbing the ingested totals.
+func TestIngestRejectsInvalid(t *testing.T) {
+	b := genBuild(20240504, 500)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	e, err := New(Config{Input: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	bad := b.Raw.Conns[0]
+	bad.Weight = 0
+	neg := b.Raw.Conns[1]
+	neg.Weight = -3
+	if e.IngestConn(nil) || e.IngestConn(&bad) || e.IngestConn(&neg) {
+		t.Fatal("invalid conn events must be rejected")
+	}
+	var c0 *certmodel.CertInfo
+	for _, c := range b.Raw.Certs {
+		c0 = c
+		break
+	}
+	noCert := core.CertRecord{TS: c0.NotBefore}
+	unkeyed := core.CertRecord{TS: c0.NotBefore, Cert: &certmodel.CertInfo{}}
+	if e.IngestCert(nil) || e.IngestCert(&noCert) || e.IngestCert(&unkeyed) {
+		t.Fatal("invalid cert events must be rejected")
+	}
+	if !e.IngestConn(&b.Raw.Conns[0]) || !e.IngestCert(&core.CertRecord{TS: c0.NotBefore, Cert: c0}) {
+		t.Fatal("valid events must still be accepted")
+	}
+	e.Drain()
+	st := e.Stats()
+	if st.Rejected != 6 {
+		t.Fatalf("Rejected = %d, want 6", st.Rejected)
+	}
+	if st.ConnsIngested != 1 || st.CertsIngested != 1 {
+		t.Fatalf("ingested = %d conns / %d certs, want 1 / 1", st.ConnsIngested, st.CertsIngested)
 	}
 }
 

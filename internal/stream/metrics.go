@@ -14,6 +14,7 @@ type engineMetrics struct {
 	connsIngested *metrics.Counter
 	certsIngested *metrics.Counter
 	dropped       *metrics.Counter
+	rejected      *metrics.Counter
 	evicted       *metrics.Counter
 	rebuilds      *metrics.Counter
 	checkpoints   *metrics.Counter
@@ -39,6 +40,7 @@ func newEngineMetrics(r *metrics.Registry, e *Engine) *engineMetrics {
 		connsIngested: r.Counter("stream_conns_ingested_total", "connection events applied"),
 		certsIngested: r.Counter("stream_certs_ingested_total", "certificate events applied (incl. duplicates)"),
 		dropped:       r.Counter("stream_events_dropped_total", "events shed under Policy Drop"),
+		rejected:      r.Counter("stream_events_rejected_total", "invalid events refused at the ingest boundary"),
 		evicted:       r.Counter("stream_conns_evicted_total", "connections dropped by the retention window"),
 		rebuilds:      r.Counter("stream_rebuilds_total", "derived-state rebuilds (retroactive evidence)"),
 		checkpoints:   r.Counter("stream_checkpoints_total", "checkpoints written"),

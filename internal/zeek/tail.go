@@ -2,6 +2,7 @@ package zeek
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -68,6 +69,13 @@ type tail struct {
 	// line), the content identity backing up dev/inode comparison.
 	sig    []byte
 	sigOff int64
+	// opts selects strict vs permissive malformed-row handling. The zero
+	// value is permissive: a corrupt row is consumed (quarantined when
+	// sinks are attached) instead of poisoning every subsequent poll.
+	opts Options
+	// skipping is set after a line longer than one chunk was discarded
+	// in permissive mode; polls drop bytes until the next newline.
+	skipping bool
 
 	m tailMetrics
 }
@@ -152,10 +160,17 @@ func (t *tail) captureSig(f *os.File, size int64) {
 }
 
 // poll consumes newly appended complete rows, invoking row per data line.
-// The offset advances past every line handed to row (and past malformed
-// lines, so one corrupt row cannot wedge the tailer), but never past a
-// partial trailing line, and by at most one chunk per call — callers
-// catching up on a backlog poll repeatedly until no rows remain.
+// The offset never advances past a partial trailing line, and by at most
+// one chunk per call — callers catching up on a backlog poll repeatedly
+// until no rows remain.
+//
+// Malformed rows follow t.opts. Permissive (the default): the offset
+// advances past the bad line exactly once, the row is quarantined, and
+// the rest of the chunk still parses — this is the poison-pill fix; a
+// single corrupt row used to fail Poll without progress, so a daemon
+// re-parsed it every tick forever. Strict: Poll rewinds to the start of
+// the offending line and returns the error, so nothing is silently
+// dropped and ingestion visibly halts there until an operator acts.
 func (t *tail) poll(row func([]string) error) error {
 	defer t.m.pollDur.Since(time.Now())
 	f, err := os.Open(t.path)
@@ -175,6 +190,7 @@ func (t *tail) poll(row func([]string) error) error {
 		t.line = 0
 		t.sig = nil
 		t.sigOff = 0
+		t.skipping = false
 		t.m.rotations.Inc()
 	}
 	t.info = fi
@@ -197,12 +213,38 @@ func (t *tail) poll(row func([]string) error) error {
 		return err
 	}
 	buf = buf[:n]
+	if t.skipping {
+		// Mid-discard of an oversized line: drop bytes up to and
+		// including the next newline, then resume normal parsing.
+		nl := bytes.IndexByte(buf, '\n')
+		if nl < 0 {
+			t.offset += int64(len(buf))
+			t.m.lag.Set(float64(fi.Size() - t.offset))
+			return nil
+		}
+		t.offset += int64(nl) + 1
+		t.line++
+		t.skipping = false
+		buf = buf[nl+1:]
+	}
 	last := bytes.LastIndexByte(buf, '\n')
 	if last < 0 {
-		t.m.lag.Set(float64(fi.Size() - t.offset))
 		if int64(len(buf)) >= chunk {
-			return fmt.Errorf("zeek: tail %s: line at offset %d exceeds %d bytes", t.path, t.offset, chunk)
+			if t.opts.Strict {
+				t.m.lag.Set(float64(fi.Size() - t.offset))
+				return fmt.Errorf("zeek: tail %s: line at offset %d exceeds %d bytes", t.path, t.offset, chunk)
+			}
+			// The line cannot fit in one chunk and its end is not in
+			// sight; quarantine a prefix for forensics and discard
+			// until the newline shows up.
+			re := rowErrf(RejectOversizedLine, "line exceeds %d bytes", chunk)
+			re.Line = t.line + 1
+			re.Raw = string(buf[:min(len(buf), 256)])
+			t.opts.reject(t.wantPath, re)
+			t.offset += int64(len(buf))
+			t.skipping = true
 		}
+		t.m.lag.Set(float64(fi.Size() - t.offset))
 		return nil // only a partial line so far
 	}
 	data := buf[:last+1]
@@ -214,10 +256,15 @@ func (t *tail) poll(row func([]string) error) error {
 	}()
 	for len(data) > 0 {
 		nl := bytes.IndexByte(data, '\n')
+		lineStart := t.offset
 		line := string(data[:nl])
 		data = data[nl+1:]
 		t.offset += int64(nl) + 1
 		t.line++
+		// The batch reader's bufio.Scanner strips a trailing \r; do the
+		// same so a CRLF log parses identically tailed or batched (the
+		// \r otherwise rides into the last column and rejects the row).
+		line = strings.TrimSuffix(line, "\r")
 		if line == "" {
 			continue
 		}
@@ -231,14 +278,38 @@ func (t *tail) poll(row func([]string) error) error {
 		}
 		cols := strings.Split(line, fieldSep)
 		if len(cols) != t.nFields {
-			return fmt.Errorf("zeek: tail %s: line %d has %d fields, want %d",
-				t.path, t.line, len(cols), t.nFields)
+			re := rowErrf(RejectFieldCount, "%d fields, want %d", len(cols), t.nFields)
+			if err := t.badRow(re, lineStart, line); err != nil {
+				return err
+			}
+			continue
 		}
-		rows++
 		if err := row(cols); err != nil {
+			var re *RowError
+			if errors.As(err, &re) {
+				if err := t.badRow(re, lineStart, line); err != nil {
+					return err
+				}
+				continue
+			}
 			return fmt.Errorf("zeek: tail %s: line %d: %w", t.path, t.line, err)
 		}
+		rows++
 	}
+	return nil
+}
+
+// badRow resolves one malformed line per the tailer's options: strict
+// rewinds the offset so the line is not consumed and returns the error;
+// permissive quarantines it and returns nil so the poll loop continues.
+func (t *tail) badRow(re *RowError, lineStart int64, line string) error {
+	re.Line, re.Raw = t.line, line
+	if t.opts.Strict {
+		t.offset = lineStart
+		t.line--
+		return fmt.Errorf("zeek: tail %s: %w", t.path, re)
+	}
+	t.opts.reject(t.wantPath, re)
 	return nil
 }
 
@@ -253,6 +324,11 @@ func NewSSLTail(path string) *SSLTail {
 // Instrument publishes the tailer's poll duration, bytes/rows read, lag,
 // and rotation count to the registry, labeled file="ssl".
 func (s *SSLTail) Instrument(r *metrics.Registry) { s.t.instrument(r) }
+
+// SetOptions selects strict vs permissive malformed-row handling and
+// attaches the quarantine/metrics sinks (see Options). The default is
+// permissive with no sinks.
+func (s *SSLTail) SetOptions(o Options) { s.t.opts = o }
 
 // Poll returns the connection rows appended since the previous poll (nil
 // when nothing new). Rows parsed before an error are still returned. One
@@ -288,6 +364,10 @@ func NewX509Tail(path string) *X509Tail {
 // Instrument publishes the tailer's poll duration, bytes/rows read, lag,
 // and rotation count to the registry, labeled file="x509".
 func (x *X509Tail) Instrument(r *metrics.Registry) { x.t.instrument(r) }
+
+// SetOptions selects strict vs permissive malformed-row handling and
+// attaches the quarantine/metrics sinks (see Options).
+func (x *X509Tail) SetOptions(o Options) { x.t.opts = o }
 
 // Poll returns the certificate rows appended since the previous poll,
 // consuming at most one chunk per call (see SSLTail.Poll).

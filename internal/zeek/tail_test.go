@@ -1,7 +1,9 @@
 package zeek
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -290,17 +292,184 @@ func TestTailSignatureFallback(t *testing.T) {
 	}
 }
 
-// TestTailOversizedLine: a single line exceeding the chunk cap reports
-// an error instead of stalling silently forever.
-func TestTailOversizedLine(t *testing.T) {
+// TestTailOversizedLineStrict: in strict mode a line exceeding the chunk
+// cap reports an error instead of stalling silently forever.
+func TestTailOversizedLineStrict(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.log")
 	if err := os.WriteFile(path, []byte(strings.Repeat("x", 2048)), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	tl := &tail{path: path, wantPath: "t", nFields: 2, chunk: 1024}
+	tl := &tail{path: path, wantPath: "t", nFields: 2, chunk: 1024, opts: Options{Strict: true}}
 	if err := tl.poll(func([]string) error { return nil }); err == nil {
 		t.Fatal("oversized line must error, not spin")
+	}
+}
+
+// TestTailOversizedLinePermissive: the default mode discards the
+// oversized line (quarantining a prefix, counting one rejection) and
+// resumes at the next newline — no input can wedge the tailer.
+func TestTailOversizedLinePermissive(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.log")
+	content := strings.Repeat("x", 2048) + "\nok\t1\nok\t2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuarantine(io.Discard)
+	tl := &tail{path: path, wantPath: "t", nFields: 2, chunk: 1024, opts: Options{Quarantine: q}}
+	var got [][]string
+	for i := 0; i < 10; i++ {
+		if err := tl.poll(func(cols []string) error {
+			got = append(got, append([]string(nil), cols...))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 2 || got[0][0] != "ok" {
+		t.Fatalf("rows after oversized line = %v, want the 2 trailing rows", got)
+	}
+	if q.Count() != 1 {
+		t.Fatalf("quarantined = %d, want 1 (the oversized line)", q.Count())
+	}
+	if off := tl.offset; off != int64(len(content)) {
+		t.Fatalf("offset = %d, want %d (fully drained)", off, len(content))
+	}
+}
+
+// appendRaw appends raw bytes to path.
+func appendRaw(t *testing.T, path, s string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteString(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTailPoisonPill is the regression for the tentpole bug: a malformed
+// row appended mid-stream must be consumed exactly once (quarantined,
+// counted under its reason), and every later row must still be
+// delivered. The pre-fix tailer surfaced the row as a poll error on
+// every cycle without a defined advance, so one corrupt line either
+// spammed errors forever or silently cost the rows that shared its
+// chunk.
+func TestTailPoisonPill(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ssl.log")
+	ts := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	writeRows(t, path, tailRec("C1", ts))
+
+	reg := metrics.New()
+	q := NewQuarantine(io.Discard)
+	tl := NewSSLTail(path)
+	tl.SetOptions(Options{Quarantine: q, Metrics: reg})
+
+	recs, err := tl.Poll()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("prefix: recs=%d err=%v", len(recs), err)
+	}
+
+	// The poison pill: a weight of zero, then two healthy rows behind it.
+	appendRaw(t, path, "1654041600.000000\tBAD\t10.0.0.1\t1234\t192.0.2.1\t443\tTLSv12\tx.com\tT\taa\t-\t0\n")
+	writeRows(t, path, tailRec("C2", ts.Add(time.Second)), tailRec("C3", ts.Add(2*time.Second)))
+
+	var after []SSLRecord
+	for i := 0; i < 5; i++ {
+		recs, err := tl.Poll()
+		if err != nil {
+			t.Fatalf("poll after poison pill: %v", err)
+		}
+		after = append(after, recs...)
+	}
+	if len(after) != 2 || after[0].UID != "C2" || after[1].UID != "C3" {
+		t.Fatalf("rows after poison pill = %+v, want C2 and C3", after)
+	}
+	if q.Count() != 1 {
+		t.Fatalf("quarantined = %d, want exactly 1 (no re-reads)", q.Count())
+	}
+	if got := reg.Counter(RejectMetric, "", "file", "ssl", "reason", string(RejectWeight)).Value(); got != 1 {
+		t.Fatalf("reject counter = %d, want 1", got)
+	}
+}
+
+// TestTailStrictRewind: in strict mode a malformed row fails the poll
+// WITHOUT advancing the offset — nothing is silently dropped, the same
+// error resurfaces on every retry, and rows behind the bad one stay
+// unread until an operator repairs the log.
+func TestTailStrictRewind(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ssl.log")
+	ts := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	writeRows(t, path, tailRec("C1", ts))
+
+	tl := NewSSLTail(path)
+	tl.SetOptions(Options{Strict: true})
+	if recs, err := tl.Poll(); err != nil || len(recs) != 1 {
+		t.Fatalf("prefix: recs=%d err=%v", len(recs), err)
+	}
+	saved := tl.Offset()
+
+	appendRaw(t, path, "not-a-timestamp\tBAD\t10.0.0.1\t1234\t192.0.2.1\t443\tTLSv12\tx.com\tT\taa\t-\t1\n")
+	writeRows(t, path, tailRec("C2", ts.Add(time.Second)))
+
+	var firstErr error
+	for i := 0; i < 3; i++ {
+		recs, err := tl.Poll()
+		if err == nil {
+			t.Fatalf("strict poll %d must fail on the malformed row (got %d rows)", i, len(recs))
+		}
+		if len(recs) != 0 {
+			t.Fatalf("strict poll %d delivered %d rows past the malformed one", i, len(recs))
+		}
+		if firstErr == nil {
+			firstErr = err
+		} else if err.Error() != firstErr.Error() {
+			t.Fatalf("strict error changed between retries: %v vs %v", firstErr, err)
+		}
+		if tl.Offset() != saved {
+			t.Fatalf("strict mode advanced offset to %d past the bad row (saved %d)", tl.Offset(), saved)
+		}
+	}
+	var re *RowError
+	if !errors.As(firstErr, &re) || re.Reason != RejectTimestamp {
+		t.Fatalf("strict error = %v, want a RowError with reason %s", firstErr, RejectTimestamp)
+	}
+}
+
+// TestTailCRLF: the tailer must strip a trailing \r exactly like the
+// batch reader's bufio.ScanLines does, or a CRLF log parses differently
+// live than in batch (the last column grows a \r).
+func TestTailCRLF(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ssl.log")
+	content := "#separator \\x09\n#path\tssl\n" +
+		"1654041600.000000\tC1\t10.0.0.1\t1234\t192.0.2.1\t443\tTLSv12\tx.com\tT\taa\t-\t7\r\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := ReadSSL(f)
+	f.Close()
+	if err != nil || len(batch) != 1 {
+		t.Fatalf("batch: recs=%d err=%v", len(batch), err)
+	}
+
+	tl := NewSSLTail(path)
+	tailed, err := tl.Poll()
+	if err != nil || len(tailed) != 1 {
+		t.Fatalf("tail: recs=%d err=%v", len(tailed), err)
+	}
+	if tailed[0].Weight != 7 || tailed[0].Weight != batch[0].Weight {
+		t.Fatalf("CRLF divergence: tail weight %d, batch weight %d", tailed[0].Weight, batch[0].Weight)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -67,7 +68,7 @@ func (sw *SSLWriter) Write(r *SSLRecord) error {
 		orUnset(r.RespIP),
 		strconv.Itoa(int(r.RespPort)),
 		orUnset(r.Version),
-		orUnset(escapeField(r.SNI)),
+		orUnset(encodeField(r.SNI)),
 		boolStr(r.Established),
 		joinFPs(r.ServerChain),
 		joinFPs(r.ClientChain),
@@ -79,6 +80,10 @@ func (sw *SSLWriter) Write(r *SSLRecord) error {
 
 // Flush flushes buffered rows.
 func (sw *SSLWriter) Flush() error { return sw.w.Flush() }
+
+// SkipHeader marks the header as already written — for appending rows
+// to an existing log.
+func (sw *SSLWriter) SkipHeader() { sw.opened = true }
 
 // X509Writer emits x509.log in Zeek TSV format.
 type X509Writer struct {
@@ -104,8 +109,8 @@ func (xw *X509Writer) Write(r *X509Record) error {
 		string(c.Fingerprint),
 		strconv.Itoa(c.Version),
 		orUnset(c.SerialHex),
-		orUnset(escapeField(c.IssuerDN())),
-		orUnset(escapeField(c.SubjectDN())),
+		orUnset(encodeField(c.IssuerDN())),
+		orUnset(encodeField(c.SubjectDN())),
 		joinStrs(c.SANDNS),
 		joinStrs(c.SANIP),
 		joinStrs(c.SANEmail),
@@ -123,31 +128,42 @@ func (xw *X509Writer) Write(r *X509Record) error {
 // Flush flushes buffered rows.
 func (xw *X509Writer) Flush() error { return xw.w.Flush() }
 
-// parseSSLCols decodes one ssl.log row.
+// SkipHeader marks the header as already written — for appending rows
+// to an existing log.
+func (xw *X509Writer) SkipHeader() { xw.opened = true }
+
+// parseSSLCols decodes one ssl.log row. Malformed columns return a
+// *RowError carrying the quarantine reason; the caller decides whether
+// that aborts (strict) or skips (permissive).
 func parseSSLCols(cols []string) (SSLRecord, error) {
 	ts, err := parseTS(cols[0])
 	if err != nil {
-		return SSLRecord{}, err
+		return SSLRecord{}, &RowError{Reason: RejectTimestamp, Err: err}
 	}
-	op, err := strconv.Atoi(cols[3])
+	op, err := parsePort(cols[3])
 	if err != nil {
-		return SSLRecord{}, fmt.Errorf("zeek: orig port: %w", err)
+		return SSLRecord{}, rowErrf(RejectPort, "orig port: %v", err)
 	}
-	rp, err := strconv.Atoi(cols[5])
+	rp, err := parsePort(cols[5])
 	if err != nil {
-		return SSLRecord{}, fmt.Errorf("zeek: resp port: %w", err)
+		return SSLRecord{}, rowErrf(RejectPort, "resp port: %v", err)
 	}
 	w, err := strconv.ParseInt(cols[11], 10, 64)
 	if err != nil {
-		return SSLRecord{}, fmt.Errorf("zeek: weight: %w", err)
+		return SSLRecord{}, rowErrf(RejectWeight, "weight: %v", err)
+	}
+	if w < 1 {
+		// The writer clamps weights to >= 1; zero or negative weights
+		// here would silently corrupt every weighted tally downstream.
+		return SSLRecord{}, rowErrf(RejectWeight, "weight %d < 1", w)
 	}
 	return SSLRecord{
 		TS:          ts,
 		UID:         ids.UID(cols[1]),
 		OrigIP:      unsetOr(cols[2]),
-		OrigPort:    uint16(op),
+		OrigPort:    op,
 		RespIP:      unsetOr(cols[4]),
-		RespPort:    uint16(rp),
+		RespPort:    rp,
 		Version:     unsetOr(cols[6]),
 		SNI:         unescapeField(unsetOr(cols[7])),
 		Established: cols[8] == "T",
@@ -157,27 +173,28 @@ func parseSSLCols(cols []string) (SSLRecord, error) {
 	}, nil
 }
 
-// parseX509Cols decodes one x509.log row.
+// parseX509Cols decodes one x509.log row. Malformed columns return a
+// *RowError carrying the quarantine reason.
 func parseX509Cols(cols []string) (X509Record, error) {
 	ts, err := parseTS(cols[0])
 	if err != nil {
-		return X509Record{}, err
+		return X509Record{}, &RowError{Reason: RejectTimestamp, Err: err}
 	}
 	nb, err := parseTS(cols[11])
 	if err != nil {
-		return X509Record{}, err
+		return X509Record{}, &RowError{Reason: RejectTimestamp, Err: err}
 	}
 	na, err := parseTS(cols[12])
 	if err != nil {
-		return X509Record{}, err
+		return X509Record{}, &RowError{Reason: RejectTimestamp, Err: err}
 	}
 	ver, err := strconv.Atoi(cols[3])
-	if err != nil {
-		return X509Record{}, fmt.Errorf("zeek: cert version: %w", err)
+	if err != nil || ver < 0 {
+		return X509Record{}, rowErrf(RejectCertVersion, "cert version %q", cols[3])
 	}
 	bits, err := strconv.Atoi(cols[14])
-	if err != nil {
-		return X509Record{}, fmt.Errorf("zeek: key length: %w", err)
+	if err != nil || bits < 0 {
+		return X509Record{}, rowErrf(RejectKeyLength, "key length %q", cols[14])
 	}
 	icn, iorg := certmodel.ParseDN(unescapeField(unsetOr(cols[5])))
 	scn, sorg := certmodel.ParseDN(unescapeField(unsetOr(cols[6])))
@@ -206,10 +223,18 @@ func parseX509Cols(cols []string) (X509Record, error) {
 // error — the streaming reader's early exit.
 var ErrStop = errors.New("zeek: stop iteration")
 
-// ForEachSSL streams an ssl.log, invoking fn once per row without
-// materializing the whole log. fn may return ErrStop to end early.
+// ForEachSSL streams an ssl.log strictly (the first malformed row aborts
+// with an error), invoking fn once per row without materializing the
+// whole log. fn may return ErrStop to end early. Use ForEachSSLWith for
+// permissive, quarantining reads.
 func ForEachSSL(r io.Reader, fn func(*SSLRecord) error) error {
-	err := readTSV(r, "ssl", len(sslFields), func(cols []string) error {
+	return ForEachSSLWith(r, Options{Strict: true}, fn)
+}
+
+// ForEachSSLWith streams an ssl.log under explicit malformed-row
+// handling (see Options).
+func ForEachSSLWith(r io.Reader, o Options, fn func(*SSLRecord) error) error {
+	err := readTSV(r, "ssl", len(sslFields), o, func(cols []string) error {
 		rec, err := parseSSLCols(cols)
 		if err != nil {
 			return err
@@ -222,10 +247,16 @@ func ForEachSSL(r io.Reader, fn func(*SSLRecord) error) error {
 	return err
 }
 
-// ForEachX509 streams an x509.log row by row. fn may return ErrStop to
-// end early.
+// ForEachX509 streams an x509.log strictly, row by row. fn may return
+// ErrStop to end early. Use ForEachX509With for permissive reads.
 func ForEachX509(r io.Reader, fn func(*X509Record) error) error {
-	err := readTSV(r, "x509", len(x509Fields), func(cols []string) error {
+	return ForEachX509With(r, Options{Strict: true}, fn)
+}
+
+// ForEachX509With streams an x509.log under explicit malformed-row
+// handling (see Options).
+func ForEachX509With(r io.Reader, o Options, fn func(*X509Record) error) error {
+	err := readTSV(r, "x509", len(x509Fields), o, func(cols []string) error {
 		rec, err := parseX509Cols(cols)
 		if err != nil {
 			return err
@@ -258,25 +289,41 @@ func ReadX509(r io.Reader) ([]X509Record, error) {
 	return out, err
 }
 
-// LoadDataset reads both logs and joins them.
+// LoadDataset reads both logs strictly and joins them.
 func LoadDataset(ssl, x509 io.Reader) (*Dataset, error) {
-	conns, err := ReadSSL(ssl)
-	if err != nil {
-		return nil, err
-	}
-	certs, err := ReadX509(x509)
-	if err != nil {
-		return nil, err
-	}
+	return LoadDatasetWith(ssl, x509, Options{Strict: true})
+}
+
+// LoadDatasetWith reads both logs under explicit malformed-row handling
+// and joins them. In permissive mode a corrupt row is quarantined and
+// the rest of the dataset still loads.
+func LoadDatasetWith(ssl, x509 io.Reader, o Options) (*Dataset, error) {
 	d := NewDataset()
-	d.Conns = conns
-	for _, rec := range certs {
+	err := ForEachSSLWith(ssl, o, func(rec *SSLRecord) error {
+		d.Conns = append(d.Conns, *rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = ForEachX509With(x509, o, func(rec *X509Record) error {
 		d.AddCert(rec.Cert)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return d, nil
 }
 
-func readTSV(r io.Reader, wantPath string, nFields int, row func([]string) error) error {
+// readTSV drives the line loop shared by both schemas. row receives the
+// split columns and returns *RowError for malformed content; under
+// permissive Options those are quarantined and the loop continues, which
+// is what lets one corrupt row pass through a 23-month ingest without
+// either aborting the batch or wedging a tailer. Structural errors (a
+// #path header naming a different log, an unreadable source) abort in
+// both modes — they mean the whole file is wrong, not one row.
+func readTSV(r io.Reader, wantPath string, nFields int, o Options, row func([]string) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
@@ -296,9 +343,21 @@ func readTSV(r io.Reader, wantPath string, nFields int, row func([]string) error
 		}
 		cols := strings.Split(line, fieldSep)
 		if len(cols) != nFields {
-			return fmt.Errorf("zeek: line %d has %d fields, want %d", lineNo, len(cols), nFields)
+			re := rowErrf(RejectFieldCount, "%d fields, want %d", len(cols), nFields)
+			re.Line, re.Raw = int64(lineNo), line
+			if o.Strict {
+				return re
+			}
+			o.reject(wantPath, re)
+			continue
 		}
 		if err := row(cols); err != nil {
+			var re *RowError
+			if errors.As(err, &re) && !o.Strict {
+				re.Line, re.Raw = int64(lineNo), line
+				o.reject(wantPath, re)
+				continue
+			}
 			return fmt.Errorf("zeek: line %d: %w", lineNo, err)
 		}
 	}
@@ -309,14 +368,42 @@ func formatTS(t time.Time) string {
 	return strconv.FormatFloat(float64(t.UnixNano())/1e9, 'f', 6, 64)
 }
 
+// maxTS bounds accepted epoch timestamps to ±9.2e9 seconds (~1678 to
+// ~2261), just inside the ±~9.22e9 where time.Time.UnixNano overflows
+// and a round trip through formatTS silently corrupts the value (found
+// by FuzzParseSSLRow). The range is symmetric because real certificates
+// do carry absurd validity dates (the paper's bad-dates analysis sees
+// not_valid_after values in 1757 and far-future years); those are data,
+// while anything unrepresentable is a corrupt row.
+const maxTS = 9_200_000_000
+
 func parseTS(s string) (time.Time, error) {
 	f, err := strconv.ParseFloat(s, 64)
 	if err != nil {
 		return time.Time{}, fmt.Errorf("zeek: timestamp %q: %w", s, err)
 	}
+	// ParseFloat accepts "NaN" and "Inf"; int64(NaN) is unspecified, so
+	// these must be rejected before conversion, not discovered as
+	// garbage dates downstream.
+	if math.IsNaN(f) || f < -maxTS || f > maxTS {
+		return time.Time{}, fmt.Errorf("zeek: timestamp %q outside ±%d", s, int64(maxTS))
+	}
 	sec := int64(f)
 	nsec := int64((f - float64(sec)) * 1e9)
 	return time.Unix(sec, nsec).UTC(), nil
+}
+
+// parsePort decodes a Zeek port column, rejecting values a uint16 cast
+// would silently truncate (port 70000 is a corrupt row, not port 4464).
+func parsePort(s string) (uint16, error) {
+	p, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 65535 {
+		return 0, fmt.Errorf("port %d outside [0, 65535]", p)
+	}
+	return uint16(p), nil
 }
 
 func parseKeyAlg(s string) certmodel.KeyAlg {
@@ -357,7 +444,7 @@ func joinStrs(xs []string) string {
 	}
 	esc := make([]string, len(xs))
 	for i, x := range xs {
-		esc[i] = escapeField(x)
+		esc[i] = encodeField(x)
 	}
 	return strings.Join(esc, ",")
 }
@@ -371,6 +458,23 @@ func splitStrs(s string) []string {
 		parts[i] = unescapeField(parts[i])
 	}
 	return parts
+}
+
+// encodeField prepares one value for the log: structural characters are
+// hex-escaped, and a value that would collide with a TSV sentinel — a
+// literal "-" (Zeek's unset) or "(empty)" (Zeek's empty vector) — has
+// its first byte escaped so it survives the round trip instead of
+// silently reading back as unset/empty (found by the escape round-trip
+// property test).
+func encodeField(s string) string {
+	switch s = escapeField(s); s {
+	case unsetField:
+		return `\x2d`
+	case setEmpty:
+		return `\x28empty)`
+	default:
+		return s
+	}
 }
 
 // escapeField protects the TSV structure: tabs, newlines, commas (vector

@@ -23,10 +23,27 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/workload"
 	"repro/internal/zeek"
 )
+
+// LogOptions selects how OpenLogsWith treats malformed log rows: the
+// zero value skips them silently, Strict fails on the first one, and
+// Quarantine/Metrics capture what was skipped (see zeek.Options).
+type LogOptions = zeek.Options
+
+// OpenQuarantine opens (appending) a quarantine file for rejected rows.
+func OpenQuarantine(path string) (*zeek.Quarantine, error) {
+	return zeek.OpenQuarantine(path)
+}
+
+// RejectTotals reads back the rejection counters a permissive load
+// published into reg: the grand total and a "file/reason" breakdown.
+func RejectTotals(reg *metrics.Registry) (uint64, map[string]uint64) {
+	return zeek.RejectTotals(reg)
+}
 
 // Config re-exports the workload configuration.
 type Config = workload.Config
@@ -122,8 +139,16 @@ func WriteLogs(ds *zeek.Dataset, dir string) error {
 	return xw.Flush()
 }
 
-// OpenLogs loads a dataset previously written with WriteLogs.
+// OpenLogs loads a dataset previously written with WriteLogs. Parsing
+// is strict: the first malformed row aborts with an error describing
+// it. Use OpenLogsWith to quarantine malformed rows instead.
 func OpenLogs(dir string) (*zeek.Dataset, error) {
+	return OpenLogsWith(dir, zeek.Options{Strict: true})
+}
+
+// OpenLogsWith loads a dataset with an explicit malformed-row policy
+// (see zeek.Options).
+func OpenLogsWith(dir string, o zeek.Options) (*zeek.Dataset, error) {
 	sslF, err := os.Open(filepath.Join(dir, "ssl.log"))
 	if err != nil {
 		return nil, err
@@ -134,5 +159,5 @@ func OpenLogs(dir string) (*zeek.Dataset, error) {
 		return nil, err
 	}
 	defer x509F.Close()
-	return zeek.LoadDataset(sslF, x509F)
+	return zeek.LoadDatasetWith(sslF, x509F, o)
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 func smallConfig() Config {
@@ -70,6 +72,47 @@ func TestLogsRoundTrip(t *testing.T) {
 	}
 	if missing > 0 {
 		t.Fatalf("%d mutual conns lost their certificates in the round trip", missing)
+	}
+}
+
+// TestOpenLogsPermissive: corrupting one row of each log loses exactly
+// that row under OpenLogsWith (counted per reason) while strict OpenLogs
+// refuses the directory outright.
+func TestOpenLogsPermissive(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "logs")
+	build := Generate(smallConfig())
+	if err := WriteLogs(build.Raw, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"ssl.log", "x509.log"} {
+		fh, err := os.OpenFile(filepath.Join(dir, f), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fh.WriteString("corrupt\trow\n"); err != nil {
+			t.Fatal(err)
+		}
+		fh.Close()
+	}
+
+	if _, err := OpenLogs(dir); err == nil {
+		t.Fatal("strict OpenLogs must fail on the corrupt rows")
+	}
+
+	reg := metrics.New()
+	ds, err := OpenLogsWith(dir, LogOptions{Metrics: reg})
+	if err != nil {
+		t.Fatalf("permissive open: %v", err)
+	}
+	if len(ds.Conns) != len(build.Raw.Conns) {
+		t.Fatalf("conns: wrote %d, read %d", len(build.Raw.Conns), len(ds.Conns))
+	}
+	if len(ds.Certs) != len(build.Raw.Certs) {
+		t.Fatalf("certs: wrote %d, read %d", len(build.Raw.Certs), len(ds.Certs))
+	}
+	total, byReason := RejectTotals(reg)
+	if total != 2 || byReason["ssl/field_count"] != 1 || byReason["x509/field_count"] != 1 {
+		t.Fatalf("RejectTotals = %d %v, want one field_count per log", total, byReason)
 	}
 }
 
