@@ -541,7 +541,7 @@ func BenchmarkEndToEndSerial(b *testing.B) {
 	cfg.CertScale = 2000
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		a := AnalyzeWorkers(Generate(cfg), 1)
+		a := Analyze(Generate(cfg), WithWorkers(1))
 		if a.CertStats.Row("Total").Total == 0 {
 			b.Fatal("empty analysis")
 		}

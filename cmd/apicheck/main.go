@@ -1,0 +1,189 @@
+// Command apicheck guards the public facade's API surface: it parses a
+// package with go/parser, renders every exported declaration (func
+// bodies stripped), and compares the sorted result against a checked-in
+// golden file. CI runs it in check mode, so a PR that changes, removes,
+// or accidentally exports a symbol fails until the golden is
+// regenerated on purpose with -write — the repository's stand-in for an
+// apidiff gate, with zero external dependencies.
+//
+// Usage:
+//
+//	apicheck                      # check . against api/mtls.txt
+//	apicheck -write               # regenerate the golden
+//	apicheck -pkg . -golden api/mtls.txt
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	pkgDir := flag.String("pkg", ".", "directory of the package to summarize")
+	golden := flag.String("golden", "api/mtls.txt", "golden API surface file")
+	write := flag.Bool("write", false, "rewrite the golden instead of checking it")
+	flag.Parse()
+
+	got, err := surface(*pkgDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: %v\n", err)
+		os.Exit(1)
+	}
+	if *write {
+		if err := os.WriteFile(*golden, []byte(got), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "apicheck: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("apicheck: wrote %s\n", *golden)
+		return
+	}
+	want, err := os.ReadFile(*golden)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: %v (run apicheck -write to create it)\n", err)
+		os.Exit(1)
+	}
+	if string(want) != got {
+		fmt.Fprintf(os.Stderr, "apicheck: exported API surface of %s differs from %s\n", *pkgDir, *golden)
+		diff(os.Stderr, strings.Split(string(want), "\n"), strings.Split(got, "\n"))
+		fmt.Fprintln(os.Stderr, "apicheck: if the change is intentional, regenerate with: go run ./cmd/apicheck -write")
+		os.Exit(1)
+	}
+	fmt.Printf("apicheck: OK, %s matches %s\n", *pkgDir, *golden)
+}
+
+// surface renders the package's exported API as one deterministic text
+// blob: each exported declaration printed without bodies or comments,
+// entries sorted.
+func surface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var entries []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				entries = append(entries, declEntries(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(entries)
+	var b strings.Builder
+	b.WriteString("# Exported API surface. Regenerate with: go run ./cmd/apicheck -write\n")
+	for _, e := range entries {
+		b.WriteString(e)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// declEntries renders one top-level declaration's exported parts.
+func declEntries(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !receiverExported(d) {
+			return nil
+		}
+		d.Body = nil
+		d.Doc = nil
+		return []string{render(fset, d)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				s.Doc, s.Comment = nil, nil
+				out = append(out, render(fset, &ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{s}}))
+			case *ast.ValueSpec:
+				if !hasExportedName(s.Names) {
+					continue
+				}
+				s.Doc, s.Comment = nil, nil
+				out = append(out, render(fset, &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{s}}))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// receiverExported reports whether a method's receiver type is itself
+// exported (methods on unexported types are not public API).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func hasExportedName(names []*ast.Ident) bool {
+	for _, n := range names {
+		if n.IsExported() {
+			return true
+		}
+	}
+	return false
+}
+
+// render prints a declaration canonically: gofmt style, tabs collapsed
+// so the golden survives editors, no trailing space.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 4}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<!render error: %v>", err)
+	}
+	return buf.String()
+}
+
+// diff prints a minimal line diff: lines only in want as "-", only in
+// got as "+". Order-preserving unified output is overkill for a sorted
+// surface file.
+func diff(w *os.File, want, got []string) {
+	wantSet := make(map[string]bool, len(want))
+	for _, l := range want {
+		wantSet[l] = true
+	}
+	gotSet := make(map[string]bool, len(got))
+	for _, l := range got {
+		gotSet[l] = true
+	}
+	for _, l := range want {
+		if !gotSet[l] && l != "" {
+			fmt.Fprintf(w, "  - %s\n", l)
+		}
+	}
+	for _, l := range got {
+		if !wantSet[l] && l != "" {
+			fmt.Fprintf(w, "  + %s\n", l)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	mtls "repro"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// httpGetFull returns status, body, and headers for equivalence checks.
+func httpGetFull(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, string(body), res.Header
+}
+
+// TestAPIVersionEquivalence: every legacy path and its /api/v1 successor
+// serve byte-identical bodies and statuses; only the legacy alias
+// carries the Deprecation header and the successor Link.
+func TestAPIVersionEquivalence(t *testing.T) {
+	dir, cfg := writeTestLogs(t)
+	base, cancel, exit := startDaemon(t, options{
+		logs: dir, listen: "127.0.0.1:0", poll: 50 * time.Millisecond, scale: cfg.CertScale,
+	})
+	defer func() {
+		cancel()
+		<-exit
+	}()
+
+	// Quiesce first: /stats must not move between the paired fetches.
+	build := mtls.Generate(cfg)
+	waitConns(t, base, uint64(len(build.Raw.Conns)))
+
+	pairs := []struct{ legacy, v1 string }{
+		{"/healthz", "/api/v1/healthz"},
+		{"/stats", "/api/v1/stats"},
+		{"/reports/", "/api/v1/reports"},
+		{"/reports/", "/api/v1/reports/"},
+		{"/reports/table1", "/api/v1/reports/table1"},
+		{"/reports/figure5", "/api/v1/reports/figure5"},
+		{"/reports/nope", "/api/v1/reports/nope"},
+	}
+	for _, p := range pairs {
+		lCode, lBody, lHdr := httpGetFull(t, base+p.legacy)
+		vCode, vBody, vHdr := httpGetFull(t, base+p.v1)
+		if lCode != vCode {
+			t.Errorf("%s vs %s: status %d != %d", p.legacy, p.v1, lCode, vCode)
+		}
+		if lBody != vBody {
+			t.Errorf("%s vs %s: bodies differ:\n%s\n---\n%s", p.legacy, p.v1, lBody, vBody)
+		}
+		if lHdr.Get("Deprecation") != "true" {
+			t.Errorf("%s: missing Deprecation header", p.legacy)
+		}
+		if link := lHdr.Get("Link"); !strings.Contains(link, "/api/v1/") || !strings.Contains(link, "successor-version") {
+			t.Errorf("%s: Link header %q does not name the successor", p.legacy, link)
+		}
+		if vHdr.Get("Deprecation") != "" {
+			t.Errorf("%s: versioned path must not be marked deprecated", p.v1)
+		}
+	}
+}
+
+// TestAPIErrorEnvelope pins the /api/v1 failure contract: an unknown
+// report is {"error", "code": 404} and a materialization failure is
+// {"error", "code": 500}, on the versioned and the aliased path alike.
+func TestAPIErrorEnvelope(t *testing.T) {
+	reg := metrics.New()
+	srv := httptest.NewServer(newMux(failingReporter{}, reg, testLogger(t), false))
+	defer srv.Close()
+
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/api/v1/reports/definitely-not-a-report", http.StatusNotFound},
+		{"/api/v1/reports/table1", http.StatusInternalServerError},
+		{"/reports/definitely-not-a-report", http.StatusNotFound},
+		{"/reports/table1", http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		code, body, hdr := httpGetFull(t, srv.URL+c.path)
+		if code != c.code {
+			t.Errorf("%s: status %d, want %d", c.path, code, c.code)
+		}
+		if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s: Content-Type %q, want application/json", c.path, ct)
+		}
+		var env apiError
+		if err := json.Unmarshal([]byte(body), &env); err != nil {
+			t.Errorf("%s: body is not the JSON envelope: %v (%q)", c.path, err, body)
+			continue
+		}
+		if env.Code != c.code || env.Error == "" {
+			t.Errorf("%s: envelope %+v, want code %d and a message", c.path, env, c.code)
+		}
+	}
+}
+
+// TestDaemonSharded drives mtlsd with -shards 2 end to end: every report
+// must deep-equal a single-engine reference fed the same logs, /metrics
+// must carry the per-shard labeled series, and SIGTERM must land a
+// restorable manifest-committed checkpoint directory.
+func TestDaemonSharded(t *testing.T) {
+	dir, cfg := writeTestLogs(t)
+	ckptDir := filepath.Join(t.TempDir(), "ckpt")
+	base, cancel, exit := startDaemon(t, options{
+		logs:       dir,
+		listen:     "127.0.0.1:0",
+		poll:       50 * time.Millisecond,
+		scale:      cfg.CertScale,
+		shards:     2,
+		checkpoint: ckptDir,
+		ckptEvery:  time.Hour, // only the shutdown checkpoint writes
+	})
+	defer cancel()
+
+	build := mtls.Generate(cfg)
+	waitConns(t, base, uint64(len(build.Raw.Conns)))
+
+	// Single-engine reference over the same dataset.
+	in := mtls.InputFromBuild(mtls.Generate(cfg))
+	in.Raw = nil
+	ref, err := stream.New(stream.Config{Input: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for _, c := range build.Raw.Certs {
+		ref.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c})
+	}
+	for i := range build.Raw.Conns {
+		ref.IngestConn(&build.Raw.Conns[i])
+	}
+	ref.Drain()
+
+	for _, name := range stream.ReportNames() {
+		code, body := httpGet(t, base+"/api/v1/reports/"+name)
+		if code != 200 {
+			t.Fatalf("report %s: HTTP %d", name, code)
+		}
+		wantOut, err := ref.Report(name)
+		if err != nil {
+			t.Fatalf("reference report %s: %v", name, err)
+		}
+		wantJSON, err := json.Marshal(wantOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got, want any
+		if err := json.Unmarshal([]byte(body), &got); err != nil {
+			t.Fatalf("report %s body: %v", name, err)
+		}
+		if err := json.Unmarshal(wantJSON, &want); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("report %s diverged from single-engine reference", name)
+		}
+	}
+
+	// Per-shard series are labeled; the router's gauges are live.
+	code, metricsBody := httpGet(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, series := range []string{
+		`stream_conns_ingested_total{shard="0"}`,
+		`stream_conns_ingested_total{shard="1"}`,
+		`stream_buffer_occupancy{shard="0"}`,
+		"stream_shards 2",
+		"stream_cert_fanout_total",
+	} {
+		if !strings.Contains(metricsBody, series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+
+	// SIGTERM → clean exit, committed manifest, restorable directory.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d after SIGTERM, want 0", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if _, err := os.Stat(filepath.Join(ckptDir, "manifest.json")); err != nil {
+		t.Fatalf("checkpoint manifest missing: %v", err)
+	}
+	rin := mtls.InputFromBuild(mtls.Generate(cfg))
+	rin.Raw = nil
+	restoredEng, cursor, err := stream.RestoreSharded(stream.Config{Input: rin}, 2, ckptDir)
+	if err != nil {
+		t.Fatalf("restore sharded checkpoint: %v", err)
+	}
+	defer restoredEng.Close()
+	if got := restoredEng.Stats().ConnsIngested; got != uint64(len(build.Raw.Conns)) {
+		t.Errorf("restored ConnsIngested = %d, want %d", got, len(build.Raw.Conns))
+	}
+	if cursor["ssl.log"] == 0 || cursor["x509.log"] == 0 {
+		t.Errorf("cursor offsets not persisted: %v", cursor)
+	}
+}

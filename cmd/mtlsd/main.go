@@ -4,21 +4,35 @@
 // and figure of the paper as JSON over HTTP — continuously, without
 // re-reading the logs from scratch.
 //
-// Endpoints:
+// Endpoints (canonical, versioned; errors are a JSON envelope
+// {"error": ..., "code": ...}):
 //
-//	GET /healthz          liveness (200 "ok")
-//	GET /stats            engine counters (ingested, dropped, rebuilds, ...)
-//	GET /metrics          Prometheus text exposition (?format=json for JSON)
-//	GET /reports/         list of report names
-//	GET /reports/{name}   one report, e.g. /reports/table1, /reports/figure5
-//	GET /debug/pprof/...  runtime profiles (only with -pprof)
+//	GET /api/v1/healthz          liveness (200 "ok")
+//	GET /api/v1/stats            engine counters (ingested, dropped, rebuilds, ...)
+//	GET /api/v1/reports          list of report names
+//	GET /api/v1/reports/{name}   one report, e.g. .../reports/table1
+//	GET /metrics                 Prometheus text exposition (?format=json for JSON)
+//	GET /debug/pprof/...         runtime profiles (only with -pprof)
+//
+// The original unversioned paths (/healthz, /stats, /reports/...) remain
+// as aliases that serve identical bodies and additionally carry a
+// "Deprecation: true" header plus a Link to the versioned successor.
 //
 // Usage:
 //
 //	mtlsgen -out ./data                # produce logs (once, or keep appending)
 //	mtlsd -logs ./data -listen :8411   # tail and serve
-//	curl -s localhost:8411/reports/table1 | jq .
+//	mtlsd -logs ./data -shards 4       # shard ingest across 4 engines
+//	curl -s localhost:8411/api/v1/reports/table1 | jq .
 //	curl -s localhost:8411/metrics     # ingest lag, rebuild churn, HTTP latency
+//
+// With -shards n (0 = one per CPU) ingest is routed across n independent
+// engine shards (internal/stream.Sharded): connections by UID hash,
+// certificates to every shard that references them. Reports merge the
+// shard states on demand and are identical to a single-engine run at any
+// shard count. Per-shard series carry a shard="i" label on /metrics, and
+// -checkpoint names a directory (manifest + one file per shard) instead
+// of a single file.
 //
 // With -checkpoint the engine state is periodically persisted (atomic
 // write) together with the log-file byte offsets; on restart mtlsd
@@ -42,12 +56,14 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	mtls "repro"
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/stream"
 	"repro/internal/zeek"
@@ -67,6 +83,7 @@ type options struct {
 	scale      int
 	seed       uint64
 	workers    int
+	shards     int
 	pprof      bool
 	logLevel   string
 	strict     bool
@@ -86,6 +103,7 @@ func main() {
 	flag.IntVar(&o.scale, "scale", 0, "context scale divisor (must match the generator's)")
 	flag.Uint64Var(&o.seed, "seed", 0, "context seed (must match the generator's)")
 	flag.IntVar(&o.workers, "workers", 0, "report workers: 0 = one per CPU, 1 = serial")
+	flag.IntVar(&o.shards, "shards", 1, "engine shards: 1 = single engine, 0 = one per CPU, n = exactly n")
 	flag.BoolVar(&o.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.StringVar(&o.logLevel, "log-level", "info", "log level: debug, info, warn, error")
 	flag.BoolVar(&o.strict, "strict", false, "fail-stop on malformed log rows instead of quarantining them")
@@ -176,30 +194,64 @@ func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr st
 	sslTail.SetOptions(zopts)
 	x509Tail.SetOptions(zopts)
 
-	var eng *stream.Engine
-	if o.checkpoint != "" {
-		if e, cursor, err := stream.Restore(scfg, o.checkpoint); err == nil {
-			eng = e
-			sslTail.SetOffset(cursor["ssl.log"])
-			x509Tail.SetOffset(cursor["x509.log"])
-			st := e.Stats()
-			logger.Info("restored checkpoint", "path", o.checkpoint,
-				"conns", st.ConnsIngested, "certs", st.UniqueCerts,
-				"ssl_offset", cursor["ssl.log"], "x509_offset", cursor["x509.log"])
-		} else if !errors.Is(err, os.ErrNotExist) {
-			logger.Error("restore checkpoint", "path", o.checkpoint, "err", err)
-			ln.Close()
-			return 1
-		}
+	// Resolve the shard count up front: routing and the checkpoint layout
+	// are functions of it. 1 keeps the classic single-engine deployment
+	// (unlabeled stream_* series, single-file checkpoint); 0 (one per CPU)
+	// or n>1 runs the sharded engine, whose per-shard series carry a
+	// shard="i" label and whose -checkpoint names a directory.
+	nShards := o.shards
+	if nShards <= 0 {
+		nShards = runtime.GOMAXPROCS(0)
 	}
-	if eng == nil {
-		e, err := stream.New(scfg)
-		if err != nil {
-			logger.Error("start engine", "err", err)
-			ln.Close()
-			return 1
+
+	var eng engine
+	restored := func(which string, cursor map[string]int64, st stream.Stats) {
+		sslTail.SetOffset(cursor["ssl.log"])
+		x509Tail.SetOffset(cursor["x509.log"])
+		logger.Info("restored checkpoint", "path", o.checkpoint, "mode", which,
+			"conns", st.ConnsIngested, "certs", st.UniqueCerts,
+			"ssl_offset", cursor["ssl.log"], "x509_offset", cursor["x509.log"])
+	}
+	if nShards > 1 {
+		if o.checkpoint != "" {
+			if s, cursor, err := stream.RestoreSharded(scfg, nShards, o.checkpoint); err == nil {
+				eng = s
+				restored(fmt.Sprintf("sharded/%d", nShards), cursor, s.Stats())
+			} else if !errors.Is(err, os.ErrNotExist) {
+				logger.Error("restore checkpoint", "path", o.checkpoint, "err", err)
+				ln.Close()
+				return 1
+			}
 		}
-		eng = e
+		if eng == nil {
+			s, err := stream.NewSharded(nShards, scfg)
+			if err != nil {
+				logger.Error("start engine", "shards", nShards, "err", err)
+				ln.Close()
+				return 1
+			}
+			eng = s
+		}
+	} else {
+		if o.checkpoint != "" {
+			if e, cursor, err := stream.Restore(scfg, o.checkpoint); err == nil {
+				eng = e
+				restored("single", cursor, e.Stats())
+			} else if !errors.Is(err, os.ErrNotExist) {
+				logger.Error("restore checkpoint", "path", o.checkpoint, "err", err)
+				ln.Close()
+				return 1
+			}
+		}
+		if eng == nil {
+			e, err := stream.New(scfg)
+			if err != nil {
+				logger.Error("start engine", "err", err)
+				ln.Close()
+				return 1
+			}
+			eng = e
+		}
 	}
 	defer eng.Close()
 
@@ -299,7 +351,7 @@ func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr st
 	srv := &http.Server{Handler: newMux(eng, reg, logger, o.pprof)}
 	srvErr := make(chan error, 1)
 	go func() { srvErr <- srv.Serve(ln) }()
-	logger.Info("serving", "addr", ln.Addr().String(), "pprof", o.pprof)
+	logger.Info("serving", "addr", ln.Addr().String(), "shards", nShards, "pprof", o.pprof)
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
@@ -329,19 +381,22 @@ func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr st
 }
 
 // newMux assembles the daemon's routes with per-endpoint request
-// counters and latency histograms. The reports handler distinguishes an
-// unknown report name (404, a client mistake) from a materialization
-// failure (500, our bug).
+// counters and latency histograms. The canonical API lives under
+// /api/v1 and reports failures as a JSON envelope {"error", "code"};
+// the original unversioned paths serve identical bodies and add a
+// Deprecation header pointing at the successor. The reports handler
+// distinguishes an unknown report name (404, a client mistake) from a
+// materialization failure (500, our bug).
 func newMux(eng reporter, reg *metrics.Registry, logger *slog.Logger, withPprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	handle := func(path string, h http.HandlerFunc) {
 		mux.HandleFunc(path, instrument(reg, path, h))
 	}
-	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	healthz := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
-	})
-	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
+	}
+	stats := func(w http.ResponseWriter, r *http.Request) {
 		total, byReason := zeek.RejectTotals(reg)
 		writeJSON(w, daemonStats{
 			Stats:            eng.Stats(),
@@ -349,24 +404,35 @@ func newMux(eng reporter, reg *metrics.Registry, logger *slog.Logger, withPprof 
 			RejectedByReason: byReason,
 			TailErrors:       tailErrTotal(reg),
 		})
-	})
-	handle("/reports/", func(w http.ResponseWriter, r *http.Request) {
-		name := strings.Trim(strings.TrimPrefix(r.URL.Path, "/reports/"), "/")
-		if name == "" {
-			writeJSON(w, stream.ReportNames())
-			return
+	}
+	reports := func(prefix string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			name := strings.Trim(strings.TrimPrefix(r.URL.Path, prefix), "/")
+			if name == "" {
+				writeJSON(w, stream.ReportNames())
+				return
+			}
+			out, err := eng.Report(name)
+			switch {
+			case errors.Is(err, stream.ErrUnknownReport):
+				writeError(w, http.StatusNotFound, err.Error())
+			case err != nil:
+				logger.Error("materialize report", "name", name, "err", err)
+				writeError(w, http.StatusInternalServerError, err.Error())
+			default:
+				writeJSON(w, out)
+			}
 		}
-		out, err := eng.Report(name)
-		switch {
-		case errors.Is(err, stream.ErrUnknownReport):
-			http.Error(w, err.Error(), http.StatusNotFound)
-		case err != nil:
-			logger.Error("materialize report", "name", name, "err", err)
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		default:
-			writeJSON(w, out)
-		}
-	})
+	}
+
+	handle("/api/v1/healthz", healthz)
+	handle("/api/v1/stats", stats)
+	handle("/api/v1/reports", reports("/api/v1/reports"))
+	handle("/api/v1/reports/", reports("/api/v1/reports"))
+
+	handle("/healthz", deprecated("/api/v1/healthz", healthz))
+	handle("/stats", deprecated("/api/v1/stats", stats))
+	handle("/reports/", deprecated("/api/v1/reports/", reports("/reports")))
 	// /metrics is served unwrapped: scraping must stay readable even
 	// while it mutates the HTTP series it would otherwise self-count.
 	mux.Handle("/metrics", metrics.Handler(reg))
@@ -380,11 +446,23 @@ func newMux(eng reporter, reg *metrics.Registry, logger *slog.Logger, withPprof 
 	return mux
 }
 
-// reporter is the slice of *stream.Engine the HTTP layer needs; tests
+// reporter is the slice of the engine the HTTP layer needs; tests
 // substitute failing stubs to exercise the error mapping.
 type reporter interface {
 	Report(name string) (any, error)
 	Stats() stream.Stats
+}
+
+// engine is the full surface the daemon drives. *stream.Engine and
+// *stream.Sharded both satisfy it; for the sharded engine the
+// WriteCheckpoint path names a directory rather than a file.
+type engine interface {
+	reporter
+	IngestConn(rec *core.ConnRecord) bool
+	IngestCert(rec *core.CertRecord) bool
+	Drain()
+	Close()
+	WriteCheckpoint(path string, cursor map[string]int64) error
 }
 
 // daemonStats is the /stats payload: the engine counters plus the
@@ -489,7 +567,7 @@ func (s *statusWriter) WriteHeader(code int) {
 // the tailer goroutine produces events, and it is the caller here (or
 // the tailer has already exited), so after Drain the offsets are exactly
 // consistent with the applied state.
-func writeCheckpoint(eng *stream.Engine, ssl *zeek.SSLTail, x509 *zeek.X509Tail, path string) error {
+func writeCheckpoint(eng engine, ssl *zeek.SSLTail, x509 *zeek.X509Tail, path string) error {
 	eng.Drain()
 	return eng.WriteCheckpoint(path, map[string]int64{
 		"ssl.log":  ssl.Offset(),
@@ -503,5 +581,28 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// apiError is the /api/v1 failure envelope.
+type apiError struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+}
+
+// writeError emits the JSON error envelope with the matching status.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(apiError{Error: msg, Code: code}) //nolint:errcheck // headers are already out
+}
+
+// deprecated marks a legacy route (RFC 8594 Deprecation header plus a
+// Link to the versioned successor) and serves the same handler.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
 	}
 }

@@ -48,7 +48,7 @@ func main() {
 			log.Fatalf("mtlsgen: verify: open logs: %v", err)
 		}
 		build.Raw = ds
-		a := mtls.AnalyzeWorkers(build, *workers)
+		a := mtls.Analyze(build, mtls.WithWorkers(*workers))
 		fmt.Fprintf(os.Stdout,
 			"verified: %d raw conns, %d raw certs, %d interception issuers excluded %d certs\n",
 			a.Preprocess.RawConns, a.Preprocess.RawCerts,

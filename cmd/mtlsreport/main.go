@@ -66,7 +66,10 @@ func main() {
 			// Permissive by default: a malformed row is skipped (and
 			// summarized on stderr) rather than killing the whole run;
 			// -strict restores fail-fast.
-			opts := mtls.LogOptions{Strict: *strict, Metrics: reg}
+			opts := []mtls.LogOption{mtls.Permissive(), mtls.WithMetrics(reg)}
+			if *strict {
+				opts = []mtls.LogOption{mtls.Strict(), mtls.WithMetrics(reg)}
+			}
 			if *quarantine != "" {
 				if *strict {
 					log.Fatal("mtlsreport: -quarantine is meaningless with -strict (strict mode never skips rows)")
@@ -76,9 +79,9 @@ func main() {
 					log.Fatalf("mtlsreport: open quarantine: %v", err)
 				}
 				defer q.Close()
-				opts.Quarantine = q
+				opts = append(opts, mtls.WithQuarantine(q))
 			}
-			ds, err := mtls.OpenLogsWith(*logs, opts)
+			ds, err := mtls.OpenLogs(*logs, opts...)
 			if err != nil {
 				log.Fatalf("mtlsreport: open logs: %v", err)
 			}
@@ -90,7 +93,7 @@ func main() {
 	}
 
 	var analysis *mtls.Analysis
-	stage("analyze", func() { analysis = mtls.AnalyzeWorkers(build, *workers) })
+	stage("analyze", func() { analysis = mtls.Analyze(build, mtls.WithWorkers(*workers)) })
 	reg.Gauge("report_workers", "resolved pipeline worker request (0 = per CPU)").Set(float64(*workers))
 
 	switch {

@@ -36,11 +36,13 @@ func main() {
 	// Permissive by default: zeekcat is a peeking tool, and a corrupt row
 	// halfway through a log should not hide everything after it. Skipped
 	// rows are tallied in the trailer so they stay visible.
-	opts := zeek.Options{Strict: *strict}
+	var opts []zeek.Opt
 	rejected := func() uint64 { return 0 }
-	if !*strict {
+	if *strict {
+		opts = append(opts, zeek.Strict())
+	} else {
 		q := zeek.NewQuarantine(io.Discard)
-		opts.Quarantine = q
+		opts = append(opts, zeek.Permissive(), zeek.WithQuarantine(q))
 		rejected = q.Count
 	}
 
@@ -52,7 +54,7 @@ func main() {
 		defer f.Close()
 		wantIssuer := strings.ToLower(*issuer)
 		printed, scanned := 0, 0
-		err = zeek.ForEachX509With(f, opts, func(rec *zeek.X509Record) error {
+		err = zeek.ForEachX509(f, func(rec *zeek.X509Record) error {
 			scanned++
 			c := rec.Cert
 			if wantIssuer != "" && !strings.Contains(strings.ToLower(c.IssuerDN()), wantIssuer) {
@@ -66,7 +68,7 @@ func main() {
 				return zeek.ErrStop
 			}
 			return nil
-		})
+		}, opts...)
 		if err != nil {
 			log.Fatalf("zeekcat: %v", err)
 		}
@@ -81,7 +83,7 @@ func main() {
 	defer f.Close()
 	wantSNI := strings.ToLower(*sni)
 	printed, scanned := 0, 0
-	err = zeek.ForEachSSLWith(f, opts, func(c *zeek.SSLRecord) error {
+	err = zeek.ForEachSSL(f, func(c *zeek.SSLRecord) error {
 		scanned++
 		if *mutualOnly && !c.IsMutual() {
 			return nil
@@ -97,7 +99,7 @@ func main() {
 			return zeek.ErrStop
 		}
 		return nil
-	})
+	}, opts...)
 	if err != nil {
 		log.Fatalf("zeekcat: %v", err)
 	}

@@ -1,0 +1,144 @@
+package mtls
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/zeek"
+)
+
+// TestDeprecatedWrappersCompat is the golden compatibility check for the
+// options API migration: every deprecated entry point must return
+// results deep-equal to its options-based successor, so callers can
+// migrate call by call without re-validating outputs.
+func TestDeprecatedWrappersCompat(t *testing.T) {
+	cfg := smallConfig()
+	build := Generate(cfg)
+
+	// AnalyzeWorkers(b, n) == Analyze(b, WithWorkers(n)), at the serial
+	// and the sharded worker count.
+	for _, workers := range []int{1, 2} {
+		oldA := AnalyzeWorkers(Generate(cfg), workers)
+		newA := Analyze(Generate(cfg), WithWorkers(workers))
+		if !reflect.DeepEqual(oldA, newA) {
+			t.Errorf("AnalyzeWorkers(b, %d) != Analyze(b, WithWorkers(%d))", workers, workers)
+		}
+	}
+
+	dir := filepath.Join(t.TempDir(), "logs")
+	if err := WriteLogs(build.Raw, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// OpenLogsWith(dir, Options{Strict:true}) == OpenLogs(dir).
+	oldDS, err := OpenLogsWith(dir, LogOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDS, err := OpenLogs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldDS, newDS) {
+		t.Error("strict OpenLogsWith != OpenLogs")
+	}
+
+	// Permissive with metrics: same dataset, same rejection counters.
+	oldReg, newReg := metrics.New(), metrics.New()
+	oldDS, err = OpenLogsWith(dir, LogOptions{Metrics: oldReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDS, err = OpenLogs(dir, Permissive(), WithMetrics(newReg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldDS, newDS) {
+		t.Error("permissive OpenLogsWith != OpenLogs(Permissive)")
+	}
+	oldTotal, oldBy := RejectTotals(oldReg)
+	newTotal, newBy := RejectTotals(newReg)
+	if oldTotal != newTotal || !reflect.DeepEqual(oldBy, newBy) {
+		t.Errorf("reject counters diverge: %d %v vs %d %v", oldTotal, oldBy, newTotal, newBy)
+	}
+
+	// zeek streaming readers: the struct-threading form and the variadic
+	// form visit identical rows.
+	sslPath := filepath.Join(dir, "ssl.log")
+	var oldRows, newRows []zeek.SSLRecord
+	f1, err := os.Open(sslPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = zeek.ForEachSSLWith(f1, zeek.Options{Strict: true}, func(c *zeek.SSLRecord) error {
+		oldRows = append(oldRows, *c)
+		return nil
+	})
+	f1.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := os.Open(sslPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = zeek.ForEachSSL(f2, func(c *zeek.SSLRecord) error {
+		newRows = append(newRows, *c)
+		return nil
+	}, zeek.Strict())
+	f2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldRows, newRows) {
+		t.Errorf("ForEachSSLWith visited %d rows, ForEachSSL %d; contents diverge", len(oldRows), len(newRows))
+	}
+}
+
+// TestWriteLogsAtomic: WriteLogs commits via temp files and renames, so
+// the directory never holds a truncated pair — stale temp files from a
+// crashed writer are invisible to OpenLogs and cleaned by the next
+// successful write, and rewriting over an existing pair leaves a
+// strict-loadable result.
+func TestWriteLogsAtomic(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "logs")
+	build := Generate(smallConfig())
+	if err := WriteLogs(build.Raw, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, tmp := range []string{"ssl.log.tmp", "x509.log.tmp"} {
+		if _, err := os.Stat(filepath.Join(dir, tmp)); !os.IsNotExist(err) {
+			t.Errorf("%s left behind after a successful write", tmp)
+		}
+	}
+
+	// Simulate a writer that crashed mid-emit: truncated temp files must
+	// not affect a strict open, and the next write replaces them.
+	for _, tmp := range []string{"ssl.log.tmp", "x509.log.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, tmp), []byte("1654041600.0\ttrunc"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := OpenLogs(dir); err != nil {
+		t.Fatalf("stale temp files broke a strict open: %v", err)
+	}
+	if err := WriteLogs(build.Raw, dir); err != nil {
+		t.Fatalf("rewrite over stale temps: %v", err)
+	}
+	for _, tmp := range []string{"ssl.log.tmp", "x509.log.tmp"} {
+		if _, err := os.Stat(filepath.Join(dir, tmp)); !os.IsNotExist(err) {
+			t.Errorf("%s left behind after rewrite", tmp)
+		}
+	}
+	ds, err := OpenLogs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Conns) != len(build.Raw.Conns) || len(ds.Certs) != len(build.Raw.Certs) {
+		t.Fatalf("rewrite lost rows: %d/%d conns, %d/%d certs",
+			len(ds.Conns), len(build.Raw.Conns), len(ds.Certs), len(build.Raw.Certs))
+	}
+}

@@ -17,9 +17,9 @@ func main() {
 	cfg.CertScale = 500
 
 	build := mtls.Generate(cfg)
-	// Workers 0 = one pipeline worker per CPU; the sharded run returns the
-	// same Analysis as mtls.AnalyzeWorkers(build, 1) (the serial path).
-	a := mtls.AnalyzeWorkers(build, 0)
+	// WithWorkers(0) = one pipeline worker per CPU; the sharded run returns
+	// the same Analysis as WithWorkers(1) (the serial path).
+	a := mtls.Analyze(build, mtls.WithWorkers(0))
 
 	fmt.Println("Figure 1 — percentage of TLS connections employing mutual TLS")
 	fmt.Println()

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"repro/internal/certmodel"
+	"repro/internal/ids"
+)
+
+// ShardState is one shard's raw admitted event stream: the certificate
+// roster it accumulated plus the retained connections in shard-local
+// ingest order, each stamped with the global ingest sequence the router
+// assigned. It is the unit the sharded stream engine hands to
+// MergeShards when a report is materialized.
+type ShardState struct {
+	// Certs is the shard's certificate roster. Shards may overlap (a
+	// certificate fanned out to every shard that referenced it);
+	// MergeShards deduplicates by fingerprint, first observation wins.
+	Certs []*certmodel.CertInfo
+	// Conns are the retained connections, ascending in ingest order.
+	Conns []ConnRecord
+	// Seqs holds the global ingest sequence of each connection in Conns
+	// (len(Seqs) == len(Conns), ascending). The sequence restores the
+	// single-stream interleaving across shards.
+	Seqs []uint64
+}
+
+// MergeShards is the Builder's merge hook: it replays independently
+// accumulated shard states through one fresh Builder, restoring the
+// global ingest order with a k-way merge on the sequence numbers, and
+// returns the Builder ready to materialize a Pipeline.
+//
+// exclude is the global §3.2 verdict (nil excludes nothing): excluded
+// certificates are kept out of the chain-resolution roster and
+// connections whose server leaf is excluded are filtered, exactly as
+// interception.Filter drops them on the batch path and as a single
+// engine's rebuild drops them on the streaming path. Because every
+// certificate is admitted before any connection and connections replay
+// in global sequence order, the result is deeply equal to a single
+// engine draining the same event stream — at any shard count.
+func MergeShards(in *Input, shards []ShardState, exclude func(ids.Fingerprint) bool) *Builder {
+	if exclude == nil {
+		exclude = func(ids.Fingerprint) bool { return false }
+	}
+	b := NewBuilder(in)
+	for i := range shards {
+		for _, c := range shards[i].Certs {
+			if !exclude(c.Fingerprint) {
+				b.AddCert(c)
+			}
+		}
+	}
+	// K-way merge on the global sequence stamps. Each shard's list is
+	// already ascending (the router assigns sequences in send order), so
+	// a linear head comparison per step suffices; shard counts are small
+	// (bounded by CPU count), making a heap pointless overhead.
+	idx := make([]int, len(shards))
+	for {
+		best := -1
+		var bestSeq uint64
+		for s := range shards {
+			if idx[s] >= len(shards[s].Conns) {
+				continue
+			}
+			if seq := shards[s].Seqs[idx[s]]; best < 0 || seq < bestSeq {
+				best, bestSeq = s, seq
+			}
+		}
+		if best < 0 {
+			return b
+		}
+		rec := &shards[best].Conns[idx[best]]
+		idx[best]++
+		if sl := rec.ServerLeaf(); sl != "" && exclude(sl) {
+			continue
+		}
+		b.AddConn(rec)
+	}
+}

@@ -1,0 +1,92 @@
+package interception
+
+import (
+	"sort"
+
+	"repro/internal/ids"
+)
+
+// Merge recomputes a global §3.2 verdict from several independently
+// accumulated Streams — the sharded engine's materialization path.
+//
+// It works because the detector's evidence is order-independent and
+// per-connection: each observation contributes at most one
+// (issuer, leaf-fingerprint) pair to the observed relation and at most
+// one (issuer, domain) pair to the contradicted relation, regardless of
+// what any other connection did. Confirmation and exclusion are pure
+// functions of those two relations — an issuer is confirmed when CT
+// contradicts it on >= min distinct domains, and every certificate a
+// confirmed issuer was ever seen issuing is excluded — so unioning the
+// per-shard relations and recomputing yields exactly the verdict a
+// single Stream would have reached over the interleaved whole. Evidence
+// split across shards (domain A contradicted on shard 1, domain B on
+// shard 2) corroborates globally here even though neither shard alone
+// confirms the issuer.
+type Merge struct {
+	min          int
+	observed     map[string]map[ids.Fingerprint]bool
+	contradicted map[string]map[string]bool
+	pending      int
+}
+
+// NewMerge returns an empty accumulator confirming issuers contradicted
+// on >= min domains (min <= 0 selects the paper's default of 2).
+func NewMerge(min int) *Merge {
+	if min <= 0 {
+		min = 2
+	}
+	return &Merge{
+		min:          min,
+		observed:     map[string]map[ids.Fingerprint]bool{},
+		contradicted: map[string]map[string]bool{},
+	}
+}
+
+// Absorb unions one stream's evidence into the accumulator. The caller
+// must synchronize access to s (the engine holds its state lock).
+func (m *Merge) Absorb(s *Stream) {
+	for issuer, fps := range s.observed {
+		dst := m.observed[issuer]
+		if dst == nil {
+			dst = make(map[ids.Fingerprint]bool, len(fps))
+			m.observed[issuer] = dst
+		}
+		for fp := range fps {
+			dst[fp] = true
+		}
+	}
+	for issuer, domains := range s.contradicted {
+		dst := m.contradicted[issuer]
+		if dst == nil {
+			dst = make(map[string]bool, len(domains))
+			m.contradicted[issuer] = dst
+		}
+		for d := range domains {
+			dst[d] = true
+		}
+	}
+	m.pending += s.PendingCount()
+}
+
+// PendingCount sums the absorbed streams' parked observations.
+func (m *Merge) PendingCount() int { return m.pending }
+
+// Result materializes the merged verdict in Detector.Run's format:
+// sorted confirmed issuers plus the union exclusion set.
+func (m *Merge) Result() *Result {
+	res := &Result{
+		CandidateCount: len(m.contradicted),
+		ExcludedCerts:  map[ids.Fingerprint]bool{},
+	}
+	for issuer, domains := range m.contradicted {
+		if len(domains) < m.min {
+			continue
+		}
+		res.Issuers = append(res.Issuers, issuer)
+		for fp := range m.observed[issuer] {
+			res.ExcludedCerts[fp] = true
+		}
+	}
+	sort.Strings(res.Issuers)
+	return res
+}

@@ -35,6 +35,10 @@ type checkpointState struct {
 	Roster       []*certmodel.CertInfo
 	Conns        []core.ConnRecord
 	Interception *interception.StreamState
+	// Seqs are the retained connections' global ingest sequences when the
+	// engine is a shard of a sharded deployment (nil for a standalone
+	// engine; gob tolerates the absent field in old checkpoints).
+	Seqs []uint64
 }
 
 // WriteCheckpoint serializes the engine state (plus the caller's cursor)
@@ -59,6 +63,7 @@ func (e *Engine) WriteCheckpoint(path string, cursor map[string]int64) error {
 		// here produced torn checkpoints.
 		Conns:        append([]core.ConnRecord(nil), e.conns...),
 		Interception: e.icpt.Snapshot(),
+		Seqs:         append([]uint64(nil), e.seqs...),
 	}
 	for _, c := range e.roster {
 		st.Roster = append(st.Roster, c)
@@ -141,8 +146,10 @@ func Restore(cfg Config, path string) (*Engine, map[string]int64, error) {
 		e.roster[c.Fingerprint] = c
 	}
 	e.conns = st.Conns
+	e.seqs = st.Seqs
 	e.icpt = e.det.RestoreStream(e.lookupCert, st.Interception)
 	e.dirty = true // derived state does not exist yet; rebuild on demand
+	e.stateVer.Add(1)
 	e.lastCkpt = time.Now()
 	e.mu.Unlock()
 	return e, st.Cursor, nil

@@ -92,6 +92,17 @@ type Config struct {
 	// occupancy). Nil disables exposition; the engine still instruments
 	// into a private registry so call sites stay unconditional.
 	Metrics *metrics.Registry
+
+	// trackSeqs makes the engine record each connection's global ingest
+	// sequence alongside the retained record, so a sharded deployment can
+	// k-way merge shard-local streams back into the single-stream order.
+	// Set by NewSharded; sequences arrive via ingestConnSeq.
+	trackSeqs bool
+	// metricLabels are alternating key/value pairs appended to every
+	// stream_* series this engine registers (e.g. "shard", "3"), so the
+	// shards of one deployment expose distinguishable series in one
+	// registry.
+	metricLabels []string
 }
 
 // Stats is the engine's operational counters, served by mtlsd /stats.
@@ -123,6 +134,9 @@ type event struct {
 	cert  *certmodel.CertInfo
 	flush chan struct{}
 	enq   time.Time
+	// seq is the connection's global ingest sequence, meaningful only
+	// when Config.trackSeqs is set (the sharded router stamps it).
+	seq uint64
 }
 
 // Engine is the incremental analysis engine. Create with New, feed with
@@ -142,10 +156,19 @@ type Engine struct {
 
 	mu sync.Mutex // guards all state below
 
+	// stateVer counts report-visible state changes (roster growth,
+	// connection applies, evictions, restores). The sharded merge cache
+	// reads it without the state lock to decide whether its materialized
+	// view is still current; written only under mu.
+	stateVer atomic.Uint64
+
 	// Raw state — ground truth, never invalidated.
 	roster map[ids.Fingerprint]*certmodel.CertInfo
 	conns  []core.ConnRecord
-	icpt   *interception.Stream
+	// seqs aligns with conns (global ingest sequence per retained
+	// connection) when cfg.trackSeqs is set; nil otherwise.
+	seqs []uint64
+	icpt *interception.Stream
 
 	// Derived state — the batch pipeline's enriched views, kept current
 	// incrementally; rebuilt from raw state when dirty.
@@ -239,6 +262,19 @@ func (e *Engine) IngestCert(rec *core.CertRecord) bool {
 	return e.send(event{cert: rec.Cert, enq: time.Now()}, e.cfg.Policy == Block)
 }
 
+// ingestConnSeq is IngestConn for the sharded router: rec is already
+// validated and owned by the engine (no defensive copy), and seq is the
+// global ingest sequence the router assigned.
+func (e *Engine) ingestConnSeq(rec *core.ConnRecord, seq uint64) bool {
+	return e.send(event{conn: rec, seq: seq, enq: time.Now()}, e.cfg.Policy == Block)
+}
+
+// ingestCertPtr is IngestCert for the sharded router: the certificate is
+// already validated and shared (the roster stores the pointer either way).
+func (e *Engine) ingestCertPtr(c *certmodel.CertInfo) bool {
+	return e.send(event{cert: c, enq: time.Now()}, e.cfg.Policy == Block)
+}
+
 func (e *Engine) send(ev event, block bool) bool {
 	e.sendMu.RLock()
 	defer e.sendMu.RUnlock()
@@ -316,7 +352,7 @@ func (e *Engine) applyLocked(ev event) {
 		e.applyCertLocked(ev.cert)
 	case ev.conn != nil:
 		e.m.applyLatency.Since(ev.enq)
-		e.applyConnLocked(ev.conn)
+		e.applyConnLocked(ev.conn, ev.seq)
 	}
 }
 
@@ -330,6 +366,7 @@ func (e *Engine) applyCertLocked(c *certmodel.CertInfo) {
 	if _, ok := e.roster[c.Fingerprint]; ok {
 		return // first observation wins
 	}
+	e.stateVer.Add(1)
 	e.roster[c.Fingerprint] = c
 	e.icpt.ObserveCert(c)
 	if e.icpt.Gen() != e.bGen {
@@ -353,13 +390,17 @@ func (e *Engine) applyCertLocked(c *certmodel.CertInfo) {
 // the derived state can always be rebuilt from), observed by the
 // interception detector, and — when the derived state is clean and the
 // connection survives the §3.2 filter — enriched immediately.
-func (e *Engine) applyConnLocked(rec *core.ConnRecord) {
+func (e *Engine) applyConnLocked(rec *core.ConnRecord, seq uint64) {
 	e.connsIngested++
 	e.m.connsIngested.Inc()
+	e.stateVer.Add(1)
 	if rec.TS.After(e.watermark) {
 		e.watermark = rec.TS
 	}
 	e.conns = append(e.conns, *rec)
+	if e.cfg.trackSeqs {
+		e.seqs = append(e.seqs, seq)
+	}
 	stored := &e.conns[len(e.conns)-1]
 
 	e.icpt.Observe(stored)
@@ -407,9 +448,16 @@ func (e *Engine) evictLocked() {
 	defer e.m.evictDur.Since(time.Now())
 	cutoff := e.watermark.Add(-e.cfg.Retention)
 	kept := make([]core.ConnRecord, 0, len(e.conns))
+	var keptSeqs []uint64
+	if e.cfg.trackSeqs {
+		keptSeqs = make([]uint64, 0, len(e.seqs))
+	}
 	for i := range e.conns {
 		if !e.conns[i].TS.Before(cutoff) {
 			kept = append(kept, e.conns[i])
+			if e.cfg.trackSeqs {
+				keptSeqs = append(keptSeqs, e.seqs[i])
+			}
 		}
 	}
 	if len(kept) == len(e.conns) {
@@ -419,7 +467,9 @@ func (e *Engine) evictLocked() {
 	e.evicted += dropped
 	e.m.evicted.Add(dropped)
 	e.conns = kept
+	e.seqs = keptSeqs
 	e.dirty = true
+	e.stateVer.Add(1)
 }
 
 // rebuildLocked reconstructs the derived state from the retained raw

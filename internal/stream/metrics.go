@@ -31,31 +31,34 @@ type engineMetrics struct {
 
 // newEngineMetrics registers the engine's series. The occupancy gauges
 // read channel length/capacity through callbacks — safe without the
-// engine lock because channel len is internally synchronized.
+// engine lock because channel len is internally synchronized. When the
+// engine is a shard, cfg.metricLabels tags every series (shard="i") so
+// one registry holds distinguishable per-shard series.
 func newEngineMetrics(r *metrics.Registry, e *Engine) *engineMetrics {
 	if r == nil {
 		r = metrics.New()
 	}
+	lbl := e.cfg.metricLabels
 	m := &engineMetrics{
-		connsIngested: r.Counter("stream_conns_ingested_total", "connection events applied"),
-		certsIngested: r.Counter("stream_certs_ingested_total", "certificate events applied (incl. duplicates)"),
-		dropped:       r.Counter("stream_events_dropped_total", "events shed under Policy Drop"),
-		rejected:      r.Counter("stream_events_rejected_total", "invalid events refused at the ingest boundary"),
-		evicted:       r.Counter("stream_conns_evicted_total", "connections dropped by the retention window"),
-		rebuilds:      r.Counter("stream_rebuilds_total", "derived-state rebuilds (retroactive evidence)"),
-		checkpoints:   r.Counter("stream_checkpoints_total", "checkpoints written"),
+		connsIngested: r.Counter("stream_conns_ingested_total", "connection events applied", lbl...),
+		certsIngested: r.Counter("stream_certs_ingested_total", "certificate events applied (incl. duplicates)", lbl...),
+		dropped:       r.Counter("stream_events_dropped_total", "events shed under Policy Drop", lbl...),
+		rejected:      r.Counter("stream_events_rejected_total", "invalid events refused at the ingest boundary", lbl...),
+		evicted:       r.Counter("stream_conns_evicted_total", "connections dropped by the retention window", lbl...),
+		rebuilds:      r.Counter("stream_rebuilds_total", "derived-state rebuilds (retroactive evidence)", lbl...),
+		checkpoints:   r.Counter("stream_checkpoints_total", "checkpoints written", lbl...),
 
-		applyLatency:   r.Histogram("stream_apply_latency_seconds", "ingest enqueue to apply latency", nil),
-		rebuildDur:     r.Histogram("stream_rebuild_seconds", "derived-state rebuild duration", nil),
-		materializeDur: r.Histogram("stream_materialize_seconds", "report materialization duration (incl. any rebuild)", nil),
-		evictDur:       r.Histogram("stream_evict_seconds", "retention eviction sweep duration", nil),
-		checkpointDur:  r.Histogram("stream_checkpoint_seconds", "checkpoint serialization+rename duration", nil),
+		applyLatency:   r.Histogram("stream_apply_latency_seconds", "ingest enqueue to apply latency", nil, lbl...),
+		rebuildDur:     r.Histogram("stream_rebuild_seconds", "derived-state rebuild duration", nil, lbl...),
+		materializeDur: r.Histogram("stream_materialize_seconds", "report materialization duration (incl. any rebuild)", nil, lbl...),
+		evictDur:       r.Histogram("stream_evict_seconds", "retention eviction sweep duration", nil, lbl...),
+		checkpointDur:  r.Histogram("stream_checkpoint_seconds", "checkpoint serialization+rename duration", nil, lbl...),
 
-		retained:        r.Gauge("stream_conns_retained", "connections currently in the window"),
-		checkpointBytes: r.Gauge("stream_checkpoint_bytes", "size of the last checkpoint written"),
+		retained:        r.Gauge("stream_conns_retained", "connections currently in the window", lbl...),
+		checkpointBytes: r.Gauge("stream_checkpoint_bytes", "size of the last checkpoint written", lbl...),
 	}
 	r.GaugeFunc("stream_buffer_occupancy", "events waiting in the ingest buffer",
-		func() float64 { return float64(len(e.ch)) })
-	r.Gauge("stream_buffer_capacity", "ingest buffer capacity").Set(float64(cap(e.ch)))
+		func() float64 { return float64(len(e.ch)) }, lbl...)
+	r.Gauge("stream_buffer_capacity", "ingest buffer capacity", lbl...).Set(float64(cap(e.ch)))
 	return m
 }

@@ -51,13 +51,19 @@ func ReportNames() []string {
 	return names
 }
 
-// Report materializes one named report over the current state. The
+// materializer is anything that can expose a consistent core.Pipeline:
+// a single Engine or a Sharded deployment.
+type materializer interface {
+	WithPipeline(func(*core.Pipeline))
+}
+
+// runReport materializes one named report over m's current state. The
 // returned value is a fresh report struct safe to serialize after the
 // call. An unknown name returns an error wrapping ErrUnknownReport; a
 // panic during materialization (a bug, not a client mistake) is
 // recovered into a plain error so one bad report cannot take down a
 // long-running daemon.
-func (e *Engine) Report(name string) (out any, err error) {
+func runReport(m materializer, name string) (out any, err error) {
 	fn, ok := reportFns[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownReport, name)
@@ -67,6 +73,12 @@ func (e *Engine) Report(name string) (out any, err error) {
 			out, err = nil, fmt.Errorf("stream: report %s: %v", name, p)
 		}
 	}()
-	e.WithPipeline(func(p *core.Pipeline) { out = fn(p) })
+	m.WithPipeline(func(p *core.Pipeline) { out = fn(p) })
 	return out, nil
+}
+
+// Report materializes one named report over the current state; see
+// runReport for the error taxonomy.
+func (e *Engine) Report(name string) (any, error) {
+	return runReport(e, name)
 }

@@ -1,0 +1,634 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/interception"
+	"repro/internal/metrics"
+)
+
+// MaxShards bounds the shard count: the rendezvous tracks per-shard
+// delivery in one uint64 bitmask, which is far beyond any core count the
+// single-producer router could keep fed anyway.
+const MaxShards = 64
+
+// Sharded runs n independent Engines and presents them as one: the
+// router hashes each connection's UID to a home shard (so one shard owns
+// each connection's detector evidence and enrichment) and fans each
+// certificate out to the shard(s) that reference it through a shared
+// rendezvous, so retroactive late-certificate evidence works per shard
+// exactly as it does on a single engine. Every shard is a complete,
+// individually correct monitor of its substream; the global view is
+// recovered at materialization by merging raw per-shard state back
+// through one core.Builder.
+//
+// # Equivalence contract
+//
+// After Drain on a finite input, every materialized report is deeply
+// equal to a single Engine's (and therefore to the batch pipeline's) at
+// any shard count: connections are replayed in their global ingest order
+// (a k-way merge on router-assigned sequence numbers), certificate
+// rosters union to the single roster (the rendezvous always delivers a
+// certificate to its fingerprint's home shard, duplicates resolve
+// first-observation-wins to the same copy), and the §3.2 verdict is
+// recomputed from the union of per-shard detector evidence — correct
+// because that evidence is order-independent and per-connection, so
+// domains contradicting an issuer on different shards corroborate
+// globally (interception.Merge). Mid-stream, a materialization reflects
+// each shard's applied prefix — a consistent snapshot per shard, not
+// necessarily a prefix of the interleaved global stream.
+//
+// # Cost model
+//
+// Ingest parallelizes across shard apply goroutines — the bottleneck the
+// single engine's one-goroutine design caps at one core. The price moves
+// to materialization: the merged view is rebuilt by full replay whenever
+// any shard's state changed since the last merge (cached otherwise),
+// where a settled single engine materializes incrementally. That is the
+// right trade for a monitor that ingests continuously and reports
+// occasionally.
+type Sharded struct {
+	cfg    Config
+	shards []*Engine
+
+	mu sync.Mutex // guards router state below
+	// nextSeq is the next global connection sequence number.
+	nextSeq uint64
+	// rv is the certificate rendezvous: every ingested or awaited
+	// fingerprint, which shards hold the certificate, and which shards
+	// referenced it before it arrived.
+	rv          map[ids.Fingerprint]*rendezvous
+	uniqueCerts int    // fingerprints whose certificate has arrived
+	certsRouted uint64 // IngestCert calls admitted (incl. duplicate fps)
+
+	rejected atomic.Uint64
+
+	m *shardedMetrics
+
+	matMu sync.Mutex // guards the merged materialization below
+	// cachedVer is the per-shard stateVer vector the cached merge
+	// reflects; nil until the first merge.
+	cachedVer []uint64
+	cachedB   *core.Builder
+	cachedPre *core.PreprocessReport
+	merges    uint64
+
+	ckptMu   sync.Mutex // guards manifest generation state
+	ckptGen  uint64
+	lastCkpt time.Time
+}
+
+// rendezvous is one fingerprint's delivery state. delivered and waiting
+// are shard bitmasks (bit i = shard i).
+type rendezvous struct {
+	cert      *certmodel.CertInfo
+	delivered uint64 // shards whose roster has (or will apply) the cert
+	waiting   uint64 // shards that referenced the fp before it arrived
+}
+
+type shardedMetrics struct {
+	rejected  *metrics.Counter
+	fanout    *metrics.Counter
+	merges    *metrics.Counter
+	mergeDur  *metrics.Histogram
+	manifests *metrics.Counter
+}
+
+func newShardedMetrics(r *metrics.Registry, n int) *shardedMetrics {
+	r.Gauge("stream_shards", "engine shards in the sharded deployment").Set(float64(n))
+	return &shardedMetrics{
+		rejected:  r.Counter("stream_events_rejected_total", "invalid events refused at the ingest boundary", "shard", "router"),
+		fanout:    r.Counter("stream_cert_fanout_total", "certificate deliveries to shards (first + forwarded copies)"),
+		merges:    r.Counter("stream_merges_total", "merged-view rebuilds (k-way replay through one Builder)"),
+		mergeDur:  r.Histogram("stream_merge_seconds", "merged-view rebuild duration", nil),
+		manifests: r.Counter("stream_checkpoint_manifests_total", "checkpoint manifests committed"),
+	}
+}
+
+// NewSharded starts n engine shards behind one router. n <= 0 selects
+// one shard per CPU; n is clamped to MaxShards. Config applies to every
+// shard (Buffer is per shard); shard series in Config.Metrics carry a
+// shard="i" label. Call Close to stop all shards.
+func NewSharded(n int, cfg Config) (*Sharded, error) {
+	if cfg.Input == nil {
+		return nil, fmt.Errorf("stream: Config.Input is required")
+	}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	s := &Sharded{
+		cfg: cfg,
+		rv:  make(map[ids.Fingerprint]*rendezvous),
+		m:   newShardedMetrics(cfg.Metrics, n),
+	}
+	for i := 0; i < n; i++ {
+		e, err := New(s.shardConfig(i))
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.shards = append(s.shards, e)
+	}
+	return s, nil
+}
+
+// shardConfig derives shard i's engine config: sequence tracking on (the
+// merge path needs the global order) and per-shard metric labels.
+func (s *Sharded) shardConfig(i int) Config {
+	cfg := s.cfg
+	cfg.trackSeqs = true
+	cfg.metricLabels = []string{"shard", strconv.Itoa(i)}
+	return cfg
+}
+
+// Shards reports the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// shardHash is FNV-1a over the routing key. UID hashing spreads
+// connections; fingerprint hashing picks each certificate's home shard.
+func shardHash(key string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+func (s *Sharded) home(key string) int {
+	return int(shardHash(key) % uint64(len(s.shards)))
+}
+
+// IngestConn routes one connection to its UID's home shard, first
+// forwarding any already-arrived leaf certificates the shard has not
+// seen (channel order guarantees the shard applies the certificate
+// before the connection, so shard-local enrichment resolves the chain
+// just as a single engine would). Validation matches Engine.IngestConn.
+func (s *Sharded) IngestConn(rec *core.ConnRecord) bool {
+	if rec == nil || rec.Weight < 1 {
+		s.rejected.Add(1)
+		s.m.rejected.Inc()
+		return false
+	}
+	c := *rec
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.nextSeq
+	s.nextSeq++
+	h := s.home(string(c.UID))
+	bit := uint64(1) << h
+	for _, fp := range [2]ids.Fingerprint{c.ServerLeaf(), c.ClientLeaf()} {
+		if fp == "" {
+			continue
+		}
+		ent := s.rv[fp]
+		if ent == nil {
+			ent = &rendezvous{}
+			s.rv[fp] = ent
+		}
+		if ent.cert == nil {
+			// The certificate has not arrived; when it does, the
+			// rendezvous forwards it here and the shard's pending-ref /
+			// missing-fp machinery handles the late arrival.
+			ent.waiting |= bit
+			continue
+		}
+		if ent.delivered&bit == 0 && s.shards[h].ingestCertPtr(ent.cert) {
+			ent.delivered |= bit
+			s.m.fanout.Inc()
+		}
+	}
+	return s.shards[h].ingestConnSeq(&c, seq)
+}
+
+// IngestCert admits one certificate into the rendezvous and delivers it
+// to its fingerprint's home shard plus every shard already waiting on
+// it. Shards that reference the fingerprint later receive it from the
+// rendezvous at routing time. Validation matches Engine.IngestCert.
+func (s *Sharded) IngestCert(rec *core.CertRecord) bool {
+	if rec == nil || rec.Cert == nil || rec.Cert.Fingerprint == "" {
+		s.rejected.Add(1)
+		s.m.rejected.Inc()
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.certsRouted++
+	fp := rec.Cert.Fingerprint
+	ent := s.rv[fp]
+	if ent == nil {
+		ent = &rendezvous{}
+		s.rv[fp] = ent
+	}
+	if ent.cert == nil {
+		// First observation wins, as on a single engine's roster; the
+		// home shard guarantees every certificate survives in the union
+		// roster even if no connection ever references it.
+		ent.cert = rec.Cert
+		s.uniqueCerts++
+		ent.waiting |= uint64(1) << s.home(string(fp))
+	}
+	ok := true
+	for i := range s.shards {
+		bit := uint64(1) << i
+		if ent.waiting&bit == 0 || ent.delivered&bit != 0 {
+			continue
+		}
+		if s.shards[i].ingestCertPtr(ent.cert) {
+			ent.delivered |= bit
+			s.m.fanout.Inc()
+		} else {
+			ok = false // Drop policy shed it; a later reference retries
+		}
+	}
+	return ok
+}
+
+// Drain blocks until every event ingested before the call has been
+// applied on its shard.
+func (s *Sharded) Drain() {
+	for _, e := range s.shards {
+		e.Drain()
+	}
+}
+
+// Close drains and stops every shard. Materialization remains available.
+func (s *Sharded) Close() {
+	for _, e := range s.shards {
+		e.Close()
+	}
+}
+
+// merged returns the global Builder and preprocess report, rebuilding by
+// replay when any shard's state changed since the last merge. Caller
+// holds matMu.
+func (s *Sharded) merged() (*core.Builder, *core.PreprocessReport) {
+	vers := make([]uint64, len(s.shards))
+	for i, e := range s.shards {
+		vers[i] = e.stateVer.Load()
+	}
+	if s.cachedB != nil && equalU64(vers, s.cachedVer) {
+		return s.cachedB, s.cachedPre
+	}
+	t0 := time.Now()
+	// Snapshot each shard under its lock: slice headers are safe to
+	// replay lock-free afterwards (appends never mutate elements below
+	// the captured length and eviction swaps in a fresh array), roster
+	// pointers are immutable, and the detector evidence is copied by
+	// Absorb. The version is re-read under the lock so the cache key
+	// matches exactly what was captured.
+	im := interception.NewMerge(2)
+	states := make([]core.ShardState, len(s.shards))
+	var rawConns uint64
+	for i, e := range s.shards {
+		e.mu.Lock()
+		vers[i] = e.stateVer.Load()
+		certs := make([]*certmodel.CertInfo, 0, len(e.roster))
+		for _, c := range e.roster {
+			certs = append(certs, c)
+		}
+		states[i] = core.ShardState{Certs: certs, Conns: e.conns, Seqs: e.seqs}
+		rawConns += e.connsIngested
+		im.Absorb(e.icpt)
+		e.mu.Unlock()
+	}
+	rawCerts := 0
+	seen := make(map[ids.Fingerprint]bool)
+	for i := range states {
+		for _, c := range states[i].Certs {
+			if !seen[c.Fingerprint] {
+				seen[c.Fingerprint] = true
+				rawCerts++
+			}
+		}
+	}
+	res := im.Result()
+	pre := &core.PreprocessReport{
+		InterceptionIssuers: res.Issuers,
+		ExcludedCerts:       len(res.ExcludedCerts),
+		ExcludedShare:       res.ExcludedShare(rawCerts),
+		RawCerts:            rawCerts,
+		RawConns:            int(rawConns),
+	}
+	b := core.MergeShards(s.cfg.Input, states, func(fp ids.Fingerprint) bool {
+		return res.ExcludedCerts[fp]
+	})
+	s.cachedVer, s.cachedB, s.cachedPre = vers, b, pre
+	s.merges++
+	s.m.merges.Inc()
+	s.m.mergeDur.Since(t0)
+	return b, pre
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WithPipeline runs fn over the merged pipeline; fn must not retain it.
+// Shard ingestion keeps flowing while fn runs (the merge snapshots shard
+// state briefly per shard, then releases the locks).
+func (s *Sharded) WithPipeline(fn func(*core.Pipeline)) {
+	s.matMu.Lock()
+	defer s.matMu.Unlock()
+	b, pre := s.merged()
+	fn(b.Pipeline(pre))
+}
+
+// Analysis materializes every table and figure over the merged state —
+// after Drain on a finite input it deep-equals both a single Engine's
+// Analysis and the batch pipeline's.
+func (s *Sharded) Analysis() *core.Analysis {
+	var a *core.Analysis
+	s.WithPipeline(func(p *core.Pipeline) { a = p.RunAll() })
+	return a
+}
+
+// Report materializes one named report over the merged state, with the
+// same name registry and error taxonomy as Engine.Report.
+func (s *Sharded) Report(name string) (any, error) {
+	return runReport(s, name)
+}
+
+// Stats aggregates the shards' operational counters into the single-
+// engine shape: ingest/drop/retention counters sum, the watermark is the
+// max, the certificate numbers come from the router (shard rosters
+// double-count fanned-out certificates), and the §3.2 numbers reflect
+// the merged verdict. Rebuilds counts merged-view replays; Dirty means
+// shard state changed since the last merge.
+func (s *Sharded) Stats() Stats {
+	var st Stats
+	vers := make([]uint64, len(s.shards))
+	for i, e := range s.shards {
+		es := e.Stats()
+		st.ConnsIngested += es.ConnsIngested
+		st.Dropped += es.Dropped
+		st.Rejected += es.Rejected
+		st.Retained += es.Retained
+		st.Evicted += es.Evicted
+		st.PendingCerts += es.PendingCerts
+		if es.Watermark.After(st.Watermark) {
+			st.Watermark = es.Watermark
+		}
+		vers[i] = e.stateVer.Load()
+	}
+	im := interception.NewMerge(2)
+	for _, e := range s.shards {
+		e.mu.Lock()
+		im.Absorb(e.icpt)
+		e.mu.Unlock()
+	}
+	res := im.Result()
+	st.ExcludedCerts = len(res.ExcludedCerts)
+	st.InterceptionIssuers = len(res.Issuers)
+
+	s.mu.Lock()
+	st.CertsIngested = s.certsRouted
+	st.UniqueCerts = s.uniqueCerts
+	s.mu.Unlock()
+	st.Rejected += s.rejected.Load()
+
+	s.matMu.Lock()
+	st.Rebuilds = s.merges
+	st.Dirty = s.cachedB == nil || !equalU64(vers, s.cachedVer)
+	s.matMu.Unlock()
+
+	s.ckptMu.Lock()
+	st.LastCheckpoint = s.lastCkpt
+	s.ckptMu.Unlock()
+	if !st.LastCheckpoint.IsZero() {
+		st.CheckpointAge = time.Since(st.LastCheckpoint).Seconds()
+	}
+	return st
+}
+
+// manifestVersion guards the checkpoint-directory format.
+const manifestVersion = 1
+
+// manifestName is the commit point of a sharded checkpoint directory.
+const manifestName = "manifest.json"
+
+// Manifest describes one committed sharded checkpoint: which per-shard
+// files belong to it (generation-suffixed so a crashed write can never
+// mix generations), the router's sequence counter, and the caller's
+// ingest cursor. The manifest is written last and renamed into place, so
+// a directory either has a complete generation or the previous one.
+type Manifest struct {
+	Version     int
+	Shards      int
+	Generation  uint64
+	NextSeq     uint64
+	CertsRouted uint64
+	Cursor      map[string]int64
+	Files       []string
+}
+
+// WriteCheckpoint serializes every shard into dir and commits the set
+// with an atomically renamed manifest; the previous generation's files
+// are removed only after the commit. As with Engine.WriteCheckpoint, the
+// caller must Drain first so the cursor is consistent with applied
+// state.
+func (s *Sharded) WriteCheckpoint(dir string, cursor map[string]int64) error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("stream: sharded checkpoint: %w", err)
+	}
+	gen := s.ckptGen + 1
+	s.mu.Lock()
+	next, routed := s.nextSeq, s.certsRouted
+	s.mu.Unlock()
+
+	files := make([]string, len(s.shards))
+	for i, e := range s.shards {
+		files[i] = fmt.Sprintf("shard-%d.g%d.ckpt", i, gen)
+		if err := e.WriteCheckpoint(filepath.Join(dir, files[i]), nil); err != nil {
+			for _, f := range files[:i+1] {
+				os.Remove(filepath.Join(dir, f))
+			}
+			return err
+		}
+	}
+	man := Manifest{
+		Version:     manifestVersion,
+		Shards:      len(s.shards),
+		Generation:  gen,
+		NextSeq:     next,
+		CertsRouted: routed,
+		Cursor:      cursor,
+		Files:       files,
+	}
+	buf, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("stream: sharded checkpoint: %w", err)
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("stream: sharded checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("stream: sharded checkpoint: %w", err)
+	}
+	// Committed: the previous generation is garbage now. Best-effort
+	// removal — stray files are re-collected by the next commit's scan.
+	if old, err := filepath.Glob(filepath.Join(dir, "shard-*.g*.ckpt")); err == nil {
+		for _, f := range old {
+			keep := false
+			for _, cur := range files {
+				if filepath.Base(f) == cur {
+					keep = true
+					break
+				}
+			}
+			if !keep {
+				os.Remove(f)
+			}
+		}
+	}
+	s.ckptGen = gen
+	s.lastCkpt = time.Now()
+	s.m.manifests.Inc()
+	return nil
+}
+
+// RestoreSharded starts a sharded engine from a checkpoint directory
+// written by WriteCheckpoint and returns the cursor stored with it.
+// n must match the manifest's shard count (routing is a function of the
+// count, so resharding would orphan state); 0 adopts the manifest's.
+// The rendezvous is not serialized — it is rebuilt here from the
+// restored rosters and retained connections, re-forwarding any
+// certificate a referencing shard is missing (possible after Drop-policy
+// shedding), so the restored deployment self-heals to the same delivery
+// state the checkpointed one had.
+func RestoreSharded(cfg Config, n int, dir string) (*Sharded, map[string]int64, error) {
+	if cfg.Input == nil {
+		return nil, nil, fmt.Errorf("stream: Config.Input is required")
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(buf, &man); err != nil {
+		return nil, nil, fmt.Errorf("stream: manifest decode: %w", err)
+	}
+	if man.Version != manifestVersion {
+		return nil, nil, fmt.Errorf("stream: manifest version %d, want %d", man.Version, manifestVersion)
+	}
+	if man.Shards <= 0 || man.Shards > MaxShards || len(man.Files) != man.Shards {
+		return nil, nil, fmt.Errorf("stream: manifest is inconsistent: %d shards, %d files", man.Shards, len(man.Files))
+	}
+	if n == 0 {
+		n = man.Shards
+	}
+	if n != man.Shards {
+		return nil, nil, fmt.Errorf("stream: checkpoint has %d shards, requested %d (resharding a checkpoint is not supported)", man.Shards, n)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	s := &Sharded{
+		cfg:     cfg,
+		rv:      make(map[ids.Fingerprint]*rendezvous),
+		m:       newShardedMetrics(cfg.Metrics, n),
+		nextSeq: man.NextSeq,
+		ckptGen: man.Generation,
+	}
+	s.certsRouted = man.CertsRouted
+	for i := 0; i < n; i++ {
+		e, _, err := Restore(s.shardConfig(i), filepath.Join(dir, man.Files[i]))
+		if err != nil {
+			s.Close()
+			return nil, nil, fmt.Errorf("stream: restore shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, e)
+	}
+	s.rebuildRendezvous()
+	s.ckptMu.Lock()
+	s.lastCkpt = time.Now()
+	s.ckptMu.Unlock()
+	return s, man.Cursor, nil
+}
+
+// rebuildRendezvous reconstructs delivery state from restored shard
+// rosters, then re-registers every retained connection's interest and
+// re-forwards certificates a referencing shard lacks.
+func (s *Sharded) rebuildRendezvous() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, e := range s.shards {
+		bit := uint64(1) << i
+		e.mu.Lock()
+		for fp, c := range e.roster {
+			ent := s.rv[fp]
+			if ent == nil {
+				ent = &rendezvous{}
+				s.rv[fp] = ent
+			}
+			if ent.cert == nil {
+				ent.cert = c
+				s.uniqueCerts++
+			}
+			ent.delivered |= bit
+			ent.waiting |= bit
+		}
+		e.mu.Unlock()
+	}
+	for i, e := range s.shards {
+		bit := uint64(1) << i
+		// Collect heals under the shard lock, send after releasing it:
+		// a channel send can block on a full buffer, and the apply
+		// goroutine needs the same lock to make room.
+		var heal []*certmodel.CertInfo
+		e.mu.Lock()
+		for ci := range e.conns {
+			rec := &e.conns[ci]
+			for _, fp := range [2]ids.Fingerprint{rec.ServerLeaf(), rec.ClientLeaf()} {
+				if fp == "" {
+					continue
+				}
+				ent := s.rv[fp]
+				if ent == nil {
+					ent = &rendezvous{}
+					s.rv[fp] = ent
+				}
+				ent.waiting |= bit
+				if ent.cert != nil && ent.delivered&bit == 0 {
+					heal = append(heal, ent.cert)
+					ent.delivered |= bit
+				}
+			}
+		}
+		e.mu.Unlock()
+		for _, c := range heal {
+			e.ingestCertPtr(c)
+			s.m.fanout.Inc()
+		}
+	}
+}

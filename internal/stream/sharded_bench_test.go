@@ -1,0 +1,111 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// benchBuild is generated once: workload synthesis dwarfs ingest cost
+// and must stay out of the measured loop.
+var benchBuild *workload.Build
+
+func getBenchBuild() *workload.Build {
+	if benchBuild == nil {
+		benchBuild = genBuild(20240504, 1500)
+	}
+	return benchBuild
+}
+
+// BenchmarkEngineIngest is the single-engine baseline the sharded
+// numbers are read against: events/op over one full feed + drain.
+func BenchmarkEngineIngest(b *testing.B) {
+	bld := getBenchBuild()
+	in := inputFromBuild(bld)
+	in.Raw = nil
+	events := len(bld.Raw.Certs) + len(bld.Raw.Conns)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := New(Config{Input: in})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range bld.Raw.Certs {
+			e.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c})
+		}
+		for j := range bld.Raw.Conns {
+			e.IngestConn(&bld.Raw.Conns[j])
+		}
+		e.Drain()
+		e.Close()
+	}
+	b.ReportMetric(float64(events*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkShardedIngest measures ingest throughput (feed + drain, no
+// materialization) at shard counts 1/2/4/8 — the tentpole's claim is
+// that the apply work (detector observation, incremental enrichment)
+// parallelizes across shard apply goroutines. On a single-core host the
+// counts collapse onto the baseline; the shape of the scaling is only
+// visible with cores to spend.
+func BenchmarkShardedIngest(b *testing.B) {
+	bld := getBenchBuild()
+	in := inputFromBuild(bld)
+	in.Raw = nil
+	events := len(bld.Raw.Certs) + len(bld.Raw.Conns)
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := NewSharded(n, Config{Input: in})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, c := range bld.Raw.Certs {
+					s.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c})
+				}
+				for j := range bld.Raw.Conns {
+					s.IngestConn(&bld.Raw.Conns[j])
+				}
+				s.Drain()
+				s.Close()
+			}
+			b.ReportMetric(float64(events*b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkShardedMaterialize prices the other side of the trade: the
+// merged-view replay a sharded deployment pays on the first
+// materialization after new events (the cached path is ~free and not
+// what this measures).
+func BenchmarkShardedMaterialize(b *testing.B) {
+	bld := getBenchBuild()
+	in := inputFromBuild(bld)
+	in.Raw = nil
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			s, err := NewSharded(n, Config{Input: in})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			for _, c := range bld.Raw.Certs {
+				s.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c})
+			}
+			for j := range bld.Raw.Conns {
+				s.IngestConn(&bld.Raw.Conns[j])
+			}
+			s.Drain()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.matMu.Lock()
+				s.cachedB, s.cachedVer, s.cachedPre = nil, nil, nil // force the replay
+				s.matMu.Unlock()
+				s.WithPipeline(func(p *core.Pipeline) { p.PreprocessReport() })
+			}
+		})
+	}
+}

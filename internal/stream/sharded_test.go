@@ -1,0 +1,475 @@
+package stream
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/certmodel"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// shardCounts is the acceptance matrix: a sharded deployment must be
+// indistinguishable from a single engine at every one of these.
+var shardCounts = []int{1, 2, 4, 8}
+
+// ingester is the shared ingest surface of Engine and Sharded, so the
+// feeding helpers drive both through one code path.
+type ingester interface {
+	IngestConn(*core.ConnRecord) bool
+	IngestCert(*core.CertRecord) bool
+}
+
+func feedCertsFirst(t *testing.T, g ingester, b *workload.Build) {
+	t.Helper()
+	for _, c := range b.Raw.Certs {
+		if !g.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c}) {
+			t.Fatal("cert event rejected")
+		}
+	}
+	for i := range b.Raw.Conns {
+		if !g.IngestConn(&b.Raw.Conns[i]) {
+			t.Fatal("conn event rejected")
+		}
+	}
+}
+
+func newSharded(t *testing.T, n int, in *core.Input, mutate func(*Config)) *Sharded {
+	t.Helper()
+	cfg := Config{Input: in}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := NewSharded(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestShardedMatchesSingleAndBatch is the tentpole contract: at every
+// shard count, draining the same event stream yields an Analysis deeply
+// equal to both the single engine's and the batch pipeline's.
+func TestShardedMatchesSingleAndBatch(t *testing.T) {
+	b := genBuild(20240504, 1200)
+	batch := core.Run(inputFromBuild(b))
+
+	in := inputFromBuild(b)
+	in.Raw = nil
+	single := newEngine(t, in, nil)
+	feed(t, single, b)
+	single.Drain()
+	want := single.Analysis()
+	if !reflect.DeepEqual(batch, want) {
+		t.Fatal("single-engine analysis differs from batch (prerequisite broken)")
+	}
+
+	for _, n := range shardCounts {
+		s := newSharded(t, n, in, nil)
+		feedCertsFirst(t, s, b)
+		s.Drain()
+		got := s.Analysis()
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("shards=%d: merged analysis differs from single engine", n)
+		}
+		if !reflect.DeepEqual(batch, got) {
+			t.Errorf("shards=%d: merged analysis differs from batch", n)
+		}
+		st := s.Stats()
+		if st.ConnsIngested != uint64(len(b.Raw.Conns)) {
+			t.Errorf("shards=%d: ConnsIngested = %d, want %d", n, st.ConnsIngested, len(b.Raw.Conns))
+		}
+		if st.UniqueCerts != len(b.Raw.Certs) {
+			t.Errorf("shards=%d: UniqueCerts = %d, want %d", n, st.UniqueCerts, len(b.Raw.Certs))
+		}
+		if st.Dropped != 0 {
+			t.Errorf("shards=%d: unexpected drops: %d", n, st.Dropped)
+		}
+	}
+}
+
+// TestShardedOutOfOrderCerts feeds every connection before any
+// certificate: each shard parks observations in its own pending set, the
+// rendezvous forwards every late certificate to the shards that
+// registered interest, and the drained merge must still equal batch —
+// the per-shard retroactive-evidence path under fan-out.
+func TestShardedOutOfOrderCerts(t *testing.T) {
+	b := genBuild(20240504, 1000)
+	batch := core.Run(inputFromBuild(b))
+	in := inputFromBuild(b)
+	in.Raw = nil
+
+	for _, n := range shardCounts {
+		s := newSharded(t, n, in, nil)
+		for i := range b.Raw.Conns {
+			s.IngestConn(&b.Raw.Conns[i])
+		}
+		for _, c := range b.Raw.Certs {
+			s.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c})
+		}
+		s.Drain()
+		if got := s.Analysis(); !reflect.DeepEqual(batch, got) {
+			t.Errorf("shards=%d: out-of-order merged analysis differs from batch", n)
+		}
+	}
+}
+
+// TestShardedInterleaved alternates chunks of connections and
+// certificates, so some leaf certificates arrive before their
+// connections (direct rendezvous delivery at routing time) and some
+// after (waiting-set forwarding) — both rendezvous paths in one stream.
+func TestShardedInterleaved(t *testing.T) {
+	b := genBuild(7, 1000)
+	batch := core.Run(inputFromBuild(b))
+	in := inputFromBuild(b)
+	in.Raw = nil
+
+	certs := make([]*certmodel.CertInfo, 0, len(b.Raw.Certs))
+	for _, c := range b.Raw.Certs {
+		certs = append(certs, c)
+	}
+	sort.Slice(certs, func(i, j int) bool { return certs[i].Fingerprint < certs[j].Fingerprint })
+
+	for _, n := range shardCounts {
+		s := newSharded(t, n, in, nil)
+		ci, coi := 0, 0
+		for ci < len(certs) || coi < len(b.Raw.Conns) {
+			for k := 0; k < 16 && coi < len(b.Raw.Conns); k++ {
+				s.IngestConn(&b.Raw.Conns[coi])
+				coi++
+			}
+			for k := 0; k < 8 && ci < len(certs); k++ {
+				s.IngestCert(&core.CertRecord{TS: certs[ci].NotBefore, Cert: certs[ci]})
+				ci++
+			}
+		}
+		s.Drain()
+		if got := s.Analysis(); !reflect.DeepEqual(batch, got) {
+			t.Errorf("shards=%d: interleaved merged analysis differs from batch", n)
+		}
+	}
+}
+
+// TestShardedRetroactiveExclusion guards the cross-shard §3.2 property:
+// the workload's interception issuers must be confirmed by the MERGED
+// verdict even when their contradicting domains land on different shards
+// — no single shard needs to see enough evidence on its own.
+func TestShardedRetroactiveExclusion(t *testing.T) {
+	b := genBuild(20240504, 1200)
+	batch := core.Run(inputFromBuild(b))
+	if batch.Preprocess.ExcludedCerts == 0 || len(batch.Preprocess.InterceptionIssuers) == 0 {
+		t.Fatal("workload exercises no §3.2 exclusions; the test is vacuous")
+	}
+	in := inputFromBuild(b)
+	in.Raw = nil
+
+	for _, n := range shardCounts {
+		s := newSharded(t, n, in, nil)
+		feedCertsFirst(t, s, b)
+		s.Drain()
+		got := s.Analysis()
+		if !reflect.DeepEqual(batch.Preprocess, got.Preprocess) {
+			t.Errorf("shards=%d: merged preprocess verdict differs from batch:\n got %+v\nwant %+v",
+				n, got.Preprocess, batch.Preprocess)
+		}
+		st := s.Stats()
+		if st.InterceptionIssuers != len(batch.Preprocess.InterceptionIssuers) {
+			t.Errorf("shards=%d: Stats.InterceptionIssuers = %d, want %d",
+				n, st.InterceptionIssuers, len(batch.Preprocess.InterceptionIssuers))
+		}
+		if st.ExcludedCerts != batch.Preprocess.ExcludedCerts {
+			t.Errorf("shards=%d: Stats.ExcludedCerts = %d, want %d",
+				n, st.ExcludedCerts, batch.Preprocess.ExcludedCerts)
+		}
+	}
+}
+
+// TestShardedMidStream takes a merged snapshot mid-stream (a consistent
+// per-shard prefix), then finishes the stream and requires convergence
+// to batch — materialization must not disturb ingest state.
+func TestShardedMidStream(t *testing.T) {
+	b := genBuild(20240504, 1000)
+	batch := core.Run(inputFromBuild(b))
+	in := inputFromBuild(b)
+	in.Raw = nil
+
+	s := newSharded(t, 4, in, nil)
+	for _, c := range b.Raw.Certs {
+		s.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c})
+	}
+	half := len(b.Raw.Conns) / 2
+	for i := 0; i < half; i++ {
+		s.IngestConn(&b.Raw.Conns[i])
+	}
+	s.Drain()
+	mid := s.Analysis()
+	if mid.Preprocess.RawConns != half {
+		t.Fatalf("mid-stream RawConns = %d, want %d", mid.Preprocess.RawConns, half)
+	}
+	if mid.CertStats.Row("Total").Total == 0 {
+		t.Fatal("mid-stream merged analysis is empty")
+	}
+	if st := s.Stats(); st.Dirty {
+		t.Fatal("Stats.Dirty after materializing with no new events")
+	}
+
+	for i := half; i < len(b.Raw.Conns); i++ {
+		s.IngestConn(&b.Raw.Conns[i])
+	}
+	s.Drain()
+	if st := s.Stats(); !st.Dirty {
+		t.Fatal("Stats.Dirty must be set after new events")
+	}
+	if got := s.Analysis(); !reflect.DeepEqual(batch, got) {
+		t.Error("post-snapshot merged analysis differs from batch")
+	}
+}
+
+// TestShardedCheckpointRestoreResume kills a sharded deployment
+// mid-stream, restores every shard from the manifest, replays the
+// remainder, and requires byte-identical rendered reports — the
+// acceptance criterion for the per-shard checkpoint manifest.
+func TestShardedCheckpointRestoreResume(t *testing.T) {
+	b := genBuild(20240504, 1000)
+	in := inputFromBuild(b)
+	in.Raw = nil
+
+	for _, n := range []int{1, 4} {
+		full := newSharded(t, n, in, nil)
+		feedCertsFirst(t, full, b)
+		full.Drain()
+		want := full.Analysis()
+
+		s := newSharded(t, n, in, nil)
+		for _, c := range b.Raw.Certs {
+			s.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c})
+		}
+		cut := len(b.Raw.Conns) * 2 / 5
+		for i := 0; i < cut; i++ {
+			s.IngestConn(&b.Raw.Conns[i])
+		}
+		s.Drain()
+		dir := filepath.Join(t.TempDir(), "ckpt")
+		cursor := map[string]int64{"conn_index": int64(cut)}
+		if err := s.WriteCheckpoint(dir, cursor); err != nil {
+			t.Fatal(err)
+		}
+		s.Close() // the "kill"
+
+		restored, gotCursor, err := RestoreSharded(Config{Input: in}, n, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(restored.Close)
+		if gotCursor["conn_index"] != int64(cut) {
+			t.Fatalf("shards=%d: cursor = %v, want conn_index=%d", n, gotCursor, cut)
+		}
+		for i := cut; i < len(b.Raw.Conns); i++ {
+			restored.IngestConn(&b.Raw.Conns[i])
+		}
+		restored.Drain()
+		got := restored.Analysis()
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("shards=%d: restored analysis differs from uninterrupted run", n)
+		}
+		if report.RenderAll(want) != report.RenderAll(got) {
+			t.Fatalf("shards=%d: rendered reports are not byte-identical after restore", n)
+		}
+	}
+}
+
+// TestShardedCheckpointGenerations checks the manifest commit protocol:
+// a second checkpoint supersedes the first atomically and garbage-
+// collects its files, and a stale uncommitted generation is ignored.
+func TestShardedCheckpointGenerations(t *testing.T) {
+	b := genBuild(7, 500)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	s := newSharded(t, 2, in, nil)
+	feedCertsFirst(t, s, b)
+	s.Drain()
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if err := s.WriteCheckpoint(dir, map[string]int64{"g": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteCheckpoint(dir, map[string]int64{"g": 2}); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpts, manifests int
+	for _, e := range ents {
+		switch {
+		case e.Name() == manifestName:
+			manifests++
+		case strings.HasSuffix(e.Name(), ".ckpt"):
+			if !strings.Contains(e.Name(), ".g2.") {
+				t.Fatalf("stale generation file survived: %s", e.Name())
+			}
+			ckpts++
+		}
+	}
+	if manifests != 1 || ckpts != 2 {
+		t.Fatalf("dir has %d manifests / %d shard files, want 1 / 2", manifests, ckpts)
+	}
+	if _, cursor, err := RestoreSharded(Config{Input: in}, 0, dir); err != nil {
+		t.Fatal(err)
+	} else if cursor["g"] != 2 {
+		t.Fatalf("restored cursor %v, want the second generation's", cursor)
+	}
+}
+
+// TestShardedRestoreShardMismatch: restoring with a different shard
+// count must fail loudly (resharding a checkpoint is unsupported), and
+// n=0 must adopt the manifest's count.
+func TestShardedRestoreShardMismatch(t *testing.T) {
+	b := genBuild(7, 300)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	s := newSharded(t, 2, in, nil)
+	feedCertsFirst(t, s, b)
+	s.Drain()
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if err := s.WriteCheckpoint(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RestoreSharded(Config{Input: in}, 3, dir); err == nil {
+		t.Fatal("restore with mismatched shard count must error")
+	}
+	adopted, _, err := RestoreSharded(Config{Input: in}, 0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(adopted.Close)
+	if adopted.Shards() != 2 {
+		t.Fatalf("Shards() = %d, want the manifest's 2", adopted.Shards())
+	}
+}
+
+// TestShardedReportRegistry: the merged deployment serves the same report
+// registry with the same error taxonomy as a single engine.
+func TestShardedReportRegistry(t *testing.T) {
+	b := genBuild(20240504, 800)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	s := newSharded(t, 2, in, nil)
+	feedCertsFirst(t, s, b)
+	s.Drain()
+	for _, name := range ReportNames() {
+		out, err := s.Report(name)
+		if err != nil {
+			t.Fatalf("Report(%q): %v", name, err)
+		}
+		if out == nil || reflect.ValueOf(out).IsNil() {
+			t.Fatalf("Report(%q) returned nil", name)
+		}
+	}
+	if _, err := s.Report("nope"); err == nil {
+		t.Fatal("unknown report name must error")
+	}
+}
+
+// TestShardedRejectsInvalid: the router enforces the same ingest
+// boundary as a single engine and counts refusals.
+func TestShardedRejectsInvalid(t *testing.T) {
+	b := genBuild(20240504, 300)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	s := newSharded(t, 4, in, nil)
+
+	bad := b.Raw.Conns[0]
+	bad.Weight = 0
+	if s.IngestConn(nil) || s.IngestConn(&bad) {
+		t.Fatal("invalid conn events must be rejected")
+	}
+	if s.IngestCert(nil) || s.IngestCert(&core.CertRecord{}) {
+		t.Fatal("invalid cert events must be rejected")
+	}
+	if !s.IngestConn(&b.Raw.Conns[0]) {
+		t.Fatal("valid events must still be accepted")
+	}
+	s.Drain()
+	st := s.Stats()
+	if st.Rejected != 4 {
+		t.Fatalf("Rejected = %d, want 4", st.Rejected)
+	}
+	if st.ConnsIngested != 1 {
+		t.Fatalf("ConnsIngested = %d, want 1", st.ConnsIngested)
+	}
+}
+
+// TestShardedConcurrentIngestAndMaterialize hammers materialization and
+// stats while ingestion is in flight — the merge snapshots shard state
+// under each shard's lock but replays lock-free against live slice
+// headers, and this is the test that puts the race detector on that
+// path. The final drained analysis must still equal batch.
+func TestShardedConcurrentIngestAndMaterialize(t *testing.T) {
+	b := genBuild(99, 1000)
+	batch := core.Run(inputFromBuild(b))
+	in := inputFromBuild(b)
+	in.Raw = nil
+	s := newSharded(t, 4, in, nil)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		feedCertsFirst(t, s, b)
+	}()
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+		default:
+			s.Stats()
+			if i%3 == 0 {
+				if a := s.Analysis(); a == nil {
+					t.Error("nil mid-stream analysis")
+				}
+			}
+			continue
+		}
+		break
+	}
+	s.Drain()
+	if got := s.Analysis(); !reflect.DeepEqual(batch, got) {
+		t.Error("merged analysis differs from batch after concurrent materialization")
+	}
+}
+
+// TestShardedMetricsLabels: per-shard series carry shard="i" labels and
+// the router registers its own deployment-level series.
+func TestShardedMetricsLabels(t *testing.T) {
+	b := genBuild(7, 300)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	reg := metrics.New()
+	s := newSharded(t, 2, in, func(c *Config) { c.Metrics = reg })
+	feedCertsFirst(t, s, b)
+	s.Drain()
+	s.Analysis()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`stream_conns_ingested_total{shard="0"}`,
+		`stream_conns_ingested_total{shard="1"}`,
+		`stream_buffer_occupancy{shard="1"}`,
+		`stream_shards 2`,
+		`stream_merges_total 1`,
+		`stream_cert_fanout_total`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition is missing %q", want)
+		}
+	}
+}

@@ -223,17 +223,24 @@ func parseX509Cols(cols []string) (X509Record, error) {
 // error — the streaming reader's early exit.
 var ErrStop = errors.New("zeek: stop iteration")
 
-// ForEachSSL streams an ssl.log strictly (the first malformed row aborts
-// with an error), invoking fn once per row without materializing the
-// whole log. fn may return ErrStop to end early. Use ForEachSSLWith for
-// permissive, quarantining reads.
-func ForEachSSL(r io.Reader, fn func(*SSLRecord) error) error {
-	return ForEachSSLWith(r, Options{Strict: true}, fn)
+// ForEachSSL streams an ssl.log, invoking fn once per row without
+// materializing the whole log. The default is strict (the first
+// malformed row aborts with an error); pass Permissive and its
+// companions to quarantine bad rows instead. fn may return ErrStop to
+// end early.
+func ForEachSSL(r io.Reader, fn func(*SSLRecord) error, opts ...Opt) error {
+	return forEachSSL(r, resolveOpts(opts), fn)
 }
 
-// ForEachSSLWith streams an ssl.log under explicit malformed-row
-// handling (see Options).
+// ForEachSSLWith streams an ssl.log under an explicit Options struct.
+//
+// Deprecated: use ForEachSSL with Permissive/WithQuarantine/WithMetrics
+// options.
 func ForEachSSLWith(r io.Reader, o Options, fn func(*SSLRecord) error) error {
+	return forEachSSL(r, o, fn)
+}
+
+func forEachSSL(r io.Reader, o Options, fn func(*SSLRecord) error) error {
 	err := readTSV(r, "ssl", len(sslFields), o, func(cols []string) error {
 		rec, err := parseSSLCols(cols)
 		if err != nil {
@@ -247,15 +254,21 @@ func ForEachSSLWith(r io.Reader, o Options, fn func(*SSLRecord) error) error {
 	return err
 }
 
-// ForEachX509 streams an x509.log strictly, row by row. fn may return
-// ErrStop to end early. Use ForEachX509With for permissive reads.
-func ForEachX509(r io.Reader, fn func(*X509Record) error) error {
-	return ForEachX509With(r, Options{Strict: true}, fn)
+// ForEachX509 streams an x509.log, row by row, strict by default like
+// ForEachSSL. fn may return ErrStop to end early.
+func ForEachX509(r io.Reader, fn func(*X509Record) error, opts ...Opt) error {
+	return forEachX509(r, resolveOpts(opts), fn)
 }
 
-// ForEachX509With streams an x509.log under explicit malformed-row
-// handling (see Options).
+// ForEachX509With streams an x509.log under an explicit Options struct.
+//
+// Deprecated: use ForEachX509 with Permissive/WithQuarantine/WithMetrics
+// options.
 func ForEachX509With(r io.Reader, o Options, fn func(*X509Record) error) error {
+	return forEachX509(r, o, fn)
+}
+
+func forEachX509(r io.Reader, o Options, fn func(*X509Record) error) error {
 	err := readTSV(r, "x509", len(x509Fields), o, func(cols []string) error {
 		rec, err := parseX509Cols(cols)
 		if err != nil {
@@ -289,24 +302,31 @@ func ReadX509(r io.Reader) ([]X509Record, error) {
 	return out, err
 }
 
-// LoadDataset reads both logs strictly and joins them.
-func LoadDataset(ssl, x509 io.Reader) (*Dataset, error) {
-	return LoadDatasetWith(ssl, x509, Options{Strict: true})
+// LoadDataset reads both logs and joins them, strict by default. With
+// Permissive, a corrupt row is quarantined and the rest of the dataset
+// still loads.
+func LoadDataset(ssl, x509 io.Reader, opts ...Opt) (*Dataset, error) {
+	return loadDataset(ssl, x509, resolveOpts(opts))
 }
 
-// LoadDatasetWith reads both logs under explicit malformed-row handling
-// and joins them. In permissive mode a corrupt row is quarantined and
-// the rest of the dataset still loads.
+// LoadDatasetWith reads both logs under an explicit Options struct.
+//
+// Deprecated: use LoadDataset with Permissive/WithQuarantine/WithMetrics
+// options.
 func LoadDatasetWith(ssl, x509 io.Reader, o Options) (*Dataset, error) {
+	return loadDataset(ssl, x509, o)
+}
+
+func loadDataset(ssl, x509 io.Reader, o Options) (*Dataset, error) {
 	d := NewDataset()
-	err := ForEachSSLWith(ssl, o, func(rec *SSLRecord) error {
+	err := forEachSSL(ssl, o, func(rec *SSLRecord) error {
 		d.Conns = append(d.Conns, *rec)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	err = ForEachX509With(x509, o, func(rec *X509Record) error {
+	err = forEachX509(x509, o, func(rec *X509Record) error {
 		d.AddCert(rec.Cert)
 		return nil
 	})

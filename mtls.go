@@ -29,9 +29,12 @@ import (
 	"repro/internal/zeek"
 )
 
-// LogOptions selects how OpenLogsWith treats malformed log rows: the
-// zero value skips them silently, Strict fails on the first one, and
+// LogOptions is the struct form of the malformed-row policy: the zero
+// value skips bad rows silently, Strict fails on the first one, and
 // Quarantine/Metrics capture what was skipped (see zeek.Options).
+//
+// Deprecated: pass Strict/Permissive/WithQuarantine/WithMetrics options
+// to OpenLogs instead.
 type LogOptions = zeek.Options
 
 // OpenQuarantine opens (appending) a quarantine file for rejected rows.
@@ -61,18 +64,24 @@ func DefaultConfig() Config { return workload.Default() }
 // Generate synthesizes the campus dataset.
 func Generate(cfg Config) *Build { return workload.Generate(cfg) }
 
-// Analyze runs the paper's full pipeline on a build, using one worker
-// per CPU (see AnalyzeWorkers).
-func Analyze(b *Build) *Analysis { return AnalyzeWorkers(b, 0) }
-
-// AnalyzeWorkers runs the pipeline with explicit concurrency: 0 uses one
-// worker per CPU, 1 runs the exact serial legacy path, n>1 shards
-// preprocessing and fans the analyses out across n workers. The Analysis
-// is identical at every setting.
-func AnalyzeWorkers(b *Build, workers int) *Analysis {
+// Analyze runs the paper's full pipeline on a build. By default it uses
+// one worker per CPU; WithWorkers pins the concurrency explicitly. The
+// Analysis is identical at every worker count.
+func Analyze(b *Build, opts ...AnalyzeOption) *Analysis {
+	var cfg analyzeConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	in := InputFromBuild(b)
-	in.Workers = workers
+	in.Workers = cfg.workers
 	return core.Run(in)
+}
+
+// AnalyzeWorkers runs the pipeline with explicit concurrency.
+//
+// Deprecated: use Analyze(b, WithWorkers(workers)).
+func AnalyzeWorkers(b *Build, workers int) *Analysis {
+	return Analyze(b, WithWorkers(workers))
 }
 
 // InputFromBuild adapts a generated build into the core pipeline's input.
@@ -103,51 +112,100 @@ func Experiments(a *Analysis, scaleNote string) string {
 	return report.ExperimentsMarkdown(a, scaleNote)
 }
 
-// WriteLogs persists a dataset as Zeek-style ssl.log and x509.log files in
-// dir (created if needed).
+// WriteLogs persists a dataset as Zeek-style ssl.log and x509.log files
+// in dir (created if needed). Each log is written to a temp file and
+// renamed into place only once complete, so a crashed or failed run can
+// never leave a truncated log behind for a later strict OpenLogs to
+// reject — the directory holds either the previous pair or the new one.
 func WriteLogs(ds *zeek.Dataset, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	sslF, err := os.Create(filepath.Join(dir, "ssl.log"))
-	if err != nil {
-		return err
-	}
-	defer sslF.Close()
-	sw := zeek.NewSSLWriter(sslF)
-	for i := range ds.Conns {
-		if err := sw.Write(&ds.Conns[i]); err != nil {
-			return fmt.Errorf("mtls: write ssl.log: %w", err)
+	sslTmp := filepath.Join(dir, "ssl.log.tmp")
+	if err := writeLogFile(sslTmp, func(f *os.File) error {
+		sw := zeek.NewSSLWriter(f)
+		for i := range ds.Conns {
+			if err := sw.Write(&ds.Conns[i]); err != nil {
+				return err
+			}
 		}
+		return sw.Flush()
+	}); err != nil {
+		return fmt.Errorf("mtls: write ssl.log: %w", err)
 	}
-	if err := sw.Flush(); err != nil {
+	x509Tmp := filepath.Join(dir, "x509.log.tmp")
+	if err := writeLogFile(x509Tmp, func(f *os.File) error {
+		xw := zeek.NewX509Writer(f)
+		for _, c := range certsSorted(ds) {
+			rec := zeek.X509Record{TS: c.NotBefore, ID: fileIDFor(c), Cert: c}
+			if err := xw.Write(&rec); err != nil {
+				return err
+			}
+		}
+		return xw.Flush()
+	}); err != nil {
+		os.Remove(sslTmp)
+		return fmt.Errorf("mtls: write x509.log: %w", err)
+	}
+	// Both temp files are complete; commit the pair.
+	if err := os.Rename(sslTmp, filepath.Join(dir, "ssl.log")); err != nil {
+		os.Remove(sslTmp)
+		os.Remove(x509Tmp)
 		return err
 	}
+	if err := os.Rename(x509Tmp, filepath.Join(dir, "x509.log")); err != nil {
+		os.Remove(x509Tmp)
+		return err
+	}
+	return nil
+}
 
-	x509F, err := os.Create(filepath.Join(dir, "x509.log"))
+// writeLogFile creates path, runs emit over it, and closes it, removing
+// the file on any failure.
+func writeLogFile(path string, emit func(*os.File) error) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer x509F.Close()
-	xw := zeek.NewX509Writer(x509F)
-	for _, c := range certsSorted(ds) {
-		rec := zeek.X509Record{TS: c.NotBefore, ID: fileIDFor(c), Cert: c}
-		if err := xw.Write(&rec); err != nil {
-			return fmt.Errorf("mtls: write x509.log: %w", err)
-		}
+	if err := emit(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
 	}
-	return xw.Flush()
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
+	return nil
 }
 
 // OpenLogs loads a dataset previously written with WriteLogs. Parsing
-// is strict: the first malformed row aborts with an error describing
-// it. Use OpenLogsWith to quarantine malformed rows instead.
-func OpenLogs(dir string) (*zeek.Dataset, error) {
-	return OpenLogsWith(dir, zeek.Options{Strict: true})
+// is strict by default (the first malformed row aborts with an error
+// describing it); pass Permissive and its companions to quarantine
+// malformed rows instead:
+//
+//	ds, err := mtls.OpenLogs(dir)                                  // strict
+//	ds, err := mtls.OpenLogs(dir, mtls.Permissive(),
+//	    mtls.WithQuarantine(q), mtls.WithMetrics(reg))             // skip + capture
+func OpenLogs(dir string, opts ...LogOption) (*zeek.Dataset, error) {
+	sslF, err := os.Open(filepath.Join(dir, "ssl.log"))
+	if err != nil {
+		return nil, err
+	}
+	defer sslF.Close()
+	x509F, err := os.Open(filepath.Join(dir, "x509.log"))
+	if err != nil {
+		return nil, err
+	}
+	defer x509F.Close()
+	return zeek.LoadDataset(sslF, x509F, opts...)
 }
 
 // OpenLogsWith loads a dataset with an explicit malformed-row policy
-// (see zeek.Options).
+// struct.
+//
+// Deprecated: use OpenLogs with Permissive/WithQuarantine/WithMetrics
+// options.
 func OpenLogsWith(dir string, o zeek.Options) (*zeek.Dataset, error) {
 	sslF, err := os.Open(filepath.Join(dir, "ssl.log"))
 	if err != nil {
