@@ -1,8 +1,9 @@
 // Command zeekcat inspects Zeek-style logs written by mtlsgen: it prints
 // row summaries with optional filters, the grep/less of this repository's
-// log format. Rows stream straight off the TSV parser — nothing is
-// buffered and the scan stops as soon as -n rows have matched, so peeking
-// at the head of a multi-gigabyte log is O(rows printed).
+// log format. Rows stream off the TSV parser in small batches — at most
+// one batch is buffered and the scan stops as soon as -n rows have
+// matched, so peeking at the head of a multi-gigabyte log stays O(rows
+// printed).
 //
 // Usage:
 //
@@ -54,18 +55,20 @@ func main() {
 		defer f.Close()
 		wantIssuer := strings.ToLower(*issuer)
 		printed, scanned := 0, 0
-		err = zeek.ForEachX509(f, func(rec *zeek.X509Record) error {
-			scanned++
-			c := rec.Cert
-			if wantIssuer != "" && !strings.Contains(strings.ToLower(c.IssuerDN()), wantIssuer) {
-				return nil
-			}
-			fmt.Printf("%s serial=%s issuer=%q subject=%q validity=%s..%s\n",
-				c.Fingerprint.Short(), c.SerialHex, c.IssuerDN(), c.SubjectDN(),
-				c.NotBefore.Format("2006-01-02"), c.NotAfter.Format("2006-01-02"))
-			printed++
-			if printed >= *n {
-				return zeek.ErrStop
+		err = zeek.ForEachX509Batch(f, func(recs []zeek.X509Record) error {
+			for i := range recs {
+				scanned++
+				c := recs[i].Cert
+				if wantIssuer != "" && !strings.Contains(strings.ToLower(c.IssuerDN()), wantIssuer) {
+					continue
+				}
+				fmt.Printf("%s serial=%s issuer=%q subject=%q validity=%s..%s\n",
+					c.Fingerprint.Short(), c.SerialHex, c.IssuerDN(), c.SubjectDN(),
+					c.NotBefore.Format("2006-01-02"), c.NotAfter.Format("2006-01-02"))
+				printed++
+				if printed >= *n {
+					return zeek.ErrStop
+				}
 			}
 			return nil
 		}, opts...)
@@ -83,20 +86,23 @@ func main() {
 	defer f.Close()
 	wantSNI := strings.ToLower(*sni)
 	printed, scanned := 0, 0
-	err = zeek.ForEachSSL(f, func(c *zeek.SSLRecord) error {
-		scanned++
-		if *mutualOnly && !c.IsMutual() {
-			return nil
-		}
-		if wantSNI != "" && !strings.Contains(strings.ToLower(c.SNI), wantSNI) {
-			return nil
-		}
-		fmt.Printf("%s %s %s:%d -> %s:%d %s sni=%q mutual=%v est=%v w=%d\n",
-			c.TS.Format("2006-01-02"), c.UID, c.OrigIP, c.OrigPort, c.RespIP, c.RespPort,
-			c.Version, c.SNI, c.IsMutual(), c.Established, c.Weight)
-		printed++
-		if printed >= *n {
-			return zeek.ErrStop
+	err = zeek.ForEachSSLBatch(f, func(recs []zeek.SSLRecord) error {
+		for i := range recs {
+			c := &recs[i]
+			scanned++
+			if *mutualOnly && !c.IsMutual() {
+				continue
+			}
+			if wantSNI != "" && !strings.Contains(strings.ToLower(c.SNI), wantSNI) {
+				continue
+			}
+			fmt.Printf("%s %s %s:%d -> %s:%d %s sni=%q mutual=%v est=%v w=%d\n",
+				c.TS.Format("2006-01-02"), c.UID, c.OrigIP, c.OrigPort, c.RespIP, c.RespPort,
+				c.Version, c.SNI, c.IsMutual(), c.Established, c.Weight)
+			printed++
+			if printed >= *n {
+				return zeek.ErrStop
+			}
 		}
 		return nil
 	}, opts...)

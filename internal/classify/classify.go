@@ -8,6 +8,7 @@ package classify
 
 import (
 	"strings"
+	"sync"
 
 	"repro/internal/certmodel"
 	"repro/internal/ids"
@@ -80,16 +81,39 @@ func IsDummyIssuer(org string) bool {
 	if n == "" {
 		return false
 	}
-	for _, d := range DummyIssuers {
-		dn := norm(d)
-		if n == dn {
+	var nv nerlite.Vector
+	haveNV := false
+	for _, d := range dummyLexicon() {
+		if n == d.norm {
 			return true
 		}
-		if nerlite.CosineSimilarity(n, dn) >= 0.95 {
+		if !haveNV {
+			nv = nerlite.NewVector(n)
+			haveNV = true
+		}
+		if nerlite.Cosine(nv, d.vec) >= 0.95 {
 			return true
 		}
 	}
 	return false
+}
+
+// dummyLexicon caches the normalized DummyIssuers entries and their
+// bigram vectors: the lexicon is fixed, so re-deriving both per
+// IsDummyIssuer call only burned allocations on the per-certificate
+// classification path.
+var dummyLexicon = sync.OnceValue(func() []dummyEntry {
+	out := make([]dummyEntry, 0, len(DummyIssuers))
+	for _, d := range DummyIssuers {
+		dn := norm(d)
+		out = append(out, dummyEntry{norm: dn, vec: nerlite.NewVector(dn)})
+	}
+	return out
+})
+
+type dummyEntry struct {
+	norm string
+	vec  nerlite.Vector
 }
 
 // educationMarkers / governmentMarkers / hostingMarkers drive the fuzzy
@@ -132,7 +156,7 @@ func (c *Classifier) Category(leaf *certmodel.CertInfo, chain []ids.Fingerprint)
 // on the presented chain and stays per-certificate. A nil memo is valid
 // and uncached.
 func (c *Classifier) CategoryWith(m *Memo, leaf *certmodel.CertInfo, chain []ids.Fingerprint) Category {
-	if c.Bundle.ClassifyLeaf(leaf, chain) == truststore.Public {
+	if m.classifyLeaf(c.Bundle, leaf, chain) == truststore.Public {
 		return Public
 	}
 	if leaf.MissingIssuer() {
@@ -151,6 +175,22 @@ func (c *Classifier) CategoryWith(m *Memo, leaf *certmodel.CertInfo, chain []ids
 type Memo struct {
 	cats  map[string]Category
 	dummy map[string]bool
+	// issuers memoizes the trust-store issuer membership half of the
+	// public check, lazily bound to the first bundle seen (each memo
+	// serves exactly one Classifier).
+	issuers *truststore.IssuerMemo
+}
+
+// classifyLeaf is Bundle.ClassifyLeaf with the leaf-issuer membership
+// checks memoized; a nil memo falls through uncached.
+func (m *Memo) classifyLeaf(b *truststore.Bundle, leaf *certmodel.CertInfo, chain []ids.Fingerprint) truststore.Class {
+	if m == nil {
+		return b.ClassifyLeaf(leaf, chain)
+	}
+	if m.issuers == nil {
+		m.issuers = b.NewIssuerMemo()
+	}
+	return m.issuers.ClassifyLeaf(leaf, chain)
 }
 
 // NewMemo creates an empty memo.

@@ -57,6 +57,24 @@ func (b *Builder) AddConn(rec *ConnRecord) {
 // Conns reports how many connections have been added.
 func (b *Builder) Conns() int { return len(b.e.conns) }
 
+// GrowConns reserves capacity for n further AddConn calls, at least
+// doubling the view slice when it must reallocate. Batch callers invoke
+// it once per batch so the per-record appends never resize mid-batch;
+// the default append growth on the multi-megabyte view slice otherwise
+// dominates the ingest path's allocated bytes.
+func (b *Builder) GrowConns(n int) {
+	if cap(b.e.conns)-len(b.e.conns) >= n {
+		return
+	}
+	c := 2 * cap(b.e.conns)
+	if c < len(b.e.conns)+n {
+		c = len(b.e.conns) + n
+	}
+	ns := make([]connView, len(b.e.conns), c)
+	copy(ns, b.e.conns)
+	b.e.conns = ns
+}
+
 // Pipeline materializes the current state as an analysis pipeline. pre
 // carries the §3.2 preprocessing statistics the caller tracked (the
 // streaming engine runs interception filtering itself); its TLS 1.3

@@ -155,8 +155,47 @@ type certUsage struct {
 	firstSeen, lastSeen time.Time
 
 	// Subnet spread for Table 6: /24s of the endpoint that presented it.
-	serverSubnets map[ids.SubnetKey]struct{}
-	clientSubnets map[ids.SubnetKey]struct{}
+	serverSubnets subnetSet
+	clientSubnets subnetSet
+}
+
+// subnetSet is an allocation-lean set of subnet keys. Most certificates
+// are presented from a single subnet, so the first key lives inline and
+// the overflow map is allocated only on the second distinct key — two
+// map headers per certUsage were a quarter of the ingest path's
+// allocated objects.
+type subnetSet struct {
+	first ids.SubnetKey
+	n     int
+	rest  map[ids.SubnetKey]struct{}
+}
+
+func (s *subnetSet) add(k ids.SubnetKey) {
+	switch {
+	case s.n == 0:
+		s.first, s.n = k, 1
+	case k == s.first:
+	default:
+		if s.rest == nil {
+			s.rest = make(map[ids.SubnetKey]struct{}, 2)
+		}
+		if _, ok := s.rest[k]; !ok {
+			s.rest[k] = struct{}{}
+			s.n++
+		}
+	}
+}
+
+func (s *subnetSet) len() int { return s.n }
+
+func (s *subnetSet) addAll(o *subnetSet) {
+	if o.n == 0 {
+		return
+	}
+	s.add(o.first)
+	for k := range o.rest {
+		s.add(k)
+	}
 }
 
 // durationDays is the paper's "duration of activity" (§5).
@@ -192,12 +231,8 @@ func (u *certUsage) merge(o *certUsage) {
 	if o.lastSeen.After(u.lastSeen) {
 		u.lastSeen = o.lastSeen
 	}
-	for k := range o.serverSubnets {
-		u.serverSubnets[k] = struct{}{}
-	}
-	for k := range o.clientSubnets {
-		u.clientSubnets[k] = struct{}{}
-	}
+	u.serverSubnets.addAll(&o.serverSubnets)
+	u.clientSubnets.addAll(&o.clientSubnets)
 }
 
 // enriched is the pipeline's working state after preprocessing.
@@ -276,10 +311,14 @@ func (e *enriched) finishWeights(tls13W, totalW int64) {
 // classifications repeat heavily, so each worker memoizes them without
 // any synchronization). The serial path uses a single enricher.
 type enricher struct {
-	e              *enriched
-	assoc          *assocIndex
-	split          *psl.SplitCache // nil when Input.NoCache
-	memo           *classify.Memo  // nil when Input.NoCache
+	e       *enriched
+	assoc   *assocIndex
+	split   *psl.SplitCache        // nil when Input.NoCache
+	memo    *classify.Memo         // nil when Input.NoCache
+	issuers *truststore.IssuerMemo // nil when Input.NoCache
+	// subnets memoizes ids.SubnetOfString: addresses repeat across
+	// connections and the netip round trip allocates. nil when NoCache.
+	subnets        map[string]ids.SubnetKey
 	usage          map[ids.Fingerprint]*certUsage
 	tls13W, totalW int64
 }
@@ -289,8 +328,24 @@ func (e *enriched) newEnricher(ix *assocIndex) *enricher {
 	if !e.input.NoCache {
 		w.split = psl.NewSplitCache(e.psl)
 		w.memo = classify.NewMemo()
+		w.issuers = e.input.Bundle.NewIssuerMemo()
+		w.subnets = make(map[string]ids.SubnetKey, 1024)
 	}
 	return w
+}
+
+// subnetOf is the memoized ids.SubnetOfString — a pure function of the
+// address string, so caching never changes results.
+func (w *enricher) subnetOf(ip string) ids.SubnetKey {
+	if w.subnets == nil {
+		return ids.SubnetOfString(ip)
+	}
+	if k, ok := w.subnets[ip]; ok {
+		return k
+	}
+	k := ids.SubnetOfString(ip)
+	w.subnets[ip] = k
+	return k
 }
 
 func (w *enricher) splitHost(host string) psl.Result {
@@ -360,7 +415,7 @@ func (w *enricher) observeConn(cv *connView) {
 			u.mutualServer = true
 		}
 		u.observe(rec.TS)
-		u.serverSubnets[ids.SubnetOfString(rec.RespIP)] = struct{}{}
+		u.serverSubnets.add(w.subnetOf(rec.RespIP))
 	}
 	if cv.clientCert != nil {
 		u := w.usageOf(cv.clientCert, rec.ClientChain)
@@ -369,40 +424,42 @@ func (w *enricher) observeConn(cv *connView) {
 			u.mutualClient = true
 		}
 		u.observe(rec.TS)
-		u.clientSubnets[ids.SubnetOfString(rec.OrigIP)] = struct{}{}
+		u.clientSubnets.add(w.subnetOf(rec.OrigIP))
 	}
 	if cv.mutual && rec.ServerLeaf() == rec.ClientLeaf() && cv.serverCert != nil {
 		w.usageOf(cv.serverCert, rec.ServerChain).sharedSameConn = true
 	}
 }
 
-// usageOf returns (creating if needed) the shard-local usage entry. The
-// subnet sets are initialized at creation so the per-connection hot loop
-// stays branch-free.
+// usageOf returns (creating if needed) the shard-local usage entry.
 func (w *enricher) usageOf(c *certmodel.CertInfo, chain []ids.Fingerprint) *certUsage {
 	if u, ok := w.usage[c.Fingerprint]; ok {
 		return u
 	}
-	u := newCertUsage(w.e, w.memo, c, chain)
+	u := newCertUsage(w.e, w.memo, w.issuers, c, chain)
 	w.usage[c.Fingerprint] = u
 	return u
 }
 
-// newCertUsage classifies a certificate the first time it is observed. A
-// nil memo skips the issuer-string caching (NoCache mode) but computes
-// the same values.
-func newCertUsage(e *enriched, memo *classify.Memo, c *certmodel.CertInfo, chain []ids.Fingerprint) *certUsage {
+// newCertUsage classifies a certificate the first time it is observed.
+// Nil memos skip the issuer-string caching (NoCache mode, and the
+// concurrent analysis-path fallback) but compute the same values.
+func newCertUsage(e *enriched, memo *classify.Memo, issuers *truststore.IssuerMemo, c *certmodel.CertInfo, chain []ids.Fingerprint) *certUsage {
 	var rest []ids.Fingerprint
 	if len(chain) > 1 {
 		rest = chain[1:]
 	}
+	var class truststore.Class
+	if issuers != nil {
+		class = issuers.ClassifyLeaf(c, rest)
+	} else {
+		class = e.input.Bundle.ClassifyLeaf(c, rest)
+	}
 	return &certUsage{
-		cert:          c,
-		class:         e.input.Bundle.ClassifyLeaf(c, rest),
-		category:      e.cls.CategoryWith(memo, c, rest),
-		dummyIssuer:   memo.IsDummyIssuer(c.IssuerOrg),
-		serverSubnets: make(map[ids.SubnetKey]struct{}),
-		clientSubnets: make(map[ids.SubnetKey]struct{}),
+		cert:        c,
+		class:       class,
+		category:    e.cls.CategoryWith(memo, c, rest),
+		dummyIssuer: memo.IsDummyIssuer(c.IssuerOrg),
 	}
 }
 
@@ -415,7 +472,7 @@ func (e *enriched) usageOf(c *certmodel.CertInfo, chain []ids.Fingerprint) *cert
 	if u, ok := e.usage[c.Fingerprint]; ok {
 		return u
 	}
-	return newCertUsage(e, nil, c, chain)
+	return newCertUsage(e, nil, nil, c, chain)
 }
 
 // monthIndex maps a timestamp to its study-month offset.

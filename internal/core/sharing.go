@@ -141,8 +141,8 @@ func (e *enriched) sharingCross() *SharingCrossReport {
 			continue
 		}
 		count++
-		srvSpread = append(srvSpread, int64(len(u.serverSubnets)))
-		cliSpread = append(cliSpread, int64(len(u.clientSubnets)))
+		srvSpread = append(srvSpread, int64(u.serverSubnets.len()))
+		cliSpread = append(cliSpread, int64(u.clientSubnets.len()))
 		issuers.Add(issuerLabel(u), 1)
 	}
 	rep := &SharingCrossReport{Certs: count, IssuerShares: issuers.Top(6)}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/certmodel"
 	"repro/internal/ids"
+	"repro/internal/psl"
 	"repro/internal/truststore"
 	"repro/internal/zeek"
 )
@@ -33,6 +34,8 @@ type Stream struct {
 	d     *Detector
 	min   int
 	certs CertSource
+	memo  *truststore.IssuerMemo
+	sld   *psl.SplitCache
 
 	// observed: issuer -> server-leaf fingerprints presented under it.
 	observed map[string]map[ids.Fingerprint]bool
@@ -67,6 +70,8 @@ func (d *Detector) NewStream(certs CertSource) *Stream {
 		d:            d,
 		min:          min,
 		certs:        certs,
+		memo:         d.Bundle.NewIssuerMemo(),
+		sld:          psl.NewSplitCache(d.PSL),
 		observed:     map[string]map[ids.Fingerprint]bool{},
 		contradicted: map[string]map[string]bool{},
 		pending:      map[ids.Fingerprint][]PendingRef{},
@@ -107,8 +112,10 @@ func (s *Stream) ObserveCert(c *certmodel.CertInfo) {
 
 // observe is the per-connection body of Detector.Run.
 func (s *Stream) observe(leaf *certmodel.CertInfo, ref PendingRef) {
-	// Step 1: only untrusted server issuers are candidates.
-	if s.d.Bundle.ClassifyLeaf(leaf, ref.Rest) == truststore.Public {
+	// Step 1: only untrusted server issuers are candidates. The issuer
+	// membership half of the verdict is memoized per stream — verdicts
+	// are identical to Bundle.ClassifyLeaf.
+	if s.memo.ClassifyLeaf(leaf, ref.Rest) == truststore.Public {
 		return
 	}
 	issuer := leaf.IssuerKey()
@@ -126,9 +133,9 @@ func (s *Stream) observe(leaf *certmodel.CertInfo, ref PendingRef) {
 	}
 
 	// Step 2: CT comparison on the connection's domain.
-	domain := s.d.PSL.SLD(ref.SNI)
+	domain := s.sld.SLD(ref.SNI)
 	if domain == "" && len(leaf.SANDNS) > 0 {
-		domain = s.d.PSL.SLD(leaf.SANDNS[0])
+		domain = s.sld.SLD(leaf.SANDNS[0])
 	}
 	if domain == "" || !s.d.CT.Known(domain) {
 		return

@@ -11,6 +11,7 @@ package nerlite
 
 import (
 	"math"
+	"slices"
 	"strings"
 )
 
@@ -87,8 +88,8 @@ func isProduct(norm string) bool {
 
 // knownOrgVectors caches the company dataset's bigram vectors; computing
 // them per Recognize call dominated classification cost.
-var knownOrgVectors = func() []map[string]float64 {
-	vs := make([]map[string]float64, len(knownOrgs))
+var knownOrgVectors = func() []Vector {
+	vs := make([]Vector, len(knownOrgs))
 	for i, org := range knownOrgs {
 		vs[i] = bigramVector(org)
 	}
@@ -122,37 +123,75 @@ func CosineSimilarity(a, b string) float64 {
 	return cosineVectors(bigramVector(normalize(a)), bigramVector(normalize(b)))
 }
 
-func cosineVectors(va, vb map[string]float64) float64 {
-	if len(va) == 0 || len(vb) == 0 {
-		return 0
-	}
-	var dot, na, nb float64
-	for g, ca := range va {
-		na += ca * ca
-		if cb, ok := vb[g]; ok {
-			dot += ca * cb
-		}
-	}
-	for _, cb := range vb {
-		nb += cb * cb
-	}
-	if na == 0 || nb == 0 {
-		return 0
-	}
-	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+// Vector is a precomputed character-bigram frequency vector, for callers
+// that compare many strings against a fixed lexicon: build each side once
+// with NewVector and compare with Cosine, instead of re-deriving both
+// vectors per CosineSimilarity call. The representation is a sorted
+// run-length encoding (gram code, count) with the L2 norm precomputed,
+// so a cosine is one linear merge — no map iteration on the hot path.
+type Vector struct {
+	grams  []uint32
+	counts []float64
+	norm   float64
 }
 
-func bigramVector(s string) map[string]float64 {
-	v := map[string]float64{}
-	if len(s) < 2 {
-		if s != "" {
-			v[s] = 1
+// NewVector builds the bigram vector CosineSimilarity would use for s.
+func NewVector(s string) Vector { return bigramVector(normalize(s)) }
+
+// Cosine is CosineSimilarity over precomputed vectors.
+func Cosine(a, b Vector) float64 { return cosineVectors(a, b) }
+
+func cosineVectors(va, vb Vector) float64 {
+	if va.norm == 0 || vb.norm == 0 {
+		return 0
+	}
+	var dot float64
+	i, j := 0, 0
+	for i < len(va.grams) && j < len(vb.grams) {
+		switch {
+		case va.grams[i] == vb.grams[j]:
+			dot += va.counts[i] * vb.counts[j]
+			i++
+			j++
+		case va.grams[i] < vb.grams[j]:
+			i++
+		default:
+			j++
 		}
-		return v
 	}
+	return dot / (va.norm * vb.norm)
+}
+
+// bigramVector encodes each byte bigram of s as a uint32 code; a
+// single-byte string contributes one distinct out-of-band code (the old
+// map form keyed "a" and "ab" differently, so 1-byte codes must never
+// collide with 2-byte ones).
+func bigramVector(s string) Vector {
+	if s == "" {
+		return Vector{}
+	}
+	if len(s) < 2 {
+		return Vector{grams: []uint32{1<<16 | uint32(s[0])}, counts: []float64{1}, norm: 1}
+	}
+	codes := make([]uint32, len(s)-1)
 	for i := 0; i+2 <= len(s); i++ {
-		v[s[i:i+2]]++
+		codes[i] = uint32(s[i])<<8 | uint32(s[i+1])
 	}
+	slices.Sort(codes)
+	v := Vector{grams: codes[:0:len(codes)], counts: make([]float64, 0, len(codes))}
+	for i := 0; i < len(codes); {
+		j := i
+		for j < len(codes) && codes[j] == codes[i] {
+			j++
+		}
+		c := float64(j - i)
+		code := codes[i]
+		v.grams = append(v.grams, code)
+		v.counts = append(v.counts, c)
+		v.norm += c * c
+		i = j
+	}
+	v.norm = math.Sqrt(v.norm)
 	return v
 }
 

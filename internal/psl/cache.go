@@ -9,11 +9,16 @@ package psl
 type SplitCache struct {
 	list *List
 	m    map[string]Result
+	sld  map[string]string
 }
 
 // NewSplitCache creates an empty cache over l.
 func NewSplitCache(l *List) *SplitCache {
-	return &SplitCache{list: l, m: make(map[string]Result, 1024)}
+	return &SplitCache{
+		list: l,
+		m:    make(map[string]Result, 1024),
+		sld:  make(map[string]string, 1024),
+	}
 }
 
 // Split is List.Split memoized on the raw (pre-normalization) host
@@ -27,8 +32,17 @@ func (c *SplitCache) Split(host string) Result {
 	return r
 }
 
-// SLD mirrors List.SLD.
-func (c *SplitCache) SLD(host string) string { return c.Split(host).Registrable() }
+// SLD mirrors List.SLD. The registrable-domain string itself is
+// memoized too: Result.Registrable concatenates on every call, and SLD
+// is on the per-connection hot path.
+func (c *SplitCache) SLD(host string) string {
+	if s, ok := c.sld[host]; ok {
+		return s
+	}
+	s := c.Split(host).Registrable()
+	c.sld[host] = s
+	return s
+}
 
 // TLD mirrors List.TLD.
 func (c *SplitCache) TLD(host string) string { return c.Split(host).TLD() }

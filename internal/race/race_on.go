@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race exposes whether the race detector is compiled into the
+// binary, so allocation-count gates can skip themselves: the detector's
+// shadow-memory bookkeeping changes what the runtime allocates, and
+// alloc gates under -race would pin detector internals, not ours.
+package race
+
+// Enabled reports whether the race detector is compiled in.
+const Enabled = true

@@ -1,0 +1,53 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/race"
+)
+
+// TestIngestBatchAllocGate pins the steady-state allocation budget of
+// batched ingest, end to end: the caller-side copy into a pooled batch,
+// the channel hop, and the apply loop folding events into engine state
+// (AllocsPerRun counts process-wide, so the apply goroutine's work is
+// included). Measured per event over 512-event batches on a warm engine
+// — slice growth, usage maps, and the enrichment memos are all
+// populated, which is how a long-lived daemon spends almost all of its
+// time. The seed's per-event path spent >10 allocations per event here;
+// the gate holds batched ingest an order of magnitude below that so a
+// regression (a dropped pool, a per-event box) cannot hide.
+func TestIngestBatchAllocGate(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts include race-detector bookkeeping under -race")
+	}
+
+	b := genBuild(20240504, 1200)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	e := newEngine(t, in, nil)
+
+	certs := certRecords(b)
+	if got := e.IngestCertBatch(certs); got != len(certs) {
+		t.Fatalf("cert warmup accepted %d of %d", got, len(certs))
+	}
+	if got := e.IngestConnBatch(b.Raw.Conns); got != len(b.Raw.Conns) {
+		t.Fatalf("conn warmup accepted %d of %d", got, len(b.Raw.Conns))
+	}
+	e.Drain()
+
+	const batchSize = 512
+	if len(b.Raw.Conns) < batchSize {
+		t.Fatalf("workload too small: %d conns", len(b.Raw.Conns))
+	}
+	batch := b.Raw.Conns[:batchSize]
+	perBatch := testing.AllocsPerRun(50, func() {
+		if got := e.IngestConnBatch(batch); got != batchSize {
+			t.Fatalf("batch accepted %d of %d", got, batchSize)
+		}
+		e.Drain()
+	})
+	if perEvent := perBatch / batchSize; perEvent > 1.5 {
+		t.Errorf("batched ingest: %.2f allocs/event steady-state (%.0f per 512-batch), want <= 1.5",
+			perEvent, perBatch)
+	}
+}

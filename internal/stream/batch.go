@@ -1,0 +1,329 @@
+package stream
+
+import (
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// batch is a pooled group of events traveling the ingest channel as one
+// entry: certificates first, then connections, applied in that order (a
+// connection routed behind its forwarded leaf certificate must resolve
+// the chain exactly as it would have on the per-event path).
+//
+// Ownership: IngestConnBatch/IngestCertBatch copy the caller's records
+// into a pooled batch, so the caller may reuse its slice (and the
+// records' backing storage it owns) immediately. The apply loop copies
+// connection records into the engine's retained window and recycles the
+// batch — the engine copies-on-retain, never aliasing pooled memory.
+// Certificate pointers are shared, not copied: the roster retains the
+// *certmodel.CertInfo itself, exactly as the per-event path does.
+type batch struct {
+	certs []*certmodel.CertInfo
+	conns []core.ConnRecord
+	// seqs aligns with conns (global ingest sequences) when the engine
+	// tracks them for the sharded merge; nil otherwise.
+	seqs []uint64
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batch) }}
+
+func newBatch() *batch { return batchPool.Get().(*batch) }
+
+// recycle clears the batch (dropping references so pooled memory cannot
+// pin records or certificates) and returns it to the pool.
+func (b *batch) recycle() {
+	clear(b.certs)
+	clear(b.conns)
+	b.certs = b.certs[:0]
+	b.conns = b.conns[:0]
+	b.seqs = b.seqs[:0]
+	batchPool.Put(b)
+}
+
+// IngestConnBatch feeds a slice of connection events in one channel
+// operation, amortizing the per-event channel hop and allocation of
+// IngestConn. Records are copied; the caller may reuse recs and its
+// elements. Invalid records (weight below 1) are rejected individually
+// and counted in Stats.Rejected. Returns how many events were accepted —
+// 0 when the engine is closed or a full buffer shed the whole batch
+// under Policy Drop (batches are shed atomically, counted per event in
+// Stats.Dropped).
+func (e *Engine) IngestConnBatch(recs []core.ConnRecord) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	b := newBatch()
+	b.conns = slices.Grow(b.conns, len(recs))
+	for i := range recs {
+		if recs[i].Weight < 1 {
+			e.rejected.Add(1)
+			e.m.rejected.Inc()
+			continue
+		}
+		b.conns = append(b.conns, recs[i])
+	}
+	n := len(b.conns)
+	if n == 0 {
+		b.recycle()
+		return 0
+	}
+	if !e.sendBatch(b) {
+		b.recycle()
+		return 0
+	}
+	return n
+}
+
+// IngestCertBatch feeds a slice of certificate events in one channel
+// operation. Validation matches IngestCert (nil certificates and empty
+// fingerprints are rejected individually); accepted certificates are
+// shared with the engine's roster by pointer, exactly as IngestCert
+// shares them. Returns how many events were accepted.
+func (e *Engine) IngestCertBatch(recs []core.CertRecord) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	b := newBatch()
+	b.certs = slices.Grow(b.certs, len(recs))
+	for i := range recs {
+		if recs[i].Cert == nil || recs[i].Cert.Fingerprint == "" {
+			e.rejected.Add(1)
+			e.m.rejected.Inc()
+			continue
+		}
+		b.certs = append(b.certs, recs[i].Cert)
+	}
+	n := len(b.certs)
+	if n == 0 {
+		b.recycle()
+		return 0
+	}
+	if !e.sendBatch(b) {
+		b.recycle()
+		return 0
+	}
+	return n
+}
+
+// sendBatch delivers b as one channel operation. Under Policy Drop a
+// full buffer sheds the whole batch, counting every carried event in
+// Stats.Dropped. Returns false (without recycling b — the caller may
+// still need its contents to undo routing state) when the batch was
+// shed or the engine is closed.
+func (e *Engine) sendBatch(b *batch) bool {
+	e.sendMu.RLock()
+	defer e.sendMu.RUnlock()
+	if e.closed {
+		return false
+	}
+	ev := event{batch: b, enq: time.Now()}
+	if e.cfg.Policy == Block {
+		e.ch <- ev
+		return true
+	}
+	select {
+	case e.ch <- ev:
+		return true
+	default:
+		n := uint64(len(b.certs) + len(b.conns))
+		e.dropped.Add(n)
+		e.m.dropped.Add(n)
+		return false
+	}
+}
+
+// applyBatchLocked applies one pooled batch — certificates first, then
+// connections — growing the retained window once, and recycles it.
+func (e *Engine) applyBatchLocked(b *batch) {
+	for _, c := range b.certs {
+		e.applyCertLocked(c)
+	}
+	if len(b.conns) > 0 {
+		// The retained window is multi-megabyte at steady state; append's
+		// 1.25× growth regime there costs ~4× the final size in copy churn
+		// (half the benchmark's allocated bytes before this). Double instead.
+		e.conns = grown(e.conns, len(b.conns))
+		if e.cfg.trackSeqs {
+			e.seqs = grown(e.seqs, len(b.conns))
+		}
+		e.b.GrowConns(len(b.conns))
+		for i := range b.conns {
+			var seq uint64
+			if len(b.seqs) == len(b.conns) {
+				seq = b.seqs[i]
+			}
+			e.applyConnLocked(&b.conns[i], seq)
+		}
+	}
+	b.recycle()
+}
+
+// grown ensures room for n more elements, at least doubling the backing
+// array when it must reallocate (append's sub-doubling growth for large
+// slices is too slow for the retained window).
+func grown[T any](s []T, n int) []T {
+	if cap(s)-len(s) >= n {
+		return s
+	}
+	c := 2 * cap(s)
+	if c < len(s)+n {
+		c = len(s) + n
+	}
+	ns := make([]T, len(s), c)
+	copy(ns, s)
+	return ns
+}
+
+// IngestConnBatch partitions the batch by home shard under one router
+// lock acquisition and delivers each shard's slice (any forwarded leaf
+// certificates first, then its connections, in arrival order) over one
+// channel operation — the per-event router pays a lock and a channel hop
+// per record, which is exactly the overhead that made shards>1 slower
+// than shards=1 on one core. Semantics per record match IngestConn.
+// Returns how many events were accepted.
+func (s *Sharded) IngestConnBatch(recs []core.ConnRecord) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	if s.single != nil {
+		return s.single.IngestConnBatch(recs)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.scratch == nil {
+		s.scratch = make([]*batch, len(s.shards))
+	}
+	for i := range recs {
+		rec := &recs[i]
+		if rec.Weight < 1 {
+			s.rejected.Add(1)
+			s.m.rejected.Inc()
+			continue
+		}
+		h := s.home(string(rec.UID))
+		bit := uint64(1) << h
+		b := s.scratch[h]
+		if b == nil {
+			b = newBatch()
+			s.scratch[h] = b
+		}
+		for _, fp := range [2]ids.Fingerprint{rec.ServerLeaf(), rec.ClientLeaf()} {
+			if fp == "" {
+				continue
+			}
+			ent := s.rv[fp]
+			if ent == nil {
+				ent = &rendezvous{}
+				s.rv[fp] = ent
+			}
+			if ent.cert == nil {
+				ent.waiting |= bit
+				continue
+			}
+			if ent.delivered&bit == 0 {
+				// Delivery is marked optimistically; flushShardLocked
+				// unmarks it if the shard sheds the batch.
+				b.certs = append(b.certs, ent.cert)
+				ent.delivered |= bit
+			}
+		}
+		seq := s.nextSeq
+		s.nextSeq++
+		b.conns = append(b.conns, *rec)
+		b.seqs = append(b.seqs, seq)
+	}
+	return s.flushScratchLocked()
+}
+
+// IngestCertBatch routes a batch of certificates through the rendezvous
+// under one router lock acquisition, delivering per-shard certificate
+// slices over one channel operation each. Semantics per record match
+// IngestCert. Returns how many records were admitted into the
+// rendezvous (shed deliveries are retried by later references, as on
+// the per-event path).
+func (s *Sharded) IngestCertBatch(recs []core.CertRecord) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	if s.single != nil {
+		return s.single.IngestCertBatch(recs)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.scratch == nil {
+		s.scratch = make([]*batch, len(s.shards))
+	}
+	admitted := 0
+	for i := range recs {
+		rec := &recs[i]
+		if rec.Cert == nil || rec.Cert.Fingerprint == "" {
+			s.rejected.Add(1)
+			s.m.rejected.Inc()
+			continue
+		}
+		s.certsRouted++
+		admitted++
+		fp := rec.Cert.Fingerprint
+		ent := s.rv[fp]
+		if ent == nil {
+			ent = &rendezvous{}
+			s.rv[fp] = ent
+		}
+		if ent.cert == nil {
+			ent.cert = rec.Cert
+			s.uniqueCerts++
+			ent.waiting |= uint64(1) << s.home(string(fp))
+		}
+		for sh := range s.shards {
+			bit := uint64(1) << sh
+			if ent.waiting&bit == 0 || ent.delivered&bit != 0 {
+				continue
+			}
+			b := s.scratch[sh]
+			if b == nil {
+				b = newBatch()
+				s.scratch[sh] = b
+			}
+			b.certs = append(b.certs, ent.cert)
+			ent.delivered |= bit
+		}
+	}
+	s.flushScratchLocked()
+	return admitted
+}
+
+// flushScratchLocked sends every accumulated per-shard batch and resets
+// the scratch table. A shard that sheds its batch (Policy Drop, full
+// buffer) gets its optimistic rendezvous delivery marks rolled back so a
+// later reference re-forwards the certificates. Returns the number of
+// connection events accepted across shards.
+func (s *Sharded) flushScratchLocked() int {
+	accepted := 0
+	for h, b := range s.scratch {
+		if b == nil {
+			continue
+		}
+		s.scratch[h] = nil
+		// Counts are captured before the send: on success the apply loop
+		// owns (and recycles) the batch.
+		nConns, nCerts := len(b.conns), len(b.certs)
+		if s.shards[h].sendBatch(b) {
+			accepted += nConns
+			s.m.fanout.Add(uint64(nCerts))
+			continue
+		}
+		bit := uint64(1) << h
+		for _, c := range b.certs {
+			if ent := s.rv[c.Fingerprint]; ent != nil {
+				ent.delivered &^= bit
+			}
+		}
+		b.recycle()
+	}
+	return accepted
+}

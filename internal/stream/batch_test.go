@@ -1,0 +1,262 @@
+package stream
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/certmodel"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// batchIngester is the batched ingest surface shared by Engine and
+// Sharded, so the batch equivalence tests drive both through one path.
+type batchIngester interface {
+	ingester
+	IngestConnBatch([]core.ConnRecord) int
+	IngestCertBatch([]core.CertRecord) int
+}
+
+// certRecords flattens a build's certificate roster into ingest records
+// in a deterministic (fingerprint-sorted) order, so batch boundaries
+// land on the same records across runs.
+func certRecords(b *workload.Build) []core.CertRecord {
+	certs := make([]*certmodel.CertInfo, 0, len(b.Raw.Certs))
+	for _, c := range b.Raw.Certs {
+		certs = append(certs, c)
+	}
+	sort.Slice(certs, func(i, j int) bool { return certs[i].Fingerprint < certs[j].Fingerprint })
+	out := make([]core.CertRecord, len(certs))
+	for i, c := range certs {
+		out[i] = core.CertRecord{TS: c.NotBefore, Cert: c}
+	}
+	return out
+}
+
+// feedBatches pushes certificates then connections through the batched
+// ingest in runs of size, the order a well-ordered log replay produces.
+func feedBatches(t *testing.T, g batchIngester, certs []core.CertRecord, conns []core.ConnRecord, size int) {
+	t.Helper()
+	for lo := 0; lo < len(certs); lo += size {
+		hi := min(lo+size, len(certs))
+		if got := g.IngestCertBatch(certs[lo:hi]); got != hi-lo {
+			t.Fatalf("IngestCertBatch accepted %d of %d", got, hi-lo)
+		}
+	}
+	for lo := 0; lo < len(conns); lo += size {
+		hi := min(lo+size, len(conns))
+		if got := g.IngestConnBatch(conns[lo:hi]); got != hi-lo {
+			t.Fatalf("IngestConnBatch accepted %d of %d", got, hi-lo)
+		}
+	}
+}
+
+// TestBatchIngestMatchesSingle is the batched-ingest contract on the
+// plain engine: at every batch granularity, draining the same events
+// through IngestConnBatch/IngestCertBatch yields an Analysis deeply
+// equal to per-event ingest and to the batch pipeline.
+func TestBatchIngestMatchesSingle(t *testing.T) {
+	b := genBuild(20240504, 1200)
+	batch := core.Run(inputFromBuild(b))
+
+	in := inputFromBuild(b)
+	in.Raw = nil
+	single := newEngine(t, in, nil)
+	feed(t, single, b)
+	single.Drain()
+	want := single.Analysis()
+	if !reflect.DeepEqual(batch, want) {
+		t.Fatal("single-engine analysis differs from batch (prerequisite broken)")
+	}
+
+	certs := certRecords(b)
+	for _, size := range []int{1, 3, 64, 512, 1 << 20} {
+		e := newEngine(t, in, nil)
+		feedBatches(t, e, certs, b.Raw.Conns, size)
+		e.Drain()
+		if got := e.Analysis(); !reflect.DeepEqual(want, got) {
+			t.Errorf("batch=%d: batched analysis differs from per-event ingest", size)
+		}
+		st := e.Stats()
+		if st.ConnsIngested != uint64(len(b.Raw.Conns)) {
+			t.Errorf("batch=%d: ConnsIngested = %d, want %d", size, st.ConnsIngested, len(b.Raw.Conns))
+		}
+		if st.Dropped != 0 || st.Rejected != 0 {
+			t.Errorf("batch=%d: unexpected dropped=%d rejected=%d", size, st.Dropped, st.Rejected)
+		}
+	}
+}
+
+// TestShardedBatchIngestMatchesSingle extends the contract across the
+// router: at shard counts {1, 2, 4} the batch partitioner must land
+// every record on the same shard per-event routing would, so the merged
+// Analysis stays deeply equal to the batch pipeline.
+func TestShardedBatchIngestMatchesSingle(t *testing.T) {
+	b := genBuild(20240504, 1200)
+	batch := core.Run(inputFromBuild(b))
+	in := inputFromBuild(b)
+	in.Raw = nil
+	certs := certRecords(b)
+
+	for _, n := range []int{1, 2, 4} {
+		for _, size := range []int{3, 512} {
+			s := newSharded(t, n, in, nil)
+			feedBatches(t, s, certs, b.Raw.Conns, size)
+			s.Drain()
+			if got := s.Analysis(); !reflect.DeepEqual(batch, got) {
+				t.Errorf("shards=%d batch=%d: merged analysis differs from batch pipeline", n, size)
+			}
+			st := s.Stats()
+			if st.ConnsIngested != uint64(len(b.Raw.Conns)) {
+				t.Errorf("shards=%d batch=%d: ConnsIngested = %d, want %d",
+					n, size, st.ConnsIngested, len(b.Raw.Conns))
+			}
+			if st.UniqueCerts != len(b.Raw.Certs) {
+				t.Errorf("shards=%d batch=%d: UniqueCerts = %d, want %d",
+					n, size, st.UniqueCerts, len(b.Raw.Certs))
+			}
+			if st.Dropped != 0 {
+				t.Errorf("shards=%d batch=%d: unexpected drops: %d", n, size, st.Dropped)
+			}
+		}
+	}
+}
+
+// TestBatchInterleavedWithSingle mixes the two ingest surfaces in one
+// stream — a run of batches, then a run of per-event calls, with
+// certificate batches landing between connection runs. Deployments
+// migrate between the APIs (or use both: a tailer batches, a backfill
+// script does not), so the engines must not care which path an event
+// took.
+func TestBatchInterleavedWithSingle(t *testing.T) {
+	b := genBuild(7, 1000)
+	batch := core.Run(inputFromBuild(b))
+	in := inputFromBuild(b)
+	in.Raw = nil
+	certs := certRecords(b)
+	conns := b.Raw.Conns
+
+	for _, n := range []int{1, 2, 4} {
+		s := newSharded(t, n, in, nil)
+		ci, coi := 0, 0
+		turn := 0
+		for ci < len(certs) || coi < len(conns) {
+			switch turn % 4 {
+			case 0: // a connection batch
+				hi := min(coi+48, len(conns))
+				s.IngestConnBatch(conns[coi:hi])
+				coi = hi
+			case 1: // per-event certificates
+				for k := 0; k < 8 && ci < len(certs); k++ {
+					s.IngestCert(&certs[ci])
+					ci++
+				}
+			case 2: // per-event connections
+				for k := 0; k < 16 && coi < len(conns); k++ {
+					s.IngestConn(&conns[coi])
+					coi++
+				}
+			case 3: // a certificate batch
+				hi := min(ci+24, len(certs))
+				s.IngestCertBatch(certs[ci:hi])
+				ci = hi
+			}
+			turn++
+		}
+		s.Drain()
+		if got := s.Analysis(); !reflect.DeepEqual(batch, got) {
+			t.Errorf("shards=%d: mixed batch/per-event analysis differs from batch pipeline", n)
+		}
+	}
+}
+
+// TestBatchOutOfOrderCerts feeds every connection batch before any
+// certificate batch: shards park observations, the rendezvous forwards
+// late certificates, and the §3.2 retroactive-evidence path must work
+// unchanged when events arrive in batches.
+func TestBatchOutOfOrderCerts(t *testing.T) {
+	b := genBuild(20240504, 1000)
+	batch := core.Run(inputFromBuild(b))
+	in := inputFromBuild(b)
+	in.Raw = nil
+	certs := certRecords(b)
+
+	for _, n := range []int{1, 2, 4} {
+		s := newSharded(t, n, in, nil)
+		for lo := 0; lo < len(b.Raw.Conns); lo += 512 {
+			s.IngestConnBatch(b.Raw.Conns[lo:min(lo+512, len(b.Raw.Conns))])
+		}
+		for lo := 0; lo < len(certs); lo += 512 {
+			s.IngestCertBatch(certs[lo:min(lo+512, len(certs))])
+		}
+		s.Drain()
+		if got := s.Analysis(); !reflect.DeepEqual(batch, got) {
+			t.Errorf("shards=%d: out-of-order batched analysis differs from batch pipeline", n)
+		}
+	}
+}
+
+// TestBatchRetroactiveExclusion pins the §3.2 exclusion verdict under
+// batched ingest: interception issuers confirmed by evidence spread
+// across shards must be excluded exactly as in the batch pipeline.
+func TestBatchRetroactiveExclusion(t *testing.T) {
+	b := genBuild(20240504, 1200)
+	batch := core.Run(inputFromBuild(b))
+	if batch.Preprocess.ExcludedCerts == 0 || len(batch.Preprocess.InterceptionIssuers) == 0 {
+		t.Fatal("workload exercises no §3.2 exclusions; the test is vacuous")
+	}
+	in := inputFromBuild(b)
+	in.Raw = nil
+	certs := certRecords(b)
+
+	for _, n := range []int{1, 2, 4} {
+		s := newSharded(t, n, in, nil)
+		feedBatches(t, s, certs, b.Raw.Conns, 256)
+		s.Drain()
+		got := s.Analysis()
+		if !reflect.DeepEqual(batch.Preprocess, got.Preprocess) {
+			t.Errorf("shards=%d: batched preprocess verdict differs from batch pipeline:\n got %+v\nwant %+v",
+				n, got.Preprocess, batch.Preprocess)
+		}
+		st := s.Stats()
+		if st.ExcludedCerts != batch.Preprocess.ExcludedCerts {
+			t.Errorf("shards=%d: Stats.ExcludedCerts = %d, want %d",
+				n, st.ExcludedCerts, batch.Preprocess.ExcludedCerts)
+		}
+	}
+}
+
+// TestBatchBufferReuse pins the ownership contract the batch readers
+// rely on: IngestConnBatch/IngestCertBatch copy before returning, so the
+// caller may overwrite its batch buffer immediately — exactly what
+// ForEachSSLBatch's reused slice does.
+func TestBatchBufferReuse(t *testing.T) {
+	b := genBuild(99, 1000)
+	batch := core.Run(inputFromBuild(b))
+	in := inputFromBuild(b)
+	in.Raw = nil
+	certs := certRecords(b)
+
+	e := newEngine(t, in, nil)
+	cbuf := make([]core.CertRecord, 64)
+	for lo := 0; lo < len(certs); lo += len(cbuf) {
+		n := copy(cbuf, certs[lo:])
+		e.IngestCertBatch(cbuf[:n])
+		for i := range cbuf[:n] { // scribble over the reused buffer
+			cbuf[i] = core.CertRecord{}
+		}
+	}
+	buf := make([]core.ConnRecord, 64)
+	for lo := 0; lo < len(b.Raw.Conns); lo += len(buf) {
+		n := copy(buf, b.Raw.Conns[lo:])
+		e.IngestConnBatch(buf[:n])
+		for i := range buf[:n] {
+			buf[i] = core.ConnRecord{}
+		}
+	}
+	e.Drain()
+	if got := e.Analysis(); !reflect.DeepEqual(batch, got) {
+		t.Error("analysis differs after batch-buffer reuse: ingest retained caller memory")
+	}
+}

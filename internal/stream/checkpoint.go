@@ -147,6 +147,13 @@ func Restore(cfg Config, path string) (*Engine, map[string]int64, error) {
 	}
 	e.conns = st.Conns
 	e.seqs = st.Seqs
+	if !cfg.trackSeqs {
+		// A checkpoint written by a sequence-tracking shard restores fine
+		// into a standalone (or n=1 passthrough) engine; the sequences are
+		// meaningless without a merge, so drop them rather than letting
+		// them fall out of alignment with future appends.
+		e.seqs = nil
+	}
 	e.icpt = e.det.RestoreStream(e.lookupCert, st.Interception)
 	e.dirty = true // derived state does not exist yet; rebuild on demand
 	e.stateVer.Add(1)

@@ -132,6 +132,7 @@ type Stats struct {
 type event struct {
 	conn  *core.ConnRecord
 	cert  *certmodel.CertInfo
+	batch *batch
 	flush chan struct{}
 	enq   time.Time
 	// seq is the connection's global ingest sequence, meaningful only
@@ -347,6 +348,9 @@ func (e *Engine) applyLocked(ev event) {
 	switch {
 	case ev.flush != nil:
 		close(ev.flush)
+	case ev.batch != nil:
+		e.m.applyLatency.Since(ev.enq)
+		e.applyBatchLocked(ev.batch)
 	case ev.cert != nil:
 		e.m.applyLatency.Since(ev.enq)
 		e.applyCertLocked(ev.cert)

@@ -61,8 +61,16 @@ const MaxShards = 64
 type Sharded struct {
 	cfg    Config
 	shards []*Engine
+	// single short-circuits the n=1 deployment: with one shard there is
+	// nothing to route or merge, so every ingest and materialization call
+	// delegates straight to the engine — a true passthrough with no
+	// sequence tracking, rendezvous bookkeeping, or replay-based merge.
+	single *Engine
 
 	mu sync.Mutex // guards router state below
+	// scratch is the per-shard batch partition table the batched ingest
+	// path reuses across calls (populated and flushed under mu).
+	scratch []*batch
 	// nextSeq is the next global connection sequence number.
 	nextSeq uint64
 	// rv is the certificate rendezvous: every ingested or awaited
@@ -139,21 +147,25 @@ func NewSharded(n int, cfg Config) (*Sharded, error) {
 		m:   newShardedMetrics(cfg.Metrics, n),
 	}
 	for i := 0; i < n; i++ {
-		e, err := New(s.shardConfig(i))
+		e, err := New(s.shardConfig(i, n))
 		if err != nil {
 			s.Close()
 			return nil, err
 		}
 		s.shards = append(s.shards, e)
 	}
+	if n == 1 {
+		s.single = s.shards[0]
+	}
 	return s, nil
 }
 
 // shardConfig derives shard i's engine config: sequence tracking on (the
-// merge path needs the global order) and per-shard metric labels.
-func (s *Sharded) shardConfig(i int) Config {
+// merge path needs the global order; a single shard IS the global order,
+// so the n=1 passthrough skips it) and per-shard metric labels.
+func (s *Sharded) shardConfig(i, n int) Config {
 	cfg := s.cfg
-	cfg.trackSeqs = true
+	cfg.trackSeqs = n > 1
 	cfg.metricLabels = []string{"shard", strconv.Itoa(i)}
 	return cfg
 }
@@ -183,6 +195,9 @@ func (s *Sharded) home(key string) int {
 // before the connection, so shard-local enrichment resolves the chain
 // just as a single engine would). Validation matches Engine.IngestConn.
 func (s *Sharded) IngestConn(rec *core.ConnRecord) bool {
+	if s.single != nil {
+		return s.single.IngestConn(rec)
+	}
 	if rec == nil || rec.Weight < 1 {
 		s.rejected.Add(1)
 		s.m.rejected.Inc()
@@ -224,6 +239,9 @@ func (s *Sharded) IngestConn(rec *core.ConnRecord) bool {
 // it. Shards that reference the fingerprint later receive it from the
 // rendezvous at routing time. Validation matches Engine.IngestCert.
 func (s *Sharded) IngestCert(rec *core.CertRecord) bool {
+	if s.single != nil {
+		return s.single.IngestCert(rec)
+	}
 	if rec == nil || rec.Cert == nil || rec.Cert.Fingerprint == "" {
 		s.rejected.Add(1)
 		s.m.rejected.Inc()
@@ -354,6 +372,11 @@ func equalU64(a, b []uint64) bool {
 // Shard ingestion keeps flowing while fn runs (the merge snapshots shard
 // state briefly per shard, then releases the locks).
 func (s *Sharded) WithPipeline(fn func(*core.Pipeline)) {
+	if s.single != nil {
+		// No merge: the single engine materializes incrementally.
+		s.single.WithPipeline(fn)
+		return
+	}
 	s.matMu.Lock()
 	defer s.matMu.Unlock()
 	b, pre := s.merged()
@@ -382,6 +405,10 @@ func (s *Sharded) Report(name string) (any, error) {
 // the merged verdict. Rebuilds counts merged-view replays; Dirty means
 // shard state changed since the last merge.
 func (s *Sharded) Stats() Stats {
+	if s.single != nil {
+		// Passthrough: the engine's counters are the deployment's.
+		return s.single.Stats()
+	}
 	var st Stats
 	vers := make([]uint64, len(s.shards))
 	for i, e := range s.shards {
@@ -562,12 +589,20 @@ func RestoreSharded(cfg Config, n int, dir string) (*Sharded, map[string]int64, 
 	}
 	s.certsRouted = man.CertsRouted
 	for i := 0; i < n; i++ {
-		e, _, err := Restore(s.shardConfig(i), filepath.Join(dir, man.Files[i]))
+		e, _, err := Restore(s.shardConfig(i, n), filepath.Join(dir, man.Files[i]))
 		if err != nil {
 			s.Close()
 			return nil, nil, fmt.Errorf("stream: restore shard %d: %w", i, err)
 		}
 		s.shards = append(s.shards, e)
+	}
+	if n == 1 {
+		// Passthrough from here on; the rendezvous is never consulted.
+		s.single = s.shards[0]
+		s.ckptMu.Lock()
+		s.lastCkpt = time.Now()
+		s.ckptMu.Unlock()
+		return s, man.Cursor, nil
 	}
 	s.rebuildRendezvous()
 	s.ckptMu.Lock()

@@ -105,12 +105,14 @@ func (b *Bundle) Store(name string) *Store {
 }
 
 // IsPublicIssuer reports whether any program trusts the issuer identity.
+// The identity is normalized once, not per store.
 func (b *Bundle) IsPublicIssuer(identity string) bool {
-	if strings.TrimSpace(identity) == "" {
+	n := normalize(identity)
+	if n == "" {
 		return false
 	}
 	for _, s := range b.stores {
-		if s.ContainsIssuer(identity) {
+		if s.issuers[n] {
 			return true
 		}
 	}
@@ -133,6 +135,10 @@ func (b *Bundle) IsPublicFingerprint(fp ids.Fingerprint) bool {
 // happens to collide with a public name are still private — a self-signed
 // certificate has no chain to a public root.
 func (b *Bundle) ClassifyLeaf(leaf *certmodel.CertInfo, chainFPs []ids.Fingerprint) Class {
+	return b.classifyLeaf(leaf, chainFPs, nil)
+}
+
+func (b *Bundle) classifyLeaf(leaf *certmodel.CertInfo, chainFPs []ids.Fingerprint, memo *IssuerMemo) Class {
 	if leaf.SelfSigned {
 		return Private
 	}
@@ -141,10 +147,49 @@ func (b *Bundle) ClassifyLeaf(leaf *certmodel.CertInfo, chainFPs []ids.Fingerpri
 			return Public
 		}
 	}
-	if b.IsPublicIssuer(leaf.IssuerOrg) || b.IsPublicIssuer(leaf.IssuerCN) {
+	if memo.isPublicIssuer(b, leaf.IssuerOrg) || memo.isPublicIssuer(b, leaf.IssuerCN) {
 		return Public
 	}
 	return Private
+}
+
+// IssuerMemo caches IsPublicIssuer verdicts keyed by the raw (pre-
+// normalization) issuer string. Distinct issuer identities number in the
+// hundreds while connections number in the millions, so on the hot ingest
+// path one map hit replaces a normalize pass over every store. Not safe
+// for concurrent use; each consumer owns one. A nil *IssuerMemo is valid
+// and simply uncached.
+type IssuerMemo struct {
+	b *Bundle
+	m map[string]bool
+}
+
+// NewIssuerMemo creates an empty memo over the bundle.
+func (b *Bundle) NewIssuerMemo() *IssuerMemo {
+	return &IssuerMemo{b: b, m: make(map[string]bool)}
+}
+
+// IsPublicIssuer is the memoized Bundle.IsPublicIssuer.
+func (m *IssuerMemo) IsPublicIssuer(identity string) bool {
+	return m.isPublicIssuer(m.b, identity)
+}
+
+// ClassifyLeaf is the memoized Bundle.ClassifyLeaf: identical verdicts,
+// with the leaf-issuer membership checks served from the memo.
+func (m *IssuerMemo) ClassifyLeaf(leaf *certmodel.CertInfo, chainFPs []ids.Fingerprint) Class {
+	return m.b.classifyLeaf(leaf, chainFPs, m)
+}
+
+func (m *IssuerMemo) isPublicIssuer(b *Bundle, identity string) bool {
+	if m == nil {
+		return b.IsPublicIssuer(identity)
+	}
+	if v, ok := m.m[identity]; ok {
+		return v
+	}
+	v := b.IsPublicIssuer(identity)
+	m.m[identity] = v
+	return v
 }
 
 // VerifyChain runs full x509 path validation against the union of program
@@ -202,7 +247,36 @@ func (b *Bundle) PublicIssuers() []string {
 }
 
 func normalize(s string) string {
+	if isNormalized(s) {
+		return s
+	}
 	return strings.ToLower(strings.Join(strings.Fields(s), " "))
+}
+
+// isNormalized reports whether s is already in canonical form — ASCII
+// lowercase with single interior spaces — so normalize can return it
+// without allocating. Any non-ASCII byte takes the slow path (Unicode
+// case folding and space classes are out of scope here).
+func isNormalized(s string) bool {
+	prevSpace := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' || c >= 0x80 {
+			return false
+		}
+		if c == ' ' {
+			if prevSpace || i == 0 || i == len(s)-1 {
+				return false
+			}
+			prevSpace = true
+			continue
+		}
+		if c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r' {
+			return false
+		}
+		prevSpace = false
+	}
+	return true
 }
 
 // DefaultPublicCAs lists the public CA operators the workload generator

@@ -80,6 +80,7 @@ func FuzzParseSSLRow(f *testing.F) {
 		for i := range rows {
 			checkSSLRoundTrip(t, &rows[i])
 		}
+		checkSSLDifferential(t, input, newInternTable())
 	})
 }
 
@@ -159,6 +160,7 @@ func FuzzParseX509Row(f *testing.F) {
 		for i := range rows {
 			checkX509RoundTrip(t, &rows[i])
 		}
+		checkX509Differential(t, input, newInternTable())
 	})
 }
 
@@ -232,7 +234,7 @@ func FuzzEscapeField(f *testing.F) {
 		}
 		// The writer applies orUnset after encoding; the parser applies
 		// unsetOr before decoding. The full chain must be the identity.
-		if got := unescapeField(unsetOr(orUnset(enc))); got != s {
+		if got := unescapeField(string(unsetOr(appendOrUnset(nil, enc)))); got != s {
 			t.Fatalf("round trip %q -> %q -> %q", s, enc, got)
 		}
 		// Decoding must also be idempotent-safe on already-decoded text
@@ -324,11 +326,11 @@ func FuzzParseTS(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, s string) {
-		ts, err := parseTS(s)
+		ts, err := parseTS([]byte(s))
 		if err != nil {
 			return
 		}
-		back, err := parseTS(formatTS(ts))
+		back, err := parseTS([]byte(formatTS(ts)))
 		if err != nil {
 			t.Fatalf("accepted %q but formatTS output %q does not re-parse: %v", s, formatTS(ts), err)
 		}
@@ -337,6 +339,97 @@ func FuzzParseTS(f *testing.F) {
 		}
 		if f, _ := math.Modf(float64(ts.UnixNano())); math.IsNaN(f) {
 			t.Fatalf("accepted %q produced NaN-derived time", s)
+		}
+	})
+}
+
+// forEachDataLine mimics the readers' line handling (CR strip, blank and
+// comment skip) and yields each data line.
+func forEachDataLine(s string, fn func(line string)) {
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSuffix(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fn(line)
+	}
+}
+
+// sameRowError requires the two parsers to agree on acceptance and, when
+// rejecting, on the quarantine reason — the taxonomy is part of the
+// parser contract (dashboards alert per reason).
+func sameRowError(t *testing.T, line string, gerr, werr error) bool {
+	t.Helper()
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("parsers disagree on %q: new err %v, reference err %v", line, gerr, werr)
+	}
+	if gerr == nil {
+		return true
+	}
+	var gre, wre *RowError
+	if !errors.As(gerr, &gre) || !errors.As(werr, &wre) {
+		t.Fatalf("non-RowError rejection for %q: new %v, reference %v", line, gerr, werr)
+	}
+	if gre.Reason != wre.Reason {
+		t.Fatalf("reason diverged for %q: new %s, reference %s", line, gre.Reason, wre.Reason)
+	}
+	return false
+}
+
+// checkSSLDifferential runs every data line through the zero-copy parser
+// (interned and unintered) and the string-based reference parser and
+// requires identical results.
+func checkSSLDifferential(t *testing.T, input string, it *internTable) {
+	t.Helper()
+	forEachDataLine(input, func(line string) {
+		cols := strings.Split(line, fieldSep)
+		if len(cols) != len(sslFields) {
+			return // field-count rejection happens before either parser
+		}
+		want, werr := refParseSSLCols(cols)
+		for _, tab := range []*internTable{it, nil} {
+			got, gerr := parseSSLCols(splitCols(nil, []byte(line)), tab)
+			if !sameRowError(t, line, gerr, werr) {
+				continue
+			}
+			if !got.TS.Equal(want.TS) {
+				t.Fatalf("TS diverged for %q: new %v, reference %v", line, got.TS, want.TS)
+			}
+			got.TS = want.TS
+			if !recordsEqualSSL(&got, &want) {
+				t.Fatalf("record diverged for %q:\n      new: %+v\nreference: %+v", line, got, want)
+			}
+		}
+	})
+}
+
+// checkX509Differential is checkSSLDifferential for x509 rows.
+func checkX509Differential(t *testing.T, input string, it *internTable) {
+	t.Helper()
+	forEachDataLine(input, func(line string) {
+		cols := strings.Split(line, fieldSep)
+		if len(cols) != len(x509Fields) {
+			return
+		}
+		want, werr := refParseX509Cols(cols)
+		for _, tab := range []*internTable{it, nil} {
+			got, gerr := parseX509Cols(splitCols(nil, []byte(line)), tab)
+			if !sameRowError(t, line, gerr, werr) {
+				continue
+			}
+			if !got.TS.Equal(want.TS) || !got.Cert.NotBefore.Equal(want.Cert.NotBefore) ||
+				!got.Cert.NotAfter.Equal(want.Cert.NotAfter) {
+				t.Fatalf("timestamps diverged for %q", line)
+			}
+			g, w := got.Cert, want.Cert
+			if got.ID != want.ID || g.Fingerprint != w.Fingerprint || g.Version != w.Version ||
+				g.SerialHex != w.SerialHex || g.IssuerCN != w.IssuerCN || g.IssuerOrg != w.IssuerOrg ||
+				g.SubjectCN != w.SubjectCN || g.SubjectOrg != w.SubjectOrg ||
+				g.KeyAlg != w.KeyAlg || g.KeyBits != w.KeyBits || g.SelfSigned != w.SelfSigned ||
+				!strsEqual(g.SANDNS, w.SANDNS) || !strsEqual(g.SANIP, w.SANIP) ||
+				!strsEqual(g.SANEmail, w.SANEmail) || !strsEqual(g.SANURI, w.SANURI) {
+				t.Fatalf("record diverged for %q:\n      new: %+v\nreference: %+v", line, *g, *w)
+			}
 		}
 	})
 }

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"time"
 
 	"repro/internal/metrics"
@@ -76,6 +75,14 @@ type tail struct {
 	// skipping is set after a line longer than one chunk was discarded
 	// in permissive mode; polls drop bytes until the next newline.
 	skipping bool
+	// cols is the reused column-split scratch; its entries alias the
+	// poll's read buffer and are only valid inside one row callback.
+	cols [][]byte
+	// it deduplicates repeated field values across the tailer's whole
+	// lifetime — the long-running daemon is exactly the caller whose
+	// value population (IPs, versions, fingerprints, issuers) stabilizes
+	// after the first polls.
+	it *internTable
 
 	m tailMetrics
 }
@@ -171,7 +178,7 @@ func (t *tail) captureSig(f *os.File, size int64) {
 // re-parsed it every tick forever. Strict: Poll rewinds to the start of
 // the offending line and returns the error, so nothing is silently
 // dropped and ingestion visibly halts there until an operator acts.
-func (t *tail) poll(row func([]string) error) error {
+func (t *tail) poll(row func([][]byte) error) error {
 	defer t.m.pollDur.Since(time.Now())
 	f, err := os.Open(t.path)
 	if os.IsNotExist(err) {
@@ -257,34 +264,36 @@ func (t *tail) poll(row func([]string) error) error {
 	for len(data) > 0 {
 		nl := bytes.IndexByte(data, '\n')
 		lineStart := t.offset
-		line := string(data[:nl])
+		line := data[:nl]
 		data = data[nl+1:]
 		t.offset += int64(nl) + 1
 		t.line++
 		// The batch reader's bufio.Scanner strips a trailing \r; do the
 		// same so a CRLF log parses identically tailed or batched (the
 		// \r otherwise rides into the last column and rejects the row).
-		line = strings.TrimSuffix(line, "\r")
-		if line == "" {
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		if len(line) == 0 {
 			continue
 		}
-		if strings.HasPrefix(line, "#") {
-			if strings.HasPrefix(line, "#path"+fieldSep) {
-				if got := strings.TrimPrefix(line, "#path"+fieldSep); got != t.wantPath {
+		if line[0] == '#' {
+			if bytes.HasPrefix(line, pathHeader) {
+				if got := line[len(pathHeader):]; string(got) != t.wantPath {
 					return fmt.Errorf("zeek: tail %s: log path %q, want %q", t.path, got, t.wantPath)
 				}
 			}
 			continue
 		}
-		cols := strings.Split(line, fieldSep)
-		if len(cols) != t.nFields {
-			re := rowErrf(RejectFieldCount, "%d fields, want %d", len(cols), t.nFields)
+		t.cols = splitCols(t.cols[:0], line)
+		if len(t.cols) != t.nFields {
+			re := rowErrf(RejectFieldCount, "%d fields, want %d", len(t.cols), t.nFields)
 			if err := t.badRow(re, lineStart, line); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := row(cols); err != nil {
+		if err := row(t.cols); err != nil {
 			var re *RowError
 			if errors.As(err, &re) {
 				if err := t.badRow(re, lineStart, line); err != nil {
@@ -302,8 +311,8 @@ func (t *tail) poll(row func([]string) error) error {
 // badRow resolves one malformed line per the tailer's options: strict
 // rewinds the offset so the line is not consumed and returns the error;
 // permissive quarantines it and returns nil so the poll loop continues.
-func (t *tail) badRow(re *RowError, lineStart int64, line string) error {
-	re.Line, re.Raw = t.line, line
+func (t *tail) badRow(re *RowError, lineStart int64, line []byte) error {
+	re.Line, re.Raw = t.line, string(line)
 	if t.opts.Strict {
 		t.offset = lineStart
 		t.line--
@@ -318,7 +327,7 @@ type SSLTail struct{ t tail }
 
 // NewSSLTail tails the ssl.log at path from the beginning.
 func NewSSLTail(path string) *SSLTail {
-	return &SSLTail{t: tail{path: path, wantPath: "ssl", nFields: len(sslFields)}}
+	return &SSLTail{t: tail{path: path, wantPath: "ssl", nFields: len(sslFields), it: newInternTable()}}
 }
 
 // Instrument publishes the tailer's poll duration, bytes/rows read, lag,
@@ -336,8 +345,8 @@ func (s *SSLTail) SetOptions(o Options) { s.t.opts = o }
 // until no rows return to drain a large catch-up.
 func (s *SSLTail) Poll() ([]SSLRecord, error) {
 	var out []SSLRecord
-	err := s.t.poll(func(cols []string) error {
-		rec, err := parseSSLCols(cols)
+	err := s.t.poll(func(cols [][]byte) error {
+		rec, err := parseSSLCols(cols, s.t.it)
 		if err != nil {
 			return err
 		}
@@ -358,7 +367,7 @@ type X509Tail struct{ t tail }
 
 // NewX509Tail tails the x509.log at path from the beginning.
 func NewX509Tail(path string) *X509Tail {
-	return &X509Tail{t: tail{path: path, wantPath: "x509", nFields: len(x509Fields)}}
+	return &X509Tail{t: tail{path: path, wantPath: "x509", nFields: len(x509Fields), it: newInternTable()}}
 }
 
 // Instrument publishes the tailer's poll duration, bytes/rows read, lag,
@@ -373,8 +382,8 @@ func (x *X509Tail) SetOptions(o Options) { x.t.opts = o }
 // consuming at most one chunk per call (see SSLTail.Poll).
 func (x *X509Tail) Poll() ([]X509Record, error) {
 	var out []X509Record
-	err := x.t.poll(func(cols []string) error {
-		rec, err := parseX509Cols(cols)
+	err := x.t.poll(func(cols [][]byte) error {
+		rec, err := parseX509Cols(cols, x.t.it)
 		if err != nil {
 			return err
 		}

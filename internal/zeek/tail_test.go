@@ -267,8 +267,12 @@ func TestTailSignatureFallback(t *testing.T) {
 	write("alpha\t1\nbeta\t2\n")
 	tl := &tail{path: path, wantPath: "t", nFields: 2}
 	var got [][]string
-	collect := func(cols []string) error {
-		got = append(got, append([]string(nil), cols...))
+	collect := func(cols [][]byte) error {
+		row := make([]string, len(cols))
+		for i, c := range cols {
+			row[i] = string(c)
+		}
+		got = append(got, row)
 		return nil
 	}
 	if err := tl.poll(collect); err != nil {
@@ -301,7 +305,7 @@ func TestTailOversizedLineStrict(t *testing.T) {
 		t.Fatal(err)
 	}
 	tl := &tail{path: path, wantPath: "t", nFields: 2, chunk: 1024, opts: Options{Strict: true}}
-	if err := tl.poll(func([]string) error { return nil }); err == nil {
+	if err := tl.poll(func([][]byte) error { return nil }); err == nil {
 		t.Fatal("oversized line must error, not spin")
 	}
 }
@@ -320,8 +324,12 @@ func TestTailOversizedLinePermissive(t *testing.T) {
 	tl := &tail{path: path, wantPath: "t", nFields: 2, chunk: 1024, opts: Options{Quarantine: q}}
 	var got [][]string
 	for i := 0; i < 10; i++ {
-		if err := tl.poll(func(cols []string) error {
-			got = append(got, append([]string(nil), cols...))
+		if err := tl.poll(func(cols [][]byte) error {
+			row := make([]string, len(cols))
+			for i, c := range cols {
+				row[i] = string(c)
+			}
+			got = append(got, row)
 			return nil
 		}); err != nil {
 			t.Fatal(err)

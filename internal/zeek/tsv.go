@@ -2,6 +2,7 @@ package zeek
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unsafe"
 
 	"repro/internal/certmodel"
 	"repro/internal/ids"
@@ -35,10 +37,13 @@ var x509Fields = []string{
 	"certificate.key_alg", "certificate.key_length", "self_signed",
 }
 
-// SSLWriter emits ssl.log in Zeek TSV format.
+// SSLWriter emits ssl.log in Zeek TSV format. Rows are rendered into a
+// reused byte buffer with strconv.Append* — no per-row column slice, no
+// intermediate strings.
 type SSLWriter struct {
 	w      *bufio.Writer
 	opened bool
+	buf    []byte
 }
 
 // NewSSLWriter wraps w.
@@ -60,21 +65,33 @@ func (sw *SSLWriter) Write(r *SSLRecord) error {
 		}
 		sw.opened = true
 	}
-	cols := []string{
-		formatTS(r.TS),
-		string(r.UID),
-		orUnset(r.OrigIP),
-		strconv.Itoa(int(r.OrigPort)),
-		orUnset(r.RespIP),
-		strconv.Itoa(int(r.RespPort)),
-		orUnset(r.Version),
-		orUnset(encodeField(r.SNI)),
-		boolStr(r.Established),
-		joinFPs(r.ServerChain),
-		joinFPs(r.ClientChain),
-		strconv.FormatInt(max64(r.Weight, 1), 10),
-	}
-	_, err := sw.w.WriteString(strings.Join(cols, fieldSep) + "\n")
+	b := sw.buf[:0]
+	b = appendTS(b, r.TS)
+	b = append(b, '\t')
+	b = append(b, r.UID...)
+	b = append(b, '\t')
+	b = appendOrUnset(b, r.OrigIP)
+	b = append(b, '\t')
+	b = strconv.AppendUint(b, uint64(r.OrigPort), 10)
+	b = append(b, '\t')
+	b = appendOrUnset(b, r.RespIP)
+	b = append(b, '\t')
+	b = strconv.AppendUint(b, uint64(r.RespPort), 10)
+	b = append(b, '\t')
+	b = appendOrUnset(b, r.Version)
+	b = append(b, '\t')
+	b = appendEncodedOrUnset(b, r.SNI)
+	b = append(b, '\t')
+	b = appendBool(b, r.Established)
+	b = append(b, '\t')
+	b = appendFPs(b, r.ServerChain)
+	b = append(b, '\t')
+	b = appendFPs(b, r.ClientChain)
+	b = append(b, '\t')
+	b = strconv.AppendInt(b, max(r.Weight, 1), 10)
+	b = append(b, '\n')
+	sw.buf = b
+	_, err := sw.w.Write(b)
 	return err
 }
 
@@ -89,6 +106,7 @@ func (sw *SSLWriter) SkipHeader() { sw.opened = true }
 type X509Writer struct {
 	w      *bufio.Writer
 	opened bool
+	buf    []byte
 }
 
 // NewX509Writer wraps w.
@@ -103,25 +121,41 @@ func (xw *X509Writer) Write(r *X509Record) error {
 		xw.opened = true
 	}
 	c := r.Cert
-	cols := []string{
-		formatTS(r.TS),
-		string(r.ID),
-		string(c.Fingerprint),
-		strconv.Itoa(c.Version),
-		orUnset(c.SerialHex),
-		orUnset(encodeField(c.IssuerDN())),
-		orUnset(encodeField(c.SubjectDN())),
-		joinStrs(c.SANDNS),
-		joinStrs(c.SANIP),
-		joinStrs(c.SANEmail),
-		joinStrs(c.SANURI),
-		formatTS(c.NotBefore),
-		formatTS(c.NotAfter),
-		c.KeyAlg.String(),
-		strconv.Itoa(c.KeyBits),
-		boolStr(c.SelfSigned),
-	}
-	_, err := xw.w.WriteString(strings.Join(cols, fieldSep) + "\n")
+	b := xw.buf[:0]
+	b = appendTS(b, r.TS)
+	b = append(b, '\t')
+	b = append(b, r.ID...)
+	b = append(b, '\t')
+	b = append(b, c.Fingerprint...)
+	b = append(b, '\t')
+	b = strconv.AppendInt(b, int64(c.Version), 10)
+	b = append(b, '\t')
+	b = appendOrUnset(b, c.SerialHex)
+	b = append(b, '\t')
+	b = appendEncodedOrUnset(b, c.IssuerDN())
+	b = append(b, '\t')
+	b = appendEncodedOrUnset(b, c.SubjectDN())
+	b = append(b, '\t')
+	b = appendStrs(b, c.SANDNS)
+	b = append(b, '\t')
+	b = appendStrs(b, c.SANIP)
+	b = append(b, '\t')
+	b = appendStrs(b, c.SANEmail)
+	b = append(b, '\t')
+	b = appendStrs(b, c.SANURI)
+	b = append(b, '\t')
+	b = appendTS(b, c.NotBefore)
+	b = append(b, '\t')
+	b = appendTS(b, c.NotAfter)
+	b = append(b, '\t')
+	b = append(b, c.KeyAlg.String()...)
+	b = append(b, '\t')
+	b = strconv.AppendInt(b, int64(c.KeyBits), 10)
+	b = append(b, '\t')
+	b = appendBool(b, c.SelfSigned)
+	b = append(b, '\n')
+	xw.buf = b
+	_, err := xw.w.Write(b)
 	return err
 }
 
@@ -132,10 +166,21 @@ func (xw *X509Writer) Flush() error { return xw.w.Flush() }
 // to an existing log.
 func (xw *X509Writer) SkipHeader() { xw.opened = true }
 
-// parseSSLCols decodes one ssl.log row. Malformed columns return a
-// *RowError carrying the quarantine reason; the caller decides whether
-// that aborts (strict) or skips (permissive).
-func parseSSLCols(cols []string) (SSLRecord, error) {
+// bstr views b as a string without copying. The view aliases b, so it is
+// only handed to functions that do not retain their argument (strconv
+// parsers); anything that outlives the current row must copy.
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// parseSSLCols decodes one ssl.log row from its raw columns (aliases into
+// the reader's buffer — everything retained is copied or interned).
+// Malformed columns return a *RowError carrying the quarantine reason;
+// the caller decides whether that aborts (strict) or skips (permissive).
+func parseSSLCols(cols [][]byte, it *internTable) (SSLRecord, error) {
 	ts, err := parseTS(cols[0])
 	if err != nil {
 		return SSLRecord{}, &RowError{Reason: RejectTimestamp, Err: err}
@@ -148,9 +193,9 @@ func parseSSLCols(cols []string) (SSLRecord, error) {
 	if err != nil {
 		return SSLRecord{}, rowErrf(RejectPort, "resp port: %v", err)
 	}
-	w, err := strconv.ParseInt(cols[11], 10, 64)
+	w, err := strconv.ParseInt(bstr(cols[11]), 10, 64)
 	if err != nil {
-		return SSLRecord{}, rowErrf(RejectWeight, "weight: %v", err)
+		return SSLRecord{}, rowErrf(RejectWeight, "weight: %v", reparseIntErr(cols[11]))
 	}
 	if w < 1 {
 		// The writer clamps weights to >= 1; zero or negative weights
@@ -160,22 +205,22 @@ func parseSSLCols(cols []string) (SSLRecord, error) {
 	return SSLRecord{
 		TS:          ts,
 		UID:         ids.UID(cols[1]),
-		OrigIP:      unsetOr(cols[2]),
+		OrigIP:      it.str(unsetOr(cols[2])),
 		OrigPort:    op,
-		RespIP:      unsetOr(cols[4]),
+		RespIP:      it.str(unsetOr(cols[4])),
 		RespPort:    rp,
-		Version:     unsetOr(cols[6]),
-		SNI:         unescapeField(unsetOr(cols[7])),
-		Established: cols[8] == "T",
-		ServerChain: splitFPs(cols[9]),
-		ClientChain: splitFPs(cols[10]),
+		Version:     it.str(unsetOr(cols[6])),
+		SNI:         it.unescaped(unsetOr(cols[7])),
+		Established: string(cols[8]) == "T",
+		ServerChain: it.fps(cols[9]),
+		ClientChain: it.fps(cols[10]),
 		Weight:      w,
 	}, nil
 }
 
 // parseX509Cols decodes one x509.log row. Malformed columns return a
 // *RowError carrying the quarantine reason.
-func parseX509Cols(cols []string) (X509Record, error) {
+func parseX509Cols(cols [][]byte, it *internTable) (X509Record, error) {
 	ts, err := parseTS(cols[0])
 	if err != nil {
 		return X509Record{}, &RowError{Reason: RejectTimestamp, Err: err}
@@ -188,33 +233,33 @@ func parseX509Cols(cols []string) (X509Record, error) {
 	if err != nil {
 		return X509Record{}, &RowError{Reason: RejectTimestamp, Err: err}
 	}
-	ver, err := strconv.Atoi(cols[3])
+	ver, err := strconv.Atoi(bstr(cols[3]))
 	if err != nil || ver < 0 {
 		return X509Record{}, rowErrf(RejectCertVersion, "cert version %q", cols[3])
 	}
-	bits, err := strconv.Atoi(cols[14])
+	bits, err := strconv.Atoi(bstr(cols[14]))
 	if err != nil || bits < 0 {
 		return X509Record{}, rowErrf(RejectKeyLength, "key length %q", cols[14])
 	}
-	icn, iorg := certmodel.ParseDN(unescapeField(unsetOr(cols[5])))
-	scn, sorg := certmodel.ParseDN(unescapeField(unsetOr(cols[6])))
+	icn, iorg := it.dn(cols[5])
+	scn, sorg := it.dn(cols[6])
 	cert := &certmodel.CertInfo{
-		Fingerprint: ids.Fingerprint(cols[2]),
+		Fingerprint: ids.Fingerprint(it.str(cols[2])),
 		Version:     ver,
-		SerialHex:   unsetOr(cols[4]),
+		SerialHex:   string(unsetOr(cols[4])),
 		IssuerCN:    icn,
 		IssuerOrg:   iorg,
 		SubjectCN:   scn,
 		SubjectOrg:  sorg,
-		SANDNS:      splitStrs(cols[7]),
-		SANIP:       splitStrs(cols[8]),
-		SANEmail:    splitStrs(cols[9]),
-		SANURI:      splitStrs(cols[10]),
+		SANDNS:      splitStrs(cols[7], it),
+		SANIP:       splitStrs(cols[8], it),
+		SANEmail:    splitStrs(cols[9], it),
+		SANURI:      splitStrs(cols[10], it),
 		NotBefore:   nb,
 		NotAfter:    na,
 		KeyAlg:      parseKeyAlg(cols[13]),
 		KeyBits:     bits,
-		SelfSigned:  cols[15] == "T",
+		SelfSigned:  string(cols[15]) == "T",
 	}
 	return X509Record{TS: ts, ID: ids.FileID(cols[1]), Cert: cert}, nil
 }
@@ -241,8 +286,9 @@ func ForEachSSLWith(r io.Reader, o Options, fn func(*SSLRecord) error) error {
 }
 
 func forEachSSL(r io.Reader, o Options, fn func(*SSLRecord) error) error {
-	err := readTSV(r, "ssl", len(sslFields), o, func(cols []string) error {
-		rec, err := parseSSLCols(cols)
+	it := newInternTable()
+	err := readTSV(r, "ssl", len(sslFields), o, func(cols [][]byte) error {
+		rec, err := parseSSLCols(cols, it)
 		if err != nil {
 			return err
 		}
@@ -269,8 +315,9 @@ func ForEachX509With(r io.Reader, o Options, fn func(*X509Record) error) error {
 }
 
 func forEachX509(r io.Reader, o Options, fn func(*X509Record) error) error {
-	err := readTSV(r, "x509", len(x509Fields), o, func(cols []string) error {
-		rec, err := parseX509Cols(cols)
+	it := newInternTable()
+	err := readTSV(r, "x509", len(x509Fields), o, func(cols [][]byte) error {
+		rec, err := parseX509Cols(cols, it)
 		if err != nil {
 			return err
 		}
@@ -278,6 +325,76 @@ func forEachX509(r io.Reader, o Options, fn func(*X509Record) error) error {
 	})
 	if errors.Is(err, ErrStop) {
 		return nil
+	}
+	return err
+}
+
+// ForEachSSLBatch streams an ssl.log in record batches of Options
+// .BatchSize (default 512): one callback per batch instead of one per
+// row, sized for Engine.IngestConnBatch. The slice is reused between
+// calls — fn must copy any records it retains past its return (the
+// engine's batch ingest does). Rows parsed before a strict-mode error
+// are still delivered. fn may return ErrStop to end early.
+func ForEachSSLBatch(r io.Reader, fn func([]SSLRecord) error, opts ...Opt) error {
+	return forEachSSLBatch(r, resolveOpts(opts), fn)
+}
+
+func forEachSSLBatch(r io.Reader, o Options, fn func([]SSLRecord) error) error {
+	it := newInternTable()
+	buf := make([]SSLRecord, 0, o.batchSize())
+	err := readTSV(r, "ssl", len(sslFields), o, func(cols [][]byte) error {
+		rec, err := parseSSLCols(cols, it)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, rec)
+		if len(buf) >= o.batchSize() {
+			err := fn(buf)
+			buf = buf[:0]
+			return err
+		}
+		return nil
+	})
+	if errors.Is(err, ErrStop) {
+		return nil
+	}
+	if len(buf) > 0 {
+		if ferr := fn(buf); err == nil && !errors.Is(ferr, ErrStop) {
+			err = ferr
+		}
+	}
+	return err
+}
+
+// ForEachX509Batch streams an x509.log in record batches, the
+// certificate-side counterpart of ForEachSSLBatch.
+func ForEachX509Batch(r io.Reader, fn func([]X509Record) error, opts ...Opt) error {
+	return forEachX509Batch(r, resolveOpts(opts), fn)
+}
+
+func forEachX509Batch(r io.Reader, o Options, fn func([]X509Record) error) error {
+	it := newInternTable()
+	buf := make([]X509Record, 0, o.batchSize())
+	err := readTSV(r, "x509", len(x509Fields), o, func(cols [][]byte) error {
+		rec, err := parseX509Cols(cols, it)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, rec)
+		if len(buf) >= o.batchSize() {
+			err := fn(buf)
+			buf = buf[:0]
+			return err
+		}
+		return nil
+	})
+	if errors.Is(err, ErrStop) {
+		return nil
+	}
+	if len(buf) > 0 {
+		if ferr := fn(buf); err == nil && !errors.Is(ferr, ErrStop) {
+			err = ferr
+		}
 	}
 	return err
 }
@@ -319,15 +436,17 @@ func LoadDatasetWith(ssl, x509 io.Reader, o Options) (*Dataset, error) {
 
 func loadDataset(ssl, x509 io.Reader, o Options) (*Dataset, error) {
 	d := NewDataset()
-	err := forEachSSL(ssl, o, func(rec *SSLRecord) error {
-		d.Conns = append(d.Conns, *rec)
+	err := forEachSSLBatch(ssl, o, func(recs []SSLRecord) error {
+		d.Conns = append(d.Conns, recs...)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	err = forEachX509(x509, o, func(rec *X509Record) error {
-		d.AddCert(rec.Cert)
+	err = forEachX509Batch(x509, o, func(recs []X509Record) error {
+		for i := range recs {
+			d.AddCert(recs[i].Cert)
+		}
 		return nil
 	})
 	if err != nil {
@@ -336,35 +455,41 @@ func loadDataset(ssl, x509 io.Reader, o Options) (*Dataset, error) {
 	return d, nil
 }
 
-// readTSV drives the line loop shared by both schemas. row receives the
-// split columns and returns *RowError for malformed content; under
-// permissive Options those are quarantined and the loop continues, which
-// is what lets one corrupt row pass through a 23-month ingest without
-// either aborting the batch or wedging a tailer. Structural errors (a
-// #path header naming a different log, an unreadable source) abort in
-// both modes — they mean the whole file is wrong, not one row.
-func readTSV(r io.Reader, wantPath string, nFields int, o Options, row func([]string) error) error {
+// pathHeader prefixes the #path header line.
+var pathHeader = []byte("#path" + fieldSep)
+
+// readTSV drives the line loop shared by both schemas, handing each data
+// line's columns to row as sub-slices of the scanner's buffer — no line
+// string, no column slice allocation per row. row returns *RowError for
+// malformed content; under permissive Options those are quarantined and
+// the loop continues, which is what lets one corrupt row pass through a
+// 23-month ingest without either aborting the batch or wedging a tailer.
+// Structural errors (a #path header naming a different log, an
+// unreadable source) abort in both modes — they mean the whole file is
+// wrong, not one row.
+func readTSV(r io.Reader, wantPath string, nFields int, o Options, row func([][]byte) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	cols := make([][]byte, 0, nFields+1)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := sc.Text()
-		if line == "" {
+		line := sc.Bytes()
+		if len(line) == 0 {
 			continue
 		}
-		if strings.HasPrefix(line, "#") {
-			if strings.HasPrefix(line, "#path"+fieldSep) {
-				if got := strings.TrimPrefix(line, "#path"+fieldSep); got != wantPath {
+		if line[0] == '#' {
+			if bytes.HasPrefix(line, pathHeader) {
+				if got := line[len(pathHeader):]; string(got) != wantPath {
 					return fmt.Errorf("zeek: log path %q, want %q", got, wantPath)
 				}
 			}
 			continue
 		}
-		cols := strings.Split(line, fieldSep)
+		cols = splitCols(cols[:0], line)
 		if len(cols) != nFields {
 			re := rowErrf(RejectFieldCount, "%d fields, want %d", len(cols), nFields)
-			re.Line, re.Raw = int64(lineNo), line
+			re.Line, re.Raw = int64(lineNo), string(line)
 			if o.Strict {
 				return re
 			}
@@ -374,7 +499,7 @@ func readTSV(r io.Reader, wantPath string, nFields int, o Options, row func([]st
 		if err := row(cols); err != nil {
 			var re *RowError
 			if errors.As(err, &re) && !o.Strict {
-				re.Line, re.Raw = int64(lineNo), line
+				re.Line, re.Raw = int64(lineNo), string(line)
 				o.reject(wantPath, re)
 				continue
 			}
@@ -384,8 +509,23 @@ func readTSV(r io.Reader, wantPath string, nFields int, o Options, row func([]st
 	return sc.Err()
 }
 
-func formatTS(t time.Time) string {
-	return strconv.FormatFloat(float64(t.UnixNano())/1e9, 'f', 6, 64)
+// splitCols appends line's tab-separated columns to dst as sub-slices of
+// line.
+func splitCols(dst [][]byte, line []byte) [][]byte {
+	for {
+		i := bytes.IndexByte(line, '\t')
+		if i < 0 {
+			return append(dst, line)
+		}
+		dst = append(dst, line[:i])
+		line = line[i+1:]
+	}
+}
+
+func formatTS(t time.Time) string { return string(appendTS(nil, t)) }
+
+func appendTS(b []byte, t time.Time) []byte {
+	return strconv.AppendFloat(b, float64(t.UnixNano())/1e9, 'f', 6, 64)
 }
 
 // maxTS bounds accepted epoch timestamps to ±9.2e9 seconds (~1678 to
@@ -397,27 +537,43 @@ func formatTS(t time.Time) string {
 // while anything unrepresentable is a corrupt row.
 const maxTS = 9_200_000_000
 
-func parseTS(s string) (time.Time, error) {
-	f, err := strconv.ParseFloat(s, 64)
+func parseTS(b []byte) (time.Time, error) {
+	f, err := strconv.ParseFloat(bstr(b), 64)
 	if err != nil {
-		return time.Time{}, fmt.Errorf("zeek: timestamp %q: %w", s, err)
+		// Re-parse from a copy: the strconv error retains its input
+		// string, which must not alias the reader's reused buffer.
+		return time.Time{}, fmt.Errorf("zeek: timestamp %q: %w", b, reparseFloatErr(b))
 	}
 	// ParseFloat accepts "NaN" and "Inf"; int64(NaN) is unspecified, so
 	// these must be rejected before conversion, not discovered as
 	// garbage dates downstream.
 	if math.IsNaN(f) || f < -maxTS || f > maxTS {
-		return time.Time{}, fmt.Errorf("zeek: timestamp %q outside ±%d", s, int64(maxTS))
+		return time.Time{}, fmt.Errorf("zeek: timestamp %q outside ±%d", b, int64(maxTS))
 	}
 	sec := int64(f)
 	nsec := int64((f - float64(sec)) * 1e9)
 	return time.Unix(sec, nsec).UTC(), nil
 }
 
+// reparseFloatErr re-derives a ParseFloat error against a copied string,
+// for the cold error path only.
+func reparseFloatErr(b []byte) error {
+	_, err := strconv.ParseFloat(string(b), 64)
+	return err
+}
+
+// reparseIntErr is reparseFloatErr for ParseInt.
+func reparseIntErr(b []byte) error {
+	_, err := strconv.ParseInt(string(b), 10, 64)
+	return err
+}
+
 // parsePort decodes a Zeek port column, rejecting values a uint16 cast
 // would silently truncate (port 70000 is a corrupt row, not port 4464).
-func parsePort(s string) (uint16, error) {
-	p, err := strconv.Atoi(s)
+func parsePort(b []byte) (uint16, error) {
+	p, err := strconv.Atoi(bstr(b))
 	if err != nil {
+		_, err = strconv.Atoi(string(b))
 		return 0, err
 	}
 	if p < 0 || p > 65535 {
@@ -426,8 +582,8 @@ func parsePort(s string) (uint16, error) {
 	return uint16(p), nil
 }
 
-func parseKeyAlg(s string) certmodel.KeyAlg {
-	switch s {
+func parseKeyAlg(b []byte) certmodel.KeyAlg {
+	switch string(b) {
 	case "rsa":
 		return certmodel.KeyRSA
 	case "ecdsa":
@@ -437,47 +593,88 @@ func parseKeyAlg(s string) certmodel.KeyAlg {
 	}
 }
 
-func orUnset(s string) string {
-	if s == "" {
-		return unsetField
-	}
-	return s
+// isUnset reports the Zeek unset sentinel.
+func isUnset(b []byte) bool { return string(b) == unsetField }
+
+// isEmptyCol reports a vector column with no elements.
+func isEmptyCol(b []byte) bool {
+	return len(b) == 0 || string(b) == setEmpty || string(b) == unsetField
 }
 
-func unsetOr(s string) string {
-	if s == unsetField {
-		return ""
-	}
-	return s
-}
-
-func boolStr(b bool) string {
-	if b {
-		return "T"
-	}
-	return "F"
-}
-
-func joinStrs(xs []string) string {
-	if len(xs) == 0 {
-		return setEmpty
-	}
-	esc := make([]string, len(xs))
-	for i, x := range xs {
-		esc[i] = encodeField(x)
-	}
-	return strings.Join(esc, ",")
-}
-
-func splitStrs(s string) []string {
-	if s == setEmpty || s == unsetField || s == "" {
+// unsetOr maps the unset sentinel to nil, leaving other values as-is.
+func unsetOr(b []byte) []byte {
+	if isUnset(b) {
 		return nil
 	}
-	parts := strings.Split(s, ",")
-	for i := range parts {
-		parts[i] = unescapeField(parts[i])
+	return b
+}
+
+// appendOrUnset writes s, or the unset sentinel when s is empty.
+func appendOrUnset(b []byte, s string) []byte {
+	if s == "" {
+		return append(b, unsetField...)
 	}
-	return parts
+	return append(b, s...)
+}
+
+// appendEncodedOrUnset writes the escaped, sentinel-protected form of s
+// (see encodeField), or the unset sentinel when s is empty.
+func appendEncodedOrUnset(b []byte, s string) []byte {
+	if s == "" {
+		return append(b, unsetField...)
+	}
+	return appendEncoded(b, s)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 'T')
+	}
+	return append(b, 'F')
+}
+
+// appendFPs renders chain fingerprints for the cert_chain_fps column.
+func appendFPs(b []byte, fps []ids.Fingerprint) []byte {
+	if len(fps) == 0 {
+		return append(b, setEmpty...)
+	}
+	for i, fp := range fps {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, fp...)
+	}
+	return b
+}
+
+// appendStrs renders a string vector column, escaping each element.
+func appendStrs(b []byte, xs []string) []byte {
+	if len(xs) == 0 {
+		return append(b, setEmpty...)
+	}
+	for i, x := range xs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendEncoded(b, x)
+	}
+	return b
+}
+
+// splitStrs decodes a vector column into unescaped, interned elements.
+func splitStrs(b []byte, it *internTable) []string {
+	if isEmptyCol(b) {
+		return nil
+	}
+	out := make([]string, 0, bytes.Count(b, []byte{','})+1)
+	for {
+		i := bytes.IndexByte(b, ',')
+		if i < 0 {
+			return append(out, it.unescaped(b))
+		}
+		out = append(out, it.unescaped(b[:i]))
+		b = b[i+1:]
+	}
 }
 
 // encodeField prepares one value for the log: structural characters are
@@ -486,15 +683,19 @@ func splitStrs(s string) []string {
 // its first byte escaped so it survives the round trip instead of
 // silently reading back as unset/empty (found by the escape round-trip
 // property test).
-func encodeField(s string) string {
-	switch s = escapeField(s); s {
+func encodeField(s string) string { return string(appendEncoded(nil, s)) }
+
+// appendEncoded is encodeField into a caller-owned buffer.
+func appendEncoded(b []byte, s string) []byte {
+	start := len(b)
+	b = appendEscaped(b, s)
+	switch string(b[start:]) {
 	case unsetField:
-		return `\x2d`
+		return append(b[:start], `\x2d`...)
 	case setEmpty:
-		return `\x28empty)`
-	default:
-		return s
+		return append(b[:start], `\x28empty)`...)
 	}
+	return b
 }
 
 // escapeField protects the TSV structure: tabs, newlines, commas (vector
@@ -503,44 +704,59 @@ func escapeField(s string) string {
 	if !strings.ContainsAny(s, "\t\n\r,\\") {
 		return s
 	}
-	var b strings.Builder
+	return string(appendEscaped(nil, s))
+}
+
+func appendEscaped(b []byte, s string) []byte {
+	if !strings.ContainsAny(s, "\t\n\r,\\") {
+		return append(b, s...)
+	}
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
 		case '\t':
-			b.WriteString(`\x09`)
+			b = append(b, `\x09`...)
 		case '\n':
-			b.WriteString(`\x0a`)
+			b = append(b, `\x0a`...)
 		case '\r':
-			b.WriteString(`\x0d`)
+			b = append(b, `\x0d`...)
 		case ',':
-			b.WriteString(`\x2c`)
+			b = append(b, `\x2c`...)
 		case '\\':
-			b.WriteString(`\x5c`)
+			b = append(b, `\x5c`...)
 		default:
-			b.WriteByte(s[i])
+			b = append(b, s[i])
 		}
 	}
-	return b.String()
+	return b
 }
+
+// hasEscape reports whether b contains a candidate \x escape.
+func hasEscape(b []byte) bool { return bytes.Contains(b, escMark) }
+
+var escMark = []byte(`\x`)
 
 func unescapeField(s string) string {
 	if !strings.Contains(s, `\x`) {
 		return s
 	}
-	var b strings.Builder
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\\' && i+3 < len(s) && s[i+1] == 'x' {
-			hi := unhex(s[i+2])
-			lo := unhex(s[i+3])
+	return string(unescapeAppend(nil, []byte(s)))
+}
+
+// unescapeAppend decodes \xNN escapes from src into dst.
+func unescapeAppend(dst, src []byte) []byte {
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\\' && i+3 < len(src) && src[i+1] == 'x' {
+			hi := unhex(src[i+2])
+			lo := unhex(src[i+3])
 			if hi >= 0 && lo >= 0 {
-				b.WriteByte(byte(hi<<4 | lo))
+				dst = append(dst, byte(hi<<4|lo))
 				i += 3
 				continue
 			}
 		}
-		b.WriteByte(s[i])
+		dst = append(dst, src[i])
 	}
-	return b.String()
+	return dst
 }
 
 func unhex(c byte) int {
@@ -553,11 +769,4 @@ func unhex(c byte) int {
 		return int(c-'A') + 10
 	}
 	return -1
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
