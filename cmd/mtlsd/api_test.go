@@ -86,7 +86,7 @@ func TestAPIVersionEquivalence(t *testing.T) {
 // {"error", "code": 500}, on the versioned and the aliased path alike.
 func TestAPIErrorEnvelope(t *testing.T) {
 	reg := metrics.New()
-	srv := httptest.NewServer(newMux(failingReporter{}, reg, testLogger(t), false))
+	srv := httptest.NewServer(newMux(failingReporter{}, reg, testLogger(t), false, daemonInfo{}))
 	defer srv.Close()
 
 	cases := []struct {

@@ -8,9 +8,11 @@
 // {"error": ..., "code": ...}):
 //
 //	GET /api/v1/healthz          liveness (200 "ok")
+//	GET /api/v1/version          build info, role, supported snapshot schemas
 //	GET /api/v1/stats            engine counters (ingested, dropped, rebuilds, ...)
 //	GET /api/v1/reports          list of report names
 //	GET /api/v1/reports/{name}   one report, e.g. .../reports/table1
+//	GET /api/v1/snapshot         serialized engine state (-role sensor only)
 //	GET /metrics                 Prometheus text exposition (?format=json for JSON)
 //	GET /debug/pprof/...         runtime profiles (only with -pprof)
 //
@@ -33,6 +35,21 @@
 // shard count. Per-shard series carry a shard="i" label on /metrics, and
 // -checkpoint names a directory (manifest + one file per shard) instead
 // of a single file.
+//
+// The distributed tier stacks two roles on the same binary. A sensor is
+// a monitor that additionally serializes its engine state over
+// GET /api/v1/snapshot (full snapshots, or deltas from a cursor); an
+// aggregator tails nothing — it pulls N sensors on an interval and
+// serves the merged analysis through the same /api/v1 report surface:
+//
+//	mtlsd -role sensor -logs ./site-a -listen :8411
+//	mtlsd -role sensor -logs ./site-b -listen :8412
+//	mtlsd -role aggregator -sensors localhost:8411,localhost:8412 -listen :8400
+//	curl -s localhost:8400/api/v1/reports/table1 | jq .
+//
+// An unreachable sensor backs off exponentially while the aggregator
+// keeps serving its last-good merge; per-sensor cursors, sync ages, and
+// errors appear in /api/v1/stats and /metrics.
 //
 // With -checkpoint the engine state is periodically persisted (atomic
 // write) together with the log-file byte offsets; on restart mtlsd
@@ -64,6 +81,7 @@ import (
 
 	mtls "repro"
 	"repro/internal/core"
+	"repro/internal/distrib"
 	"repro/internal/metrics"
 	"repro/internal/stream"
 	"repro/internal/zeek"
@@ -89,6 +107,9 @@ type options struct {
 	logLevel   string
 	strict     bool
 	quarantine string
+	role       string
+	sensors    string
+	syncEvery  time.Duration
 }
 
 func main() {
@@ -110,6 +131,9 @@ func main() {
 	flag.StringVar(&o.logLevel, "log-level", "info", "log level: debug, info, warn, error")
 	flag.BoolVar(&o.strict, "strict", false, "fail-stop on malformed log rows instead of quarantining them")
 	flag.StringVar(&o.quarantine, "quarantine", "", "append rejected rows to this file (permissive mode only)")
+	flag.StringVar(&o.role, "role", "monitor", "monitor, sensor (monitor + /api/v1/snapshot), or aggregator (pulls -sensors)")
+	flag.StringVar(&o.sensors, "sensors", "", "comma-separated sensor addresses (aggregator role only)")
+	flag.DurationVar(&o.syncEvery, "sync-every", 5*time.Second, "aggregator sensor pull interval")
 	flag.Parse()
 
 	logger := newLogger(os.Stderr, o.logLevel)
@@ -132,6 +156,18 @@ func newLogger(w *os.File, level string) *slog.Logger {
 // to a port conflict. ready, when non-nil, is invoked with the bound
 // listen address once the HTTP socket is open (tests listen on :0).
 func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr string)) int {
+	switch o.role {
+	case "", "monitor", "sensor":
+		if o.sensors != "" {
+			logger.Error("-sensors requires -role aggregator")
+			return 2
+		}
+	case "aggregator":
+		return runAggregator(ctx, o, logger, ready)
+	default:
+		logger.Error("-role must be monitor, sensor, or aggregator", "role", o.role)
+		return 2
+	}
 	if o.logs == "" {
 		logger.Error("-logs is required")
 		return 2
@@ -161,7 +197,11 @@ func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr st
 	in.Raw = nil
 	in.Workers = o.workers
 
-	scfg := stream.Config{Input: in, Buffer: o.buffer, Retention: o.retention, Metrics: reg}
+	// A sensor is a monitor whose engine additionally stamps every
+	// admitted event with an export sequence, so /api/v1/snapshot can
+	// serve cursor deltas.
+	scfg := stream.Config{Input: in, Buffer: o.buffer, Retention: o.retention, Metrics: reg,
+		TrackExport: o.role == "sensor"}
 	if o.drop {
 		scfg.Policy = stream.Drop
 	}
@@ -372,10 +412,20 @@ func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr st
 		}
 	}()
 
-	srv := &http.Server{Handler: newMux(eng, reg, logger, o.pprof)}
+	role := o.role
+	if role == "" {
+		role = "monitor"
+	}
+	info := daemonInfo{role: role, shards: nShards}
+	if role == "sensor" {
+		// The engine was built with TrackExport, so the concrete type
+		// (Engine or Sharded) always satisfies the export surface.
+		info.sensor = distrib.NewSensor(eng.(distrib.Exporter), reg, logger)
+	}
+	srv := &http.Server{Handler: newMux(eng, reg, logger, o.pprof, info)}
 	srvErr := make(chan error, 1)
 	go func() { srvErr <- srv.Serve(ln) }()
-	logger.Info("serving", "addr", ln.Addr().String(), "shards", nShards, "pprof", o.pprof)
+	logger.Info("serving", "addr", ln.Addr().String(), "role", role, "shards", nShards, "pprof", o.pprof)
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
@@ -404,6 +454,116 @@ func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr st
 	return code
 }
 
+// runAggregator is the -role aggregator body: no tailers, no engine, no
+// checkpoint — the process pulls the configured sensors on -sync-every
+// and serves their merged analysis through the same /api/v1 surface.
+func runAggregator(ctx context.Context, o options, logger *slog.Logger, ready func(addr string)) int {
+	if o.sensors == "" {
+		logger.Error("-role aggregator requires -sensors")
+		return 2
+	}
+	if o.logs != "" {
+		logger.Error("-logs is meaningless with -role aggregator (sensors tail the logs)")
+		return 2
+	}
+	if o.checkpoint != "" {
+		logger.Error("-checkpoint is not supported with -role aggregator (sensors own durable state)")
+		return 2
+	}
+	var sensors []string
+	for _, s := range strings.Split(o.sensors, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			sensors = append(sensors, s)
+		}
+	}
+
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		logger.Error("listen", "addr", o.listen, "err", err)
+		return 1
+	}
+	reg := metrics.New()
+
+	cfg := mtls.DefaultConfig()
+	if o.scale > 0 {
+		cfg.CertScale = o.scale
+	}
+	if o.seed != 0 {
+		cfg.Seed = o.seed
+	}
+	in := mtls.InputFromBuild(mtls.Generate(cfg))
+	in.Raw = nil
+	in.Workers = o.workers
+
+	agg, err := distrib.NewAggregator(distrib.Config{
+		Input:    in,
+		Sensors:  sensors,
+		Interval: o.syncEvery,
+		Metrics:  reg,
+		Logger:   logger,
+	})
+	if err != nil {
+		logger.Error("start aggregator", "err", err)
+		ln.Close()
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	aggDone := make(chan struct{})
+	go func() {
+		defer close(aggDone)
+		agg.Run(ctx)
+	}()
+
+	srv := &http.Server{Handler: newMux(agg, reg, logger, o.pprof,
+		daemonInfo{role: "aggregator", agg: agg})}
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.Serve(ln) }()
+	logger.Info("serving", "addr", ln.Addr().String(), "role", "aggregator",
+		"sensors", len(sensors), "sync_every", o.syncEvery.String())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	code := 0
+	select {
+	case err := <-srvErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("http server", "err", err)
+			code = 1
+		}
+		stop()
+	case <-ctx.Done():
+		logger.Info("shutting down", "reason", "signal")
+	}
+	<-aggDone
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+	return code
+}
+
+// daemonInfo is the deployment identity newMux folds into /api/v1/version
+// and /api/v1/stats: which role this process plays, how many engine
+// shards it runs, the snapshot handler to mount (sensor role), and the
+// aggregator whose per-sensor sync state the stats should carry.
+type daemonInfo struct {
+	role   string
+	shards int
+	sensor *distrib.Sensor
+	agg    *distrib.Aggregator
+}
+
+// versionInfo is the /api/v1/version payload: the facade's build
+// identity plus this daemon's deployment shape.
+type versionInfo struct {
+	mtls.Info
+	Role   string `json:"role"`
+	Shards int    `json:"shards"`
+}
+
 // newMux assembles the daemon's routes with per-endpoint request
 // counters and latency histograms. The canonical API lives under
 // /api/v1 and reports failures as a JSON envelope {"error", "code"};
@@ -411,7 +571,10 @@ func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr st
 // Deprecation header pointing at the successor. The reports handler
 // distinguishes an unknown report name (404, a client mistake) from a
 // materialization failure (500, our bug).
-func newMux(eng reporter, reg *metrics.Registry, logger *slog.Logger, withPprof bool) *http.ServeMux {
+func newMux(eng reporter, reg *metrics.Registry, logger *slog.Logger, withPprof bool, info daemonInfo) *http.ServeMux {
+	if info.role == "" {
+		info.role = "monitor"
+	}
 	mux := http.NewServeMux()
 	handle := func(path string, h http.HandlerFunc) {
 		mux.HandleFunc(path, instrument(reg, path, h))
@@ -420,14 +583,23 @@ func newMux(eng reporter, reg *metrics.Registry, logger *slog.Logger, withPprof 
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	}
+	version := func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, versionInfo{Info: mtls.BuildInfo("mtlsd"), Role: info.role, Shards: info.shards})
+	}
 	stats := func(w http.ResponseWriter, r *http.Request) {
 		total, byReason := zeek.RejectTotals(reg)
-		writeJSON(w, daemonStats{
+		ds := daemonStats{
 			Stats:            eng.Stats(),
+			Role:             info.role,
+			Shards:           info.shards,
 			RowsRejected:     total,
 			RejectedByReason: byReason,
 			TailErrors:       tailErrTotal(reg),
-		})
+		}
+		if info.agg != nil {
+			ds.Sensors = info.agg.SensorStatuses()
+		}
+		writeJSON(w, ds)
 	}
 	reports := func(prefix string) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
@@ -450,9 +622,13 @@ func newMux(eng reporter, reg *metrics.Registry, logger *slog.Logger, withPprof 
 	}
 
 	handle("/api/v1/healthz", healthz)
+	handle("/api/v1/version", version)
 	handle("/api/v1/stats", stats)
 	handle("/api/v1/reports", reports("/api/v1/reports"))
 	handle("/api/v1/reports/", reports("/api/v1/reports"))
+	if info.sensor != nil {
+		handle("/api/v1/snapshot", info.sensor.Handler())
+	}
 
 	handle("/healthz", deprecated("/api/v1/healthz", healthz))
 	handle("/stats", deprecated("/api/v1/stats", stats))
@@ -497,9 +673,12 @@ type engine interface {
 // keep working.
 type daemonStats struct {
 	stream.Stats
-	RowsRejected     uint64            // malformed log rows quarantined
-	RejectedByReason map[string]uint64 `json:",omitempty"` // "file/reason" -> count
-	TailErrors       uint64            // tail polls that returned an error
+	Role             string                 // monitor, sensor, or aggregator
+	Shards           int                    // engine shards (0 on aggregators)
+	Sensors          []distrib.SensorStatus `json:",omitempty"` // per-sensor sync state (aggregator role)
+	RowsRejected     uint64                 // malformed log rows quarantined
+	RejectedByReason map[string]uint64      `json:",omitempty"` // "file/reason" -> count
+	TailErrors       uint64                 // tail polls that returned an error
 }
 
 const (

@@ -504,7 +504,7 @@ func TestDaemonListenConflict(t *testing.T) {
 // deterministic.
 func TestReportsHandler500(t *testing.T) {
 	reg := metrics.New()
-	mux := newMux(failingReporter{}, reg, testLogger(t), false)
+	mux := newMux(failingReporter{}, reg, testLogger(t), false, daemonInfo{})
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 

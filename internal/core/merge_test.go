@@ -1,0 +1,191 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/certmodel"
+	"repro/internal/ids"
+	"repro/internal/workload"
+)
+
+// mergeBuild is a small seeded dataset shared by the merge tests.
+var mergeBuild *workload.Build
+
+func mergeInput(t *testing.T) *Input {
+	t.Helper()
+	if mergeBuild == nil {
+		cfg := workload.Default()
+		cfg.Seed = 20240504
+		cfg.CertScale = 300
+		mergeBuild = workload.Generate(cfg)
+	}
+	return inputFromBuild(mergeBuild)
+}
+
+// mergeCerts orders the build's roster deterministically.
+func mergeCerts(b *workload.Build) []*certmodel.CertInfo {
+	certs := make([]*certmodel.CertInfo, 0, len(b.Raw.Certs))
+	for _, c := range b.Raw.Certs {
+		certs = append(certs, c)
+	}
+	sort.Slice(certs, func(i, j int) bool { return certs[i].Fingerprint < certs[j].Fingerprint })
+	return certs
+}
+
+// runBuilder materializes a builder under an empty preprocess report,
+// the common footing the merge tests compare on.
+func runBuilder(b *Builder) *Analysis {
+	return b.Pipeline(&PreprocessReport{}).RunAll()
+}
+
+// TestMergeShardsZeroShards: no shards at all is a valid (empty)
+// deployment — every report materializes without panicking.
+func TestMergeShardsZeroShards(t *testing.T) {
+	in := mergeInput(t)
+	a := runBuilder(MergeShards(in, nil, nil))
+	if got := a.CertStats.Row("Total").Total; got != 0 {
+		t.Errorf("zero shards produced %d certificates", got)
+	}
+}
+
+// TestMergeShardsAllEmpty: shards that admitted nothing merge to the
+// same empty analysis as no shards.
+func TestMergeShardsAllEmpty(t *testing.T) {
+	in := mergeInput(t)
+	empty := runBuilder(MergeShards(in, nil, nil))
+	got := runBuilder(MergeShards(in, []ShardState{{}, {}, {}}, nil))
+	if !reflect.DeepEqual(empty, got) {
+		t.Error("three empty shards differ from zero shards")
+	}
+}
+
+// TestMergeShardsSingleShard: one shard carrying the whole stream is a
+// passthrough — the merge equals a builder fed the same events
+// directly.
+func TestMergeShardsSingleShard(t *testing.T) {
+	in := mergeInput(t)
+	certs := mergeCerts(mergeBuild)
+
+	direct := NewBuilder(in)
+	for _, c := range certs {
+		direct.AddCert(c)
+	}
+	for i := range mergeBuild.Raw.Conns {
+		direct.AddConn(&mergeBuild.Raw.Conns[i])
+	}
+
+	shard := ShardState{Certs: certs}
+	for i := range mergeBuild.Raw.Conns {
+		shard.Conns = append(shard.Conns, mergeBuild.Raw.Conns[i])
+		shard.Seqs = append(shard.Seqs, uint64(i))
+	}
+	got := runBuilder(MergeShards(in, []ShardState{shard}, nil))
+	if !reflect.DeepEqual(runBuilder(direct), got) {
+		t.Error("single-shard merge differs from a directly fed builder")
+	}
+}
+
+// TestMergeShardsInterleaved: connections round-robined across shards
+// replay in global sequence order, reproducing the direct builder.
+func TestMergeShardsInterleaved(t *testing.T) {
+	in := mergeInput(t)
+	certs := mergeCerts(mergeBuild)
+
+	direct := NewBuilder(in)
+	for _, c := range certs {
+		direct.AddCert(c)
+	}
+	for i := range mergeBuild.Raw.Conns {
+		direct.AddConn(&mergeBuild.Raw.Conns[i])
+	}
+
+	shards := make([]ShardState, 3)
+	shards[0].Certs = certs // roster rides one shard; conns spread over all
+	for i := range mergeBuild.Raw.Conns {
+		s := &shards[i%3]
+		s.Conns = append(s.Conns, mergeBuild.Raw.Conns[i])
+		s.Seqs = append(s.Seqs, uint64(i))
+	}
+	got := runBuilder(MergeShards(in, shards, nil))
+	if !reflect.DeepEqual(runBuilder(direct), got) {
+		t.Error("interleaved three-shard merge differs from a directly fed builder")
+	}
+}
+
+// TestMergeShardsDuplicateRoster: a certificate fanned out to several
+// shards is admitted once, first observation wins — a conflicting later
+// copy (same fingerprint, different contents) is ignored.
+func TestMergeShardsDuplicateRoster(t *testing.T) {
+	in := mergeInput(t)
+	certs := mergeCerts(mergeBuild)
+
+	imposter := *certs[0]
+	imposter.SubjectCN = "imposter.example"
+	imposter.IssuerOrg = "Imposter CA"
+
+	base := ShardState{Certs: certs}
+	want := runBuilder(MergeShards(in, []ShardState{base}, nil))
+
+	// The duplicate roster entries — one identical, one conflicting —
+	// land on a second shard and must change nothing.
+	dup := ShardState{Certs: []*certmodel.CertInfo{certs[0], &imposter}}
+	b := MergeShards(in, []ShardState{base, dup}, nil)
+	if c := b.e.ds.Cert(certs[0].Fingerprint); c == nil || c.SubjectCN != certs[0].SubjectCN {
+		t.Error("later duplicate overwrote the first-observed certificate")
+	}
+	if !reflect.DeepEqual(want, runBuilder(b)) {
+		t.Error("duplicate roster fingerprints changed the merged analysis")
+	}
+
+	// Order inverted: the imposter's shard comes first, so its copy of
+	// the fingerprint wins — the guarantee is "first observation", not
+	// "majority".
+	b2 := MergeShards(in, []ShardState{{Certs: []*certmodel.CertInfo{&imposter}}, base}, nil)
+	if c := b2.e.ds.Cert(certs[0].Fingerprint); c == nil || c.SubjectCN != "imposter.example" {
+		t.Error("imposter-first merge did not keep the first-observed copy")
+	}
+}
+
+// TestMergeShardsExcludeFilter: the §3.2 exclusion hook keeps excluded
+// certificates out of the roster and drops connections whose server
+// leaf is excluded.
+func TestMergeShardsExcludeFilter(t *testing.T) {
+	in := mergeInput(t)
+	certs := mergeCerts(mergeBuild)
+
+	// Pick a fingerprint actually used as a server leaf so the conn
+	// filter is exercised.
+	var victim ids.Fingerprint
+	for i := range mergeBuild.Raw.Conns {
+		if sl := mergeBuild.Raw.Conns[i].ServerLeaf(); sl != "" {
+			victim = sl
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no connection with a server leaf in the build")
+	}
+
+	shard := ShardState{Certs: certs}
+	for i := range mergeBuild.Raw.Conns {
+		shard.Conns = append(shard.Conns, mergeBuild.Raw.Conns[i])
+		shard.Seqs = append(shard.Seqs, uint64(i))
+	}
+	excl := func(fp ids.Fingerprint) bool { return fp == victim }
+	merged := MergeShards(in, []ShardState{shard}, excl)
+	if merged.HasCert(victim) {
+		t.Error("excluded certificate survived in the roster")
+	}
+
+	kept := 0
+	for i := range mergeBuild.Raw.Conns {
+		if mergeBuild.Raw.Conns[i].ServerLeaf() != victim {
+			kept++
+		}
+	}
+	if merged.Conns() != kept {
+		t.Errorf("merge kept %d conns, want %d after excluding %s", merged.Conns(), kept, victim)
+	}
+}

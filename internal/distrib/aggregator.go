@@ -1,0 +1,639 @@
+package distrib
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/interception"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// sensorBits is how far each sensor's local sequences are shifted into
+// the aggregator's global replay order: connections replay sensor-major
+// (every connection of sensor i before any of sensor i+1), local order
+// preserved within a sensor. Local sequences must stay below 1<<48 —
+// checked at sync time — which at one event per microsecond is ~9 years
+// of a single sensor's stream.
+const sensorBits = 48
+
+// Config configures an Aggregator.
+type Config struct {
+	// Input is the analysis context every merge replays under (Raw is
+	// ignored; the aggregator accumulates sensor state).
+	Input *core.Input
+	// Sensors are the sensor base addresses ("host:port" or full URLs).
+	Sensors []string
+	// Interval is the per-sensor pull cadence (default 5s). Failures
+	// back off exponentially from Interval, capped at MaxBackoff.
+	Interval time.Duration
+	// MaxBackoff caps the per-sensor failure backoff (default the
+	// tailer's rule: min(32×Interval, 1m)).
+	MaxBackoff time.Duration
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Metrics receives the distrib_* series; nil disables exposition.
+	Metrics *metrics.Registry
+	// Logger receives sync-loop events; nil discards.
+	Logger *slog.Logger
+}
+
+// SensorStatus is one sensor's sync state, served by /api/v1/stats on
+// aggregators — the topology visibility a fleet operator watches.
+type SensorStatus struct {
+	URL           string
+	Schema        int
+	Epoch         uint64
+	Cursor        uint64
+	Certs         int
+	Conns         int
+	ConnsIngested uint64
+	LastSync      time.Time // zero until the first successful sync
+	LastSyncAge   float64   // seconds since LastSync (0 if none)
+	LastError     string    // last sync failure ("" after a success)
+	Syncs         uint64
+	Errors        uint64
+	FullResyncs   uint64
+	Bytes         uint64
+}
+
+// sensorState is one sensor's accumulated raw state plus sync
+// bookkeeping; guarded by the aggregator's mu except inside the
+// sensor's own fetch (network I/O happens unlocked).
+type sensorState struct {
+	url        string
+	schema     int
+	negotiated bool
+
+	epoch  uint64
+	cursor uint64
+
+	certs    []stream.ExportCert
+	conns    []stream.ExportConn
+	evidence *interception.Evidence
+
+	connsIngested uint64
+	certsIngested uint64
+	watermark     time.Time
+
+	version     uint64 // bumped on every state change; the merge cache key
+	lastSync    time.Time
+	lastErr     string
+	syncs       uint64
+	errs        uint64
+	fullResyncs uint64
+	bytes       uint64
+
+	bo backoff
+}
+
+// backoff mirrors the daemon tailer's failure schedule: first failure
+// waits base, doubling to cap, reset on success.
+type backoff struct {
+	base, cap, cur time.Duration
+	until          time.Time
+}
+
+func (b *backoff) failure(now time.Time) {
+	if b.cur == 0 {
+		b.cur = b.base
+	} else {
+		b.cur *= 2
+		if b.cur > b.cap {
+			b.cur = b.cap
+		}
+	}
+	b.until = now.Add(b.cur)
+}
+
+func (b *backoff) success() {
+	b.cur = 0
+	b.until = time.Time{}
+}
+
+func (b *backoff) ready(now time.Time) bool { return !now.Before(b.until) }
+
+type aggMetrics struct {
+	syncs       func(url string) *metrics.Counter
+	syncErrors  func(url string) *metrics.Counter
+	syncBytes   func(url string) *metrics.Counter
+	cursor      func(url string) *metrics.Gauge
+	fullResyncs func(url string) *metrics.Counter
+	merges      *metrics.Counter
+	mergeDur    *metrics.Histogram
+}
+
+// Aggregator pulls N sensors and serves their merged analysis: each
+// sensor's accumulated snapshot stream is one shard, replayed through
+// core.MergeShards under a §3.2 verdict recomputed from the union of
+// raw sensor evidence (interception.Merge). An unreachable sensor backs
+// off and the aggregator keeps serving the last-good merge; the
+// staleness is visible per sensor in SensorStatuses and /metrics.
+type Aggregator struct {
+	cfg    Config
+	client *http.Client
+	logger *slog.Logger
+	m      *aggMetrics
+
+	mu      sync.Mutex
+	sensors []*sensorState
+
+	matMu     sync.Mutex
+	cachedVer []uint64
+	cachedB   *core.Builder
+	cachedPre *core.PreprocessReport
+	merges    uint64
+}
+
+// NewAggregator validates the config and prepares the sensor table; no
+// network traffic until Run or SyncAll.
+func NewAggregator(cfg Config) (*Aggregator, error) {
+	if cfg.Input == nil {
+		return nil, fmt.Errorf("distrib: Config.Input is required")
+	}
+	if len(cfg.Sensors) == 0 {
+		return nil, fmt.Errorf("distrib: at least one sensor is required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 32 * cfg.Interval
+		if cfg.MaxBackoff > time.Minute {
+			cfg.MaxBackoff = time.Minute
+		}
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	a := &Aggregator{
+		cfg:    cfg,
+		client: cfg.Client,
+		logger: cfg.Logger,
+		m: &aggMetrics{
+			syncs: func(u string) *metrics.Counter {
+				return reg.Counter("distrib_syncs_total", "successful sensor syncs", "sensor", u)
+			},
+			syncErrors: func(u string) *metrics.Counter {
+				return reg.Counter("distrib_sync_errors_total", "failed sensor syncs", "sensor", u)
+			},
+			syncBytes: func(u string) *metrics.Counter {
+				return reg.Counter("distrib_sync_bytes_total", "snapshot bytes pulled", "sensor", u)
+			},
+			cursor: func(u string) *metrics.Gauge {
+				return reg.Gauge("distrib_sensor_cursor", "sensor sequence cursor", "sensor", u)
+			},
+			fullResyncs: func(u string) *metrics.Counter {
+				return reg.Counter("distrib_full_resyncs_total", "stale-cursor full re-syncs", "sensor", u)
+			},
+			merges:   reg.Counter("distrib_merges_total", "merged-view rebuilds"),
+			mergeDur: reg.Histogram("distrib_merge_seconds", "merged-view rebuild duration", nil),
+		},
+	}
+	for _, raw := range cfg.Sensors {
+		u := strings.TrimRight(raw, "/")
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		ss := &sensorState{
+			url:    u,
+			schema: SchemaV1,
+			bo:     backoff{base: cfg.Interval, cap: cfg.MaxBackoff},
+		}
+		a.sensors = append(a.sensors, ss)
+		url := u
+		reg.GaugeFunc("distrib_sensor_last_sync_age_seconds",
+			"seconds since the sensor's last successful sync (-1 before the first)",
+			func() float64 {
+				a.mu.Lock()
+				defer a.mu.Unlock()
+				if ss.lastSync.IsZero() {
+					return -1
+				}
+				return time.Since(ss.lastSync).Seconds()
+			}, "sensor", url)
+	}
+	return a, nil
+}
+
+// Run pulls every sensor on the configured interval until ctx is done:
+// one loop per sensor, so a slow or dead sensor never delays the
+// others. The first sync of each sensor happens immediately.
+func (a *Aggregator) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, ss := range a.sensors {
+		wg.Add(1)
+		go func(ss *sensorState) {
+			defer wg.Done()
+			a.syncSensor(ctx, ss)
+			t := time.NewTicker(a.cfg.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case now := <-t.C:
+					a.mu.Lock()
+					due := ss.bo.ready(now)
+					a.mu.Unlock()
+					if due {
+						a.syncSensor(ctx, ss)
+					}
+				}
+			}
+		}(ss)
+	}
+	wg.Wait()
+}
+
+// SyncAll synchronously pulls every sensor once, ignoring backoff — the
+// deterministic hook tests and one-shot tools use. Returns the first
+// error (every sensor is still attempted).
+func (a *Aggregator) SyncAll(ctx context.Context) error {
+	var first error
+	for _, ss := range a.sensors {
+		if err := a.syncSensor(ctx, ss); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// syncSensor performs one negotiation-aware sync of one sensor and
+// records the outcome.
+func (a *Aggregator) syncSensor(ctx context.Context, ss *sensorState) error {
+	err := a.syncOnce(ctx, ss)
+	now := time.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err != nil {
+		ss.errs++
+		ss.lastErr = err.Error()
+		ss.bo.failure(now)
+		a.m.syncErrors(ss.url).Inc()
+		a.logger.Warn("sensor sync failed", "sensor", ss.url, "err", err, "retry_in", ss.bo.cur.String())
+		return err
+	}
+	ss.syncs++
+	ss.lastErr = ""
+	ss.lastSync = now
+	ss.bo.success()
+	a.m.syncs(ss.url).Inc()
+	a.m.cursor(ss.url).Set(float64(ss.cursor))
+	return nil
+}
+
+func (a *Aggregator) syncOnce(ctx context.Context, ss *sensorState) error {
+	a.mu.Lock()
+	negotiated, cursor, epoch := ss.negotiated, ss.cursor, ss.epoch
+	a.mu.Unlock()
+
+	if !negotiated {
+		schema, err := a.negotiate(ctx, ss.url)
+		if err != nil {
+			return err
+		}
+		a.mu.Lock()
+		ss.schema, ss.negotiated = schema, true
+		a.mu.Unlock()
+	}
+
+	snap, n, status, err := a.fetch(ctx, ss, cursor, epoch)
+	if status == http.StatusGone {
+		// The sensor restarted with a new sequence numbering: our
+		// accumulated view of it is unusable. Discard and full-resync.
+		a.logger.Info("sensor cursor stale; full re-sync", "sensor", ss.url)
+		a.mu.Lock()
+		ss.certs, ss.conns, ss.evidence = nil, nil, nil
+		ss.cursor, ss.epoch = 0, 0
+		ss.fullResyncs++
+		ss.version++
+		a.mu.Unlock()
+		a.m.fullResyncs(ss.url).Inc()
+		cursor, epoch = 0, 0
+		snap, n, status, err = a.fetch(ctx, ss, 0, 0)
+	}
+	if status == http.StatusNotAcceptable {
+		// The sensor stopped speaking our schema (upgraded or
+		// downgraded): renegotiate on the next attempt.
+		a.mu.Lock()
+		ss.negotiated = false
+		a.mu.Unlock()
+	}
+	if err != nil {
+		return err
+	}
+	return a.apply(ss, snap, n, cursor)
+}
+
+// negotiate picks the highest snapshot schema both sides support. A
+// sensor without /api/v1/version (an older build) is assumed to speak
+// SchemaV1.
+func (a *Aggregator) negotiate(ctx context.Context, base string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/api/v1/version", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("distrib: version probe: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return SchemaV1, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("distrib: version probe: status %d", resp.StatusCode)
+	}
+	var info struct {
+		SnapshotSchemas []int `json:"snapshot_schemas"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&info); err != nil {
+		return 0, fmt.Errorf("distrib: version decode: %w", err)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	best := -1
+	for _, theirs := range info.SnapshotSchemas {
+		if SchemaSupported(theirs) && theirs > best {
+			best = theirs
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("distrib: no common snapshot schema: sensor speaks %v, this build %v",
+			info.SnapshotSchemas, SupportedSchemas())
+	}
+	return best, nil
+}
+
+// fetch pulls one snapshot. The HTTP status is returned alongside the
+// error so the caller can route 410/406 to their recovery paths.
+func (a *Aggregator) fetch(ctx context.Context, ss *sensorState, cursor, epoch uint64) (*Snapshot, int64, int, error) {
+	url := ss.url + "/api/v1/snapshot?schema=" + strconv.Itoa(ss.schema)
+	if cursor > 0 {
+		url += "&since=" + strconv.FormatUint(cursor, 10) + "&epoch=" + strconv.FormatUint(epoch, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("distrib: pull %s: %w", ss.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, 0, resp.StatusCode,
+			fmt.Errorf("distrib: pull %s: status %d: %s", ss.url, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	cr := &countingReader{r: resp.Body}
+	snap, err := Decode(cr)
+	if err != nil {
+		return nil, cr.n, resp.StatusCode, err
+	}
+	// Read through the end of the body so the connection is released
+	// back to the pool instead of lingering half-read.
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	return snap, cr.n, resp.StatusCode, nil
+}
+
+// apply validates a pulled snapshot against the cursor it answered and
+// folds it into the sensor's accumulated state.
+func (a *Aggregator) apply(ss *sensorState, snap *Snapshot, nbytes int64, cursor uint64) error {
+	if snap.Since != cursor {
+		return fmt.Errorf("distrib: %s answered since %d, asked %d", ss.url, snap.Since, cursor)
+	}
+	if cursor > 0 && snap.Epoch != ss.epoch {
+		return fmt.Errorf("distrib: %s changed epoch mid-delta", ss.url)
+	}
+	for i := range snap.Certs {
+		if snap.Certs[i].Seq >= 1<<sensorBits {
+			return fmt.Errorf("distrib: %s sequence overflow", ss.url)
+		}
+	}
+	for i := range snap.Conns {
+		if snap.Conns[i].Seq >= 1<<sensorBits {
+			return fmt.Errorf("distrib: %s sequence overflow", ss.url)
+		}
+		if snap.Conns[i].Seq < cursor {
+			return fmt.Errorf("distrib: %s delta re-sent sequence %d below cursor %d", ss.url, snap.Conns[i].Seq, cursor)
+		}
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if cursor == 0 {
+		ss.certs = snap.Certs
+		ss.conns = snap.Conns
+	} else {
+		ss.certs = append(ss.certs, snap.Certs...)
+		ss.conns = append(ss.conns, snap.Conns...)
+	}
+	// An empty steady-state delta changes nothing (every state change on
+	// the sensor consumes a sequence number), so it must not invalidate
+	// the merge cache. Evidence is cumulative on the sensor: the latest
+	// snapshot's relations replace (not union with) what we held.
+	if cursor == 0 || len(snap.Certs) > 0 || len(snap.Conns) > 0 {
+		ss.evidence = snap.Evidence
+		ss.version++
+	}
+	ss.epoch = snap.Epoch
+	ss.cursor = snap.NextSeq
+	ss.connsIngested = snap.ConnsIngested
+	ss.certsIngested = snap.CertsIngested
+	ss.watermark = snap.Watermark
+	ss.bytes += uint64(nbytes)
+	a.m.syncBytes(ss.url).Add(uint64(nbytes))
+	return nil
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// merged rebuilds the global Builder from the accumulated sensor states
+// when any changed since the last merge (cached otherwise). Caller
+// holds matMu.
+func (a *Aggregator) merged() (*core.Builder, *core.PreprocessReport) {
+	a.mu.Lock()
+	vers := make([]uint64, len(a.sensors))
+	for i, ss := range a.sensors {
+		vers[i] = ss.version
+	}
+	if a.cachedB != nil && equalVers(vers, a.cachedVer) {
+		a.mu.Unlock()
+		return a.cachedB, a.cachedPre
+	}
+	t0 := time.Now()
+	im := interception.NewMerge(2)
+	states := make([]core.ShardState, len(a.sensors))
+	var rawConns uint64
+	seen := make(map[ids.Fingerprint]bool)
+	rawCerts := 0
+	for i, ss := range a.sensors {
+		certs := make([]*certmodel.CertInfo, 0, len(ss.certs))
+		for _, ec := range ss.certs {
+			certs = append(certs, ec.Cert)
+			if !seen[ec.Cert.Fingerprint] {
+				seen[ec.Cert.Fingerprint] = true
+				rawCerts++
+			}
+		}
+		conns := make([]core.ConnRecord, len(ss.conns))
+		seqs := make([]uint64, len(ss.conns))
+		for j, ec := range ss.conns {
+			conns[j] = ec.Conn
+			seqs[j] = uint64(i)<<sensorBits | ec.Seq
+		}
+		states[i] = core.ShardState{Certs: certs, Conns: conns, Seqs: seqs}
+		rawConns += ss.connsIngested
+		im.AbsorbEvidence(ss.evidence)
+	}
+	a.mu.Unlock()
+
+	res := im.Result()
+	pre := &core.PreprocessReport{
+		InterceptionIssuers: res.Issuers,
+		ExcludedCerts:       len(res.ExcludedCerts),
+		ExcludedShare:       res.ExcludedShare(rawCerts),
+		RawCerts:            rawCerts,
+		RawConns:            int(rawConns),
+	}
+	b := core.MergeShards(a.cfg.Input, states, func(fp ids.Fingerprint) bool {
+		return res.ExcludedCerts[fp]
+	})
+	a.cachedVer, a.cachedB, a.cachedPre = vers, b, pre
+	a.merges++
+	a.m.merges.Inc()
+	a.m.mergeDur.Since(t0)
+	return b, pre
+}
+
+func equalVers(x, y []uint64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WithPipeline runs fn over the merged pipeline; fn must not retain it.
+// Satisfies stream.Materializer, so the aggregator serves the same
+// report registry as a local engine.
+func (a *Aggregator) WithPipeline(fn func(*core.Pipeline)) {
+	a.matMu.Lock()
+	defer a.matMu.Unlock()
+	b, pre := a.merged()
+	fn(b.Pipeline(pre))
+}
+
+// Analysis materializes every table and figure over the merged state.
+func (a *Aggregator) Analysis() *core.Analysis {
+	var out *core.Analysis
+	a.WithPipeline(func(p *core.Pipeline) { out = p.RunAll() })
+	return out
+}
+
+// Report materializes one named report, with the same registry and
+// error taxonomy as the engines.
+func (a *Aggregator) Report(name string) (any, error) {
+	return stream.MaterializeReport(a, name)
+}
+
+// Stats maps the aggregated view onto the engine's Stats shape so the
+// daemon's /api/v1/stats surface is uniform across roles: ingest
+// counters sum the sensors' reported totals, the roster numbers come
+// from the accumulated union, and the §3.2 numbers reflect the merged
+// verdict. Rebuilds counts merges; Dirty means unmerged sensor state.
+func (a *Aggregator) Stats() stream.Stats {
+	a.mu.Lock()
+	var st stream.Stats
+	vers := make([]uint64, len(a.sensors))
+	seen := make(map[ids.Fingerprint]bool)
+	im := interception.NewMerge(2)
+	for i, ss := range a.sensors {
+		vers[i] = ss.version
+		st.ConnsIngested += ss.connsIngested
+		st.CertsIngested += ss.certsIngested
+		st.Retained += len(ss.conns)
+		for _, ec := range ss.certs {
+			seen[ec.Cert.Fingerprint] = true
+		}
+		if ss.watermark.After(st.Watermark) {
+			st.Watermark = ss.watermark
+		}
+		im.AbsorbEvidence(ss.evidence)
+	}
+	a.mu.Unlock()
+	st.UniqueCerts = len(seen)
+	res := im.Result()
+	st.ExcludedCerts = len(res.ExcludedCerts)
+	st.InterceptionIssuers = len(res.Issuers)
+	st.PendingCerts = im.PendingCount()
+
+	a.matMu.Lock()
+	st.Rebuilds = a.merges
+	st.Dirty = a.cachedB == nil || !equalVers(vers, a.cachedVer)
+	a.matMu.Unlock()
+	return st
+}
+
+// SensorStatuses reports each sensor's sync state, ordered as
+// configured.
+func (a *Aggregator) SensorStatuses() []SensorStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]SensorStatus, 0, len(a.sensors))
+	for _, ss := range a.sensors {
+		s := SensorStatus{
+			URL:           ss.url,
+			Schema:        ss.schema,
+			Epoch:         ss.epoch,
+			Cursor:        ss.cursor,
+			Certs:         len(ss.certs),
+			Conns:         len(ss.conns),
+			ConnsIngested: ss.connsIngested,
+			LastSync:      ss.lastSync,
+			LastError:     ss.lastErr,
+			Syncs:         ss.syncs,
+			Errors:        ss.errs,
+			FullResyncs:   ss.fullResyncs,
+			Bytes:         ss.bytes,
+		}
+		if !ss.lastSync.IsZero() {
+			s.LastSyncAge = time.Since(ss.lastSync).Seconds()
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package distrib
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// The stream layout is strict and therefore canonical: the magic
+// string, a header frame, zero or more certificate frames, zero or more
+// connection frames, one evidence frame, and a trailer frame carrying
+// the record counts (so a truncated stream is detected even when it
+// ends on a frame boundary). Each frame is one type byte, a uvarint
+// payload length, and a JSON payload. Records travel in bounded batches
+// — frameRecords per frame — so encoding streams in O(batch) memory and
+// a snapshot larger than any single HTTP buffer flows through cleanly.
+const (
+	magic = "MTLSSNAP"
+
+	frameHeader   = 'H'
+	frameCerts    = 'C'
+	frameConns    = 'N'
+	frameEvidence = 'E'
+	frameTrailer  = 'T'
+
+	// frameRecords is the encoder's records-per-frame batch size.
+	frameRecords = 512
+	// maxFrame bounds a declared payload length; a hostile length
+	// prefix must not make the decoder allocate unbounded memory.
+	maxFrame = 64 << 20
+)
+
+// ErrSchema marks a snapshot whose schema version this build cannot
+// decode; the puller should renegotiate via /api/v1/version.
+var ErrSchema = errors.New("distrib: unsupported snapshot schema")
+
+// errCodec prefixes decode failures; hostile bytes yield errors
+// wrapping it, never panics.
+var errCodec = errors.New("distrib: snapshot decode")
+
+// header is the 'H' frame payload: everything about the snapshot except
+// its records.
+type header struct {
+	Schema        int
+	Epoch         uint64
+	Since         uint64
+	NextSeq       uint64
+	ConnsIngested uint64
+	CertsIngested uint64
+	Watermark     time.Time
+}
+
+// trailer is the 'T' frame payload: total record counts for truncation
+// detection.
+type trailer struct {
+	Certs int
+	Conns int
+}
+
+// Encode writes s as one framed snapshot stream. The output is
+// canonical: encoding the result of Decode reproduces the bytes
+// Decode's input would have had under this encoder (JSON map keys are
+// sorted, batch boundaries are fixed, and the frame order is strict),
+// which is what the fuzz harness pins.
+func Encode(w io.Writer, s *Snapshot) error {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return err
+	}
+	h := header{
+		Schema:        s.Schema,
+		Epoch:         s.Epoch,
+		Since:         s.Since,
+		NextSeq:       s.NextSeq,
+		ConnsIngested: s.ConnsIngested,
+		CertsIngested: s.CertsIngested,
+		Watermark:     s.Watermark,
+	}
+	if err := writeFrame(w, frameHeader, h); err != nil {
+		return err
+	}
+	for off := 0; off < len(s.Certs); off += frameRecords {
+		end := min(off+frameRecords, len(s.Certs))
+		if err := writeFrame(w, frameCerts, s.Certs[off:end]); err != nil {
+			return err
+		}
+	}
+	for off := 0; off < len(s.Conns); off += frameRecords {
+		end := min(off+frameRecords, len(s.Conns))
+		if err := writeFrame(w, frameConns, s.Conns[off:end]); err != nil {
+			return err
+		}
+	}
+	if err := writeFrame(w, frameEvidence, s.Evidence); err != nil {
+		return err
+	}
+	return writeFrame(w, frameTrailer, trailer{Certs: len(s.Certs), Conns: len(s.Conns)})
+}
+
+func writeFrame(w io.Writer, typ byte, payload any) error {
+	buf, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("distrib: snapshot encode: %w", err)
+	}
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = typ
+	n := binary.PutUvarint(hdr[1:], uint64(len(buf)))
+	if _, err := w.Write(hdr[:1+n]); err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Decode reads one framed snapshot stream, validating as it goes:
+// unknown frame types, out-of-order frames, oversized or truncated
+// payloads, malformed JSON, schema versions this build does not speak,
+// non-positive connection weights, unkeyed certificates, sequence-order
+// violations, record counts disagreeing with the trailer, and time
+// values JSON cannot re-encode are all errors — never panics. A decoded
+// snapshot therefore always re-encodes cleanly and is safe to hand to
+// the merge path.
+func Decode(r io.Reader) (*Snapshot, error) {
+	br := &byteReader{r: r}
+	var m [len(magic)]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: magic: %v", errCodec, err)
+	}
+	if string(m[:]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", errCodec, m)
+	}
+
+	s := &Snapshot{}
+	var tr *trailer
+	seenHeader, seenEvidence := false, false
+	// stage enforces the strict frame order: each frame type may only
+	// appear at or after its stage, and record frames may not follow
+	// the evidence frame.
+	stage := 0 // 0=header 1=certs 2=conns 3=evidence 4=trailer
+	for tr == nil {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case frameHeader:
+			if stage > 0 {
+				return nil, fmt.Errorf("%w: duplicate header frame", errCodec)
+			}
+			var h header
+			if err := json.Unmarshal(payload, &h); err != nil {
+				return nil, fmt.Errorf("%w: header: %v", errCodec, err)
+			}
+			if !SchemaSupported(h.Schema) {
+				return nil, fmt.Errorf("%w: schema %d", ErrSchema, h.Schema)
+			}
+			if !jsonSafeTime(h.Watermark) {
+				return nil, fmt.Errorf("%w: watermark year out of range", errCodec)
+			}
+			s.Schema = h.Schema
+			s.Epoch, s.Since, s.NextSeq = h.Epoch, h.Since, h.NextSeq
+			s.ConnsIngested, s.CertsIngested = h.ConnsIngested, h.CertsIngested
+			s.Watermark = h.Watermark
+			seenHeader = true
+			stage = 1
+		case frameCerts:
+			if !seenHeader || stage > 1 {
+				return nil, fmt.Errorf("%w: certificate frame out of order", errCodec)
+			}
+			var batch []stream.ExportCert
+			if err := json.Unmarshal(payload, &batch); err != nil {
+				return nil, fmt.Errorf("%w: certs: %v", errCodec, err)
+			}
+			for i := range batch {
+				c := batch[i].Cert
+				if c == nil || c.Fingerprint == "" {
+					return nil, fmt.Errorf("%w: unkeyed certificate", errCodec)
+				}
+				if !jsonSafeTime(c.NotBefore) || !jsonSafeTime(c.NotAfter) {
+					return nil, fmt.Errorf("%w: certificate date year out of range", errCodec)
+				}
+				if n := len(s.Certs); n > 0 {
+					prev := s.Certs[n-1]
+					if batch[i].Seq < prev.Seq ||
+						(batch[i].Seq == prev.Seq && c.Fingerprint <= prev.Cert.Fingerprint) {
+						return nil, fmt.Errorf("%w: certificate order violation at %d", errCodec, n)
+					}
+				}
+				s.Certs = append(s.Certs, batch[i])
+			}
+		case frameConns:
+			if !seenHeader || stage > 2 {
+				return nil, fmt.Errorf("%w: connection frame out of order", errCodec)
+			}
+			stage = 2
+			var batch []stream.ExportConn
+			if err := json.Unmarshal(payload, &batch); err != nil {
+				return nil, fmt.Errorf("%w: conns: %v", errCodec, err)
+			}
+			for i := range batch {
+				if batch[i].Conn.Weight < 1 {
+					return nil, fmt.Errorf("%w: connection weight below 1", errCodec)
+				}
+				if !jsonSafeTime(batch[i].Conn.TS) {
+					return nil, fmt.Errorf("%w: connection timestamp year out of range", errCodec)
+				}
+				if n := len(s.Conns); n > 0 && batch[i].Seq <= s.Conns[n-1].Seq {
+					return nil, fmt.Errorf("%w: connection sequence not ascending at %d", errCodec, n)
+				}
+				s.Conns = append(s.Conns, batch[i])
+			}
+		case frameEvidence:
+			if !seenHeader || seenEvidence {
+				return nil, fmt.Errorf("%w: evidence frame out of order", errCodec)
+			}
+			if err := json.Unmarshal(payload, &s.Evidence); err != nil {
+				return nil, fmt.Errorf("%w: evidence: %v", errCodec, err)
+			}
+			if s.Evidence != nil && s.Evidence.Pending < 0 {
+				return nil, fmt.Errorf("%w: negative pending count", errCodec)
+			}
+			seenEvidence = true
+			stage = 3
+		case frameTrailer:
+			if !seenEvidence {
+				return nil, fmt.Errorf("%w: trailer before evidence", errCodec)
+			}
+			tr = &trailer{}
+			if err := json.Unmarshal(payload, tr); err != nil {
+				return nil, fmt.Errorf("%w: trailer: %v", errCodec, err)
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown frame type %q", errCodec, typ)
+		}
+	}
+	if tr.Certs != len(s.Certs) || tr.Conns != len(s.Conns) {
+		return nil, fmt.Errorf("%w: trailer counts %d/%d, stream carried %d/%d",
+			errCodec, tr.Certs, tr.Conns, len(s.Certs), len(s.Conns))
+	}
+	return s, nil
+}
+
+func readFrame(br *byteReader) (byte, []byte, error) {
+	typ, err := br.ReadByte()
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: frame type: %v", errCodec, err)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: frame length: %v", errCodec, err)
+	}
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: frame length %d exceeds %d", errCodec, n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated frame: %v", errCodec, err)
+	}
+	return typ, payload, nil
+}
+
+// jsonSafeTime reports whether t survives a JSON round trip: Go's
+// time.Time.MarshalJSON refuses years outside [1, 9999], so a decoded
+// snapshot carrying one could never be re-encoded.
+func jsonSafeTime(t time.Time) bool {
+	y := t.Year()
+	return y >= 1 && y <= 9999
+}
+
+// byteReader adapts an io.Reader for binary.ReadUvarint without
+// buffering past frame boundaries.
+type byteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (b *byteReader) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}

@@ -1,0 +1,155 @@
+package distrib
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+func inputFromBuild(b *workload.Build) *core.Input {
+	return &core.Input{
+		Raw:           b.Raw,
+		CT:            b.CT,
+		Bundle:        b.Bundle,
+		CampusIssuers: b.CampusIssuers,
+		Assoc: core.AssocMap{
+			HealthSLDs:     b.Assoc.HealthSLDs,
+			UniversitySLDs: b.Assoc.UniversitySLDs,
+			VPNHostPrefix:  b.Assoc.VPNHostPrefix,
+			LocalOrgSLDs:   b.Assoc.LocalOrgSLDs,
+			ThirdPartySLDs: b.Assoc.ThirdPartySLDs,
+			GlobusSLDs:     b.Assoc.GlobusSLDs,
+		},
+		Plan:   b.Plan,
+		Months: b.Months,
+	}
+}
+
+func genBuild(seed uint64, scale int) *workload.Build {
+	cfg := workload.Default()
+	cfg.Seed = seed
+	cfg.CertScale = scale
+	return workload.Generate(cfg)
+}
+
+// exportedSnapshot drains a build through an exporting engine and wraps
+// the full export.
+func exportedSnapshot(t *testing.T, seed uint64, scale int) *Snapshot {
+	t.Helper()
+	b := genBuild(seed, scale)
+	in := inputFromBuild(b)
+	in.Raw = nil
+	e, err := stream.New(stream.Config{Input: in, TrackExport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	for _, c := range b.Raw.Certs {
+		e.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c})
+	}
+	for i := range b.Raw.Conns {
+		e.IngestConn(&b.Raw.Conns[i])
+	}
+	e.Drain()
+	st, err := e.Export(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromExport(st)
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	s := exportedSnapshot(t, 20240504, 600)
+	if len(s.Certs) == 0 || len(s.Conns) == 0 || s.Evidence == nil {
+		t.Fatal("snapshot is vacuous")
+	}
+
+	var b1 bytes.Buffer
+	if err := Encode(&b1, s); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := Decode(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Schema != SchemaV1 || d1.Epoch != s.Epoch || d1.NextSeq != s.NextSeq {
+		t.Fatalf("header drifted: %+v", d1)
+	}
+	if len(d1.Certs) != len(s.Certs) || len(d1.Conns) != len(s.Conns) {
+		t.Fatalf("record counts drifted: %d/%d certs, %d/%d conns",
+			len(d1.Certs), len(s.Certs), len(d1.Conns), len(s.Conns))
+	}
+
+	// Canonical form: encode(decode(bytes)) is byte-identical, and a
+	// second round trip is a fixed point.
+	var b2 bytes.Buffer
+	if err := Encode(&b2, d1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("re-encode is not byte-identical")
+	}
+	d2, err := Decode(bytes.NewReader(b2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d1.Evidence, d2.Evidence) || len(d1.Conns) != len(d2.Conns) {
+		t.Fatal("second decode drifted")
+	}
+}
+
+func TestCodecEmptySnapshot(t *testing.T) {
+	s := &Snapshot{Schema: SchemaV1, Epoch: 42, NextSeq: 0, Watermark: time.Time{}.AddDate(0, 0, 1)}
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Certs) != 0 || len(d.Conns) != 0 || d.Epoch != 42 {
+		t.Fatalf("empty snapshot drifted: %+v", d)
+	}
+}
+
+func TestCodecRejects(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		if err := Encode(&buf, exportedSnapshot(t, 7, 200)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	cases := map[string][]byte{
+		"empty":            {},
+		"bad magic":        []byte("NOTASNAP"),
+		"magic only":       []byte(magic),
+		"truncated frame":  valid[:len(valid)-3],
+		"no trailer":       valid[:len(valid)/2],
+		"garbage payload":  append([]byte(magic), frameHeader, 4, 'a', 'b', 'c', 'd'),
+		"oversized length": append([]byte(magic), frameHeader, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01),
+		"unknown frame":    append([]byte(magic), 'Z', 2, '{', '}'),
+	}
+	for name, in := range cases {
+		if _, err := Decode(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: decode accepted hostile input", name)
+		}
+	}
+
+	// A schema from the future is refused with ErrSchema specifically.
+	var buf bytes.Buffer
+	if err := Encode(&buf, &Snapshot{Schema: 999}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrSchema) {
+		t.Errorf("future schema: err = %v, want ErrSchema", err)
+	}
+}

@@ -1,0 +1,79 @@
+package distrib
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/interception"
+	"repro/internal/stream"
+)
+
+// tinySnapshot is a small deterministic snapshot (no clock reads) used
+// to seed the fuzzer with a structurally valid stream.
+func tinySnapshot() *Snapshot {
+	ts := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	cert := &certmodel.CertInfo{
+		Fingerprint: "fp1", SerialHex: "0A", Version: 3,
+		IssuerOrg: "Issuer", SubjectCN: "host.example",
+		NotBefore: ts, NotAfter: ts.AddDate(1, 0, 0),
+	}
+	return &Snapshot{
+		Schema: SchemaV1, Epoch: 7, NextSeq: 2, ConnsIngested: 1, CertsIngested: 1,
+		Watermark: ts,
+		Certs:     []stream.ExportCert{{Seq: 0, Cert: cert}},
+		Conns: []stream.ExportConn{{Seq: 1, Conn: core.ConnRecord{
+			TS: ts, UID: "C1", SNI: "host.example", Established: true,
+			ServerChain: []ids.Fingerprint{"fp1"}, Weight: 3,
+		}}},
+		Evidence: &interception.Evidence{
+			Observed:     map[string]map[ids.Fingerprint]bool{"Issuer": {"fp1": true}},
+			Contradicted: map[string]map[string]bool{"Issuer": {"example.com": true}},
+		},
+	}
+}
+
+// FuzzSnapshotDecode pins the codec's two hard properties: hostile
+// bytes never panic the decoder, and any stream the decoder accepts
+// re-encodes to a canonical fixed point — encode(decode(x)) decodes to
+// the same snapshot and re-encodes byte-identically.
+func FuzzSnapshotDecode(f *testing.F) {
+	var valid bytes.Buffer
+	if err := Encode(&valid, tinySnapshot()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add([]byte("NOTASNAP"))
+	f.Add(valid.Bytes()[:len(valid.Bytes())-2])
+	f.Add(append([]byte(magic), frameHeader, 2, '{', '}'))
+	f.Add(append([]byte(magic), 'Z', 0))
+	f.Add(bytes.Replace(valid.Bytes(), []byte(`"Weight":3`), []byte(`"Weight":0`), 1))
+	f.Add(bytes.Replace(valid.Bytes(), []byte(`"Schema":1`), []byte(`"Schema":9`), 1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var b1 bytes.Buffer
+		if err := Encode(&b1, s); err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		s2, err := Decode(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical bytes failed to decode: %v", err)
+		}
+		var b2 bytes.Buffer
+		if err := Encode(&b2, s2); err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatal("encode(decode(encode(decode(x)))) is not byte-identical")
+		}
+	})
+}

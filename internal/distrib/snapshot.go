@@ -1,0 +1,83 @@
+// Package distrib makes the sharded engine's merge cross the network:
+// a sensor (an mtlsd tailing one vantage point's logs) serializes its
+// raw engine state — connections in global sequence order, the
+// first-wins certificate roster, raw §3.2 detector evidence — and an
+// aggregator pulls N sensors, treats each as one shard, and rebuilds
+// the global analysis with exactly the code path the in-process sharded
+// engine uses (core.MergeShards + interception.Merge). Verdicts never
+// travel: evidence split across sensors must corroborate at the merge
+// point, which per-sensor verdicts would lose.
+//
+// The wire format is versioned and self-describing (a magic string, a
+// schema-stamped header, length-prefixed frames), streams in bounded
+// batches so a snapshot never has to fit one buffer, and supports
+// cursor-based deltas: a snapshot carries the sensor's (epoch, NextSeq)
+// cursor, and requesting since=<cursor> returns only records first
+// observed at or after it. A sensor restarted without its checkpoint
+// renumbers under a fresh epoch and refuses old cursors as stale, which
+// the aggregator answers with a full re-sync.
+package distrib
+
+import (
+	"time"
+
+	"repro/internal/interception"
+	"repro/internal/stream"
+)
+
+// SchemaV1 is the first snapshot schema: JSON frame payloads carrying
+// stream.ExportCert / stream.ExportConn records and raw
+// interception.Evidence.
+const SchemaV1 = 1
+
+// SupportedSchemas lists the snapshot schema versions this build can
+// decode, newest first — the negotiation set /api/v1/version reports.
+func SupportedSchemas() []int { return []int{SchemaV1} }
+
+// SchemaSupported reports whether this build can serve or decode the
+// given schema version.
+func SchemaSupported(v int) bool {
+	for _, s := range SupportedSchemas() {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot is one decoded sensor state: the wire-level form of a
+// stream.ExportState, stamped with the schema it traveled under.
+// Full snapshots have Since 0; deltas carry the cursor they answer and
+// only records at or after it. Evidence is always the sensor's full
+// cumulative detector state.
+type Snapshot struct {
+	Schema int
+
+	Epoch   uint64
+	Since   uint64
+	NextSeq uint64
+
+	ConnsIngested uint64
+	CertsIngested uint64
+	Watermark     time.Time
+
+	Certs    []stream.ExportCert
+	Conns    []stream.ExportConn
+	Evidence *interception.Evidence
+}
+
+// FromExport wraps an engine export as a wire snapshot.
+func FromExport(st *stream.ExportState) *Snapshot {
+	return &Snapshot{
+		Schema:        SchemaV1,
+		Epoch:         st.Epoch,
+		Since:         st.Since,
+		NextSeq:       st.NextSeq,
+		ConnsIngested: st.ConnsIngested,
+		CertsIngested: st.CertsIngested,
+		Watermark:     st.Watermark,
+		Certs:         st.Certs,
+		Conns:         st.Conns,
+		Evidence:      st.Evidence,
+	}
+}

@@ -1,0 +1,92 @@
+package interception
+
+import (
+	"reflect"
+	"testing"
+)
+
+// streamOver drains a subset of the scenario dataset (certs first, then
+// the given conn indices) through a fresh Stream.
+func streamOver(t *testing.T, connIdx ...int) *Stream {
+	t.Helper()
+	ds, det := buildScenario(t)
+	s := det.NewStream(ds.Cert)
+	for _, c := range ds.Certs {
+		s.ObserveCert(c)
+	}
+	if len(connIdx) == 0 {
+		for i := range ds.Conns {
+			s.Observe(&ds.Conns[i])
+		}
+	} else {
+		for _, i := range connIdx {
+			s.Observe(&ds.Conns[i])
+		}
+	}
+	return s
+}
+
+func TestAbsorbEvidenceMatchesAbsorb(t *testing.T) {
+	s := streamOver(t)
+
+	direct := NewMerge(2)
+	direct.Absorb(s)
+	viaEv := NewMerge(2)
+	viaEv.AbsorbEvidence(s.Evidence())
+
+	if got, want := viaEv.Result(), direct.Result(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("AbsorbEvidence result = %+v, want %+v", got, want)
+	}
+	if viaEv.PendingCount() != direct.PendingCount() {
+		t.Fatalf("pending %d != %d", viaEv.PendingCount(), direct.PendingCount())
+	}
+}
+
+func TestEvidenceCorroboratesAcrossSources(t *testing.T) {
+	// Split the scenario's connections across two streams so the proxy
+	// issuer is contradicted on different domains at each source; only
+	// the merged evidence crosses the MinDomains threshold.
+	a := streamOver(t, 0)
+	b := streamOver(t, 1)
+	if len(a.Result().Issuers) != 0 || len(b.Result().Issuers) != 0 {
+		t.Fatal("scenario is vacuous: a single source already confirms the issuer")
+	}
+
+	m := NewMerge(2)
+	m.AbsorbEvidence(a.Evidence())
+	m.AbsorbEvidence(b.Evidence())
+	res := m.Result()
+	if len(res.Issuers) != 1 || res.Issuers[0] != "Sneaky Inspection CA" {
+		t.Fatalf("merged issuers = %v", res.Issuers)
+	}
+	if len(res.ExcludedCerts) != 2 {
+		t.Fatalf("merged exclusions = %d, want 2", len(res.ExcludedCerts))
+	}
+
+	// A Merge's own Evidence() must round-trip through AbsorbEvidence.
+	re := NewMerge(2)
+	re.AbsorbEvidence(m.Evidence())
+	if !reflect.DeepEqual(re.Result(), res) {
+		t.Fatal("Merge.Evidence did not round-trip")
+	}
+}
+
+func TestEvidenceIsDeepCopy(t *testing.T) {
+	s := streamOver(t)
+	ev := s.Evidence()
+	for _, fps := range ev.Observed {
+		for fp := range fps {
+			delete(fps, fp)
+		}
+	}
+	for _, doms := range ev.Contradicted {
+		for d := range doms {
+			delete(doms, d)
+		}
+	}
+	// Mutating the snapshot must not leak into the stream's verdict.
+	res := s.Result()
+	if len(res.Issuers) != 1 {
+		t.Fatalf("stream verdict corrupted by snapshot mutation: %v", res.Issuers)
+	}
+}

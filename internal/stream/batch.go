@@ -148,7 +148,7 @@ func (e *Engine) applyBatchLocked(b *batch) {
 		// 1.25× growth regime there costs ~4× the final size in copy churn
 		// (half the benchmark's allocated bytes before this). Double instead.
 		e.conns = grown(e.conns, len(b.conns))
-		if e.cfg.trackSeqs {
+		if e.seqTracked() {
 			e.seqs = grown(e.seqs, len(b.conns))
 		}
 		e.b.GrowConns(len(b.conns))
@@ -276,6 +276,8 @@ func (s *Sharded) IngestCertBatch(recs []core.CertRecord) int {
 		}
 		if ent.cert == nil {
 			ent.cert = rec.Cert
+			ent.seq = s.nextSeq
+			s.nextSeq++
 			s.uniqueCerts++
 			ent.waiting |= uint64(1) << s.home(string(fp))
 		}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/certmodel"
 	"repro/internal/core"
+	"repro/internal/ids"
 	"repro/internal/interception"
 )
 
@@ -36,9 +37,17 @@ type checkpointState struct {
 	Conns        []core.ConnRecord
 	Interception *interception.StreamState
 	// Seqs are the retained connections' global ingest sequences when the
-	// engine is a shard of a sharded deployment (nil for a standalone
-	// engine; gob tolerates the absent field in old checkpoints).
+	// engine tracks sequences — as a shard of a sharded deployment or
+	// under TrackExport (nil otherwise; gob tolerates the absent field in
+	// old checkpoints).
 	Seqs []uint64
+	// Export-cursor state (TrackExport engines): the numbering epoch, the
+	// next sequence, and each roster fingerprint's admission sequence.
+	// Zero/nil in checkpoints from engines without export, in which case
+	// a TrackExport restore renumbers under a fresh epoch.
+	Epoch    uint64
+	NextSeq  uint64
+	CertSeqs map[ids.Fingerprint]uint64
 }
 
 // WriteCheckpoint serializes the engine state (plus the caller's cursor)
@@ -64,6 +73,14 @@ func (e *Engine) WriteCheckpoint(path string, cursor map[string]int64) error {
 		Conns:        append([]core.ConnRecord(nil), e.conns...),
 		Interception: e.icpt.Snapshot(),
 		Seqs:         append([]uint64(nil), e.seqs...),
+		Epoch:        e.epoch,
+		NextSeq:      e.nextSeq,
+	}
+	if e.cfg.TrackExport {
+		st.CertSeqs = make(map[ids.Fingerprint]uint64, len(e.certSeqs))
+		for fp, seq := range e.certSeqs {
+			st.CertSeqs[fp] = seq
+		}
 	}
 	for _, c := range e.roster {
 		st.Roster = append(st.Roster, c)
@@ -147,12 +164,36 @@ func Restore(cfg Config, path string) (*Engine, map[string]int64, error) {
 	}
 	e.conns = st.Conns
 	e.seqs = st.Seqs
-	if !cfg.trackSeqs {
+	if !e.seqTracked() {
 		// A checkpoint written by a sequence-tracking shard restores fine
 		// into a standalone (or n=1 passthrough) engine; the sequences are
 		// meaningless without a merge, so drop them rather than letting
 		// them fall out of alignment with future appends.
 		e.seqs = nil
+	}
+	if cfg.TrackExport {
+		if st.Epoch != 0 && len(st.Seqs) == len(st.Conns) {
+			// The checkpoint carries export state: resume the numbering so
+			// cursors taken before the restart keep working.
+			e.epoch = st.Epoch
+			e.nextSeq = st.NextSeq
+			for fp, seq := range st.CertSeqs {
+				e.certSeqs[fp] = seq
+			}
+		} else {
+			// Pre-export checkpoint: renumber everything under the fresh
+			// epoch New assigned, so exports are internally consistent and
+			// cursors against the old process are refused as stale.
+			e.seqs = make([]uint64, 0, len(e.conns))
+			for fp := range e.roster {
+				e.certSeqs[fp] = e.nextSeq
+				e.nextSeq++
+			}
+			for range e.conns {
+				e.seqs = append(e.seqs, e.nextSeq)
+				e.nextSeq++
+			}
+		}
 	}
 	e.icpt = e.det.RestoreStream(e.lookupCert, st.Interception)
 	e.dirty = true // derived state does not exist yet; rebuild on demand

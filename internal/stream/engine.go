@@ -93,6 +93,15 @@ type Config struct {
 	// into a private registry so call sites stay unconditional.
 	Metrics *metrics.Registry
 
+	// TrackExport makes the engine assign a global ingest sequence to
+	// every applied connection and first-observed certificate, enabling
+	// Export — the cursor-addressable snapshot a sensor serves to an
+	// aggregator. Sequences live in one number space (certificates and
+	// connections interleave), so a single cursor covers both. Off by
+	// default: the bookkeeping is one map insert per unique certificate
+	// and one counter increment per connection.
+	TrackExport bool
+
 	// trackSeqs makes the engine record each connection's global ingest
 	// sequence alongside the retained record, so a sharded deployment can
 	// k-way merge shard-local streams back into the single-stream order.
@@ -167,9 +176,20 @@ type Engine struct {
 	roster map[ids.Fingerprint]*certmodel.CertInfo
 	conns  []core.ConnRecord
 	// seqs aligns with conns (global ingest sequence per retained
-	// connection) when cfg.trackSeqs is set; nil otherwise.
+	// connection) when the engine tracks sequences — cfg.trackSeqs (the
+	// sharded router stamps them) or cfg.TrackExport (the engine assigns
+	// its own); nil otherwise.
 	seqs []uint64
 	icpt *interception.Stream
+
+	// Export-cursor state, meaningful only under cfg.TrackExport: the
+	// next sequence to assign, the per-fingerprint admission sequence,
+	// and the epoch that scopes cursors to this sequence numbering (a
+	// fresh engine gets a fresh epoch, so a cursor taken against a
+	// predecessor is detectably stale rather than silently wrong).
+	nextSeq  uint64
+	certSeqs map[ids.Fingerprint]uint64
+	epoch    uint64
 
 	// Derived state — the batch pipeline's enriched views, kept current
 	// incrementally; rebuilt from raw state when dirty.
@@ -208,6 +228,10 @@ func New(cfg Config) (*Engine, error) {
 		done:   make(chan struct{}),
 		roster: make(map[ids.Fingerprint]*certmodel.CertInfo),
 	}
+	if cfg.TrackExport {
+		e.certSeqs = make(map[ids.Fingerprint]uint64)
+		e.epoch = newEpoch()
+	}
 	// The detector must match the batch preprocess exactly (core uses
 	// MinDomains 2 over the default PSL).
 	e.det = &interception.Detector{
@@ -222,6 +246,10 @@ func New(cfg Config) (*Engine, error) {
 
 // lookupCert is the detector's certificate source: the raw roster.
 func (e *Engine) lookupCert(fp ids.Fingerprint) *certmodel.CertInfo { return e.roster[fp] }
+
+// seqTracked reports whether the retained connections carry aligned
+// sequence stamps (router-assigned or self-assigned for export).
+func (e *Engine) seqTracked() bool { return e.cfg.trackSeqs || e.cfg.TrackExport }
 
 // resetBuilderLocked replaces the derived state with an empty Builder.
 func (e *Engine) resetBuilderLocked() {
@@ -372,6 +400,10 @@ func (e *Engine) applyCertLocked(c *certmodel.CertInfo) {
 	}
 	e.stateVer.Add(1)
 	e.roster[c.Fingerprint] = c
+	if e.cfg.TrackExport {
+		e.certSeqs[c.Fingerprint] = e.nextSeq
+		e.nextSeq++
+	}
 	e.icpt.ObserveCert(c)
 	if e.icpt.Gen() != e.bGen {
 		e.dirty = true
@@ -402,7 +434,11 @@ func (e *Engine) applyConnLocked(rec *core.ConnRecord, seq uint64) {
 		e.watermark = rec.TS
 	}
 	e.conns = append(e.conns, *rec)
-	if e.cfg.trackSeqs {
+	if e.cfg.TrackExport {
+		seq = e.nextSeq
+		e.nextSeq++
+	}
+	if e.seqTracked() {
 		e.seqs = append(e.seqs, seq)
 	}
 	stored := &e.conns[len(e.conns)-1]
@@ -453,13 +489,13 @@ func (e *Engine) evictLocked() {
 	cutoff := e.watermark.Add(-e.cfg.Retention)
 	kept := make([]core.ConnRecord, 0, len(e.conns))
 	var keptSeqs []uint64
-	if e.cfg.trackSeqs {
+	if e.seqTracked() {
 		keptSeqs = make([]uint64, 0, len(e.seqs))
 	}
 	for i := range e.conns {
 		if !e.conns[i].TS.Before(cutoff) {
 			kept = append(kept, e.conns[i])
-			if e.cfg.trackSeqs {
+			if e.seqTracked() {
 				keptSeqs = append(keptSeqs, e.seqs[i])
 			}
 		}

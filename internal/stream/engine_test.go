@@ -1,18 +1,82 @@
 package stream
 
 import (
+	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 
-	mtls "repro"
 	"repro/internal/certmodel"
 	"repro/internal/core"
+	"repro/internal/ids"
 	"repro/internal/report"
 	"repro/internal/workload"
 	"repro/internal/zeek"
 )
+
+// writeReplayLogs persists the dataset as ssl.log/x509.log in dir —
+// the zeek-writer core of mtls.WriteLogs, inlined here because the
+// facade package now depends on this one (via internal/distrib) and an
+// in-package test cannot import it back.
+func writeReplayLogs(t *testing.T, ds *zeek.Dataset, dir string) {
+	t.Helper()
+	sslF, err := os.Create(filepath.Join(dir, "ssl.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sslF.Close()
+	sw := zeek.NewSSLWriter(sslF)
+	for i := range ds.Conns {
+		if err := sw.Write(&ds.Conns[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	certs := make([]*certmodel.CertInfo, 0, len(ds.Certs))
+	for _, c := range ds.Certs {
+		certs = append(certs, c)
+	}
+	sort.Slice(certs, func(i, j int) bool { return certs[i].Fingerprint < certs[j].Fingerprint })
+	x509F, err := os.Create(filepath.Join(dir, "x509.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x509F.Close()
+	xw := zeek.NewX509Writer(x509F)
+	for _, c := range certs {
+		rec := zeek.X509Record{TS: c.NotBefore, ID: ids.NewFileID(c.Fingerprint), Cert: c}
+		if err := xw.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := xw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// openReplayLogs reloads a pair written by writeReplayLogs (strict).
+func openReplayLogs(t *testing.T, dir string) *zeek.Dataset {
+	t.Helper()
+	sslF, err := os.Open(filepath.Join(dir, "ssl.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sslF.Close()
+	x509F, err := os.Open(filepath.Join(dir, "x509.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x509F.Close()
+	ds, err := zeek.LoadDataset(sslF, x509F)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
 
 func inputFromBuild(b *workload.Build) *core.Input {
 	return &core.Input{
@@ -444,15 +508,10 @@ func TestIngestRejectsInvalid(t *testing.T) {
 func TestLogReplayMatchesBatch(t *testing.T) {
 	b := genBuild(20240504, 1500)
 	dir := t.TempDir()
-	if err := mtls.WriteLogs(b.Raw, dir); err != nil {
-		t.Fatal(err)
-	}
+	writeReplayLogs(t, b.Raw, dir)
 	// Batch over the reloaded logs (fingerprint identity survives the
 	// round trip, so this matches the daemon's view).
-	reloaded, err := mtls.OpenLogs(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	reloaded := openReplayLogs(t, dir)
 	bin := inputFromBuild(b)
 	bin.Raw = reloaded
 	batch := core.Run(bin)

@@ -1,0 +1,188 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/core"
+	"repro/internal/interception"
+)
+
+// ErrStaleCursor marks an Export call whose cursor cannot be served
+// incrementally: the epoch does not match (the engine restarted with a
+// fresh sequence numbering) or the cursor is beyond the engine's next
+// sequence. The caller must discard its accumulated view and re-sync
+// from a full snapshot (since 0).
+var ErrStaleCursor = errors.New("stream: stale export cursor")
+
+// ErrExportDisabled marks an Export call on an engine that was not
+// configured with Config.TrackExport.
+var ErrExportDisabled = errors.New("stream: export requires Config.TrackExport")
+
+// ExportCert is one roster certificate stamped with the sequence of its
+// first observation.
+type ExportCert struct {
+	Seq  uint64
+	Cert *certmodel.CertInfo
+}
+
+// ExportConn is one retained connection stamped with its global ingest
+// sequence.
+type ExportConn struct {
+	Seq  uint64
+	Conn core.ConnRecord
+}
+
+// ExportState is a cursor-addressable snapshot of an engine's raw state:
+// everything an aggregator needs to reproduce this sensor's contribution
+// to a merged analysis. Certs and Conns are ascending by sequence and —
+// on a delta export — contain only records first observed at or after
+// Since. Evidence is always the full cumulative detector state (the
+// relations are monotone and small next to the record stream, and a
+// confirmed-issuer verdict needs the whole history, not a window).
+type ExportState struct {
+	// Epoch scopes the sequence numbering; NextSeq is the cursor a caller
+	// passes as since on its next delta export.
+	Epoch   uint64
+	Since   uint64
+	NextSeq uint64
+
+	ConnsIngested uint64
+	CertsIngested uint64
+	Watermark     time.Time
+
+	Certs    []ExportCert
+	Conns    []ExportConn
+	Evidence *interception.Evidence
+}
+
+// newEpoch derives a nonzero epoch for a fresh sequence numbering.
+func newEpoch() uint64 {
+	e := uint64(time.Now().UnixNano())
+	if e == 0 {
+		e = 1
+	}
+	return e
+}
+
+// Export snapshots the engine's raw state at or after cursor since,
+// copying under the state lock exactly as WriteCheckpoint does. since 0
+// is a full snapshot (epoch is ignored); a nonzero since must carry the
+// epoch of the export it was taken from, and a mismatch — or a cursor
+// beyond NextSeq — returns ErrStaleCursor. Connections already evicted
+// by retention are not replayed into a delta, mirroring what the
+// engine's own reports describe.
+func (e *Engine) Export(since, epoch uint64) (*ExportState, error) {
+	if !e.cfg.TrackExport {
+		return nil, ErrExportDisabled
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if since > 0 && epoch != e.epoch {
+		return nil, fmt.Errorf("%w: epoch %d, engine has %d", ErrStaleCursor, epoch, e.epoch)
+	}
+	if since > e.nextSeq {
+		return nil, fmt.Errorf("%w: since %d beyond next sequence %d", ErrStaleCursor, since, e.nextSeq)
+	}
+	st := &ExportState{
+		Epoch:         e.epoch,
+		Since:         since,
+		NextSeq:       e.nextSeq,
+		ConnsIngested: e.connsIngested,
+		CertsIngested: e.certsIngested,
+		Watermark:     e.watermark,
+		Evidence:      e.icpt.Evidence(),
+	}
+	for fp, seq := range e.certSeqs {
+		if seq < since {
+			continue
+		}
+		if c := e.roster[fp]; c != nil {
+			st.Certs = append(st.Certs, ExportCert{Seq: seq, Cert: c})
+		}
+	}
+	for i := range e.conns {
+		if e.seqs[i] < since {
+			continue
+		}
+		st.Conns = append(st.Conns, ExportConn{Seq: e.seqs[i], Conn: e.conns[i]})
+	}
+	sortExport(st)
+	return st, nil
+}
+
+// Export snapshots the sharded deployment as one state: the router lock
+// is held so no new sequences are assigned, each shard is drained so
+// every already-assigned sequence is applied (otherwise a cursor could
+// advance past in-flight records and a delta would skip them forever),
+// and the per-shard streams are collected back into one ascending
+// sequence order. Requires Config.TrackExport.
+func (s *Sharded) Export(since, epoch uint64) (*ExportState, error) {
+	if s.single != nil {
+		return s.single.Export(since, epoch)
+	}
+	if !s.cfg.TrackExport {
+		return nil, ErrExportDisabled
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if since > 0 && epoch != s.epoch {
+		return nil, fmt.Errorf("%w: epoch %d, router has %d", ErrStaleCursor, epoch, s.epoch)
+	}
+	if since > s.nextSeq {
+		return nil, fmt.Errorf("%w: since %d beyond next sequence %d", ErrStaleCursor, since, s.nextSeq)
+	}
+	// Drain without the shard state locks: the apply goroutines never
+	// take the router lock, so they make progress while we hold it.
+	for _, e := range s.shards {
+		e.Drain()
+	}
+	st := &ExportState{
+		Epoch:   s.epoch,
+		Since:   since,
+		NextSeq: s.nextSeq,
+	}
+	im := interception.NewMerge(2)
+	for _, e := range s.shards {
+		e.mu.Lock()
+		st.ConnsIngested += e.connsIngested
+		if e.watermark.After(st.Watermark) {
+			st.Watermark = e.watermark
+		}
+		for i := range e.conns {
+			if e.seqs[i] < since {
+				continue
+			}
+			st.Conns = append(st.Conns, ExportConn{Seq: e.seqs[i], Conn: e.conns[i]})
+		}
+		im.Absorb(e.icpt)
+		e.mu.Unlock()
+	}
+	st.CertsIngested = s.certsRouted
+	for _, ent := range s.rv {
+		if ent.cert == nil || ent.seq < since {
+			continue
+		}
+		st.Certs = append(st.Certs, ExportCert{Seq: ent.seq, Cert: ent.cert})
+	}
+	st.Evidence = im.Evidence()
+	sortExport(st)
+	return st, nil
+}
+
+// sortExport orders both record streams ascending by sequence. Ties
+// cannot occur between connections (each consumed a distinct sequence);
+// certificates restored from a pre-export checkpoint may all carry
+// sequence 0, where fingerprint order keeps the output deterministic.
+func sortExport(st *ExportState) {
+	sort.Slice(st.Certs, func(i, j int) bool {
+		if st.Certs[i].Seq != st.Certs[j].Seq {
+			return st.Certs[i].Seq < st.Certs[j].Seq
+		}
+		return st.Certs[i].Cert.Fingerprint < st.Certs[j].Cert.Fingerprint
+	})
+	sort.Slice(st.Conns, func(i, j int) bool { return st.Conns[i].Seq < st.Conns[j].Seq })
+}

@@ -1,0 +1,311 @@
+package stream
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/certmodel"
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/interception"
+	"repro/internal/workload"
+)
+
+// replayAnalysis reconstructs a merged analysis from exported state the
+// way an aggregator does: each sensor's exports (a full snapshot plus
+// zero or more deltas, in sync order) concatenate into one shard state,
+// the §3.2 verdict is recomputed from each sensor's latest evidence, and
+// core.MergeShards replays everything through one Builder.
+func replayAnalysis(in *core.Input, sensors ...[]*ExportState) *core.Analysis {
+	im := interception.NewMerge(2)
+	var states []core.ShardState
+	var rawConns uint64
+	seen := map[ids.Fingerprint]bool{}
+	rawCerts := 0
+	for _, exports := range sensors {
+		var certs []*certmodel.CertInfo
+		var conns []core.ConnRecord
+		var seqs []uint64
+		for _, st := range exports {
+			for _, ec := range st.Certs {
+				certs = append(certs, ec.Cert)
+				if !seen[ec.Cert.Fingerprint] {
+					seen[ec.Cert.Fingerprint] = true
+					rawCerts++
+				}
+			}
+			for _, ec := range st.Conns {
+				conns = append(conns, ec.Conn)
+				seqs = append(seqs, ec.Seq)
+			}
+		}
+		last := exports[len(exports)-1]
+		rawConns += last.ConnsIngested
+		im.AbsorbEvidence(last.Evidence)
+		states = append(states, core.ShardState{Certs: certs, Conns: conns, Seqs: seqs})
+	}
+	res := im.Result()
+	pre := &core.PreprocessReport{
+		InterceptionIssuers: res.Issuers,
+		ExcludedCerts:       len(res.ExcludedCerts),
+		ExcludedShare:       res.ExcludedShare(rawCerts),
+		RawCerts:            rawCerts,
+		RawConns:            int(rawConns),
+	}
+	b := core.MergeShards(in, states, func(fp ids.Fingerprint) bool {
+		return res.ExcludedCerts[fp]
+	})
+	return b.Pipeline(pre).RunAll()
+}
+
+// exporter is the shared export surface of Engine and Sharded.
+type exporter interface {
+	ingester
+	Drain()
+	Export(since, epoch uint64) (*ExportState, error)
+}
+
+func mustExport(t *testing.T, e exporter, since, epoch uint64) *ExportState {
+	t.Helper()
+	st, err := e.Export(since, epoch)
+	if err != nil {
+		t.Fatalf("Export(%d, %d): %v", since, epoch, err)
+	}
+	return st
+}
+
+// certList orders the build's certificate map by fingerprint, so tests
+// can split it into deterministic slices.
+func certList(b *workload.Build) []*certmodel.CertInfo {
+	certs := make([]*certmodel.CertInfo, 0, len(b.Raw.Certs))
+	for _, c := range b.Raw.Certs {
+		certs = append(certs, c)
+	}
+	sort.Slice(certs, func(i, j int) bool { return certs[i].Fingerprint < certs[j].Fingerprint })
+	return certs
+}
+
+// feedSlice pushes certificates and connections from index ranges of the
+// build — the tool for splitting one dataset into sync rounds.
+func feedSlice(t *testing.T, g ingester, b *workload.Build, certs []*certmodel.CertInfo, c0, c1, n0, n1 int) {
+	t.Helper()
+	for _, c := range certs[c0:c1] {
+		if !g.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c}) {
+			t.Fatal("cert event rejected")
+		}
+	}
+	for i := n0; i < n1; i++ {
+		if !g.IngestConn(&b.Raw.Conns[i]) {
+			t.Fatal("conn event rejected")
+		}
+	}
+}
+
+// TestExportFullReplay: a full export replayed through MergeShards +
+// evidence merge reproduces the engine's own analysis exactly — at
+// shard counts 1 (plain engine passthrough), 2, and 4.
+func TestExportFullReplay(t *testing.T) {
+	b := genBuild(20240504, 1200)
+	batch := core.Run(inputFromBuild(b))
+
+	for _, n := range []int{1, 2, 4} {
+		in := inputFromBuild(b)
+		in.Raw = nil
+		s := newSharded(t, n, in, func(c *Config) { c.TrackExport = true })
+		feedCertsFirst(t, s, b)
+		s.Drain()
+		st := mustExport(t, s, 0, 0)
+
+		if len(st.Certs) == 0 || len(st.Conns) == 0 {
+			t.Fatalf("shards=%d: empty export: %d certs, %d conns", n, len(st.Certs), len(st.Conns))
+		}
+		for i := 1; i < len(st.Conns); i++ {
+			if st.Conns[i].Seq <= st.Conns[i-1].Seq {
+				t.Fatalf("shards=%d: conn seqs not strictly ascending at %d", n, i)
+			}
+		}
+		got := replayAnalysis(inputFromBuild(b), []*ExportState{st})
+		if !reflect.DeepEqual(batch, got) {
+			t.Errorf("shards=%d: replayed analysis differs from batch", n)
+		}
+	}
+}
+
+// TestExportDelta: a full snapshot plus a delta from its cursor carry
+// exactly the remaining records, and together replay to the batch
+// analysis. Runs out of order (all connections before any certificate)
+// so the delta path is exercised under late-certificate evidence.
+func TestExportDelta(t *testing.T) {
+	b := genBuild(7, 1200)
+	batch := core.Run(inputFromBuild(b))
+	certs := certList(b)
+	half := len(b.Raw.Conns) / 2
+
+	for _, n := range []int{1, 2} {
+		in := inputFromBuild(b)
+		in.Raw = nil
+		s := newSharded(t, n, in, func(c *Config) { c.TrackExport = true })
+
+		// Round 1: first half of the connections, no certificates yet.
+		feedSlice(t, s, b, certs, 0, 0, 0, half)
+		s.Drain()
+		full := mustExport(t, s, 0, 0)
+
+		// Round 2: every certificate (all late), then the rest.
+		feedSlice(t, s, b, certs, 0, len(certs), half, len(b.Raw.Conns))
+		s.Drain()
+		delta := mustExport(t, s, full.NextSeq, full.Epoch)
+
+		if delta.Epoch != full.Epoch {
+			t.Fatalf("shards=%d: delta changed epoch", n)
+		}
+		for _, ec := range delta.Conns {
+			if ec.Seq < full.NextSeq {
+				t.Fatalf("shards=%d: delta re-sent conn seq %d < cursor %d", n, ec.Seq, full.NextSeq)
+			}
+		}
+		if got := len(full.Conns) + len(delta.Conns); got != len(b.Raw.Conns) {
+			t.Fatalf("shards=%d: full+delta carry %d conns, want %d", n, got, len(b.Raw.Conns))
+		}
+		if len(full.Certs) != 0 || len(delta.Certs) != len(b.Raw.Certs) {
+			t.Fatalf("shards=%d: certs split %d/%d, want 0/%d",
+				n, len(full.Certs), len(delta.Certs), len(b.Raw.Certs))
+		}
+		got := replayAnalysis(inputFromBuild(b), []*ExportState{full, delta})
+		if !reflect.DeepEqual(batch, got) {
+			t.Errorf("shards=%d: full+delta replay differs from batch", n)
+		}
+
+		// An empty delta from the new cursor is valid and carries nothing.
+		empty := mustExport(t, s, delta.NextSeq, delta.Epoch)
+		if len(empty.Certs) != 0 || len(empty.Conns) != 0 {
+			t.Errorf("shards=%d: steady-state delta not empty", n)
+		}
+	}
+}
+
+// TestExportStaleCursor: epoch mismatches and cursors beyond the
+// sequence horizon are refused with ErrStaleCursor; engines without
+// TrackExport refuse to export at all.
+func TestExportStaleCursor(t *testing.T) {
+	b := genBuild(99, 400)
+	in := inputFromBuild(b)
+	in.Raw = nil
+
+	e := newEngine(t, in, func(c *Config) { c.TrackExport = true })
+	feed(t, e, b)
+	e.Drain()
+	full := mustExport(t, e, 0, 0)
+
+	if _, err := e.Export(full.NextSeq, full.Epoch+1); !errors.Is(err, ErrStaleCursor) {
+		t.Errorf("epoch mismatch: err = %v, want ErrStaleCursor", err)
+	}
+	if _, err := e.Export(full.NextSeq+1, full.Epoch); !errors.Is(err, ErrStaleCursor) {
+		t.Errorf("cursor beyond horizon: err = %v, want ErrStaleCursor", err)
+	}
+
+	plain := newEngine(t, in, nil)
+	if _, err := plain.Export(0, 0); !errors.Is(err, ErrExportDisabled) {
+		t.Errorf("export without TrackExport: err = %v, want ErrExportDisabled", err)
+	}
+
+	s := newSharded(t, 2, in, nil)
+	if _, err := s.Export(0, 0); !errors.Is(err, ErrExportDisabled) {
+		t.Errorf("sharded export without TrackExport: err = %v, want ErrExportDisabled", err)
+	}
+}
+
+// TestExportCheckpointResume: a cursor taken before a checkpoint/restart
+// keeps working against the restored engine (same epoch, same
+// numbering), and full+post-restart delta still replay to batch.
+func TestExportCheckpointResume(t *testing.T) {
+	b := genBuild(20240504, 800)
+	batch := core.Run(inputFromBuild(b))
+	certs := certList(b)
+	half := len(b.Raw.Conns) / 2
+	certHalf := len(certs) / 2
+
+	for _, n := range []int{1, 2} {
+		in := inputFromBuild(b)
+		in.Raw = nil
+		cfg := Config{Input: in, TrackExport: true}
+		s, err := NewSharded(n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedSlice(t, s, b, certs, 0, certHalf, 0, half)
+		s.Drain()
+		full := mustExport(t, s, 0, 0)
+
+		dir := filepath.Join(t.TempDir(), "ckpt")
+		if err := s.WriteCheckpoint(dir, nil); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+
+		s2, _, err := RestoreSharded(cfg, n, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s2.Close)
+		feedSlice(t, s2, b, certs, certHalf, len(certs), half, len(b.Raw.Conns))
+		s2.Drain()
+
+		delta := mustExport(t, s2, full.NextSeq, full.Epoch)
+		if delta.Epoch != full.Epoch {
+			t.Fatalf("shards=%d: restore changed epoch %d -> %d", n, full.Epoch, delta.Epoch)
+		}
+		got := replayAnalysis(inputFromBuild(b), []*ExportState{full, delta})
+		if !reflect.DeepEqual(batch, got) {
+			t.Errorf("shards=%d: full+post-restart delta differs from batch", n)
+		}
+	}
+}
+
+// TestExportFreshRestartIsStale: restoring from a pre-export checkpoint
+// (or simply restarting without one) renumbers under a new epoch, so a
+// cursor from the previous process is refused rather than silently
+// resuming against different sequence numbers.
+func TestExportFreshRestartIsStale(t *testing.T) {
+	b := genBuild(7, 400)
+	in := inputFromBuild(b)
+	in.Raw = nil
+
+	// A checkpoint written without TrackExport...
+	cfg := Config{Input: in}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, e, b)
+	e.Drain()
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := e.WriteCheckpoint(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	// ...restores into an exporting engine with a fresh epoch and a
+	// complete renumbering: a full export must carry everything.
+	cfg.TrackExport = true
+	e2, _, err := Restore(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e2.Close)
+	full := mustExport(t, e2, 0, 0)
+	if len(full.Conns) != len(b.Raw.Conns) || len(full.Certs) != len(b.Raw.Certs) {
+		t.Fatalf("renumbered export carries %d/%d conns, %d/%d certs",
+			len(full.Conns), len(b.Raw.Conns), len(full.Certs), len(b.Raw.Certs))
+	}
+	if _, err := e2.Export(1, full.Epoch+12345); !errors.Is(err, ErrStaleCursor) {
+		t.Errorf("cursor from another epoch: err = %v, want ErrStaleCursor", err)
+	}
+	got := replayAnalysis(in, []*ExportState{full})
+	if !reflect.DeepEqual(core.Run(inputFromBuild(b)), got) {
+		t.Error("renumbered export replay differs from batch")
+	}
+}

@@ -51,10 +51,19 @@ func ReportNames() []string {
 	return names
 }
 
-// materializer is anything that can expose a consistent core.Pipeline:
-// a single Engine or a Sharded deployment.
-type materializer interface {
+// Materializer is anything that can expose a consistent core.Pipeline:
+// a single Engine, a Sharded deployment, or a distributed aggregator's
+// merged view. Implementations must not let fn retain the pipeline.
+type Materializer interface {
 	WithPipeline(func(*core.Pipeline))
+}
+
+// MaterializeReport materializes one named report over m's current
+// state, with the registry and error taxonomy shared by Engine.Report
+// and Sharded.Report — the hook an out-of-package Materializer (the
+// distributed aggregator) uses to serve the same /reports surface.
+func MaterializeReport(m Materializer, name string) (any, error) {
+	return runReport(m, name)
 }
 
 // runReport materializes one named report over m's current state. The
@@ -63,7 +72,7 @@ type materializer interface {
 // panic during materialization (a bug, not a client mistake) is
 // recovered into a plain error so one bad report cannot take down a
 // long-running daemon.
-func runReport(m materializer, name string) (out any, err error) {
+func runReport(m Materializer, name string) (out any, err error) {
 	fn, ok := reportFns[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownReport, name)

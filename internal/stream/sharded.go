@@ -71,8 +71,12 @@ type Sharded struct {
 	// scratch is the per-shard batch partition table the batched ingest
 	// path reuses across calls (populated and flushed under mu).
 	scratch []*batch
-	// nextSeq is the next global connection sequence number.
+	// nextSeq is the next global sequence number (connections and
+	// first-observed certificates share one number space).
 	nextSeq uint64
+	// epoch scopes export cursors to this sequence numbering; preserved
+	// across checkpoint/restore, fresh otherwise.
+	epoch uint64
 	// rv is the certificate rendezvous: every ingested or awaited
 	// fingerprint, which shards hold the certificate, and which shards
 	// referenced it before it arrived.
@@ -103,6 +107,10 @@ type rendezvous struct {
 	cert      *certmodel.CertInfo
 	delivered uint64 // shards whose roster has (or will apply) the cert
 	waiting   uint64 // shards that referenced the fp before it arrived
+	// seq is the global sequence consumed when the certificate first
+	// arrived (certificates and connections share the router's one
+	// number space), giving Export a cursor over the roster.
+	seq uint64
 }
 
 type shardedMetrics struct {
@@ -142,9 +150,10 @@ func NewSharded(n int, cfg Config) (*Sharded, error) {
 		cfg.Metrics = metrics.New()
 	}
 	s := &Sharded{
-		cfg: cfg,
-		rv:  make(map[ids.Fingerprint]*rendezvous),
-		m:   newShardedMetrics(cfg.Metrics, n),
+		cfg:   cfg,
+		rv:    make(map[ids.Fingerprint]*rendezvous),
+		m:     newShardedMetrics(cfg.Metrics, n),
+		epoch: newEpoch(),
 	}
 	for i := 0; i < n; i++ {
 		e, err := New(s.shardConfig(i, n))
@@ -162,10 +171,16 @@ func NewSharded(n int, cfg Config) (*Sharded, error) {
 
 // shardConfig derives shard i's engine config: sequence tracking on (the
 // merge path needs the global order; a single shard IS the global order,
-// so the n=1 passthrough skips it) and per-shard metric labels.
+// so the n=1 passthrough skips it) and per-shard metric labels. With
+// more than one shard the router owns the sequence space and the export
+// cursor, so the engines' own export assignment is forced off — a shard
+// stamping its own sequences would collide with router stamps.
 func (s *Sharded) shardConfig(i, n int) Config {
 	cfg := s.cfg
 	cfg.trackSeqs = n > 1
+	if n > 1 {
+		cfg.TrackExport = false
+	}
 	cfg.metricLabels = []string{"shard", strconv.Itoa(i)}
 	return cfg
 }
@@ -261,6 +276,8 @@ func (s *Sharded) IngestCert(rec *core.CertRecord) bool {
 		// home shard guarantees every certificate survives in the union
 		// roster even if no connection ever references it.
 		ent.cert = rec.Cert
+		ent.seq = s.nextSeq
+		s.nextSeq++
 		s.uniqueCerts++
 		ent.waiting |= uint64(1) << s.home(string(fp))
 	}
@@ -473,6 +490,13 @@ type Manifest struct {
 	CertsRouted uint64
 	Cursor      map[string]int64
 	Files       []string
+	// Epoch and CertSeqs carry the export-cursor state (the sequence-
+	// numbering epoch and each roster fingerprint's admission sequence)
+	// so a restored sensor keeps serving deltas against cursors taken
+	// before the restart. Absent in pre-export manifests: a restored
+	// deployment then gets a fresh epoch, and stale cursors are refused.
+	Epoch    uint64            `json:",omitempty"`
+	CertSeqs map[string]uint64 `json:",omitempty"`
 }
 
 // WriteCheckpoint serializes every shard into dir and commits the set
@@ -488,7 +512,13 @@ func (s *Sharded) WriteCheckpoint(dir string, cursor map[string]int64) error {
 	}
 	gen := s.ckptGen + 1
 	s.mu.Lock()
-	next, routed := s.nextSeq, s.certsRouted
+	next, routed, epoch := s.nextSeq, s.certsRouted, s.epoch
+	certSeqs := make(map[string]uint64, len(s.rv))
+	for fp, ent := range s.rv {
+		if ent.cert != nil {
+			certSeqs[string(fp)] = ent.seq
+		}
+	}
 	s.mu.Unlock()
 
 	files := make([]string, len(s.shards))
@@ -509,6 +539,8 @@ func (s *Sharded) WriteCheckpoint(dir string, cursor map[string]int64) error {
 		CertsRouted: routed,
 		Cursor:      cursor,
 		Files:       files,
+		Epoch:       epoch,
+		CertSeqs:    certSeqs,
 	}
 	buf, err := json.MarshalIndent(&man, "", "  ")
 	if err != nil {
@@ -586,6 +618,12 @@ func RestoreSharded(cfg Config, n int, dir string) (*Sharded, map[string]int64, 
 		m:       newShardedMetrics(cfg.Metrics, n),
 		nextSeq: man.NextSeq,
 		ckptGen: man.Generation,
+		epoch:   man.Epoch,
+	}
+	if s.epoch == 0 {
+		// Pre-export manifest: fresh numbering scope, so any cursor taken
+		// against the checkpointed deployment is refused as stale.
+		s.epoch = newEpoch()
 	}
 	s.certsRouted = man.CertsRouted
 	for i := 0; i < n; i++ {
@@ -605,6 +643,13 @@ func RestoreSharded(cfg Config, n int, dir string) (*Sharded, map[string]int64, 
 		return s, man.Cursor, nil
 	}
 	s.rebuildRendezvous()
+	s.mu.Lock()
+	for fp, seq := range man.CertSeqs {
+		if ent := s.rv[ids.Fingerprint(fp)]; ent != nil {
+			ent.seq = seq
+		}
+	}
+	s.mu.Unlock()
 	s.ckptMu.Lock()
 	s.lastCkpt = time.Now()
 	s.ckptMu.Unlock()
