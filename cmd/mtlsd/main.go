@@ -90,26 +90,27 @@ import (
 // options carries every flag so run is testable without a real command
 // line.
 type options struct {
-	logs       string
-	listen     string
-	poll       time.Duration
-	checkpoint string
-	ckptEvery  time.Duration
-	retention  time.Duration
-	buffer     int
-	batch      int
-	drop       bool
-	scale      int
-	seed       uint64
-	workers    int
-	shards     int
-	pprof      bool
-	logLevel   string
-	strict     bool
-	quarantine string
-	role       string
-	sensors    string
-	syncEvery  time.Duration
+	logs          string
+	listen        string
+	poll          time.Duration
+	checkpoint    string
+	ckptEvery     time.Duration
+	retention     time.Duration
+	buffer        int
+	batch         int
+	drop          bool
+	scale         int
+	seed          uint64
+	workers       int
+	shards        int
+	pprof         bool
+	logLevel      string
+	strict        bool
+	quarantine    string
+	quarantineMax int64
+	role          string
+	sensors       string
+	syncEvery     time.Duration
 }
 
 func main() {
@@ -131,6 +132,8 @@ func main() {
 	flag.StringVar(&o.logLevel, "log-level", "info", "log level: debug, info, warn, error")
 	flag.BoolVar(&o.strict, "strict", false, "fail-stop on malformed log rows instead of quarantining them")
 	flag.StringVar(&o.quarantine, "quarantine", "", "append rejected rows to this file (permissive mode only)")
+	flag.Int64Var(&o.quarantineMax, "quarantine-max-bytes", zeek.DefaultQuarantineMaxBytes,
+		"quarantine size cap; overflow rows are dropped and counted (0 = unlimited)")
 	flag.StringVar(&o.role, "role", "monitor", "monitor, sensor (monitor + /api/v1/snapshot), or aggregator (pulls -sensors)")
 	flag.StringVar(&o.sensors, "sensors", "", "comma-separated sensor addresses (aggregator role only)")
 	flag.DurationVar(&o.syncEvery, "sync-every", 5*time.Second, "aggregator sensor pull interval")
@@ -225,6 +228,8 @@ func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr st
 			return 1
 		}
 		defer q.Close()
+		q.SetMaxBytes(o.quarantineMax)
+		q.Instrument(reg)
 		zopts.Quarantine = q
 	}
 	zeek.RejectTotals(reg)
@@ -318,11 +323,11 @@ func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr st
 	}
 
 	// Tailer: single producer goroutine. Certificates are polled before
-	// connections each cycle so enrichment resolves chains on first try
-	// (out-of-order arrivals still converge, via a rebuild). Each Poll
-	// consumes at most one chunk of backlog, so the inner loops keep
-	// polling until a cycle drains — memory stays bounded while catch-up
-	// after a restart proceeds at full speed.
+	// connections within each round so enrichment resolves chains on
+	// first try (out-of-order arrivals still converge, via a rebuild).
+	// Each Poll consumes at most one chunk of backlog; catchUp interleaves
+	// the two logs chunk-for-chunk so a hot file cannot starve the other,
+	// and caps the rounds per tick so checkpoints stay on schedule.
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	tailerDone := make(chan struct{})
@@ -365,38 +370,26 @@ func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr st
 				eng.IngestConnBatch(conns[lo:min(lo+o.batch, len(conns))])
 			}
 		}
+		x509Src := &tailSource{bo: x509Backoff, poll: func() (int, error) {
+			certs, err := x509Tail.Poll()
+			ingestCerts(certs)
+			return len(certs), err
+		}, fail: func(err error, wait time.Duration) {
+			x509Errs.Inc()
+			logger.Warn("tail x509.log", "err", err, "backoff", wait)
+		}}
+		sslSrc := &tailSource{bo: sslBackoff, poll: func() (int, error) {
+			conns, err := sslTail.Poll()
+			ingestConns(conns)
+			return len(conns), err
+		}, fail: func(err error, wait time.Duration) {
+			sslErrs.Inc()
+			logger.Warn("tail ssl.log", "err", err, "backoff", wait)
+		}}
+		srcs := []*tailSource{x509Src, sslSrc}
 		for {
-			var nCerts, nConns int
-			for x509Backoff.ready(time.Now()) {
-				certs, err := x509Tail.Poll()
-				if err != nil {
-					x509Errs.Inc()
-					logger.Warn("tail x509.log", "err", err,
-						"backoff", x509Backoff.failure(time.Now()))
-				} else {
-					x509Backoff.success()
-				}
-				ingestCerts(certs)
-				nCerts += len(certs)
-				if len(certs) == 0 || ctx.Err() != nil {
-					break
-				}
-			}
-			for sslBackoff.ready(time.Now()) {
-				conns, err := sslTail.Poll()
-				if err != nil {
-					sslErrs.Inc()
-					logger.Warn("tail ssl.log", "err", err,
-						"backoff", sslBackoff.failure(time.Now()))
-				} else {
-					sslBackoff.success()
-				}
-				ingestConns(conns)
-				nConns += len(conns)
-				if len(conns) == 0 || ctx.Err() != nil {
-					break
-				}
-			}
+			counts := catchUp(ctx, catchUpRounds, srcs)
+			nCerts, nConns := counts[0], counts[1]
 			if nCerts > 0 || nConns > 0 {
 				logger.Debug("ingested", "conns", nConns, "certs", nCerts)
 			}
@@ -598,6 +591,8 @@ func newMux(eng reporter, reg *metrics.Registry, logger *slog.Logger, withPprof 
 		}
 		if info.agg != nil {
 			ds.Sensors = info.agg.SensorStatuses()
+		} else {
+			ds.TailLag = tailLag(reg)
 		}
 		writeJSON(w, ds)
 	}
@@ -679,6 +674,7 @@ type daemonStats struct {
 	RowsRejected     uint64                 // malformed log rows quarantined
 	RejectedByReason map[string]uint64      `json:",omitempty"` // "file/reason" -> count
 	TailErrors       uint64                 // tail polls that returned an error
+	TailLag          map[string]int64       `json:",omitempty"` // file -> size − offset after the last poll
 }
 
 const (
@@ -693,6 +689,67 @@ func tailErrTotal(reg *metrics.Registry) uint64 {
 		n += reg.Counter(tailErrMetric, tailErrHelp, "file", f).Value()
 	}
 	return n
+}
+
+// tailLag reads back the per-file ingestion lag gauges (file size minus
+// consumed offset after the last poll) so a load harness can wait for
+// drain from /api/v1/stats instead of parsing the /metrics exposition.
+func tailLag(reg *metrics.Registry) map[string]int64 {
+	out := make(map[string]int64, 2)
+	for _, f := range []string{"ssl", "x509"} {
+		out[f] = int64(reg.Gauge("tail_lag_bytes",
+			"file size minus consumed offset after a poll", "file", f).Value())
+	}
+	return out
+}
+
+// catchUpRounds caps how many interleaved poll rounds one tick spends on
+// backlog. Each round consumes at most one chunk per log (4 MiB by
+// default), so the cap bounds one tick's work at ~1 GiB per file while
+// keeping checkpoints and shutdown responsive; the next tick resumes
+// where this one stopped.
+const catchUpRounds = 256
+
+// tailSource is one log feeding catchUp: poll reads and ingests at most
+// one chunk and returns how many records it consumed; fail reports a
+// poll error together with the backoff wait it earned.
+type tailSource struct {
+	bo   *backoff
+	poll func() (int, error)
+	fail func(err error, wait time.Duration)
+}
+
+// catchUp drains the logs' backlogs for one tick. The sources are
+// interleaved — at most one chunk each per round, in slice order — and
+// never run to exhaustion in turn: a writer keeping one log hot would
+// otherwise hold its until-empty loop forever, starving every other log
+// (ssl.log lag grew without bound while x509.log streamed). The round
+// cap bounds the tick even when all sources stay hot. Returns per-source
+// record counts, parallel to srcs.
+func catchUp(ctx context.Context, rounds int, srcs []*tailSource) []int {
+	counts := make([]int, len(srcs))
+	for r := 0; r < rounds && ctx.Err() == nil; r++ {
+		progress := false
+		for i, s := range srcs {
+			if !s.bo.ready(time.Now()) {
+				continue
+			}
+			n, err := s.poll()
+			if err != nil {
+				s.fail(err, s.bo.failure(time.Now()))
+			} else {
+				s.bo.success()
+			}
+			counts[i] += n
+			if n > 0 {
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return counts
 }
 
 // backoff is the per-file retry schedule for persistent tail errors:

@@ -1,0 +1,236 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	mtls "repro"
+	"repro/internal/zeek"
+)
+
+// TestCatchUpInterleaves pins the tailer-starvation fix: with a writer
+// keeping x509.log hot (every poll returns rows), the old per-tick
+// until-empty loop never reached the ssl.log poll, so its lag grew
+// without bound. catchUp must poll both logs every round and stop at
+// the round cap rather than chase a hot file forever.
+func TestCatchUpInterleaves(t *testing.T) {
+	var x509Polls, sslPolls int
+	noFail := func(err error, wait time.Duration) { t.Fatalf("unexpected failure: %v", err) }
+	srcs := []*tailSource{
+		// Hot forever: a writer appending at least as fast as we drain.
+		{bo: newBackoff(time.Millisecond), fail: noFail,
+			poll: func() (int, error) { x509Polls++; return 10, nil }},
+		{bo: newBackoff(time.Millisecond), fail: noFail,
+			poll: func() (int, error) { sslPolls++; return 1, nil }},
+	}
+	counts := catchUp(context.Background(), catchUpRounds, srcs)
+	if x509Polls != catchUpRounds {
+		t.Errorf("x509 polls = %d, want the round cap %d", x509Polls, catchUpRounds)
+	}
+	if sslPolls != catchUpRounds {
+		t.Errorf("ssl polls = %d, want %d (one per round; the old code starved this to 0)",
+			sslPolls, catchUpRounds)
+	}
+	if counts[0] != 10*catchUpRounds || counts[1] != catchUpRounds {
+		t.Errorf("counts = %v, want [%d %d]", counts, 10*catchUpRounds, catchUpRounds)
+	}
+}
+
+// TestCatchUpDrains: once every source reports an empty poll in the same
+// round, the tick ends early — no spinning until the round cap.
+func TestCatchUpDrains(t *testing.T) {
+	backlog := []int{3, 1} // polls until empty, per source
+	var polls [2]int
+	noFail := func(err error, wait time.Duration) { t.Fatalf("unexpected failure: %v", err) }
+	mk := func(i int) *tailSource {
+		return &tailSource{bo: newBackoff(time.Millisecond), fail: noFail,
+			poll: func() (int, error) {
+				polls[i]++
+				if polls[i] <= backlog[i] {
+					return 5, nil
+				}
+				return 0, nil
+			}}
+	}
+	counts := catchUp(context.Background(), catchUpRounds, []*tailSource{mk(0), mk(1)})
+	if counts[0] != 15 || counts[1] != 5 {
+		t.Errorf("counts = %v, want [15 5]", counts)
+	}
+	// The longer backlog dictates the rounds: 3 productive + 1 empty.
+	if polls[0] != 4 || polls[1] != 4 {
+		t.Errorf("polls = %v, want [4 4] (stop on the first all-empty round)", polls)
+	}
+}
+
+// TestCatchUpBackoff: a failing source earns a backoff and is skipped
+// while it waits; the healthy source keeps draining.
+func TestCatchUpBackoff(t *testing.T) {
+	var failPolls, okPolls, fails int
+	boom := errors.New("disk on fire")
+	srcs := []*tailSource{
+		{bo: newBackoff(time.Minute),
+			poll: func() (int, error) { failPolls++; return 0, boom },
+			fail: func(err error, wait time.Duration) {
+				fails++
+				if !errors.Is(err, boom) || wait <= 0 {
+					t.Errorf("fail(%v, %v)", err, wait)
+				}
+			}},
+		{bo: newBackoff(time.Minute), fail: func(err error, wait time.Duration) { t.Fatal(err) },
+			poll: func() (int, error) {
+				okPolls++
+				if okPolls <= 5 {
+					return 2, nil
+				}
+				return 0, nil
+			}},
+	}
+	counts := catchUp(context.Background(), catchUpRounds, srcs)
+	if failPolls != 1 || fails != 1 {
+		t.Errorf("failing source polled %d times (failures %d), want 1 (backed off)", failPolls, fails)
+	}
+	if counts[1] != 10 {
+		t.Errorf("healthy source count = %d, want 10", counts[1])
+	}
+}
+
+// TestDaemonConcurrentWriters is the end-to-end companion to the
+// starvation fix: two writers appending to ssl.log and x509.log at the
+// same time, with the daemon tailing both. Every row from both files
+// must land, and the lag on both files must drain to zero.
+func TestDaemonConcurrentWriters(t *testing.T) {
+	cfg := mtls.DefaultConfig()
+	cfg.CertScale = testScale
+	build := mtls.Generate(cfg)
+	conns := build.Raw.Conns
+
+	// Full logs in a scratch dir give us the certificate rows to replay.
+	scratch := t.TempDir()
+	if err := mtls.WriteLogs(build.Raw, scratch); err != nil {
+		t.Fatal(err)
+	}
+	xf, err := os.Open(filepath.Join(scratch, "x509.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	certs, err := zeek.ReadX509(xf)
+	xf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The daemon's dir starts with the first half of each log.
+	dir := t.TempDir()
+	sslPath := filepath.Join(dir, "ssl.log")
+	x509Path := filepath.Join(dir, "x509.log")
+	halfC, halfX := len(conns)/2, len(certs)/2
+	writeSSL := func(path string, recs []zeek.SSLRecord, appendTo bool) {
+		t.Helper()
+		flags := os.O_CREATE | os.O_WRONLY
+		if appendTo {
+			flags |= os.O_APPEND
+		}
+		f, err := os.OpenFile(path, flags, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := zeek.NewSSLWriter(f)
+		if appendTo {
+			w.SkipHeader()
+		}
+		for i := range recs {
+			if err := w.Write(&recs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	writeX509 := func(path string, recs []zeek.X509Record, appendTo bool) {
+		t.Helper()
+		flags := os.O_CREATE | os.O_WRONLY
+		if appendTo {
+			flags |= os.O_APPEND
+		}
+		f, err := os.OpenFile(path, flags, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := zeek.NewX509Writer(f)
+		if appendTo {
+			w.SkipHeader()
+		}
+		for i := range recs {
+			if err := w.Write(&recs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	writeSSL(sslPath, conns[:halfC], false)
+	writeX509(x509Path, certs[:halfX], false)
+
+	base, cancel, exit := startDaemon(t, options{
+		logs:   dir,
+		listen: "127.0.0.1:0",
+		poll:   10 * time.Millisecond,
+		scale:  cfg.CertScale,
+	})
+	defer func() {
+		cancel()
+		<-exit
+	}()
+	waitConns(t, base, uint64(halfC))
+
+	// Both second halves stream in concurrently, in small flushed slices.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for lo := halfC; lo < len(conns); lo += 64 {
+			writeSSL(sslPath, conns[lo:min(lo+64, len(conns))], true)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for lo := halfX; lo < len(certs); lo += 64 {
+			writeX509(x509Path, certs[lo:min(lo+64, len(certs))], true)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	st := waitConns(t, base, uint64(len(conns)))
+	if st.CertsIngested != uint64(len(certs)) {
+		t.Errorf("CertsIngested = %d, want %d", st.CertsIngested, len(certs))
+	}
+
+	// Lag on both files drains to zero once the writers stop.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var ds daemonStats
+		_, body := httpGet(t, base+"/api/v1/stats")
+		if err := json.Unmarshal([]byte(body), &ds); err != nil {
+			t.Fatal(err)
+		}
+		if ds.TailLag["ssl"] == 0 && ds.TailLag["x509"] == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tail lag never drained: %v", ds.TailLag)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Proc is a supervised daemon subprocess. The harness starts mtlsd
+// through it so the chaos layer can SIGKILL the real process (not a
+// goroutine stand-in) and measure its resident set from /proc.
+type Proc struct {
+	cmd  *exec.Cmd
+	log  *os.File
+	done chan struct{} // closed once Wait returns
+	err  error         // Wait's result, valid after done is closed
+}
+
+// StartProc launches bin with args, sending both output streams to
+// logPath (appending, so a restarted daemon continues the same log).
+func StartProc(bin string, args []string, logPath string) (*Proc, error) {
+	log, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = log
+	cmd.Stderr = log
+	if err := cmd.Start(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	p := &Proc{cmd: cmd, log: log, done: make(chan struct{})}
+	go func() {
+		p.err = cmd.Wait()
+		log.Close()
+		close(p.done)
+	}()
+	return p, nil
+}
+
+// PID returns the subprocess id.
+func (p *Proc) PID() int { return p.cmd.Process.Pid }
+
+// Kill delivers SIGKILL — no drain, no final checkpoint, the crash the
+// checkpoint/restore path exists for — and reaps the process.
+func (p *Proc) Kill() error {
+	if err := p.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	<-p.done
+	return nil
+}
+
+// Stop delivers SIGTERM (the daemon drains and writes a final
+// checkpoint) and waits up to timeout for a clean exit, escalating to
+// SIGKILL past the deadline.
+func (p *Proc) Stop(timeout time.Duration) error {
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case <-p.done:
+		return p.err
+	case <-time.After(timeout):
+		p.cmd.Process.Kill()
+		<-p.done
+		return fmt.Errorf("process %d ignored SIGTERM for %v, killed", p.PID(), timeout)
+	}
+}
+
+// Exited reports whether the process has terminated.
+func (p *Proc) Exited() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the process exits and returns Wait's error.
+func (p *Proc) Wait() error {
+	<-p.done
+	return p.err
+}
+
+// RSSBytes reads the process's resident set size from
+// /proc/<pid>/status. It returns 0 when the process is gone or the
+// platform has no procfs — callers treat 0 as "no sample".
+func (p *Proc) RSSBytes() int64 {
+	data, err := os.ReadFile(fmt.Sprintf("/proc/%d/status", p.PID()))
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

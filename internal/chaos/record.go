@@ -1,0 +1,79 @@
+package chaos
+
+import "sort"
+
+// Event is one chaos injection, stamped with seconds since run start.
+type Event struct {
+	At     float64 // seconds since the run began
+	Kind   string  // "rotate", "copytruncate", "malformed", "kill", "restart", "slowdisk-on", ...
+	Detail string  `json:",omitempty"`
+}
+
+// Sample is one periodic observation of the daemon under load.
+type Sample struct {
+	At       float64 // seconds since the run began
+	Conns    uint64  // connection events ingested
+	Certs    uint64  // certificate events ingested
+	LagSSL   int64   // ssl.log bytes written but not yet consumed
+	LagX509  int64   // x509.log bytes written but not yet consumed
+	RSSBytes int64   `json:",omitempty"` // daemon resident set (0 = unavailable)
+}
+
+// Recorder accumulates the run's timeline for the benchmark artifact.
+// Not safe for concurrent use; the harness samples from one goroutine
+// and serializes events through it.
+type Recorder struct {
+	Events  []Event
+	Samples []Sample
+}
+
+// Record appends a chaos event.
+func (r *Recorder) Record(at float64, kind, detail string) {
+	r.Events = append(r.Events, Event{At: at, Kind: kind, Detail: detail})
+}
+
+// Observe appends a sample.
+func (r *Recorder) Observe(s Sample) { r.Samples = append(r.Samples, s) }
+
+// MaxLag returns the largest total lag (ssl + x509) across samples.
+func (r *Recorder) MaxLag() int64 {
+	var max int64
+	for _, s := range r.Samples {
+		if lag := s.LagSSL + s.LagX509; lag > max {
+			max = lag
+		}
+	}
+	return max
+}
+
+// LagQuantile returns the q-quantile (0..1) of total lag across
+// samples, 0 when no samples exist.
+func (r *Recorder) LagQuantile(q float64) int64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	lags := make([]int64, len(r.Samples))
+	for i, s := range r.Samples {
+		lags[i] = s.LagSSL + s.LagX509
+	}
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	idx := int(q * float64(len(lags)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(lags) {
+		idx = len(lags) - 1
+	}
+	return lags[idx]
+}
+
+// MaxRSS returns the largest observed resident set, 0 if never sampled.
+func (r *Recorder) MaxRSS() int64 {
+	var max int64
+	for _, s := range r.Samples {
+		if s.RSSBytes > max {
+			max = s.RSSBytes
+		}
+	}
+	return max
+}

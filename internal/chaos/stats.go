@@ -1,0 +1,138 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Stats is the slice of mtlsd's /api/v1/stats payload the harness
+// steers by. Field names match the daemon's JSON exactly; everything
+// else in the payload is ignored.
+type Stats struct {
+	ConnsIngested  uint64
+	CertsIngested  uint64
+	Retained       int
+	Evicted        uint64
+	RowsRejected   uint64
+	TailErrors     uint64
+	Watermark      time.Time
+	LastCheckpoint time.Time
+	TailLag        map[string]int64
+}
+
+// Lag returns the total ingestion lag in bytes across tailed files.
+func (s Stats) Lag() int64 {
+	var n int64
+	for _, v := range s.TailLag {
+		n += v
+	}
+	return n
+}
+
+// FetchStats retrieves and decodes base's /api/v1/stats.
+func FetchStats(base string) (Stats, error) {
+	var s Stats
+	resp, err := http.Get(base + "/api/v1/stats")
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("GET /api/v1/stats: %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&s)
+	return s, err
+}
+
+// FetchBody retrieves path from base and returns the raw body.
+func FetchBody(base, path string) ([]byte, error) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return body, nil
+}
+
+// pollEvery is the wait-loop cadence: fast enough to keep chaos
+// schedules tight, slow enough not to dominate the daemon's request
+// counters.
+const pollEvery = 25 * time.Millisecond
+
+// WaitHealthy polls base's health endpoint until it answers 200 or the
+// timeout lapses. It is how the harness detects a (re)started daemon.
+func WaitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/api/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("healthz: %s", resp.Status)
+		}
+		last = err
+		time.Sleep(pollEvery)
+	}
+	return fmt.Errorf("daemon not healthy after %v: %w", timeout, last)
+}
+
+// WaitDrained polls until the daemon has ingested at least conns
+// connection events and certs certificate events AND its tail lag is
+// zero on every file — i.e. everything written so far has been
+// consumed. Ingest counters survive restarts — the checkpoint stores
+// them alongside the tail offsets they are consistent with — so
+// counting rows written since the beginning of the run is correct even
+// across a SIGKILL/restore cycle.
+func WaitDrained(base string, conns, certs uint64, timeout time.Duration) (Stats, error) {
+	deadline := time.Now().Add(timeout)
+	var s Stats
+	var err error
+	for time.Now().Before(deadline) {
+		s, err = FetchStats(base)
+		if err == nil && s.ConnsIngested >= conns && s.CertsIngested >= certs && s.Lag() == 0 {
+			return s, nil
+		}
+		time.Sleep(pollEvery)
+	}
+	if err != nil {
+		return s, fmt.Errorf("drain wait: %w", err)
+	}
+	return s, fmt.Errorf("not drained after %v: conns %d/%d certs %d/%d lag %d",
+		timeout, s.ConnsIngested, conns, s.CertsIngested, certs, s.Lag())
+}
+
+// WaitCheckpointAfter polls until the daemon reports a checkpoint
+// written strictly after t. The harness calls it after every rotation
+// before it is allowed to SIGKILL: a checkpoint taken post-rotation
+// pins the new file's offset, so a restore cannot confuse the fresh
+// file with the rotated one.
+func WaitCheckpointAfter(base string, t time.Time, timeout time.Duration) (Stats, error) {
+	deadline := time.Now().Add(timeout)
+	var s Stats
+	var err error
+	for time.Now().Before(deadline) {
+		s, err = FetchStats(base)
+		if err == nil && s.LastCheckpoint.After(t) {
+			return s, nil
+		}
+		time.Sleep(pollEvery)
+	}
+	if err != nil {
+		return s, fmt.Errorf("checkpoint wait: %w", err)
+	}
+	return s, fmt.Errorf("no checkpoint after %s within %v (last %s)",
+		t.Format(time.RFC3339Nano), timeout, s.LastCheckpoint.Format(time.RFC3339Nano))
+}

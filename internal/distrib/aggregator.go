@@ -66,6 +66,7 @@ type SensorStatus struct {
 	Errors        uint64
 	FullResyncs   uint64
 	Bytes         uint64
+	Evicted       uint64 // conns aged out of the sensor's retention window here
 }
 
 // sensorState is one sensor's accumulated raw state plus sync
@@ -86,6 +87,8 @@ type sensorState struct {
 	connsIngested uint64
 	certsIngested uint64
 	watermark     time.Time
+	retention     time.Duration // sensor's window; 0 = keep everything
+	evicted       uint64        // conns dropped here as the watermark advanced
 
 	version     uint64 // bumped on every state change; the merge cache key
 	lastSync    time.Time
@@ -130,6 +133,7 @@ type aggMetrics struct {
 	syncBytes   func(url string) *metrics.Counter
 	cursor      func(url string) *metrics.Gauge
 	fullResyncs func(url string) *metrics.Counter
+	evicted     func(url string) *metrics.Counter
 	merges      *metrics.Counter
 	mergeDur    *metrics.Histogram
 }
@@ -203,6 +207,10 @@ func NewAggregator(cfg Config) (*Aggregator, error) {
 			},
 			fullResyncs: func(u string) *metrics.Counter {
 				return reg.Counter("distrib_full_resyncs_total", "stale-cursor full re-syncs", "sensor", u)
+			},
+			evicted: func(u string) *metrics.Counter {
+				return reg.Counter("distrib_aggregator_evicted_total",
+					"accumulated conns dropped at the aggregator by the sensor's retention window", "sensor", u)
 			},
 			merges:   reg.Counter("distrib_merges_total", "merged-view rebuilds"),
 			mergeDur: reg.Histogram("distrib_merge_seconds", "merged-view rebuild duration", nil),
@@ -461,9 +469,47 @@ func (a *Aggregator) apply(ss *sensorState, snap *Snapshot, nbytes int64, cursor
 	ss.connsIngested = snap.ConnsIngested
 	ss.certsIngested = snap.CertsIngested
 	ss.watermark = snap.Watermark
+	ss.retention = snap.Retention
 	ss.bytes += uint64(nbytes)
 	a.m.syncBytes(ss.url).Add(uint64(nbytes))
+	a.evictLocked()
 	return nil
+}
+
+// evictLocked drops accumulated connections that have aged out of their
+// sensor's retention window, measured against the global watermark (the
+// max across sensors — the clock a single daemon tailing the union of
+// the logs would evict by). Deltas only ship records first observed
+// since the cursor, so without this sweep a connection shipped in an
+// earlier delta would be retained here forever and the merged analysis
+// would diverge from that union daemon. Every sensor is swept on every
+// apply: the global watermark advances on any sensor's sync, aging the
+// others' records too. Caller holds a.mu.
+func (a *Aggregator) evictLocked() {
+	var wm time.Time
+	for _, ss := range a.sensors {
+		if ss.watermark.After(wm) {
+			wm = ss.watermark
+		}
+	}
+	for _, ss := range a.sensors {
+		if ss.retention <= 0 || len(ss.conns) == 0 {
+			continue
+		}
+		cutoff := wm.Add(-ss.retention)
+		kept := ss.conns[:0]
+		for _, ec := range ss.conns {
+			if !ec.Conn.TS.Before(cutoff) {
+				kept = append(kept, ec)
+			}
+		}
+		if n := len(ss.conns) - len(kept); n > 0 {
+			ss.conns = kept
+			ss.evicted += uint64(n)
+			ss.version++
+			a.m.evicted(ss.url).Add(uint64(n))
+		}
+	}
 }
 
 type countingReader struct {
@@ -629,6 +675,7 @@ func (a *Aggregator) SensorStatuses() []SensorStatus {
 			Errors:        ss.errs,
 			FullResyncs:   ss.fullResyncs,
 			Bytes:         ss.bytes,
+			Evicted:       ss.evicted,
 		}
 		if !ss.lastSync.IsZero() {
 			s.LastSyncAge = time.Since(ss.lastSync).Seconds()

@@ -44,7 +44,10 @@ var ErrSchema = errors.New("distrib: unsupported snapshot schema")
 var errCodec = errors.New("distrib: snapshot decode")
 
 // header is the 'H' frame payload: everything about the snapshot except
-// its records.
+// its records. Retention is omitted when zero so snapshots from sensors
+// that keep everything encode byte-identically to the pre-retention
+// format — the canonical-bytes property the fuzz corpus pins survives
+// the field's addition.
 type header struct {
 	Schema        int
 	Epoch         uint64
@@ -53,6 +56,7 @@ type header struct {
 	ConnsIngested uint64
 	CertsIngested uint64
 	Watermark     time.Time
+	Retention     time.Duration `json:",omitempty"`
 }
 
 // trailer is the 'T' frame payload: total record counts for truncation
@@ -79,6 +83,7 @@ func Encode(w io.Writer, s *Snapshot) error {
 		ConnsIngested: s.ConnsIngested,
 		CertsIngested: s.CertsIngested,
 		Watermark:     s.Watermark,
+		Retention:     s.Retention,
 	}
 	if err := writeFrame(w, frameHeader, h); err != nil {
 		return err
@@ -161,10 +166,14 @@ func Decode(r io.Reader) (*Snapshot, error) {
 			if !jsonSafeTime(h.Watermark) {
 				return nil, fmt.Errorf("%w: watermark year out of range", errCodec)
 			}
+			if h.Retention < 0 {
+				return nil, fmt.Errorf("%w: negative retention", errCodec)
+			}
 			s.Schema = h.Schema
 			s.Epoch, s.Since, s.NextSeq = h.Epoch, h.Since, h.NextSeq
 			s.ConnsIngested, s.CertsIngested = h.ConnsIngested, h.CertsIngested
 			s.Watermark = h.Watermark
+			s.Retention = h.Retention
 			seenHeader = true
 			stage = 1
 		case frameCerts:

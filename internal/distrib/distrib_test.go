@@ -172,6 +172,134 @@ func TestAggregatorEquivalence(t *testing.T) {
 	}
 }
 
+// newRetentionSensor is newSensorEngine with a retention window and
+// per-event eviction sweeps, so the retained set is exactly the window
+// behind the watermark — deterministic for equivalence checks.
+func newRetentionSensor(t *testing.T, b *workload.Build, r time.Duration) *stream.Engine {
+	t.Helper()
+	in := inputFromBuild(b)
+	in.Raw = nil
+	e, err := stream.New(stream.Config{Input: in, TrackExport: true, Retention: r, EvictEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// TestAggregatorRetentionEquivalence pins the retention-divergence fix:
+// snapshots carry the sensor's window, and the aggregator ages
+// accumulated connections against the global watermark. Deltas only
+// ship records first observed since the cursor, so before the fix a
+// connection shipped in an early sync sat at the aggregator forever and
+// the merged analysis drifted away from a single windowed daemon over
+// the union of the logs. Two sync rounds per sensor make exactly that
+// happen: round-1 connections age out of the window by round 2.
+func TestAggregatorRetentionEquivalence(t *testing.T) {
+	b := genBuild(20240504, 1200)
+	certs := certList(b)
+	conns := b.Raw.Conns
+	// ~6.5 months of a 23-month stream: most of the study ages out.
+	const retention = 200 * 24 * time.Hour
+
+	// Feed in timestamp order — a live tail's arrival order — so the
+	// watermark advances between sync rounds and later rounds age the
+	// earlier rounds' records out of the window.
+	order := make([]int, len(conns))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return conns[order[i]].TS.Before(conns[order[j]].TS) })
+	feedSorted := func(g ingester, lo, hi int) {
+		t.Helper()
+		for _, idx := range order[lo:hi] {
+			if !g.IngestConn(&conns[idx]) {
+				t.Fatal("conn event rejected")
+			}
+		}
+	}
+	feedCerts := func(g ingester) {
+		t.Helper()
+		for _, c := range certs {
+			if !g.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c}) {
+				t.Fatal("cert event rejected")
+			}
+		}
+	}
+
+	in := inputFromBuild(b)
+	in.Raw = nil
+	union, err := stream.New(stream.Config{Input: in, Retention: retention, EvictEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(union.Close)
+	feedSorted(union, 0, len(conns))
+	feedCerts(union)
+	union.Drain()
+	ust := union.Stats()
+	if ust.Evicted == 0 || ust.Retained >= len(conns) {
+		t.Fatalf("window too wide to test: evicted %d, retained %d of %d",
+			ust.Evicted, ust.Retained, len(conns))
+	}
+	want := analysisJSON(t, union.Analysis())
+
+	for _, n := range []int{1, 2, 4} {
+		engines := make([]*stream.Engine, n)
+		urls := make([]string, n)
+		for i := range engines {
+			engines[i] = newRetentionSensor(t, b, retention)
+			urls[i] = newSensorServer(t, engines[i], SupportedSchemas()).URL
+		}
+		reg := metrics.New()
+		a := newAgg(t, b, reg, urls...)
+
+		// Each sensor feeds its contiguous slice in two halves with a
+		// sync after each, so every sensor's round-1 records are already
+		// at the aggregator when the watermark moves past them.
+		for round := 0; round < 2; round++ {
+			for i, e := range engines {
+				n0, n1 := i*len(conns)/n, (i+1)*len(conns)/n
+				mid := (n0 + n1) / 2
+				if round == 0 {
+					feedSorted(e, n0, mid)
+					feedCerts(e)
+				} else {
+					feedSorted(e, mid, n1)
+				}
+				e.Drain()
+			}
+			if err := a.SyncAll(context.Background()); err != nil {
+				t.Fatalf("sensors=%d round %d: SyncAll: %v", n, round, err)
+			}
+		}
+
+		if got := analysisJSON(t, a.Analysis()); got != want {
+			t.Errorf("sensors=%d: windowed aggregation differs from union engine", n)
+		}
+		st := a.Stats()
+		if st.Retained != ust.Retained {
+			t.Errorf("sensors=%d: aggregator retains %d conns, union engine %d",
+				n, st.Retained, ust.Retained)
+		}
+		var aggEvicted uint64
+		for _, s := range a.SensorStatuses() {
+			aggEvicted += s.Evicted
+		}
+		if aggEvicted == 0 {
+			t.Errorf("sensors=%d: aggregator evicted nothing — delta-shipped conns never age out", n)
+		}
+
+		var buf strings.Builder
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "distrib_aggregator_evicted_total") {
+			t.Error("metrics exposition missing distrib_aggregator_evicted_total")
+		}
+	}
+}
+
 // TestAggregatorDeltaSync: the second pull rides the cursor — only new
 // records travel — and an idle third pull does not invalidate the merge
 // cache.

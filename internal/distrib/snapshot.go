@@ -61,6 +61,11 @@ type Snapshot struct {
 	CertsIngested uint64
 	Watermark     time.Time
 
+	// Retention is the sensor's connection retention window (zero = keep
+	// everything); the aggregator evicts this sensor's accumulated
+	// connections against it as the global watermark advances.
+	Retention time.Duration
+
 	Certs    []stream.ExportCert
 	Conns    []stream.ExportConn
 	Evidence *interception.Evidence
@@ -76,6 +81,7 @@ func FromExport(st *stream.ExportState) *Snapshot {
 		ConnsIngested: st.ConnsIngested,
 		CertsIngested: st.CertsIngested,
 		Watermark:     st.Watermark,
+		Retention:     st.Retention,
 		Certs:         st.Certs,
 		Conns:         st.Conns,
 		Evidence:      st.Evidence,

@@ -54,6 +54,13 @@ type ExportState struct {
 	CertsIngested uint64
 	Watermark     time.Time
 
+	// Retention is the sensor's connection retention window (zero = keep
+	// everything). An aggregator folding deltas must know it: connections
+	// shipped in earlier deltas fall out of this window as the watermark
+	// advances, and keeping them would diverge from a daemon tailing the
+	// union of the logs.
+	Retention time.Duration
+
 	Certs    []ExportCert
 	Conns    []ExportConn
 	Evidence *interception.Evidence
@@ -94,6 +101,7 @@ func (e *Engine) Export(since, epoch uint64) (*ExportState, error) {
 		ConnsIngested: e.connsIngested,
 		CertsIngested: e.certsIngested,
 		Watermark:     e.watermark,
+		Retention:     e.cfg.Retention,
 		Evidence:      e.icpt.Evidence(),
 	}
 	for fp, seq := range e.certSeqs {
@@ -141,9 +149,10 @@ func (s *Sharded) Export(since, epoch uint64) (*ExportState, error) {
 		e.Drain()
 	}
 	st := &ExportState{
-		Epoch:   s.epoch,
-		Since:   since,
-		NextSeq: s.nextSeq,
+		Epoch:     s.epoch,
+		Since:     since,
+		NextSeq:   s.nextSeq,
+		Retention: s.cfg.Retention,
 	}
 	im := interception.NewMerge(2)
 	for _, e := range s.shards {

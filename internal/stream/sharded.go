@@ -554,9 +554,13 @@ func (s *Sharded) WriteCheckpoint(dir string, cursor map[string]int64) error {
 		os.Remove(tmp)
 		return fmt.Errorf("stream: sharded checkpoint: %w", err)
 	}
-	// Committed: the previous generation is garbage now. Best-effort
-	// removal — stray files are re-collected by the next commit's scan.
-	if old, err := filepath.Glob(filepath.Join(dir, "shard-*.g*.ckpt")); err == nil {
+	// Committed: the previous generation is garbage now, as is anything a
+	// crashed commit left behind — both fully written shard files of a
+	// generation whose manifest never committed and ".ckpt.tmp" partials
+	// killed mid-write (the trailing * picks those up; matching only
+	// "*.ckpt" leaked them forever). Best-effort removal — stray files
+	// are re-collected by the next commit's scan.
+	if old, err := filepath.Glob(filepath.Join(dir, "shard-*.g*.ckpt*")); err == nil {
 		for _, f := range old {
 			keep := false
 			for _, cur := range files {

@@ -328,6 +328,111 @@ func TestShardedCheckpointGenerations(t *testing.T) {
 	}
 }
 
+// TestShardedCrashMidCheckpoint: a kill -9 landing between the shard
+// writes and the manifest rename leaves the directory with the previous
+// committed generation's manifest plus the doomed commit's debris — a
+// fully written next-generation shard file, a ".ckpt.tmp" partial killed
+// mid-write, and a ".ckpt.tmp" partial from an even older doomed commit
+// whose generation number no future commit will reuse. Restore must come
+// up on the committed generation, resume cleanly, and the next
+// checkpoint must garbage-collect every orphan — the old "*.ckpt" GC
+// glob never matched the ".tmp" partials, so they accumulated forever.
+func TestShardedCrashMidCheckpoint(t *testing.T) {
+	b := genBuild(20240504, 600)
+	in := inputFromBuild(b)
+	in.Raw = nil
+
+	full := newSharded(t, 2, in, nil)
+	feedCertsFirst(t, full, b)
+	full.Drain()
+	want := full.Analysis()
+
+	s := newSharded(t, 2, in, nil)
+	for _, c := range b.Raw.Certs {
+		s.IngestCert(&core.CertRecord{TS: c.NotBefore, Cert: c})
+	}
+	cut := len(b.Raw.Conns) * 2 / 5
+	for i := 0; i < cut; i++ {
+		s.IngestConn(&b.Raw.Conns[i])
+	}
+	s.Drain()
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if err := s.WriteCheckpoint(dir, map[string]int64{"conn_index": int64(cut)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed generation-2 commit: shard 0 fully written, shard 1
+	// killed mid-write, and the manifest rename never reached. The g9
+	// partial is an older doomed commit at a generation the restored
+	// process will never write again.
+	g1, err := os.ReadFile(filepath.Join(dir, "shard-0.g1.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, content := range map[string][]byte{
+		"shard-0.g2.ckpt":     g1,
+		"shard-1.g2.ckpt.tmp": g1[:len(g1)/3],
+		"shard-0.g9.ckpt.tmp": g1[:16],
+		"manifest.json.tmp":   []byte("{\"Version\":1"),
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close() // the kill
+
+	restored, cursor, err := RestoreSharded(Config{Input: in}, 0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(restored.Close)
+	if cursor["conn_index"] != int64(cut) {
+		t.Fatalf("restored cursor %v, want the committed generation's conn_index=%d", cursor, cut)
+	}
+	if got := restored.Stats().ConnsIngested; got != uint64(cut) {
+		t.Fatalf("restored ConnsIngested = %d, want %d (must not see the doomed generation)", got, cut)
+	}
+
+	for i := cut; i < len(b.Raw.Conns); i++ {
+		restored.IngestConn(&b.Raw.Conns[i])
+	}
+	restored.Drain()
+	if got := restored.Analysis(); !reflect.DeepEqual(want, got) {
+		t.Fatal("resumed analysis differs from uninterrupted run")
+	}
+
+	// The next commit (generation 2 again) must sweep all the debris.
+	if err := restored.WriteCheckpoint(dir, map[string]int64{"conn_index": int64(len(b.Raw.Conns))}); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, 0, len(ents))
+	for _, e := range ents {
+		got = append(got, e.Name())
+	}
+	sort.Strings(got)
+	wantFiles := []string{manifestName, "shard-0.g2.ckpt", "shard-1.g2.ckpt"}
+	if !reflect.DeepEqual(got, wantFiles) {
+		t.Fatalf("post-commit dir = %v, want exactly %v (orphans must be GC'd)", got, wantFiles)
+	}
+
+	// And the swept directory restores to the full-run state.
+	again, cursor2, err := RestoreSharded(Config{Input: in}, 0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(again.Close)
+	if cursor2["conn_index"] != int64(len(b.Raw.Conns)) {
+		t.Fatalf("final cursor %v, want conn_index=%d", cursor2, len(b.Raw.Conns))
+	}
+	if !reflect.DeepEqual(want, again.Analysis()) {
+		t.Fatal("restore of the post-crash checkpoint differs from uninterrupted run")
+	}
+}
+
 // TestShardedRestoreShardMismatch: restoring with a different shard
 // count must fail loudly (resharding a checkpoint is unsupported), and
 // n=0 must adopt the manifest's count.

@@ -1,0 +1,91 @@
+package workload
+
+import "time"
+
+// Pace describes a replay-rate profile for streaming a generated
+// dataset into live logs the way a load harness does: a sustained row
+// rate with periodic burst windows at a multiple of it. The zero burst
+// fields disable bursting, leaving a flat rate.
+type Pace struct {
+	// Rate is the sustained row rate in rows per second; must be > 0.
+	Rate float64
+	// BurstEvery is the period between burst-window starts. A window
+	// opens at every multiple of BurstEvery, beginning at elapsed 0.
+	BurstEvery time.Duration
+	// BurstLen is how long each burst window stays open.
+	BurstLen time.Duration
+	// BurstFactor multiplies Rate inside a burst window; values <= 1
+	// disable bursting.
+	BurstFactor float64
+}
+
+// bursting reports whether the profile has a meaningful burst phase.
+func (p Pace) bursting() bool {
+	return p.BurstEvery > 0 && p.BurstLen > 0 && p.BurstFactor > 1
+}
+
+// RateAt returns the target row rate at a point in the run.
+func (p Pace) RateAt(elapsed time.Duration) float64 {
+	if p.bursting() && elapsed%p.BurstEvery < p.BurstLen {
+		return p.Rate * p.BurstFactor
+	}
+	return p.Rate
+}
+
+// MeanRate returns the profile's long-run average rate — what a whole
+// number of burst periods delivers per second.
+func (p Pace) MeanRate() float64 {
+	if !p.bursting() {
+		return p.Rate
+	}
+	period := p.BurstEvery.Seconds()
+	burst := p.BurstLen.Seconds()
+	if burst > period {
+		burst = period
+	}
+	return (p.Rate*(period-burst) + p.Rate*p.BurstFactor*burst) / period
+}
+
+// Pacer turns a Pace into per-tick row budgets, carrying the fractional
+// remainder between ticks so the emitted total tracks the profile
+// exactly regardless of tick size. Not safe for concurrent use.
+type Pacer struct {
+	Pace
+	carry float64
+}
+
+// Step returns how many rows to emit for the tick that ends at elapsed
+// and lasted tick. Fractions accumulate in the carry, so summing Step
+// over a run converges on the profile's integral to within one row.
+func (p *Pacer) Step(elapsed, tick time.Duration) int {
+	if tick <= 0 {
+		return 0
+	}
+	// Integrate the (piecewise-constant) rate over [elapsed-tick, elapsed)
+	// by splitting the tick at burst boundaries.
+	start := elapsed - tick
+	if start < 0 {
+		start = 0
+	}
+	want := p.carry
+	for start < elapsed {
+		seg := elapsed
+		if p.bursting() {
+			phase := start % p.BurstEvery
+			var next time.Duration
+			if phase < p.BurstLen {
+				next = start + (p.BurstLen - phase)
+			} else {
+				next = start + (p.BurstEvery - phase)
+			}
+			if next < seg {
+				seg = next
+			}
+		}
+		want += p.RateAt(start) * (seg - start).Seconds()
+		start = seg
+	}
+	n := int(want)
+	p.carry = want - float64(n)
+	return n
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPaceFlatRate(t *testing.T) {
+	p := &Pacer{Pace: Pace{Rate: 1000}}
+	total := 0
+	for elapsed := 50 * time.Millisecond; elapsed <= 10*time.Second; elapsed += 50 * time.Millisecond {
+		total += p.Step(elapsed, 50*time.Millisecond)
+	}
+	if total < 9999 || total > 10001 {
+		t.Fatalf("flat 1000 rows/s over 10s emitted %d rows, want ~10000", total)
+	}
+}
+
+func TestPaceBurstWindows(t *testing.T) {
+	p := Pace{Rate: 1000, BurstEvery: 10 * time.Second, BurstLen: 2 * time.Second, BurstFactor: 3}
+	if r := p.RateAt(time.Second); r != 3000 {
+		t.Errorf("RateAt(1s) = %v, want 3000 (inside the burst window)", r)
+	}
+	if r := p.RateAt(5 * time.Second); r != 1000 {
+		t.Errorf("RateAt(5s) = %v, want 1000 (sustained)", r)
+	}
+	if r := p.RateAt(10*time.Second + time.Millisecond); r != 3000 {
+		t.Errorf("RateAt(10s+1ms) = %v, want 3000 (next window)", r)
+	}
+	// One whole period: 8s sustained + 2s at 3x = 14000 rows, and the
+	// integral is exact even when ticks straddle window boundaries.
+	pc := &Pacer{Pace: p}
+	total := 0
+	const tick = 70 * time.Millisecond // does not divide the window edges
+	for elapsed := tick; elapsed <= 10*time.Second; elapsed += tick {
+		total += pc.Step(elapsed, tick)
+	}
+	// The loop stops at the last multiple of tick <= 10s; integrate the
+	// remainder by hand.
+	total += pc.Step(10*time.Second, 10*time.Second%tick)
+	if total < 13999 || total > 14001 {
+		t.Fatalf("one burst period emitted %d rows, want ~14000", total)
+	}
+	if m := p.MeanRate(); m != 1400 {
+		t.Errorf("MeanRate = %v, want 1400", m)
+	}
+}
+
+func TestPaceDegenerate(t *testing.T) {
+	// Bursts disabled by any missing piece of the spec.
+	for _, p := range []Pace{
+		{Rate: 500},
+		{Rate: 500, BurstEvery: time.Second},
+		{Rate: 500, BurstEvery: time.Second, BurstLen: time.Second},
+		{Rate: 500, BurstEvery: time.Second, BurstLen: 100 * time.Millisecond, BurstFactor: 1},
+	} {
+		if r := p.RateAt(0); r != 500 {
+			t.Errorf("%+v: RateAt(0) = %v, want 500", p, r)
+		}
+		if m := p.MeanRate(); m != 500 {
+			t.Errorf("%+v: MeanRate = %v, want 500", p, m)
+		}
+	}
+	p := &Pacer{Pace: Pace{Rate: 10}}
+	if n := p.Step(time.Second, 0); n != 0 {
+		t.Errorf("zero tick emitted %d rows", n)
+	}
+}

@@ -145,6 +145,22 @@ func RejectTotals(reg *metrics.Registry) (total uint64, byReason map[string]uint
 	return total, byReason
 }
 
+// DefaultQuarantineMaxBytes is the daemon's default quarantine size cap:
+// generous enough that months of sporadic corruption fit with room to
+// spare, small enough that a sustained malformed-row storm cannot fill
+// the log volume out from under the tailers it shares it with.
+const DefaultQuarantineMaxBytes = 256 << 20
+
+// QuarantineDroppedMetric counts rows dropped because the quarantine hit
+// its byte cap; QuarantineBytesMetric gauges the bytes written so far.
+const (
+	QuarantineDroppedMetric = "zeek_quarantine_dropped_total"
+	QuarantineBytesMetric   = "zeek_quarantine_bytes"
+)
+
+// quarantineHeader is written once per sink before the first row.
+const quarantineHeader = "#quarantine\tv1\n#fields\tsource\tline\treason\traw\n"
+
 // Quarantine is an append-only sink for rejected rows: one TSV line per
 // row — source log, line number, reason, and the raw line with tabs,
 // newlines, and backslashes hex-escaped so one rejected row always stays
@@ -152,25 +168,69 @@ func RejectTotals(reg *metrics.Registry) (total uint64, byReason map[string]uint
 // write error never fails the pipeline (the first one is retained for
 // inspection via Err) — quarantining exists so ingestion can continue,
 // so it must not itself become a poison pill.
+//
+// SetMaxBytes caps the sink: once the cap would be exceeded the row is
+// dropped and counted instead of written, because a malformed-row storm
+// must not fill the disk during a soak — the per-reason rejection
+// counters still tally every row, so nothing goes unnoticed, only the
+// raw forensics are bounded.
 type Quarantine struct {
-	mu     sync.Mutex
-	w      io.Writer
-	c      io.Closer
-	opened bool
-	n      uint64
-	err    error
+	mu       sync.Mutex
+	w        io.Writer
+	c        io.Closer
+	opened   bool
+	n        uint64
+	err      error
+	maxBytes int64 // 0 = unlimited
+	bytes    int64 // written so far (seeded with the file size on open)
+	dropped  uint64
+	droppedC *metrics.Counter
+	bytesG   *metrics.Gauge
 }
 
 // NewQuarantine wraps an arbitrary sink.
 func NewQuarantine(w io.Writer) *Quarantine { return &Quarantine{w: w} }
 
 // OpenQuarantine opens (appending, creating if needed) a quarantine file.
+// An existing file's size counts against any byte cap set later — the cap
+// bounds the file, not this process's contribution to it.
 func OpenQuarantine(path string) (*Quarantine, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &Quarantine{w: f, c: f}, nil
+	q := &Quarantine{w: f, c: f}
+	if fi, err := f.Stat(); err == nil {
+		q.bytes = fi.Size()
+	}
+	return q, nil
+}
+
+// SetMaxBytes caps the sink at n bytes (n <= 0 removes the cap). Rows
+// that would push past the cap are dropped and counted via Dropped.
+func (q *Quarantine) SetMaxBytes(n int64) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	q.maxBytes = n
+}
+
+// Instrument publishes the overflow counter and byte gauge into reg.
+func (q *Quarantine) Instrument(reg *metrics.Registry) {
+	if q == nil || reg == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.droppedC = reg.Counter(QuarantineDroppedMetric, "rejected rows dropped at the quarantine byte cap")
+	q.bytesG = reg.Gauge(QuarantineBytesMetric, "bytes in the quarantine sink")
+	q.droppedC.Add(q.dropped)
+	q.bytesG.Set(float64(q.bytes))
 }
 
 // Record appends one rejected row.
@@ -184,17 +244,55 @@ func (q *Quarantine) Record(file string, re *RowError) {
 	if q.err != nil {
 		return
 	}
+	line := fmt.Sprintf("%s\t%d\t%s\t%s\n",
+		file, re.Line, re.Reason, escapeField(re.Raw))
+	need := int64(len(line))
 	if !q.opened {
-		if _, err := fmt.Fprintf(q.w, "#quarantine\tv1\n#fields\tsource\tline\treason\traw\n"); err != nil {
+		need += int64(len(quarantineHeader))
+	}
+	if q.maxBytes > 0 && q.bytes+need > q.maxBytes {
+		q.dropped++
+		if q.droppedC != nil {
+			q.droppedC.Inc()
+		}
+		return
+	}
+	if !q.opened {
+		if _, err := io.WriteString(q.w, quarantineHeader); err != nil {
 			q.err = err
 			return
 		}
 		q.opened = true
+		q.bytes += int64(len(quarantineHeader))
 	}
-	if _, err := fmt.Fprintf(q.w, "%s\t%d\t%s\t%s\n",
-		file, re.Line, re.Reason, escapeField(re.Raw)); err != nil {
+	if _, err := io.WriteString(q.w, line); err != nil {
 		q.err = err
+		return
 	}
+	q.bytes += int64(len(line))
+	if q.bytesG != nil {
+		q.bytesG.Set(float64(q.bytes))
+	}
+}
+
+// Dropped is the number of rows lost to the byte cap.
+func (q *Quarantine) Dropped() uint64 {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
+}
+
+// Bytes is the sink size so far (including any pre-existing file bytes).
+func (q *Quarantine) Bytes() int64 {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.bytes
 }
 
 // Count is the number of rows recorded (including any lost to a sink

@@ -102,6 +102,16 @@ func (sw *SSLWriter) Flush() error { return sw.w.Flush() }
 // to an existing log.
 func (sw *SSLWriter) SkipHeader() { sw.opened = true }
 
+// WriteHeader emits the header immediately if it has not been written —
+// for creating a well-formed empty log before any rows exist.
+func (sw *SSLWriter) WriteHeader() error {
+	if sw.opened {
+		return nil
+	}
+	sw.opened = true
+	return writeHeader(sw.w, "ssl", sslFields)
+}
+
 // X509Writer emits x509.log in Zeek TSV format.
 type X509Writer struct {
 	w      *bufio.Writer
@@ -165,6 +175,16 @@ func (xw *X509Writer) Flush() error { return xw.w.Flush() }
 // SkipHeader marks the header as already written — for appending rows
 // to an existing log.
 func (xw *X509Writer) SkipHeader() { xw.opened = true }
+
+// WriteHeader emits the header immediately if it has not been written —
+// for creating a well-formed empty log before any rows exist.
+func (xw *X509Writer) WriteHeader() error {
+	if xw.opened {
+		return nil
+	}
+	xw.opened = true
+	return writeHeader(xw.w, "x509", x509Fields)
+}
 
 // bstr views b as a string without copying. The view aliases b, so it is
 // only handed to functions that do not retain their argument (strconv
