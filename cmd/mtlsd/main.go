@@ -111,6 +111,9 @@ type options struct {
 	role          string
 	sensors       string
 	syncEvery     time.Duration
+	store         string
+	storeDir      string
+	hotBytes      int64
 }
 
 func main() {
@@ -118,7 +121,7 @@ func main() {
 	flag.StringVar(&o.logs, "logs", "", "directory with ssl.log/x509.log to tail (required)")
 	flag.StringVar(&o.listen, "listen", "127.0.0.1:8411", "HTTP listen address")
 	flag.DurationVar(&o.poll, "poll", 2*time.Second, "log poll interval")
-	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file (restore on start, persist periodically)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint path (restore on start, persist periodically); fresh paths get the incremental directory format, an existing legacy file is rewritten in place")
 	flag.DurationVar(&o.ckptEvery, "checkpoint-every", time.Minute, "checkpoint interval (0 = only on shutdown)")
 	flag.DurationVar(&o.retention, "retention", 0, "connection retention window (0 = keep everything)")
 	flag.IntVar(&o.buffer, "buffer", 0, "ingest buffer size (0 = engine default)")
@@ -134,6 +137,9 @@ func main() {
 	flag.StringVar(&o.quarantine, "quarantine", "", "append rejected rows to this file (permissive mode only)")
 	flag.Int64Var(&o.quarantineMax, "quarantine-max-bytes", zeek.DefaultQuarantineMaxBytes,
 		"quarantine size cap; overflow rows are dropped and counted (0 = unlimited)")
+	flag.StringVar(&o.store, "store", "memory", "engine state store: memory, or disk (hot/cold tiering under -store-dir)")
+	flag.StringVar(&o.storeDir, "store-dir", "", "scratch directory for the disk store (required with -store disk)")
+	flag.Int64Var(&o.hotBytes, "hot-bytes", 0, "disk store hot-tier budget in bytes (0 = store default)")
 	flag.StringVar(&o.role, "role", "monitor", "monitor, sensor (monitor + /api/v1/snapshot), or aggregator (pulls -sensors)")
 	flag.StringVar(&o.sensors, "sensors", "", "comma-separated sensor addresses (aggregator role only)")
 	flag.DurationVar(&o.syncEvery, "sync-every", 5*time.Second, "aggregator sensor pull interval")
@@ -204,9 +210,15 @@ func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr st
 	// admitted event with an export sequence, so /api/v1/snapshot can
 	// serve cursor deltas.
 	scfg := stream.Config{Input: in, Buffer: o.buffer, Retention: o.retention, Metrics: reg,
-		TrackExport: o.role == "sensor"}
+		TrackExport: o.role == "sensor",
+		Store:       o.store, StoreDir: o.storeDir, HotBytes: o.hotBytes}
 	if o.drop {
 		scfg.Policy = stream.Drop
+	}
+	if o.store == "disk" && o.storeDir == "" {
+		logger.Error("-store disk requires -store-dir")
+		ln.Close()
+		return 2
 	}
 
 	// Malformed-row policy. Permissive (the default) quarantines bad rows

@@ -63,6 +63,9 @@ type options struct {
 	ckptEvery   time.Duration
 	shards      int
 	maxLag      int64
+	maxRSS      int64
+	store       string
+	hotBytes    int64
 	chaosModes  string
 	stormRows   int
 	throttle    int64
@@ -87,6 +90,9 @@ func main() {
 	flag.DurationVar(&o.ckptEvery, "checkpoint-every", 2*time.Second, "daemon checkpoint interval")
 	flag.IntVar(&o.shards, "shards", 1, "daemon engine shards")
 	flag.Int64Var(&o.maxLag, "max-lag-bytes", 64<<20, "fail if sampled ingestion lag ever exceeds this")
+	flag.Int64Var(&o.maxRSS, "max-rss-bytes", 0, "fail if sampled daemon VmRSS ever exceeds this (0 = no bound)")
+	flag.StringVar(&o.store, "store", "", "daemon state store (passed through as mtlsd -store; empty = daemon default)")
+	flag.Int64Var(&o.hotBytes, "hot-bytes", 0, "disk store hot-tier budget (passed through as mtlsd -hot-bytes)")
 	flag.StringVar(&o.chaosModes, "chaos", "malformed,rotate,copytruncate,kill,slowdisk",
 		"comma-separated fault list (subset of malformed,rotate,copytruncate,kill,slowdisk)")
 	flag.IntVar(&o.stormRows, "malformed-rows", 200, "rows per malformed storm")
@@ -147,6 +153,7 @@ type verifySummary struct {
 	QuarantineOK    bool `json:"quarantine_ok"`
 	MetricsOK       bool `json:"metrics_ok"`
 	LagBounded      bool `json:"lag_bounded"`
+	RSSBounded      bool `json:"rss_bounded"`
 	DaemonRestarted bool `json:"daemon_restarted"`
 }
 
@@ -187,7 +194,7 @@ func (h *harness) event(kind, detail string) {
 // daemonArgs are the flags every (re)start of the daemon uses; the
 // checkpoint path is what makes a restart a restore.
 func (h *harness) daemonArgs() []string {
-	return []string{
+	args := []string{
 		"-logs", h.logs,
 		"-listen", h.addr,
 		"-poll", h.o.poll.String(),
@@ -199,6 +206,19 @@ func (h *harness) daemonArgs() []string {
 		"-quarantine", filepath.Join(h.dir, "quarantine.log"),
 		"-log-level", "warn",
 	}
+	if h.o.store != "" {
+		args = append(args, "-store", h.o.store)
+		if h.o.store == "disk" {
+			// The scratch directory survives restarts but carries no
+			// durable state — the restore path rebuilds the tiers from
+			// the checkpoint, exactly as a fresh host would.
+			args = append(args, "-store-dir", filepath.Join(h.dir, "store"))
+		}
+		if h.o.hotBytes > 0 {
+			args = append(args, "-hot-bytes", strconv.FormatInt(h.o.hotBytes, 10))
+		}
+	}
+	return args
 }
 
 func (h *harness) startDaemon() error {
@@ -355,6 +375,13 @@ func run(o *options) int {
 		h.failf("ingestion lag peaked at %d bytes, bound %d", maxLag, o.maxLag)
 		verify.LagBounded = false
 	}
+	verify.RSSBounded = true
+	if o.maxRSS > 0 {
+		if maxRSS := h.rec.MaxRSS(); maxRSS > o.maxRSS {
+			h.failf("daemon RSS peaked at %d bytes, bound %d (hot tier not holding its budget?)", maxRSS, o.maxRSS)
+			verify.RSSBounded = false
+		}
+	}
 
 	if modes["malformed"] {
 		verify.QuarantineOK = h.checkQuarantine()
@@ -375,6 +402,7 @@ func run(o *options) int {
 			"checkpoint_every": o.ckptEvery.String(), "shards": o.shards,
 			"chaos": sortedKeys(modes), "malformed_rows": o.stormRows,
 			"slowdisk_bytes_per_sec": o.throttle,
+			"store": o.store, "hot_bytes": o.hotBytes, "max_rss_bytes": o.maxRSS,
 		},
 		Totals: totals{
 			Conns: len(conns), Certs: len(certs), MalformedRows: stormTotal(modes, o),

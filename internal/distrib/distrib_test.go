@@ -172,6 +172,55 @@ func TestAggregatorEquivalence(t *testing.T) {
 	}
 }
 
+// TestAggregatorDiskStoreSensorEquivalence pins the snapshot/restore
+// interplay with the pluggable store: a sensor running the disk-backed
+// store under a hot budget far below its working set (so Export reads
+// cross the cold tier) must serve snapshots the aggregator merges into
+// the same analysis as an all-memory fleet — including an incremental
+// delta sync after more rows land.
+func TestAggregatorDiskStoreSensorEquivalence(t *testing.T) {
+	b := genBuild(20240504, 1200)
+	want := analysisJSON(t, core.Run(inputFromBuild(b)))
+	certs := certList(b)
+	half := len(b.Raw.Conns) / 2
+
+	in := inputFromBuild(b)
+	in.Raw = nil
+	disk, err := stream.New(stream.Config{
+		Input: in, TrackExport: true,
+		Store: "disk", StoreDir: t.TempDir(), HotBytes: 64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(disk.Close)
+	mem := newSensorEngine(t, b)
+
+	// Disjoint halves; the disk sensor gets the first, memory the rest.
+	feedSlice(t, disk, b, certs, 0, len(certs), 0, half/2)
+	feedSlice(t, mem, b, certs, 0, len(certs), half, len(b.Raw.Conns))
+	disk.Drain()
+	mem.Drain()
+
+	a := newAgg(t, b, nil,
+		newSensorServer(t, disk, SupportedSchemas()).URL,
+		newSensorServer(t, mem, SupportedSchemas()).URL)
+	if err := a.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second round: the rest of the disk sensor's slice arrives and the
+	// next sync must pick it up as a delta against the recorded cursor.
+	feedSlice(t, disk, b, certs, 0, 0, half/2, half)
+	disk.Drain()
+	if err := a.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := analysisJSON(t, a.Analysis()); got != want {
+		t.Error("aggregated analysis over a disk-store sensor differs from the union engine")
+	}
+}
+
 // newRetentionSensor is newSensorEngine with a retention window and
 // per-event eviction sweeps, so the retained set is exactly the window
 // behind the watermark — deterministic for equivalence checks.

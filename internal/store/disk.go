@@ -1,0 +1,584 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// DefaultHotBytes is the hot-tier budget when the caller passes none.
+const DefaultHotBytes = 64 << 20
+
+// spillChunk is how many records one spill frame carries: big enough to
+// amortize the per-frame gob type descriptors, small enough that
+// faulting one cold certificate back in decodes kilobytes, not the
+// whole cold tier.
+const spillChunk = 512
+
+// Disk is the tiered store: a hot working set in RAM under an estimated
+// byte budget, and a cold remainder spilled to two append-only segment
+// files (conns.seg, certs.seg) under dir, addressed by an in-memory
+// index. The files are scratch, not a durability layer — nothing is
+// fsynced and the directory is recreated on open; crash durability is
+// the checkpoint's job. Spilled space is never reclaimed in place
+// (eviction drops index entries, re-faulted certificates re-spill to
+// fresh offsets); a long-running daemon bounds that growth with its
+// checkpoint-restart cycle or a generous disk.
+//
+// Tier invariants the rest of the file depends on: every certificate
+// fingerprint is in exactly one of hotCerts/coldCerts, and every cold
+// connection's slot is below every hot connection's slot (spills always
+// take the oldest hot prefix), so cold+hot concatenates in slot order.
+type Disk struct {
+	dir     string
+	budget  int64
+	tracked bool
+	stats   Stats
+
+	// Hot connection tail, append order, slot-aligned.
+	hot      []core.ConnRecord
+	hotSeqs  []uint64
+	hotSlots []uint64
+	hotB     int64 // estimated bytes of hot conns
+
+	cold    []coldConn // slot-ascending index over conns.seg
+	connSeg *os.File
+	connOff int64
+
+	hotCerts  map[ids.Fingerprint]*certmodel.CertInfo
+	hotOrder  []ids.Fingerprint // admission order; spills are FIFO
+	coldCerts map[ids.Fingerprint]int64
+	certB     int64 // estimated bytes of hot certs
+	certSeg   *os.File
+	certOff   int64
+
+	nextSlot uint64
+
+	// One-frame decode cache: sequential readers (snapshots, restores)
+	// touch consecutive index entries that share a frame.
+	cacheOff   int64
+	cacheConns []core.ConnRecord
+	cacheSeqs  []uint64
+	cacheSlots []uint64
+}
+
+// coldConn locates one spilled, still-retained connection: enough to
+// evict and sort without touching disk, plus the frame that holds it.
+type coldConn struct {
+	slot, seq uint64
+	ts        int64 // UnixNano, for eviction
+	off       int64 // frame offset in conns.seg
+}
+
+// connSpill is the gob payload of one connection spill frame.
+type connSpill struct {
+	Conns []core.ConnRecord
+	Seqs  []uint64
+	Slots []uint64
+}
+
+// certSpill is the gob payload of one certificate spill frame.
+type certSpill struct {
+	Certs []*certmodel.CertInfo
+}
+
+const (
+	frameConnSpill byte = 1
+	frameCertSpill byte = 2
+)
+
+// OpenDisk creates a tiered store under dir (recreated — segments are
+// scratch, not state to recover). hotBytes <= 0 selects DefaultHotBytes.
+func OpenDisk(dir string, hotBytes int64, trackSeqs bool) (*Disk, error) {
+	if hotBytes <= 0 {
+		hotBytes = DefaultHotBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	connSeg, err := os.OpenFile(filepath.Join(dir, "conns.seg"), os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	certSeg, err := os.OpenFile(filepath.Join(dir, "certs.seg"), os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		connSeg.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Disk{
+		dir:       dir,
+		budget:    hotBytes,
+		tracked:   trackSeqs,
+		connSeg:   connSeg,
+		certSeg:   certSeg,
+		hotCerts:  make(map[ids.Fingerprint]*certmodel.CertInfo),
+		coldCerts: make(map[ids.Fingerprint]int64),
+		cacheOff:  -1,
+	}, nil
+}
+
+// connBytes estimates a record's resident size: struct plus string and
+// chain payloads. Precision is irrelevant — the estimate only paces
+// spilling.
+func connBytes(r *core.ConnRecord) int64 {
+	n := 160 + len(r.UID) + len(r.OrigIP) + len(r.RespIP) + len(r.Version) + len(r.SNI)
+	for _, fp := range r.ServerChain {
+		n += 16 + len(fp)
+	}
+	for _, fp := range r.ClientChain {
+		n += 16 + len(fp)
+	}
+	return int64(n)
+}
+
+// certBytes estimates a certificate's resident size.
+func certBytes(c *certmodel.CertInfo) int64 {
+	n := 240 + len(c.Fingerprint) + len(c.SerialHex) + len(c.IssuerCN) + len(c.IssuerOrg) +
+		len(c.SubjectCN) + len(c.SubjectOrg) + len(c.DER)
+	for _, s := range c.SANDNS {
+		n += 16 + len(s)
+	}
+	for _, s := range c.SANIP {
+		n += 16 + len(s)
+	}
+	for _, s := range c.SANEmail {
+		n += 16 + len(s)
+	}
+	for _, s := range c.SANURI {
+		n += 16 + len(s)
+	}
+	return int64(n)
+}
+
+func (d *Disk) PutCert(c *certmodel.CertInfo) bool {
+	if _, ok := d.hotCerts[c.Fingerprint]; ok {
+		return false
+	}
+	if _, ok := d.coldCerts[c.Fingerprint]; ok {
+		return false
+	}
+	d.admitCert(c)
+	d.maybeSpill()
+	return true
+}
+
+// admitCert places c in the hot tier (new or faulted back in).
+func (d *Disk) admitCert(c *certmodel.CertInfo) {
+	d.hotCerts[c.Fingerprint] = c
+	d.hotOrder = append(d.hotOrder, c.Fingerprint)
+	d.certB += certBytes(c)
+	d.stats.HotCerts.Store(int64(len(d.hotCerts)))
+	d.stats.HotBytes.Store(d.hotB + d.certB)
+}
+
+func (d *Disk) Cert(fp ids.Fingerprint) *certmodel.CertInfo {
+	if c, ok := d.hotCerts[fp]; ok {
+		return c
+	}
+	off, ok := d.coldCerts[fp]
+	if !ok {
+		return nil
+	}
+	var sp certSpill
+	if err := d.decodeFrame(d.certSeg, off, frameCertSpill, &sp); err != nil {
+		// Scratch-file corruption mid-run is unrecoverable state loss;
+		// surfacing it as "roster miss" would silently corrupt reports.
+		panic(fmt.Sprintf("store: cold certificate fault at %d: %v", off, err))
+	}
+	var hit *certmodel.CertInfo
+	for _, c := range sp.Certs {
+		if c.Fingerprint == fp {
+			hit = c
+			break
+		}
+	}
+	if hit == nil {
+		panic(fmt.Sprintf("store: cold index points %s at frame %d which lacks it", fp, off))
+	}
+	d.stats.Loads.Add(1)
+	delete(d.coldCerts, fp)
+	d.stats.ColdCerts.Store(int64(len(d.coldCerts)))
+	d.admitCert(hit)
+	d.maybeSpill()
+	return hit
+}
+
+func (d *Disk) HasCert(fp ids.Fingerprint) bool {
+	if _, ok := d.hotCerts[fp]; ok {
+		return true
+	}
+	_, ok := d.coldCerts[fp]
+	return ok
+}
+
+func (d *Disk) CertCount() int { return len(d.hotCerts) + len(d.coldCerts) }
+
+// Certs iterates hot then cold. Cold frames are decoded once each;
+// faulted copies are not re-admitted (iteration must not reshape the
+// tiers under the caller).
+func (d *Disk) Certs(fn func(*certmodel.CertInfo) bool) {
+	for _, c := range d.hotCerts {
+		if !fn(c) {
+			return
+		}
+	}
+	if len(d.coldCerts) == 0 {
+		return
+	}
+	offs := make(map[int64]bool, len(d.coldCerts))
+	for _, off := range d.coldCerts {
+		offs[off] = true
+	}
+	ordered := make([]int64, 0, len(offs))
+	for off := range offs {
+		ordered = append(ordered, off)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, off := range ordered {
+		var sp certSpill
+		if err := d.decodeFrame(d.certSeg, off, frameCertSpill, &sp); err != nil {
+			panic(fmt.Sprintf("store: cold certificate frame at %d: %v", off, err))
+		}
+		for _, c := range sp.Certs {
+			// A frame may hold stale copies of certificates later faulted
+			// hot and re-spilled elsewhere; the index is the truth.
+			if at, ok := d.coldCerts[c.Fingerprint]; ok && at == off {
+				if !fn(c) {
+					return
+				}
+			}
+		}
+	}
+}
+
+func (d *Disk) AppendConn(rec *core.ConnRecord, seq uint64) *core.ConnRecord {
+	d.hot = append(d.hot, *rec)
+	if d.tracked {
+		d.hotSeqs = append(d.hotSeqs, seq)
+	}
+	d.hotSlots = append(d.hotSlots, d.nextSlot)
+	d.nextSlot++
+	d.hotB += connBytes(rec)
+	d.stats.HotConns.Store(int64(len(d.hot)))
+	d.stats.HotBytes.Store(d.hotB + d.certB)
+	stored := &d.hot[len(d.hot)-1]
+	d.maybeSpill()
+	return stored
+}
+
+func (d *Disk) GrowConns(n int) {
+	d.hot = grown(d.hot, n)
+	if d.tracked {
+		d.hotSeqs = grown(d.hotSeqs, n)
+	}
+	d.hotSlots = grown(d.hotSlots, n)
+}
+
+// maybeSpill moves the colder half of whichever hot tier is heavier to
+// its segment file until the estimate fits the budget. Spilling halves
+// (not single records) keeps the amortized cost per append O(1) and the
+// frames batch-sized.
+func (d *Disk) maybeSpill() {
+	for d.hotB+d.certB > d.budget {
+		if d.hotB >= d.certB && len(d.hot) > 1 {
+			d.spillConns(len(d.hot) / 2)
+		} else if len(d.hotOrder) > 1 {
+			d.spillCerts(len(d.hotCerts) / 2)
+		} else {
+			return // a single oversized record; nothing sane to spill
+		}
+	}
+}
+
+// spillConns moves the oldest n hot connections to conns.seg.
+func (d *Disk) spillConns(n int) {
+	for start := 0; start < n; start += spillChunk {
+		end := start + spillChunk
+		if end > n {
+			end = n
+		}
+		sp := connSpill{Conns: d.hot[start:end], Slots: d.hotSlots[start:end]}
+		if d.tracked {
+			sp.Seqs = d.hotSeqs[start:end]
+		}
+		off, err := d.appendFrame(d.connSeg, &d.connOff, frameConnSpill, &sp)
+		if err != nil {
+			panic(fmt.Sprintf("store: spill conns: %v", err))
+		}
+		for i := start; i < end; i++ {
+			var seq uint64
+			if d.tracked {
+				seq = d.hotSeqs[i]
+			}
+			d.cold = append(d.cold, coldConn{
+				slot: d.hotSlots[i], seq: seq, ts: d.hot[i].TS.UnixNano(), off: off,
+			})
+		}
+	}
+	// Copy the surviving tail into fresh arrays so the old backing
+	// array — and the spilled records' string payloads — become
+	// collectable. Re-slicing would pin the whole array.
+	d.hot = append(make([]core.ConnRecord, 0, max(len(d.hot)-n, 64)), d.hot[n:]...)
+	d.hotSlots = append(make([]uint64, 0, cap(d.hot)), d.hotSlots[n:]...)
+	if d.tracked {
+		d.hotSeqs = append(make([]uint64, 0, cap(d.hot)), d.hotSeqs[n:]...)
+	}
+	d.hotB = 0
+	for i := range d.hot {
+		d.hotB += connBytes(&d.hot[i])
+	}
+	d.stats.Spills.Add(uint64(n))
+	d.stats.HotConns.Store(int64(len(d.hot)))
+	d.stats.ColdConns.Store(int64(len(d.cold)))
+	d.stats.HotBytes.Store(d.hotB + d.certB)
+	d.cacheOff = -1
+}
+
+// spillCerts moves the n least-recently-admitted hot certificates to
+// certs.seg. FIFO by admission: the roster is written once and read at
+// enrichment and rebuild time, where recent certificates are the likely
+// references.
+func (d *Disk) spillCerts(n int) {
+	batch := make([]*certmodel.CertInfo, 0, min(n, spillChunk))
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		off, err := d.appendFrame(d.certSeg, &d.certOff, frameCertSpill, &certSpill{Certs: batch})
+		if err != nil {
+			panic(fmt.Sprintf("store: spill certs: %v", err))
+		}
+		for _, c := range batch {
+			delete(d.hotCerts, c.Fingerprint)
+			d.coldCerts[c.Fingerprint] = off
+			d.certB -= certBytes(c)
+		}
+		d.stats.Spills.Add(uint64(len(batch)))
+		batch = batch[:0]
+	}
+	spilled := 0
+	keep := d.hotOrder[:0]
+	for i, fp := range d.hotOrder {
+		if spilled >= n {
+			keep = append(keep, d.hotOrder[i:]...)
+			break
+		}
+		c, ok := d.hotCerts[fp]
+		if !ok {
+			continue // already spilled under a duplicate order entry
+		}
+		batch = append(batch, c)
+		spilled++
+		if len(batch) == spillChunk {
+			flush()
+		}
+	}
+	flush()
+	d.hotOrder = append(make([]ids.Fingerprint, 0, max(len(keep), 64)), keep...)
+	d.stats.HotCerts.Store(int64(len(d.hotCerts)))
+	d.stats.ColdCerts.Store(int64(len(d.coldCerts)))
+	d.stats.HotBytes.Store(d.hotB + d.certB)
+}
+
+// appendFrame gob-encodes payload and appends it as one frame,
+// returning the frame's offset.
+func (d *Disk) appendFrame(f *os.File, off *int64, typ byte, payload any) (int64, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(payload); err != nil {
+		return 0, err
+	}
+	var frame bytes.Buffer
+	if err := WriteFrame(&frame, typ, body.Bytes()); err != nil {
+		return 0, err
+	}
+	at := *off
+	if _, err := f.WriteAt(frame.Bytes(), at); err != nil {
+		return 0, err
+	}
+	*off = at + int64(frame.Len())
+	return at, nil
+}
+
+// decodeFrame reads and decodes the frame at off.
+func (d *Disk) decodeFrame(f *os.File, off int64, want byte, payload any) error {
+	sr := io.NewSectionReader(f, off, 1<<62)
+	typ, body, err := ReadFrame(sr)
+	if err != nil {
+		return err
+	}
+	if typ != want {
+		return fmt.Errorf("%w: frame type %d, want %d", ErrCorrupt, typ, want)
+	}
+	return gob.NewDecoder(bytes.NewReader(body)).Decode(payload)
+}
+
+// connFrame returns the decoded spill frame at off, through the
+// one-frame cache.
+func (d *Disk) connFrame(off int64) ([]core.ConnRecord, []uint64, []uint64) {
+	if d.cacheOff == off {
+		return d.cacheConns, d.cacheSeqs, d.cacheSlots
+	}
+	var sp connSpill
+	if err := d.decodeFrame(d.connSeg, off, frameConnSpill, &sp); err != nil {
+		panic(fmt.Sprintf("store: cold connection frame at %d: %v", off, err))
+	}
+	d.stats.Loads.Add(uint64(len(sp.Conns)))
+	d.cacheOff, d.cacheConns, d.cacheSeqs, d.cacheSlots = off, sp.Conns, sp.Seqs, sp.Slots
+	return sp.Conns, sp.Seqs, sp.Slots
+}
+
+func (d *Disk) ConnCount() int { return len(d.cold) + len(d.hot) }
+
+func (d *Disk) NextSlot() uint64 { return d.nextSlot }
+
+// appendCold appends copies of the cold records with slot >= mark to
+// the given slices, in slot order.
+func (d *Disk) appendCold(mark uint64, conns []core.ConnRecord, seqs []uint64) ([]core.ConnRecord, []uint64) {
+	lo := sort.Search(len(d.cold), func(i int) bool { return d.cold[i].slot >= mark })
+	for _, cc := range d.cold[lo:] {
+		fConns, fSeqs, fSlots := d.connFrame(cc.off)
+		idx := suffixAt(fSlots, cc.slot)
+		if idx >= len(fSlots) || fSlots[idx] != cc.slot {
+			panic(fmt.Sprintf("store: cold index slot %d missing from frame %d", cc.slot, cc.off))
+		}
+		conns = append(conns, fConns[idx])
+		if d.tracked {
+			seqs = append(seqs, fSeqs[idx])
+		}
+	}
+	return conns, seqs
+}
+
+func (d *Disk) ConnsSince(mark uint64) ([]core.ConnRecord, []uint64) {
+	var conns []core.ConnRecord
+	var seqs []uint64
+	conns, seqs = d.appendCold(mark, conns, seqs)
+	lo := suffixAt(d.hotSlots, mark)
+	conns = append(conns, d.hot[lo:]...)
+	if d.tracked {
+		seqs = append(seqs, d.hotSeqs[lo:]...)
+	}
+	return conns, seqs
+}
+
+// Conns iterates the retained window in append order: the cold index
+// first (decoding each spill frame once through the cache), then the
+// hot tail. Pointers into decoded frames stay valid after the
+// iteration — decoded buffers are never reused, so a caller retaining
+// them just pins the frame copy until it lets go.
+func (d *Disk) Conns(fn func(rec *core.ConnRecord, seq uint64) bool) {
+	for i := range d.cold {
+		cc := &d.cold[i]
+		fConns, fSeqs, fSlots := d.connFrame(cc.off)
+		idx := suffixAt(fSlots, cc.slot)
+		if idx >= len(fSlots) || fSlots[idx] != cc.slot {
+			panic(fmt.Sprintf("store: cold index slot %d missing from frame %d", cc.slot, cc.off))
+		}
+		var seq uint64
+		if d.tracked {
+			seq = fSeqs[idx]
+		}
+		if !fn(&fConns[idx], seq) {
+			return
+		}
+	}
+	for i := range d.hot {
+		var seq uint64
+		if d.tracked {
+			seq = d.hotSeqs[i]
+		}
+		if !fn(&d.hot[i], seq) {
+			return
+		}
+	}
+}
+
+func (d *Disk) EvictBefore(cutoff time.Time) int {
+	nano := cutoff.UnixNano()
+	keptCold := d.cold[:0]
+	for _, cc := range d.cold {
+		if cc.ts >= nano {
+			keptCold = append(keptCold, cc)
+		}
+	}
+	dropped := len(d.cold) - len(keptCold)
+	d.cold = keptCold
+
+	kept := make([]core.ConnRecord, 0, len(d.hot))
+	keptSlots := make([]uint64, 0, len(d.hotSlots))
+	var keptSeqs []uint64
+	if d.tracked {
+		keptSeqs = make([]uint64, 0, len(d.hotSeqs))
+	}
+	for i := range d.hot {
+		if !d.hot[i].TS.Before(cutoff) {
+			kept = append(kept, d.hot[i])
+			keptSlots = append(keptSlots, d.hotSlots[i])
+			if d.tracked {
+				keptSeqs = append(keptSeqs, d.hotSeqs[i])
+			}
+		}
+	}
+	if len(kept) != len(d.hot) {
+		dropped += len(d.hot) - len(kept)
+		d.hot, d.hotSlots, d.hotSeqs = kept, keptSlots, keptSeqs
+		d.hotB = 0
+		for i := range d.hot {
+			d.hotB += connBytes(&d.hot[i])
+		}
+	}
+	if dropped > 0 {
+		d.stats.HotConns.Store(int64(len(d.hot)))
+		d.stats.ColdConns.Store(int64(len(d.cold)))
+		d.stats.HotBytes.Store(d.hotB + d.certB)
+	}
+	return dropped
+}
+
+// Snapshot materializes everything: cold connections stream from disk
+// into one fresh slice ahead of the hot tail (cold slots all precede
+// hot slots, so concatenation preserves append order). O(retained) RAM
+// for the duration of whatever the caller does with it — the tiered
+// engine's documented materialization cost.
+func (d *Disk) Snapshot() Snap {
+	conns := make([]core.ConnRecord, 0, len(d.cold)+len(d.hot))
+	var seqs []uint64
+	if d.tracked {
+		seqs = make([]uint64, 0, len(d.cold)+len(d.hot))
+	}
+	conns, seqs = d.appendCold(0, conns, seqs)
+	conns = append(conns, d.hot...)
+	if d.tracked {
+		seqs = append(seqs, d.hotSeqs...)
+	}
+	certs := make([]*certmodel.CertInfo, 0, d.CertCount())
+	d.Certs(func(c *certmodel.CertInfo) bool {
+		certs = append(certs, c)
+		return true
+	})
+	return Snap{Certs: certs, Conns: conns, Seqs: seqs}
+}
+
+func (d *Disk) Tiered() bool { return true }
+
+func (d *Disk) Stats() *Stats { return &d.stats }
+
+// Close releases the segment files. Cold records become unreadable;
+// call only when the owning engine will not materialize again.
+func (d *Disk) Close() error {
+	err1 := d.connSeg.Close()
+	err2 := d.certSeg.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

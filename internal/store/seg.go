@@ -1,0 +1,89 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Segment files — the disk store's spill segments and the incremental
+// checkpoint's delta/base segments — are sequences of self-contained
+// frames:
+//
+//	[1 byte type][4 bytes little-endian payload length][payload][4 bytes CRC32]
+//
+// The CRC (IEEE, over type+length+payload) makes torn or bit-rotted
+// frames detectable: a reader hitting a short or mismatched frame gets
+// ErrCorrupt, never a silent half-read. Payloads are opaque here —
+// callers gob-encode their own frame structs, each frame with a fresh
+// encoder so frames decode independently (random access into spill
+// segments, and a truncated tail cannot poison earlier frames).
+
+// ErrCorrupt marks a frame that is truncated or fails its checksum.
+var ErrCorrupt = errors.New("store: corrupt segment frame")
+
+// frameOverhead is the fixed bytes around a payload.
+const frameOverhead = 1 + 4 + 4
+
+// maxFramePayload bounds a single frame; a length prefix beyond it is
+// treated as corruption rather than attempted as an allocation.
+const maxFramePayload = 1 << 30
+
+// WriteFrame appends one frame to w.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("store: frame payload %d exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(payload)
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// ReadFrame reads the next frame from r. A clean end of file returns
+// io.EOF; anything short or checksum-mismatched returns ErrCorrupt.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: short payload", ErrCorrupt)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: short checksum", ErrCorrupt)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(payload)
+	if crc.Sum32() != binary.LittleEndian.Uint32(sum[:]) {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return hdr[0], payload, nil
+}

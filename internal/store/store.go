@@ -1,0 +1,140 @@
+// Package store is the state layer behind stream.Engine: the retained
+// connection window and the certificate roster live behind the Store
+// interface, so the engine's ingest/rebuild/checkpoint logic is
+// independent of where records physically sit. Two implementations:
+//
+//   - Mem is the default and preserves the engine's historical
+//     semantics exactly — append-only slices with abandon-don't-mutate
+//     eviction, so slice headers snapshotted under the engine lock stay
+//     valid after it is released.
+//   - Disk keeps a bounded hot working set in RAM and spills the cold
+//     remainder to append-only segment files under a directory, with an
+//     in-memory index, so total retained state can exceed the hot
+//     budget by an order of magnitude while steady-state ingest RSS
+//     stays bounded.
+//
+// Concurrency: a Store is owned by one engine and accessed only under
+// that engine's state lock; implementations need no internal locking
+// except for the Stats counters, which are read lock-free by metric
+// callbacks.
+//
+// Slots: every appended connection gets a monotone, never-reused slot
+// number. Eviction removes records but never renumbers, so "slot >=
+// mark" identifies exactly the records appended since mark — the delta
+// an incremental checkpoint serializes. Slots are an in-memory notion
+// only; nothing on disk depends on them.
+package store
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/certmodel"
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// Snap is a point-in-time view of the full retained state, used by the
+// sharded merge, full checkpoints, and tiered rebuilds. For Mem the
+// slices are live headers (safe after the engine lock is released:
+// appends past the captured length are invisible and eviction swaps in
+// fresh arrays); for Disk they are freshly materialized copies.
+type Snap struct {
+	// Certs is the roster in unspecified order.
+	Certs []*certmodel.CertInfo
+	// Conns is the retained window in append order; Seqs aligns with it
+	// when the store tracks sequences (nil otherwise).
+	Conns []core.ConnRecord
+	Seqs  []uint64
+}
+
+// Stats is the store's tier occupancy and traffic, read lock-free by
+// metric gauges (all fields are atomics updated by the owning engine's
+// apply path).
+type Stats struct {
+	HotConns  atomic.Int64
+	ColdConns atomic.Int64
+	HotCerts  atomic.Int64
+	ColdCerts atomic.Int64
+	HotBytes  atomic.Int64 // estimated bytes of hot records
+	Spills    atomic.Uint64
+	Loads     atomic.Uint64
+}
+
+// Store is the engine's state layer. All methods except Stats must be
+// called under the owning engine's state lock.
+type Store interface {
+	// PutCert admits a certificate first-observation-wins; it reports
+	// whether the fingerprint was new.
+	PutCert(c *certmodel.CertInfo) bool
+	// Cert resolves a fingerprint (nil when absent). On a tiered store
+	// this may fault the record in from disk.
+	Cert(fp ids.Fingerprint) *certmodel.CertInfo
+	// HasCert reports presence without faulting anything in.
+	HasCert(fp ids.Fingerprint) bool
+	// CertCount is the roster size.
+	CertCount() int
+	// Certs iterates the roster in unspecified order until fn returns
+	// false. The *CertInfo passed to fn must not be retained past the
+	// iteration on a tiered store.
+	Certs(fn func(*certmodel.CertInfo) bool)
+
+	// AppendConn retains one connection (copied) with its sequence
+	// stamp and returns the stored record. The pointer is valid at
+	// least until the next append/evict; callers that must retain it
+	// (the in-memory builder) may do so only on a non-tiered store.
+	AppendConn(rec *core.ConnRecord, seq uint64) *core.ConnRecord
+	// GrowConns pre-grows for n more appends (batch ingest).
+	GrowConns(n int)
+	// ConnCount is the retained window size.
+	ConnCount() int
+	// NextSlot is the slot the next append will receive; all retained
+	// records have slots below it.
+	NextSlot() uint64
+	// ConnsSince returns fresh copies of the retained records with
+	// slot >= mark (the suffix appended since mark survived eviction),
+	// with their aligned sequence stamps.
+	ConnsSince(mark uint64) ([]core.ConnRecord, []uint64)
+	// Conns iterates the retained window in append order until fn
+	// returns false. seq is zero when sequences are untracked. On a
+	// non-tiered store the pointer is into the live backing array and
+	// may be retained under the abandon-don't-mutate discipline; on a
+	// tiered store it is a decoded copy that fn may also retain (the
+	// store never reuses decoded buffers), at the cost of pinning the
+	// copy's frame.
+	Conns(fn func(rec *core.ConnRecord, seq uint64) bool)
+	// EvictBefore drops retained records with TS before cutoff and
+	// returns how many were dropped.
+	EvictBefore(cutoff time.Time) int
+
+	// Snapshot materializes the full retained state.
+	Snapshot() Snap
+	// Tiered reports whether records can move under the caller's feet —
+	// i.e. whether pointers returned by AppendConn/Cert are stable for
+	// the store's lifetime (false) or only transiently (true).
+	Tiered() bool
+	// Stats exposes tier occupancy for metrics.
+	Stats() *Stats
+	// Close releases any files. State already materialized remains
+	// usable; further mutation does not.
+	Close() error
+}
+
+// Open builds a store from the engine configuration triple: kind is ""
+// or "memory" (default) or "disk"; dir and hotBytes apply to "disk".
+// trackSeqs selects whether the store maintains the aligned sequence
+// column.
+func Open(kind, dir string, hotBytes int64, trackSeqs bool) (Store, error) {
+	switch kind {
+	case "", "memory":
+		return NewMem(trackSeqs), nil
+	case "disk":
+		if dir == "" {
+			return nil, fmt.Errorf("store: disk store requires a directory")
+		}
+		return OpenDisk(dir, hotBytes, trackSeqs)
+	default:
+		return nil, fmt.Errorf("store: unknown store kind %q (want memory or disk)", kind)
+	}
+}

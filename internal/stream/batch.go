@@ -146,11 +146,9 @@ func (e *Engine) applyBatchLocked(b *batch) {
 	if len(b.conns) > 0 {
 		// The retained window is multi-megabyte at steady state; append's
 		// 1.25× growth regime there costs ~4× the final size in copy churn
-		// (half the benchmark's allocated bytes before this). Double instead.
-		e.conns = grown(e.conns, len(b.conns))
-		if e.seqTracked() {
-			e.seqs = grown(e.seqs, len(b.conns))
-		}
+		// (half the benchmark's allocated bytes before this). The store
+		// at-least-doubles instead.
+		e.st.GrowConns(len(b.conns))
 		e.b.GrowConns(len(b.conns))
 		for i := range b.conns {
 			var seq uint64
@@ -161,22 +159,6 @@ func (e *Engine) applyBatchLocked(b *batch) {
 		}
 	}
 	b.recycle()
-}
-
-// grown ensures room for n more elements, at least doubling the backing
-// array when it must reallocate (append's sub-doubling growth for large
-// slices is too slow for the retained window).
-func grown[T any](s []T, n int) []T {
-	if cap(s)-len(s) >= n {
-		return s
-	}
-	c := 2 * cap(s)
-	if c < len(s)+n {
-		c = len(s) + n
-	}
-	ns := make([]T, len(s), c)
-	copy(ns, s)
-	return ns
 }
 
 // IngestConnBatch partitions the batch by home shard under one router

@@ -54,6 +54,7 @@ import (
 	"repro/internal/interception"
 	"repro/internal/metrics"
 	"repro/internal/psl"
+	"repro/internal/store"
 )
 
 // Policy selects what Ingest does when the bounded buffer is full.
@@ -92,6 +93,23 @@ type Config struct {
 	// occupancy). Nil disables exposition; the engine still instruments
 	// into a private registry so call sites stay unconditional.
 	Metrics *metrics.Registry
+
+	// Store selects the state layer: "" or "memory" keeps all retained
+	// state in RAM (the default, byte-identical to the historical
+	// engine), "disk" tiers it — a hot working set in RAM under
+	// HotBytes, the cold remainder spilled to segment files under
+	// StoreDir — so total retained state can exceed RAM. A tiered
+	// engine trades materialization cost for bounded ingest RSS: every
+	// report rebuilds derived state from the store (the in-memory
+	// incremental path would pin records the store wants to spill).
+	Store string
+	// StoreDir is the disk store's scratch directory (required when
+	// Store is "disk"; recreated on start — durability is the
+	// checkpoint's job, not the store's).
+	StoreDir string
+	// HotBytes bounds the disk store's in-RAM hot set (estimated
+	// record bytes; default store.DefaultHotBytes).
+	HotBytes int64
 
 	// TrackExport makes the engine assign a global ingest sequence to
 	// every applied connection and first-observed certificate, enabling
@@ -172,15 +190,15 @@ type Engine struct {
 	// view is still current; written only under mu.
 	stateVer atomic.Uint64
 
-	// Raw state — ground truth, never invalidated.
-	roster map[ids.Fingerprint]*certmodel.CertInfo
-	conns  []core.ConnRecord
-	// seqs aligns with conns (global ingest sequence per retained
-	// connection) when the engine tracks sequences — cfg.trackSeqs (the
-	// sharded router stamps them) or cfg.TrackExport (the engine assigns
-	// its own); nil otherwise.
-	seqs []uint64
-	icpt *interception.Stream
+	// Raw state — ground truth, never invalidated — lives in the store:
+	// the certificate roster and the retained connection window (with
+	// aligned ingest sequences when the engine tracks them). tiered
+	// caches st.Tiered(): when set, derived state is never maintained
+	// incrementally (the builder would pin records the store spills) and
+	// every materialization rebuilds from the store.
+	st     store.Store
+	tiered bool
+	icpt   *interception.Stream
 
 	// Export-cursor state, meaningful only under cfg.TrackExport: the
 	// next sequence to assign, the per-fingerprint admission sequence,
@@ -209,6 +227,26 @@ type Engine struct {
 	sinceEvict    int
 	watermark     time.Time
 	lastCkpt      time.Time
+
+	// Incremental-checkpoint bookkeeping (still under mu): slots below
+	// ckptMark are covered by committed segments; ckptNewCerts lists
+	// roster fingerprints admitted since the last commit (append-only —
+	// a commit truncates the prefix it serialized); ckptCutoff is the
+	// latest eviction cutoff applied, which a delta records so restore
+	// can replay the eviction against earlier segments.
+	ckptMark     uint64
+	ckptNewCerts []ids.Fingerprint
+	ckptCutoff   time.Time
+
+	// ckptMu serializes checkpoint-directory writers (delta commits and
+	// the compactor) and guards the cached manifest. Lock order: ckptMu
+	// before mu — writers take ckptMu, then mu briefly for the state
+	// snapshot; nothing acquires ckptMu while holding mu.
+	ckptMu     sync.Mutex
+	ckptDir    string
+	ckptMan    *ckptManifest
+	compacting atomic.Bool
+	compactWG  sync.WaitGroup
 }
 
 // New starts an engine. Call Close to stop it.
@@ -222,11 +260,16 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.EvictEvery <= 0 {
 		cfg.EvictEvery = 1024
 	}
+	st, err := store.Open(cfg.Store, cfg.StoreDir, cfg.HotBytes, cfg.trackSeqs || cfg.TrackExport)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
 	e := &Engine{
 		cfg:    cfg,
 		ch:     make(chan event, cfg.Buffer),
 		done:   make(chan struct{}),
-		roster: make(map[ids.Fingerprint]*certmodel.CertInfo),
+		st:     st,
+		tiered: st.Tiered(),
 	}
 	if cfg.TrackExport {
 		e.certSeqs = make(map[ids.Fingerprint]uint64)
@@ -244,19 +287,23 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// lookupCert is the detector's certificate source: the raw roster.
-func (e *Engine) lookupCert(fp ids.Fingerprint) *certmodel.CertInfo { return e.roster[fp] }
+// lookupCert is the detector's certificate source: the raw roster (may
+// fault a cold certificate back into the hot tier on a tiered store).
+func (e *Engine) lookupCert(fp ids.Fingerprint) *certmodel.CertInfo { return e.st.Cert(fp) }
 
 // seqTracked reports whether the retained connections carry aligned
 // sequence stamps (router-assigned or self-assigned for export).
 func (e *Engine) seqTracked() bool { return e.cfg.trackSeqs || e.cfg.TrackExport }
 
 // resetBuilderLocked replaces the derived state with an empty Builder.
+// A tiered engine comes out of the reset dirty: its derived state is
+// only ever valid transiently (rebuilt per materialization, released
+// afterwards), never maintained incrementally.
 func (e *Engine) resetBuilderLocked() {
 	e.b = core.NewBuilder(e.cfg.Input)
 	e.missing = make(map[ids.Fingerprint]bool)
 	e.bGen = e.icpt.Gen()
-	e.dirty = false
+	e.dirty = e.tiered
 }
 
 // IngestConn feeds one connection event. The record is copied; the
@@ -395,11 +442,11 @@ func (e *Engine) applyLocked(ev event) {
 func (e *Engine) applyCertLocked(c *certmodel.CertInfo) {
 	e.certsIngested++
 	e.m.certsIngested.Inc()
-	if _, ok := e.roster[c.Fingerprint]; ok {
+	if !e.st.PutCert(c) {
 		return // first observation wins
 	}
 	e.stateVer.Add(1)
-	e.roster[c.Fingerprint] = c
+	e.ckptNewCerts = append(e.ckptNewCerts, c.Fingerprint)
 	if e.cfg.TrackExport {
 		e.certSeqs[c.Fingerprint] = e.nextSeq
 		e.nextSeq++
@@ -433,15 +480,11 @@ func (e *Engine) applyConnLocked(rec *core.ConnRecord, seq uint64) {
 	if rec.TS.After(e.watermark) {
 		e.watermark = rec.TS
 	}
-	e.conns = append(e.conns, *rec)
 	if e.cfg.TrackExport {
 		seq = e.nextSeq
 		e.nextSeq++
 	}
-	if e.seqTracked() {
-		e.seqs = append(e.seqs, seq)
-	}
-	stored := &e.conns[len(e.conns)-1]
+	stored := e.st.AppendConn(rec, seq)
 
 	e.icpt.Observe(stored)
 	if e.icpt.Gen() != e.bGen {
@@ -463,74 +506,62 @@ func (e *Engine) applyConnLocked(rec *core.ConnRecord, seq uint64) {
 			e.evictLocked()
 		}
 	}
-	e.m.retained.Set(float64(len(e.conns)))
+	e.m.retained.Set(float64(e.st.ConnCount()))
 }
 
 // noteMissingLocked records leaf fingerprints this connection will fail
 // to resolve, so their late arrival invalidates the enrichment.
 func (e *Engine) noteMissingLocked(rec *core.ConnRecord) {
-	if fp := rec.ServerLeaf(); fp != "" {
-		if _, ok := e.roster[fp]; !ok {
-			e.missing[fp] = true
-		}
+	if fp := rec.ServerLeaf(); fp != "" && !e.st.HasCert(fp) {
+		e.missing[fp] = true
 	}
-	if fp := rec.ClientLeaf(); fp != "" {
-		if _, ok := e.roster[fp]; !ok {
-			e.missing[fp] = true
-		}
+	if fp := rec.ClientLeaf(); fp != "" && !e.st.HasCert(fp) {
+		e.missing[fp] = true
 	}
 }
 
-// evictLocked drops connections that fell out of the retention window. A
-// fresh slice is allocated because enriched views hold pointers into the
-// old backing array.
+// evictLocked drops connections that fell out of the retention window.
+// The store allocates fresh backing arrays because enriched views hold
+// pointers into the old ones. The cutoff is remembered so the next
+// checkpoint delta can replay the eviction on restore.
 func (e *Engine) evictLocked() {
 	defer e.m.evictDur.Since(time.Now())
 	cutoff := e.watermark.Add(-e.cfg.Retention)
-	kept := make([]core.ConnRecord, 0, len(e.conns))
-	var keptSeqs []uint64
-	if e.seqTracked() {
-		keptSeqs = make([]uint64, 0, len(e.seqs))
-	}
-	for i := range e.conns {
-		if !e.conns[i].TS.Before(cutoff) {
-			kept = append(kept, e.conns[i])
-			if e.seqTracked() {
-				keptSeqs = append(keptSeqs, e.seqs[i])
-			}
-		}
-	}
-	if len(kept) == len(e.conns) {
+	dropped := uint64(e.st.EvictBefore(cutoff))
+	if dropped == 0 {
 		return
 	}
-	dropped := uint64(len(e.conns) - len(kept))
+	if cutoff.After(e.ckptCutoff) {
+		e.ckptCutoff = cutoff
+	}
 	e.evicted += dropped
 	e.m.evicted.Add(dropped)
-	e.conns = kept
-	e.seqs = keptSeqs
 	e.dirty = true
 	e.stateVer.Add(1)
 }
 
 // rebuildLocked reconstructs the derived state from the retained raw
 // records under the current exclusion set — the same code path as
-// incremental ingestion, replayed.
+// incremental ingestion, replayed. On a tiered store this streams the
+// cold records up from disk; the Builder's enriched views hold the
+// decoded copies until the next reset.
 func (e *Engine) rebuildLocked() {
 	defer e.m.rebuildDur.Since(time.Now())
 	e.resetBuilderLocked()
-	for fp, c := range e.roster {
-		if !e.icpt.Excluded(fp) {
+	e.st.Certs(func(c *certmodel.CertInfo) bool {
+		if !e.icpt.Excluded(c.Fingerprint) {
 			e.b.AddCert(c)
 		}
-	}
-	for i := range e.conns {
-		rec := &e.conns[i]
+		return true
+	})
+	e.st.Conns(func(rec *core.ConnRecord, _ uint64) bool {
 		if sl := rec.ServerLeaf(); sl != "" && e.icpt.Excluded(sl) {
-			continue
+			return true
 		}
 		e.noteMissingLocked(rec)
 		e.b.AddConn(rec)
-	}
+		return true
+	})
 	e.rebuilds++
 	e.m.rebuilds.Inc()
 }
@@ -552,8 +583,8 @@ func (e *Engine) preReportLocked() *core.PreprocessReport {
 	return &core.PreprocessReport{
 		InterceptionIssuers: res.Issuers,
 		ExcludedCerts:       len(res.ExcludedCerts),
-		ExcludedShare:       res.ExcludedShare(len(e.roster)),
-		RawCerts:            len(e.roster),
+		ExcludedShare:       res.ExcludedShare(e.st.CertCount()),
+		RawCerts:            e.st.CertCount(),
 		RawConns:            int(e.connsIngested),
 	}
 }
@@ -571,12 +602,18 @@ func (e *Engine) Analysis() *core.Analysis {
 // WithPipeline runs fn over a materialized pipeline while holding the
 // engine's state lock; fn must not retain the pipeline. The whole
 // materialization (any pending rebuild plus fn) is observed in
-// stream_materialize_seconds.
+// stream_materialize_seconds. On a tiered store the derived state is
+// released afterwards — it pins records the store spilled, so keeping
+// it would defeat the hot-set bound; the cost is a full rebuild per
+// materialization, the tiered engine's documented trade.
 func (e *Engine) WithPipeline(fn func(*core.Pipeline)) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	defer e.m.materializeDur.Since(time.Now())
 	fn(e.pipelineLocked())
+	if e.tiered {
+		e.resetBuilderLocked()
+	}
 }
 
 // Stats returns the operational counters.
@@ -588,11 +625,11 @@ func (e *Engine) Stats() Stats {
 		CertsIngested:       e.certsIngested,
 		Dropped:             e.dropped.Load(),
 		Rejected:            e.rejected.Load(),
-		Retained:            len(e.conns),
+		Retained:            e.st.ConnCount(),
 		Evicted:             e.evicted,
 		Rebuilds:            e.rebuilds,
 		Dirty:               e.dirty,
-		UniqueCerts:         len(e.roster),
+		UniqueCerts:         e.st.CertCount(),
 		ExcludedCerts:       e.icpt.ExcludedCount(),
 		InterceptionIssuers: e.icpt.ConfirmedCount(),
 		PendingCerts:        e.icpt.PendingCount(),

@@ -108,16 +108,16 @@ func (e *Engine) Export(since, epoch uint64) (*ExportState, error) {
 		if seq < since {
 			continue
 		}
-		if c := e.roster[fp]; c != nil {
+		if c := e.st.Cert(fp); c != nil {
 			st.Certs = append(st.Certs, ExportCert{Seq: seq, Cert: c})
 		}
 	}
-	for i := range e.conns {
-		if e.seqs[i] < since {
-			continue
+	e.st.Conns(func(rec *core.ConnRecord, seq uint64) bool {
+		if seq >= since {
+			st.Conns = append(st.Conns, ExportConn{Seq: seq, Conn: *rec})
 		}
-		st.Conns = append(st.Conns, ExportConn{Seq: e.seqs[i], Conn: e.conns[i]})
-	}
+		return true
+	})
 	sortExport(st)
 	return st, nil
 }
@@ -161,12 +161,12 @@ func (s *Sharded) Export(since, epoch uint64) (*ExportState, error) {
 		if e.watermark.After(st.Watermark) {
 			st.Watermark = e.watermark
 		}
-		for i := range e.conns {
-			if e.seqs[i] < since {
-				continue
+		e.st.Conns(func(rec *core.ConnRecord, seq uint64) bool {
+			if seq >= since {
+				st.Conns = append(st.Conns, ExportConn{Seq: seq, Conn: *rec})
 			}
-			st.Conns = append(st.Conns, ExportConn{Seq: e.seqs[i], Conn: e.conns[i]})
-		}
+			return true
+		})
 		im.Absorb(e.icpt)
 		e.mu.Unlock()
 	}

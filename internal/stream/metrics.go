@@ -18,15 +18,18 @@ type engineMetrics struct {
 	evicted       *metrics.Counter
 	rebuilds      *metrics.Counter
 	checkpoints   *metrics.Counter
+	compactions   *metrics.Counter
 
 	applyLatency   *metrics.Histogram // enqueue -> apply
 	rebuildDur     *metrics.Histogram
 	materializeDur *metrics.Histogram
 	evictDur       *metrics.Histogram
 	checkpointDur  *metrics.Histogram
+	compactDur     *metrics.Histogram
 
 	retained        *metrics.Gauge
 	checkpointBytes *metrics.Gauge
+	checkpointSegs  *metrics.Gauge
 }
 
 // newEngineMetrics registers the engine's series. The occupancy gauges
@@ -47,18 +50,33 @@ func newEngineMetrics(r *metrics.Registry, e *Engine) *engineMetrics {
 		evicted:       r.Counter("stream_conns_evicted_total", "connections dropped by the retention window", lbl...),
 		rebuilds:      r.Counter("stream_rebuilds_total", "derived-state rebuilds (retroactive evidence)", lbl...),
 		checkpoints:   r.Counter("stream_checkpoints_total", "checkpoints written", lbl...),
+		compactions:   r.Counter("stream_checkpoint_compactions_total", "checkpoint segment compactions", lbl...),
 
 		applyLatency:   r.Histogram("stream_apply_latency_seconds", "ingest enqueue to apply latency", nil, lbl...),
 		rebuildDur:     r.Histogram("stream_rebuild_seconds", "derived-state rebuild duration", nil, lbl...),
 		materializeDur: r.Histogram("stream_materialize_seconds", "report materialization duration (incl. any rebuild)", nil, lbl...),
 		evictDur:       r.Histogram("stream_evict_seconds", "retention eviction sweep duration", nil, lbl...),
 		checkpointDur:  r.Histogram("stream_checkpoint_seconds", "checkpoint serialization+rename duration", nil, lbl...),
+		compactDur:     r.Histogram("stream_compact_seconds", "checkpoint compaction duration", nil, lbl...),
 
 		retained:        r.Gauge("stream_conns_retained", "connections currently in the window", lbl...),
-		checkpointBytes: r.Gauge("stream_checkpoint_bytes", "size of the last checkpoint written", lbl...),
+		checkpointBytes: r.Gauge("stream_checkpoint_bytes", "bytes written by the last checkpoint (delta, not total state)", lbl...),
+		checkpointSegs:  r.Gauge("stream_checkpoint_segments", "segments in the committed checkpoint manifest", lbl...),
 	}
 	r.GaugeFunc("stream_buffer_occupancy", "events waiting in the ingest buffer",
 		func() float64 { return float64(len(e.ch)) }, lbl...)
 	r.Gauge("stream_buffer_capacity", "ingest buffer capacity", lbl...).Set(float64(cap(e.ch)))
+
+	// Store tier occupancy: the callbacks read atomics the store
+	// maintains, so no engine lock is needed. All-zero for the memory
+	// store except the hot-tier counts.
+	ts := e.st.Stats()
+	r.GaugeFunc("stream_store_hot_conns", "retained connections in the hot (RAM) tier", func() float64 { return float64(ts.HotConns.Load()) }, lbl...)
+	r.GaugeFunc("stream_store_cold_conns", "retained connections spilled to disk", func() float64 { return float64(ts.ColdConns.Load()) }, lbl...)
+	r.GaugeFunc("stream_store_hot_certs", "roster certificates in the hot (RAM) tier", func() float64 { return float64(ts.HotCerts.Load()) }, lbl...)
+	r.GaugeFunc("stream_store_cold_certs", "roster certificates spilled to disk", func() float64 { return float64(ts.ColdCerts.Load()) }, lbl...)
+	r.GaugeFunc("stream_store_hot_bytes", "estimated bytes of hot-tier records", func() float64 { return float64(ts.HotBytes.Load()) }, lbl...)
+	r.GaugeFunc("stream_store_spilled_total", "records spilled to the cold tier", func() float64 { return float64(ts.Spills.Load()) }, lbl...)
+	r.GaugeFunc("stream_store_loaded_total", "records faulted back from the cold tier", func() float64 { return float64(ts.Loads.Load()) }, lbl...)
 	return m
 }

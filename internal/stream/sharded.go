@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/atomicfile"
 	"repro/internal/certmodel"
 	"repro/internal/core"
 	"repro/internal/ids"
@@ -181,6 +182,11 @@ func (s *Sharded) shardConfig(i, n int) Config {
 	if n > 1 {
 		cfg.TrackExport = false
 	}
+	if cfg.Store == "disk" && cfg.StoreDir != "" {
+		// Each shard tiers into its own subdirectory; the hot budget is
+		// per shard (the deployment's total hot set is n * HotBytes).
+		cfg.StoreDir = filepath.Join(cfg.StoreDir, fmt.Sprintf("shard-%d", i))
+	}
 	cfg.metricLabels = []string{"shard", strconv.Itoa(i)}
 	return cfg
 }
@@ -336,11 +342,8 @@ func (s *Sharded) merged() (*core.Builder, *core.PreprocessReport) {
 	for i, e := range s.shards {
 		e.mu.Lock()
 		vers[i] = e.stateVer.Load()
-		certs := make([]*certmodel.CertInfo, 0, len(e.roster))
-		for _, c := range e.roster {
-			certs = append(certs, c)
-		}
-		states[i] = core.ShardState{Certs: certs, Conns: e.conns, Seqs: e.seqs}
+		snap := e.st.Snapshot()
+		states[i] = core.ShardState{Certs: snap.Certs, Conns: snap.Conns, Seqs: snap.Seqs}
 		rawConns += e.connsIngested
 		im.Absorb(e.icpt)
 		e.mu.Unlock()
@@ -501,15 +504,21 @@ type Manifest struct {
 
 // WriteCheckpoint serializes every shard into dir and commits the set
 // with an atomically renamed manifest; the previous generation's files
-// are removed only after the commit. As with Engine.WriteCheckpoint, the
-// caller must Drain first so the cursor is consistent with applied
-// state.
+// are removed only after the commit. Shard files use the legacy
+// full-snapshot format — the manifest is this directory's commit point,
+// so per-shard incremental chains would add commit points without
+// removing the full-serialize cost of the fan-in. As with
+// Engine.WriteCheckpoint, the caller must Drain first so the cursor is
+// consistent with applied state.
 func (s *Sharded) WriteCheckpoint(dir string, cursor map[string]int64) error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("stream: sharded checkpoint: %w", err)
 	}
+	// Temp files are residue of crashed commits; collect them before
+	// creating this generation's.
+	atomicfile.SweepTemps(dir, "*.tmp")
 	gen := s.ckptGen + 1
 	s.mu.Lock()
 	next, routed, epoch := s.nextSeq, s.certsRouted, s.epoch
@@ -524,7 +533,7 @@ func (s *Sharded) WriteCheckpoint(dir string, cursor map[string]int64) error {
 	files := make([]string, len(s.shards))
 	for i, e := range s.shards {
 		files[i] = fmt.Sprintf("shard-%d.g%d.ckpt", i, gen)
-		if err := e.WriteCheckpoint(filepath.Join(dir, files[i]), nil); err != nil {
+		if err := e.writeLegacyCheckpoint(filepath.Join(dir, files[i]), nil); err != nil {
 			for _, f := range files[:i+1] {
 				os.Remove(filepath.Join(dir, f))
 			}
@@ -546,12 +555,11 @@ func (s *Sharded) WriteCheckpoint(dir string, cursor map[string]int64) error {
 	if err != nil {
 		return fmt.Errorf("stream: sharded checkpoint: %w", err)
 	}
-	tmp := filepath.Join(dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
-		return fmt.Errorf("stream: sharded checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
-		os.Remove(tmp)
+	// The manifest rename is the commit point for the whole generation:
+	// atomicfile fsyncs the shard set's name into place, and the shard
+	// files themselves were fsynced by writeLegacyCheckpoint before the
+	// manifest could reference them.
+	if err := atomicfile.WriteFile(filepath.Join(dir, manifestName), append(buf, '\n')); err != nil {
 		return fmt.Errorf("stream: sharded checkpoint: %w", err)
 	}
 	// Committed: the previous generation is garbage now, as is anything a
@@ -669,11 +677,11 @@ func (s *Sharded) rebuildRendezvous() {
 	for i, e := range s.shards {
 		bit := uint64(1) << i
 		e.mu.Lock()
-		for fp, c := range e.roster {
-			ent := s.rv[fp]
+		e.st.Certs(func(c *certmodel.CertInfo) bool {
+			ent := s.rv[c.Fingerprint]
 			if ent == nil {
 				ent = &rendezvous{}
-				s.rv[fp] = ent
+				s.rv[c.Fingerprint] = ent
 			}
 			if ent.cert == nil {
 				ent.cert = c
@@ -681,7 +689,8 @@ func (s *Sharded) rebuildRendezvous() {
 			}
 			ent.delivered |= bit
 			ent.waiting |= bit
-		}
+			return true
+		})
 		e.mu.Unlock()
 	}
 	for i, e := range s.shards {
@@ -691,8 +700,7 @@ func (s *Sharded) rebuildRendezvous() {
 		// goroutine needs the same lock to make room.
 		var heal []*certmodel.CertInfo
 		e.mu.Lock()
-		for ci := range e.conns {
-			rec := &e.conns[ci]
+		e.st.Conns(func(rec *core.ConnRecord, _ uint64) bool {
 			for _, fp := range [2]ids.Fingerprint{rec.ServerLeaf(), rec.ClientLeaf()} {
 				if fp == "" {
 					continue
@@ -708,7 +716,8 @@ func (s *Sharded) rebuildRendezvous() {
 					ent.delivered |= bit
 				}
 			}
-		}
+			return true
+		})
 		e.mu.Unlock()
 		for _, c := range heal {
 			e.ingestCertPtr(c)

@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/atomicfile"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/report"
@@ -113,14 +114,18 @@ func Experiments(a *Analysis, scaleNote string) string {
 }
 
 // WriteLogs persists a dataset as Zeek-style ssl.log and x509.log files
-// in dir (created if needed). Each log is written to a temp file and
-// renamed into place only once complete, so a crashed or failed run can
-// never leave a truncated log behind for a later strict OpenLogs to
-// reject — the directory holds either the previous pair or the new one.
+// in dir (created if needed). Each log is written to a temp file —
+// fsynced before the rename, with the directory fsynced after, via
+// internal/atomicfile — so neither a crashed run nor a power loss can
+// leave a truncated log behind for a later strict OpenLogs to reject:
+// the directory holds either the previous pair or the new one.
 func WriteLogs(ds *zeek.Dataset, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	// Both temps are fully written and synced before either rename, so a
+	// failure writing x509.log cannot commit a new ssl.log beside the old
+	// x509.log.
 	sslTmp := filepath.Join(dir, "ssl.log.tmp")
 	if err := writeLogFile(sslTmp, func(f *os.File) error {
 		sw := zeek.NewSSLWriter(f)
@@ -147,27 +152,27 @@ func WriteLogs(ds *zeek.Dataset, dir string) error {
 		os.Remove(sslTmp)
 		return fmt.Errorf("mtls: write x509.log: %w", err)
 	}
-	// Both temp files are complete; commit the pair.
-	if err := os.Rename(sslTmp, filepath.Join(dir, "ssl.log")); err != nil {
-		os.Remove(sslTmp)
+	// Both temp files are complete and durable; commit the pair.
+	if err := atomicfile.Rename(sslTmp, filepath.Join(dir, "ssl.log")); err != nil {
 		os.Remove(x509Tmp)
 		return err
 	}
-	if err := os.Rename(x509Tmp, filepath.Join(dir, "x509.log")); err != nil {
-		os.Remove(x509Tmp)
-		return err
-	}
-	return nil
+	return atomicfile.Rename(x509Tmp, filepath.Join(dir, "x509.log"))
 }
 
-// writeLogFile creates path, runs emit over it, and closes it, removing
-// the file on any failure.
+// writeLogFile creates path, runs emit over it, syncs, and closes it,
+// removing the file on any failure.
 func writeLogFile(path string, emit func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	if err := emit(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(path)
 		return err
