@@ -41,7 +41,7 @@ func benchPipeline(b *testing.B) *core.Pipeline {
 	benchOnce.Do(func() {
 		cfg := DefaultConfig()
 		cfg.CertScale = 500
-		build := Generate(cfg)
+		build := GenerateConfig(cfg)
 		benchIn = InputFromBuild(build)
 		benchPipe = core.NewPipeline(benchIn)
 	})
@@ -61,7 +61,7 @@ func BenchmarkGenerateDataset(b *testing.B) {
 	cfg.CertScale = 2000
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		build := Generate(cfg)
+		build := GenerateConfig(cfg)
 		if len(build.Raw.Conns) == 0 {
 			b.Fatal("empty dataset")
 		}
@@ -527,7 +527,7 @@ func BenchmarkEndToEnd(b *testing.B) {
 	cfg.CertScale = 2000
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		a := Analyze(Generate(cfg))
+		a := Analyze(GenerateConfig(cfg))
 		if a.CertStats.Row("Total").Total == 0 {
 			b.Fatal("empty analysis")
 		}
@@ -541,7 +541,7 @@ func BenchmarkEndToEndSerial(b *testing.B) {
 	cfg.CertScale = 2000
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		a := Analyze(Generate(cfg), WithWorkers(1))
+		a := Analyze(GenerateConfig(cfg), WithWorkers(1))
 		if a.CertStats.Row("Total").Total == 0 {
 			b.Fatal("empty analysis")
 		}

@@ -48,7 +48,7 @@ func TestAPIVersionEquivalence(t *testing.T) {
 	}()
 
 	// Quiesce first: /stats must not move between the paired fetches.
-	build := mtls.Generate(cfg)
+	build := mtls.GenerateConfig(cfg)
 	waitConns(t, base, uint64(len(build.Raw.Conns)))
 
 	pairs := []struct{ legacy, v1 string }{
@@ -135,11 +135,11 @@ func TestDaemonSharded(t *testing.T) {
 	})
 	defer cancel()
 
-	build := mtls.Generate(cfg)
+	build := mtls.GenerateConfig(cfg)
 	waitConns(t, base, uint64(len(build.Raw.Conns)))
 
 	// Single-engine reference over the same dataset.
-	in := mtls.InputFromBuild(mtls.Generate(cfg))
+	in := mtls.InputFromBuild(mtls.GenerateConfig(cfg))
 	in.Raw = nil
 	ref, err := stream.New(stream.Config{Input: in})
 	if err != nil {
@@ -211,7 +211,7 @@ func TestDaemonSharded(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(ckptDir, "manifest.json")); err != nil {
 		t.Fatalf("checkpoint manifest missing: %v", err)
 	}
-	rin := mtls.InputFromBuild(mtls.Generate(cfg))
+	rin := mtls.InputFromBuild(mtls.GenerateConfig(cfg))
 	rin.Raw = nil
 	restoredEng, cursor, err := stream.RestoreSharded(stream.Config{Input: rin}, 2, ckptDir)
 	if err != nil {

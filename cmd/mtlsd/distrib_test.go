@@ -96,7 +96,7 @@ func aggStats(t *testing.T, base string) daemonStats {
 func TestDaemonDistrib(t *testing.T) {
 	cfg := mtls.DefaultConfig()
 	cfg.CertScale = distribScale
-	build := mtls.Generate(cfg)
+	build := mtls.GenerateConfig(cfg)
 	total := len(build.Raw.Conns)
 	half := total / 2
 
@@ -216,7 +216,7 @@ func TestDaemonDistrib(t *testing.T) {
 func TestDaemonSensorRestartResume(t *testing.T) {
 	cfg := mtls.DefaultConfig()
 	cfg.CertScale = distribScale
-	build := mtls.Generate(cfg)
+	build := mtls.GenerateConfig(cfg)
 	total := len(build.Raw.Conns)
 	half := total / 2
 
@@ -303,7 +303,7 @@ func TestDaemonSensorRestartResume(t *testing.T) {
 
 	// Equivalence after recovery: aggregator == fresh engine over the
 	// whole dataset.
-	in := mtls.InputFromBuild(mtls.Generate(cfg))
+	in := mtls.InputFromBuild(mtls.GenerateConfig(cfg))
 	in.Raw = nil
 	ref, err := stream.New(stream.Config{Input: in})
 	if err != nil {

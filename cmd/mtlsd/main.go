@@ -99,6 +99,7 @@ type options struct {
 	buffer        int
 	batch         int
 	drop          bool
+	spec          string
 	scale         int
 	seed          uint64
 	workers       int
@@ -127,6 +128,7 @@ func main() {
 	flag.IntVar(&o.buffer, "buffer", 0, "ingest buffer size (0 = engine default)")
 	flag.IntVar(&o.batch, "batch", zeek.DefaultBatchSize, "records per ingest batch (1 = per-event ingest)")
 	flag.BoolVar(&o.drop, "drop", false, "shed events when the buffer is full instead of blocking the tailer")
+	flag.StringVar(&o.spec, "spec", "", "scenario spec YAML the generator used (\"-\" = stdin; empty = built-in campus spec)")
 	flag.IntVar(&o.scale, "scale", 0, "context scale divisor (must match the generator's)")
 	flag.Uint64Var(&o.seed, "seed", 0, "context seed (must match the generator's)")
 	flag.IntVar(&o.workers, "workers", 0, "report workers: 0 = one per CPU, 1 = serial")
@@ -147,6 +149,35 @@ func main() {
 
 	logger := newLogger(os.Stderr, o.logLevel)
 	os.Exit(run(context.Background(), o, logger, nil))
+}
+
+// contextInput rebuilds the deterministic analysis context (trust
+// bundle, CT log, association map) from the scenario spec the generator
+// compiled — or the built-in campus spec — with the -scale/-seed flag
+// overrides applied the same way mtlsgen applies them.
+func contextInput(o options) (*core.Input, error) {
+	spec := mtls.CampusSpec()
+	if o.spec != "" {
+		var err error
+		if spec, err = mtls.LoadSpec(o.spec); err != nil {
+			return nil, err
+		}
+	}
+	var opts []mtls.GenerateOption
+	if o.scale > 0 {
+		opts = append(opts, mtls.WithScale(o.scale))
+	}
+	if o.seed != 0 {
+		opts = append(opts, mtls.WithSeed(o.seed))
+	}
+	build, err := mtls.Generate(spec, opts...)
+	if err != nil {
+		return nil, err
+	}
+	in := mtls.InputFromBuild(build)
+	in.Raw = nil
+	in.Workers = o.workers
+	return in, nil
 }
 
 // newLogger builds the daemon's structured logger.
@@ -193,18 +224,15 @@ func run(ctx context.Context, o options, logger *slog.Logger, ready func(addr st
 	reg := metrics.New()
 
 	// The analysis context (trust bundle, CT log, association map) is
-	// deterministic in (seed, scale); regenerate it the way mtlsreport
-	// does so the daemon agrees with the generator that wrote the logs.
-	cfg := mtls.DefaultConfig()
-	if o.scale > 0 {
-		cfg.CertScale = o.scale
+	// deterministic in (spec, seed, scale); regenerate it from the same
+	// scenario spec the generator compiled so the daemon agrees with
+	// whatever wrote the logs.
+	in, err := contextInput(o)
+	if err != nil {
+		logger.Error("build analysis context", "err", err)
+		ln.Close()
+		return 2
 	}
-	if o.seed != 0 {
-		cfg.Seed = o.seed
-	}
-	in := mtls.InputFromBuild(mtls.Generate(cfg))
-	in.Raw = nil
-	in.Workers = o.workers
 
 	// A sensor is a monitor whose engine additionally stamps every
 	// admitted event with an export sequence, so /api/v1/snapshot can
@@ -489,16 +517,12 @@ func runAggregator(ctx context.Context, o options, logger *slog.Logger, ready fu
 	}
 	reg := metrics.New()
 
-	cfg := mtls.DefaultConfig()
-	if o.scale > 0 {
-		cfg.CertScale = o.scale
+	in, err := contextInput(o)
+	if err != nil {
+		logger.Error("build analysis context", "err", err)
+		ln.Close()
+		return 2
 	}
-	if o.seed != 0 {
-		cfg.Seed = o.seed
-	}
-	in := mtls.InputFromBuild(mtls.Generate(cfg))
-	in.Raw = nil
-	in.Workers = o.workers
 
 	agg, err := distrib.NewAggregator(distrib.Config{
 		Input:    in,

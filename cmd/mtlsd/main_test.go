@@ -29,7 +29,7 @@ func writeTestLogs(t *testing.T) (dir string, cfg mtls.Config) {
 	t.Helper()
 	cfg = mtls.DefaultConfig()
 	cfg.CertScale = testScale
-	build := mtls.Generate(cfg)
+	build := mtls.GenerateConfig(cfg)
 	dir = t.TempDir()
 	if err := mtls.WriteLogs(build.Raw, dir); err != nil {
 		t.Fatal(err)
@@ -121,7 +121,7 @@ func waitConns(t *testing.T, base string, want uint64) daemonStats {
 func TestDaemonMalformedRow(t *testing.T) {
 	cfg := mtls.DefaultConfig()
 	cfg.CertScale = testScale
-	build := mtls.Generate(cfg)
+	build := mtls.GenerateConfig(cfg)
 	conns := build.Raw.Conns
 	half := len(conns) / 2
 
@@ -217,7 +217,7 @@ func TestDaemonMalformedRow(t *testing.T) {
 
 	// Reports must equal a batch engine fed only the valid rows: the
 	// malformed lines changed counters, never analysis results.
-	in := mtls.InputFromBuild(mtls.Generate(cfg))
+	in := mtls.InputFromBuild(mtls.GenerateConfig(cfg))
 	in.Raw = nil
 	ref, err := stream.New(stream.Config{Input: in})
 	if err != nil {
@@ -463,7 +463,7 @@ func TestDaemonSIGTERMCheckpoint(t *testing.T) {
 	if fi.Size() == 0 {
 		t.Fatal("final checkpoint empty")
 	}
-	in := mtls.InputFromBuild(mtls.Generate(cfg))
+	in := mtls.InputFromBuild(mtls.GenerateConfig(cfg))
 	in.Raw = nil
 	restored, cursor, err := stream.Restore(stream.Config{Input: in}, ckpt)
 	if err != nil {

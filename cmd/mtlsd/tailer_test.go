@@ -107,7 +107,7 @@ func TestCatchUpBackoff(t *testing.T) {
 func TestDaemonConcurrentWriters(t *testing.T) {
 	cfg := mtls.DefaultConfig()
 	cfg.CertScale = testScale
-	build := mtls.Generate(cfg)
+	build := mtls.GenerateConfig(cfg)
 	conns := build.Raw.Conns
 
 	// Full logs in a scratch dir give us the certificate rows to replay.

@@ -4,9 +4,17 @@
 // Usage:
 //
 //	mtlsgen -out ./data -scale 200 -seed 20240504
-//	mtlsgen -out ./data -verify -workers 8   # re-open the logs and run the
-//	                                         # pipeline over them as a check
-//	                                         # (0 workers = one per CPU)
+//	mtlsgen -out ./data -spec workload.yaml      # declarative scenario spec
+//	mtlsgen -print-spec                          # emit the built-in campus
+//	                                             # spec as annotated YAML
+//	mtlsgen -out ./data -verify -workers 8       # re-open the logs and run the
+//	                                             # pipeline over them as a check
+//	                                             # (0 workers = one per CPU)
+//
+// Without -spec the built-in campus scenario is generated — byte-identical
+// to what this command produced before specs existed. With -spec the file
+// (or stdin, via "-spec -") describes the cohorts; the -scale and -seed
+// flags still apply and override the spec's own seed.
 package main
 
 import (
@@ -16,31 +24,50 @@ import (
 	"os"
 
 	mtls "repro"
+	"repro/internal/scenario"
 )
 
 func main() {
 	log.SetFlags(0)
 	out := flag.String("out", "data", "output directory for ssl.log / x509.log")
 	scale := flag.Int("scale", 0, "certificate scale divisor (default from config: 200)")
-	seed := flag.Uint64("seed", 0, "generator seed (default from config)")
+	seed := flag.Uint64("seed", 0, "generator seed (default from spec, then config)")
+	specPath := flag.String("spec", "", "scenario spec YAML file (\"-\" = stdin; empty = built-in campus spec)")
+	printSpec := flag.Bool("print-spec", false, "print the built-in campus spec as annotated YAML and exit")
 	verify := flag.Bool("verify", false, "re-open the written logs and run the analysis pipeline over them")
 	workers := flag.Int("workers", 0, "pipeline workers for -verify: 0 = one per CPU, 1 = serial, n = exactly n")
 	flag.Parse()
 
-	cfg := mtls.DefaultConfig()
-	if *scale > 0 {
-		cfg.CertScale = *scale
-	}
-	if *seed != 0 {
-		cfg.Seed = *seed
+	if *printSpec {
+		fmt.Print(scenario.RenderCommented(scenario.Campus()))
+		return
 	}
 
-	build := mtls.Generate(cfg)
+	spec := mtls.CampusSpec()
+	if *specPath != "" {
+		var err error
+		if spec, err = mtls.LoadSpec(*specPath); err != nil {
+			log.Fatalf("mtlsgen: spec: %v", err)
+		}
+	}
+
+	var opts []mtls.GenerateOption
+	if *scale > 0 {
+		opts = append(opts, mtls.WithScale(*scale))
+	}
+	if *seed != 0 {
+		opts = append(opts, mtls.WithSeed(*seed))
+	}
+
+	build, err := mtls.Generate(spec, opts...)
+	if err != nil {
+		log.Fatalf("mtlsgen: %v", err)
+	}
 	if err := mtls.WriteLogs(build.Raw, *out); err != nil {
 		log.Fatalf("mtlsgen: %v", err)
 	}
-	fmt.Fprintf(os.Stdout, "wrote %d connections and %d certificates to %s (scale 1/%d, seed %d)\n",
-		len(build.Raw.Conns), len(build.Raw.Certs), *out, cfg.CertScale, cfg.Seed)
+	fmt.Fprintf(os.Stdout, "wrote %d connections and %d certificates to %s\n",
+		len(build.Raw.Conns), len(build.Raw.Certs), *out)
 
 	if *verify {
 		ds, err := mtls.OpenLogs(*out)

@@ -39,6 +39,7 @@ import (
 
 	mtls "repro"
 	"repro/internal/chaos"
+	"repro/internal/scenario"
 	"repro/internal/stream"
 	"repro/internal/workload"
 	"repro/internal/zeek"
@@ -52,6 +53,7 @@ type options struct {
 	mtlsd       string
 	dir         string
 	keep        bool
+	spec        string
 	scale       int
 	seed        uint64
 	rate        float64
@@ -79,6 +81,7 @@ func main() {
 	flag.StringVar(&o.mtlsd, "mtlsd", "./mtlsd", "path to the mtlsd binary under test")
 	flag.StringVar(&o.dir, "dir", "", "working directory (default: a temp dir, removed unless -keep)")
 	flag.BoolVar(&o.keep, "keep", false, "keep the working directory after the run")
+	flag.StringVar(&o.spec, "spec", "", "scenario spec YAML driving the generator (\"-\" = stdin; empty = built-in campus spec)")
 	flag.IntVar(&o.scale, "scale", 2000, "generator scale divisor (larger = smaller dataset)")
 	flag.Uint64Var(&o.seed, "seed", 0, "generator seed (0 = library default)")
 	flag.Float64Var(&o.rate, "rate", 800, "sustained connection rows per second")
@@ -161,6 +164,7 @@ type verifySummary struct {
 type harness struct {
 	o     *options
 	dir   string // working dir
+	spec  string // canonical spec file handed to the daemon
 	logs  string // live log dir the daemon tails
 	base  string // daemon base URL
 	addr  string // daemon listen address
@@ -200,6 +204,7 @@ func (h *harness) daemonArgs() []string {
 		"-poll", h.o.poll.String(),
 		"-checkpoint", filepath.Join(h.dir, "checkpoint"),
 		"-checkpoint-every", h.o.ckptEvery.String(),
+		"-spec", h.spec,
 		"-scale", strconv.Itoa(h.o.scale),
 		"-seed", strconv.FormatUint(h.o.seed, 10),
 		"-shards", strconv.Itoa(h.o.shards),
@@ -271,13 +276,31 @@ func run(o *options) int {
 	// and the verification oracle. The x509 rows the daemon will see
 	// are the serialized form — write once to scratch and read back so
 	// writer quirks (ordering, encoding) match the live stream exactly.
-	cfg := mtls.DefaultConfig()
-	cfg.CertScale = o.scale
+	spec := mtls.CampusSpec()
+	if o.spec != "" {
+		var err error
+		if spec, err = mtls.LoadSpec(o.spec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	genOpts := []mtls.GenerateOption{mtls.WithScale(o.scale)}
 	if o.seed != 0 {
-		cfg.Seed = o.seed
+		genOpts = append(genOpts, mtls.WithSeed(o.seed))
 	}
 	fmt.Printf("generating dataset (scale %d)...\n", o.scale)
-	build := mtls.Generate(cfg)
+	build, err := mtls.Generate(spec, genOpts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// The daemon rebuilds the same analysis context from the same spec;
+	// hand it the canonical rendering so both sides compile one source.
+	h.spec = filepath.Join(h.dir, "workload.spec.yaml")
+	if err := os.WriteFile(h.spec, []byte(scenario.Render(spec)), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
 	conns := build.Raw.Conns
 	certs, err := certRows(build, h.dir)
 	if err != nil {
@@ -285,6 +308,16 @@ func run(o *options) int {
 		return 1
 	}
 	fmt.Printf("dataset: %d conn rows, %d cert rows\n", len(conns), len(certs))
+
+	// Fingerprinted cohorts need ssl.log's 14-column schema from the
+	// first header on, or the daemon would tail fingerprint-free rows
+	// and diverge from the offline oracle.
+	for i := range conns {
+		if conns[i].JA3 != "" || conns[i].JA4 != "" {
+			h.app.Extended = true
+			break
+		}
+	}
 
 	if err := h.app.Init(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

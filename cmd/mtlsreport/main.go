@@ -60,7 +60,7 @@ func main() {
 	}
 
 	var build *mtls.Build
-	stage("generate", func() { build = mtls.Generate(cfg) })
+	stage("generate", func() { build = mtls.GenerateConfig(cfg) })
 	if *logs != "" {
 		stage("open_logs", func() {
 			// Permissive by default: a malformed row is skipped (and

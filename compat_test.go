@@ -16,13 +16,13 @@ import (
 // migrate call by call without re-validating outputs.
 func TestDeprecatedWrappersCompat(t *testing.T) {
 	cfg := smallConfig()
-	build := Generate(cfg)
+	build := GenerateConfig(cfg)
 
 	// AnalyzeWorkers(b, n) == Analyze(b, WithWorkers(n)), at the serial
 	// and the sharded worker count.
 	for _, workers := range []int{1, 2} {
-		oldA := AnalyzeWorkers(Generate(cfg), workers)
-		newA := Analyze(Generate(cfg), WithWorkers(workers))
+		oldA := AnalyzeWorkers(GenerateConfig(cfg), workers)
+		newA := Analyze(GenerateConfig(cfg), WithWorkers(workers))
 		if !reflect.DeepEqual(oldA, newA) {
 			t.Errorf("AnalyzeWorkers(b, %d) != Analyze(b, WithWorkers(%d))", workers, workers)
 		}
@@ -105,7 +105,7 @@ func TestDeprecatedWrappersCompat(t *testing.T) {
 // strict-loadable result.
 func TestWriteLogsAtomic(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "logs")
-	build := Generate(smallConfig())
+	build := GenerateConfig(smallConfig())
 	if err := WriteLogs(build.Raw, dir); err != nil {
 		t.Fatal(err)
 	}

@@ -13,7 +13,7 @@ func Example_pipeline() {
 	cfg := mtls.DefaultConfig()
 	cfg.CertScale = 4000 // tiny, for a fast example
 
-	build := mtls.Generate(cfg)
+	build := mtls.GenerateConfig(cfg)
 	analysis := mtls.Analyze(build)
 
 	first := analysis.Prevalence.FirstShare()
@@ -29,7 +29,7 @@ func Example_pipeline() {
 func Example_logs() {
 	cfg := mtls.DefaultConfig()
 	cfg.CertScale = 4000
-	build := mtls.Generate(cfg)
+	build := mtls.GenerateConfig(cfg)
 
 	dir := "/tmp/mtls-example-logs"
 	if err := mtls.WriteLogs(build.Raw, dir); err != nil {
@@ -51,7 +51,7 @@ func Example_logs() {
 func Example_table1() {
 	cfg := mtls.DefaultConfig()
 	cfg.CertScale = 4000
-	a := mtls.Analyze(mtls.Generate(cfg))
+	a := mtls.Analyze(mtls.GenerateConfig(cfg))
 	row := a.CertStats.Row("Client")
 	fmt.Printf("client certs are overwhelmingly mTLS: %v\n", row.MutualShare() > 0.9)
 	_ = stats.Pct(row.MutualShare())

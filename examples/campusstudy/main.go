@@ -16,7 +16,7 @@ func main() {
 	cfg := mtls.DefaultConfig()
 	cfg.CertScale = 500
 
-	build := mtls.Generate(cfg)
+	build := mtls.GenerateConfig(cfg)
 	// WithWorkers(0) = one pipeline worker per CPU; the sharded run returns
 	// the same Analysis as WithWorkers(1) (the serial path).
 	a := mtls.Analyze(build, mtls.WithWorkers(0))

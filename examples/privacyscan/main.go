@@ -31,7 +31,7 @@ func main() {
 	} else {
 		cfg := mtls.DefaultConfig()
 		cfg.CertScale = 1000
-		ds = mtls.Generate(cfg).Raw
+		ds = mtls.GenerateConfig(cfg).Raw
 	}
 
 	cls := infotype.New(psl.Default(), []string{

@@ -10,10 +10,12 @@ import (
 )
 
 func main() {
-	cfg := mtls.DefaultConfig()
-	cfg.CertScale = 1000 // small and fast for a demo
-
-	build := mtls.Generate(cfg)
+	// The campus scenario spec compiles to the paper-calibrated dataset;
+	// WithScale keeps it small and fast for a demo.
+	build, err := mtls.Generate(mtls.CampusSpec(), mtls.WithScale(1000))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("generated %d connections and %d unique certificates\n\n",
 		len(build.Raw.Conns), len(build.Raw.Certs))
 

@@ -26,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	cfg := mtls.DefaultConfig()
 	cfg.CertScale = 1000
-	build := mtls.Generate(cfg)
+	build := mtls.GenerateConfig(cfg)
 	// The generator groups connections by scenario; a border tap delivers
 	// them chronologically. Sort in place so both the stream below and the
 	// batch baseline see the same realistic order.

@@ -38,6 +38,10 @@ type Appender struct {
 	// Throttle caps append bandwidth in bytes/s when > 0, simulating a
 	// slow disk: writes land in small chunks with sleeps in between.
 	Throttle int64
+	// Extended selects ssl.log's 14-column schema with the ja3/ja4
+	// fingerprint columns; set it before the first append when the
+	// dataset carries ClientHello fingerprints.
+	Extended bool
 
 	// sleep is a test seam for the throttle delay.
 	sleep func(time.Duration)
@@ -69,6 +73,7 @@ func (a *Appender) BytesWritten() int64 { return a.bytes }
 func (a *Appender) AppendConns(recs []zeek.SSLRecord) error {
 	var buf bytes.Buffer
 	w := zeek.NewSSLWriter(&buf)
+	w.Extended = a.Extended
 	if a.headered[SSLLog] {
 		w.SkipHeader()
 	} else if err := w.WriteHeader(); err != nil {

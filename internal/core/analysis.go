@@ -25,6 +25,7 @@ type Analysis struct {
 	SANTypes     *SANTypesReport     // §6.1.2
 	Durations    *DurationReport     // §5 duration-of-activity lens
 	Versions     *VersionReport      // §3.3
+	Fingerprints *FingerprintReport  // ClientHello fingerprint prevalence
 }
 
 // Run executes the whole pipeline with the concurrency requested by
@@ -60,6 +61,7 @@ func (p *Pipeline) RunAll() *Analysis {
 		func() { a.SANTypes = p.SANTypes() },
 		func() { a.Durations = p.Durations() },
 		func() { a.Versions = p.Versions() },
+		func() { a.Fingerprints = p.Fingerprints() },
 	})
 	return a
 }

@@ -85,3 +85,6 @@ func (p *Pipeline) Durations() *DurationReport { return p.e.durations() }
 
 // Versions computes the §3.3 protocol-version mix.
 func (p *Pipeline) Versions() *VersionReport { return p.e.versions() }
+
+// Fingerprints computes the ClientHello fingerprint-prevalence join.
+func (p *Pipeline) Fingerprints() *FingerprintReport { return p.e.fingerprints() }

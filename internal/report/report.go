@@ -48,6 +48,7 @@ func RenderAll(a *core.Analysis) string {
 		{"§6.1.2 — SAN value types", SANTypes(a)},
 		{"§5 — Duration of activity", Durations(a)},
 		{"§3.3 — Protocol versions", Versions(a)},
+		{"ClientHello fingerprint prevalence", Fingerprints(a)},
 	}
 	for _, s := range sections {
 		b.WriteString("== " + s.title + " ==\n")
@@ -414,6 +415,33 @@ func Versions(a *core.Analysis) string {
 		t.AddRow(kv.Key, stats.Pct(float64(kv.Count)/float64(max64(v.Total, 1))))
 	}
 	return t.String()
+}
+
+// Fingerprints renders the JA3/JA4 prevalence join. The interesting
+// column pairing is ClientCerts against Conns: a distinctive hello shape
+// backed by few client certificates is a linkable client.
+func Fingerprints(a *core.Analysis) string {
+	f := a.Fingerprints
+	if f == nil || len(f.Rows) == 0 {
+		return "no fingerprint columns recorded\n"
+	}
+	t := stats.NewTable("", "JA3", "JA4", "Conn share", "Mutual", "Client certs", "SNIs", "Top client issuer")
+	for _, r := range f.Rows {
+		ja3 := r.JA3
+		if len(ja3) > 12 {
+			ja3 = ja3[:12]
+		}
+		ja4 := r.JA4
+		if len(ja4) > 24 {
+			ja4 = ja4[:24]
+		}
+		t.AddRow(ja3, ja4,
+			stats.Pct(float64(r.Conns)/float64(max64(f.Fingerprinted, 1))),
+			stats.Pct(r.MutualShare()),
+			fmt.Sprint(r.ClientCerts), fmt.Sprint(r.SNIs), r.TopIssuer)
+	}
+	return t.String() + fmt.Sprintf("fingerprinted connection share: %s\n",
+		pct(f.FingerprintedShare()))
 }
 
 func boolMark(b bool) string {

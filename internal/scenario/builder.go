@@ -1,0 +1,76 @@
+package scenario
+
+// builder.go is the programmatic way to assemble a Spec — the same
+// surface the YAML subset describes, for callers that would rather not
+// go through text.
+
+// Builder accumulates a Spec fluently; Build validates and returns it.
+type Builder struct {
+	spec Spec
+}
+
+// NewBuilder starts a spec at the current schema version with the
+// library default seed.
+func NewBuilder() *Builder {
+	return &Builder{spec: Spec{Version: SpecVersion, Seed: Campus().Seed}}
+}
+
+// Seed sets the generation seed.
+func (b *Builder) Seed(seed uint64) *Builder {
+	b.spec.Seed = seed
+	return b
+}
+
+// AggregateRate sets the total study connection volume (0 = natural).
+func (b *Builder) AggregateRate(rate float64) *Builder {
+	b.spec.AggregateRate = rate
+	return b
+}
+
+// Cohort appends a cohort with the given identity, profile, and rate
+// fraction, then applies opts.
+func (b *Builder) Cohort(id, profile string, rateFraction float64, opts ...CohortOption) *Builder {
+	c := Cohort{ID: id, Profile: profile, RateFraction: rateFraction}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	b.spec.Cohorts = append(b.spec.Cohorts, c)
+	return b
+}
+
+// Build validates and returns the spec.
+func (b *Builder) Build() (*Spec, error) {
+	s := b.spec // copy, so the builder can keep mutating
+	s.Cohorts = append([]Cohort(nil), b.spec.Cohorts...)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// CohortOption tweaks one cohort under construction.
+type CohortOption func(*Cohort)
+
+// Arrival sets the intra-day arrival process.
+func Arrival(a string) CohortOption { return func(c *Cohort) { c.Arrival = a } }
+
+// Lifecycle sets the volume pattern over the study.
+func Lifecycle(l string) CohortOption { return func(c *Cohort) { c.Lifecycle = l } }
+
+// Window bounds the activity window in study months (inclusive; end 0 =
+// last month).
+func Window(start, end int) CohortOption {
+	return func(c *Cohort) { c.StartMonth, c.EndMonth = start, end }
+}
+
+// Clients overrides the profile's unscaled distinct-client count.
+func Clients(n int) CohortOption { return func(c *Cohort) { c.Clients = n } }
+
+// Fingerprint selects a ClientHello preset for the cohort.
+func Fingerprint(preset string) CohortOption { return func(c *Cohort) { c.Fingerprint = preset } }
+
+// SNI overrides the profile's server name.
+func SNI(sni string) CohortOption { return func(c *Cohort) { c.SNI = sni } }
+
+// Port overrides the profile's server port.
+func Port(port int) CohortOption { return func(c *Cohort) { c.Port = port } }

@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzSpecParse pins three properties of the spec reader:
+//
+//  1. No input panics.
+//  2. Every failure is a *scenario.Error carrying a Reason from the
+//     published taxonomy.
+//  3. Any document that parses renders back to a document that parses
+//     to a deep-equal Spec (parse → render → parse is the identity).
+func FuzzSpecParse(f *testing.F) {
+	seeds := []string{
+		Render(Campus()),
+		RenderCommented(Campus()),
+		"version: 1\nseed: 7\naggregate_rate: 250000\ncohorts:\n" +
+			"  - id: iot\n    profile: iot-shared-cert\n    rate_fraction: 0.5\n" +
+			"    arrival: bursty\n    lifecycle: spike\n    start_month: 3\n" +
+			"    end_month: 18\n    clients: 900\n    fingerprint: iot-embedded\n" +
+			"    sni: mqtt.fleet.example.net\n    port: 8883\n" +
+			"  - id: mbox\n    profile: enterprise-middlebox\n    rate_fraction: 0.5\n",
+		"# comment\nversion: 1 # trailing\ncohorts:\n  - id: \"a b#c\"\n    profile: x\n    rate_fraction: 1\n",
+		"version: 1\ncohorts:\n  - id: \"esc\\\\\\\"\\n\\t\\r\"\n    profile: p\n    rate_fraction: 1\n",
+		// One seed per error reason.
+		"version: 1\nbogus: 3\n",              // unknown-field
+		"version: 1\nversion: 2\n",            // duplicate-key
+		"version: 1\n\tseed: 2\n",             // indent
+		"version: one\n",                      // type
+		"version: 1\ncohorts: yes\n",          // structure
+		"version: 1\nseed:\n",                 // syntax (missing value)
+		"version: 1\ncohorts:\n  - id: \"a\n", // syntax (unterminated quote)
+		"",                                    // syntax (empty document)
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	known := map[Reason]bool{
+		ReasonSyntax: true, ReasonIndent: true, ReasonDuplicate: true,
+		ReasonUnknownField: true, ReasonType: true, ReasonStructure: true,
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			var se *Error
+			if !errors.As(err, &se) {
+				t.Fatalf("error %v is not a *scenario.Error", err)
+			}
+			if !known[se.Reason] {
+				t.Fatalf("error %v carries unknown reason %q", err, se.Reason)
+			}
+			return
+		}
+		out := Render(s)
+		back, err := Parse([]byte(out))
+		if err != nil {
+			t.Fatalf("render output does not re-parse: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(back, s) {
+			t.Fatalf("parse/render round trip diverged:\nfirst  %+v\nsecond %+v\nrendered:\n%s", s, back, out)
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package scenario
+
+// render.go writes a Spec back out in the YAML subset. Render is
+// canonical — parsing its output yields a Spec deep-equal to the input,
+// the round-trip property FuzzSpecParse pins — and RenderCommented is
+// the annotated form `mtlsgen -print-spec` emits as a starting point.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Render writes the spec canonically: required fields always, optional
+// fields only when non-zero, two-space indentation, strings quoted only
+// when needed.
+func Render(s *Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "version: %d\n", s.Version)
+	if s.Seed != 0 {
+		fmt.Fprintf(&b, "seed: %d\n", s.Seed)
+	}
+	if s.AggregateRate != 0 {
+		fmt.Fprintf(&b, "aggregate_rate: %s\n", formatFloat(s.AggregateRate))
+	}
+	if len(s.Cohorts) > 0 {
+		b.WriteString("cohorts:\n")
+		for i := range s.Cohorts {
+			renderCohort(&b, &s.Cohorts[i], nil)
+		}
+	}
+	return b.String()
+}
+
+// RenderCommented writes the spec with every field present and a
+// trailing comment documenting it — the `-print-spec` starting point.
+// The output still parses back to a Spec deep-equal to the input.
+func RenderCommented(s *Spec) string {
+	var b strings.Builder
+	b.WriteString("# mTLS workload scenario spec (see DESIGN.md §2, \"Scenario specs\").\n")
+	b.WriteString("# Comments and blank lines are ignored; unknown fields are errors.\n")
+	fmt.Fprintf(&b, "version: %d\n", s.Version)
+	fmt.Fprintf(&b, "seed: %d # generation seed; equal seeds give identical datasets\n", s.Seed)
+	fmt.Fprintf(&b, "aggregate_rate: %s # total study connections split by rate_fraction; 0 = each cohort's natural volume\n",
+		formatFloat(s.AggregateRate))
+	b.WriteString("cohorts:\n")
+	comments := map[string]string{
+		"id":            "unique cohort name [a-z0-9-_]",
+		"profile":       "cert practice: " + strings.Join(Profiles(), " | "),
+		"rate_fraction": "share of aggregate_rate; fractions must sum to 1",
+		"arrival":       "intra-day arrivals: " + strings.Join(Arrivals(), " | "),
+		"lifecycle":     "volume over the study: " + strings.Join(Lifecycles(), " | "),
+		"start_month":   "activity window start (study month, 0-based)",
+		"end_month":     "activity window end inclusive (0 = last month)",
+		"clients":       "unscaled distinct clients (0 = profile default)",
+		"fingerprint":   "ClientHello preset (empty = no fingerprint columns)",
+		"sni":           "server name override (empty = profile default)",
+		"port":          "server port override (0 = profile default)",
+	}
+	for i := range s.Cohorts {
+		renderCohort(&b, &s.Cohorts[i], comments)
+	}
+	return b.String()
+}
+
+// renderCohort emits one cohort item. With comments != nil every field
+// is emitted and annotated; otherwise only non-zero optional fields.
+func renderCohort(b *strings.Builder, c *Cohort, comments map[string]string) {
+	all := comments != nil
+	line := func(first bool, key, val string) {
+		if first {
+			fmt.Fprintf(b, "  - %s: %s", key, val)
+		} else {
+			fmt.Fprintf(b, "    %s: %s", key, val)
+		}
+		if all {
+			if cm := comments[key]; cm != "" {
+				fmt.Fprintf(b, " # %s", cm)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(true, "id", quoteIfNeeded(c.ID))
+	line(false, "profile", quoteIfNeeded(c.Profile))
+	line(false, "rate_fraction", formatFloat(c.RateFraction))
+	if all || c.Arrival != "" {
+		line(false, "arrival", quoteIfNeeded(c.Arrival))
+	}
+	if all || c.Lifecycle != "" {
+		line(false, "lifecycle", quoteIfNeeded(c.Lifecycle))
+	}
+	if all || c.StartMonth != 0 {
+		line(false, "start_month", strconv.Itoa(c.StartMonth))
+	}
+	if all || c.EndMonth != 0 {
+		line(false, "end_month", strconv.Itoa(c.EndMonth))
+	}
+	if all || c.Clients != 0 {
+		line(false, "clients", strconv.Itoa(c.Clients))
+	}
+	if all || c.Fingerprint != "" {
+		line(false, "fingerprint", quoteIfNeeded(c.Fingerprint))
+	}
+	if all || c.SNI != "" {
+		line(false, "sni", quoteIfNeeded(c.SNI))
+	}
+	if all || c.Port != 0 {
+		line(false, "port", strconv.Itoa(c.Port))
+	}
+}
+
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// The parser rejects exponent-free forms it cannot re-read; 'g' can
+	// emit "1e+06", which ParseFloat reads back fine, but a leading '+'
+	// inside the exponent is not the same as a leading '+' on the
+	// number, so nothing to fix — just keep the canonical form.
+	return s
+}
+
+// quoteIfNeeded quotes a string when the bare form would be ambiguous:
+// empty, leading/trailing space, or any character outside the safe set.
+func quoteIfNeeded(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if s != strings.TrimSpace(s) {
+		return quote(s)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		safe := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '.' || c == '-' || c == '_' || c == '/' || c == '@' || c == '*'
+		if !safe {
+			return quote(s)
+		}
+	}
+	return s
+}
+
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

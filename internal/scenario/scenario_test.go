@@ -1,0 +1,202 @@
+package scenario
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseCampusRoundTrip(t *testing.T) {
+	want := Campus()
+	for _, render := range []struct {
+		name string
+		out  string
+	}{
+		{"canonical", Render(want)},
+		{"commented", RenderCommented(want)},
+	} {
+		got, err := Parse([]byte(render.out))
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", render.name, err, render.out)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s round trip diverged:\ngot  %+v\nwant %+v", render.name, got, want)
+		}
+	}
+}
+
+func TestParseFullSpec(t *testing.T) {
+	doc := `
+# three cohorts, quoted strings, overrides
+version: 1
+seed: 42
+aggregate_rate: 1500000.5
+cohorts:
+  - id: iot
+    profile: iot-shared-cert
+    rate_fraction: 0.5
+    arrival: bursty
+    lifecycle: spike
+    start_month: 2
+    end_month: 20
+    clients: 4000
+    fingerprint: iot-embedded
+    sni: "mqtt.fleet example.net" # spaces force quoting
+    port: 8883
+  - id: mbox
+    profile: enterprise-middlebox
+    rate_fraction: 0.3
+  - id: wave
+    profile: rotation-wave
+    rate_fraction: 0.2
+    lifecycle: drain
+`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 42 || s.AggregateRate != 1500000.5 || len(s.Cohorts) != 3 {
+		t.Fatalf("parsed %+v", s)
+	}
+	c := s.Cohorts[0]
+	if c.ID != "iot" || c.Profile != ProfileIoTSharedCert || c.RateFraction != 0.5 ||
+		c.Arrival != ArrivalBursty || c.Lifecycle != LifecycleSpike ||
+		c.StartMonth != 2 || c.EndMonth != 20 || c.Clients != 4000 ||
+		c.Fingerprint != "iot-embedded" || c.SNI != "mqtt.fleet example.net" || c.Port != 8883 {
+		t.Fatalf("cohort[0] = %+v", c)
+	}
+	// The parsed spec renders and re-parses to itself.
+	back, err := Parse([]byte(Render(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, s) {
+		t.Fatalf("render round trip diverged:\n%s", Render(s))
+	}
+}
+
+func TestParseErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		name   string
+		doc    string
+		reason Reason
+		field  string
+	}{
+		{"unknown top-level", "version: 1\nbogus: 3\n", ReasonUnknownField, "bogus"},
+		{"unknown cohort field", "version: 1\ncohorts:\n  - id: a\n    profil: x\n", ReasonUnknownField, "cohorts[0].profil"},
+		{"duplicate key", "version: 1\nversion: 2\n", ReasonDuplicate, "version"},
+		{"duplicate cohort key", "version: 1\ncohorts:\n  - id: a\n    id: b\n", ReasonDuplicate, "id"},
+		{"tab indent", "version: 1\n\tseed: 2\n", ReasonIndent, ""},
+		{"bad indent", "version: 1\ncohorts:\n  - id: a\n      profile: x\n", ReasonIndent, ""},
+		{"type int", "version: one\n", ReasonType, "version"},
+		{"type float", "version: 1\naggregate_rate: fast\n", ReasonType, "aggregate_rate"},
+		{"quoted int", "version: \"1\"\n", ReasonType, "version"},
+		{"nan rejected", "version: 1\naggregate_rate: NaN\n", ReasonType, "aggregate_rate"},
+		{"structure scalar for list", "version: 1\ncohorts: yes\n", ReasonStructure, "cohorts"},
+		{"structure list at top", "- id: a\n", ReasonStructure, ""},
+		{"missing value", "version: 1\nseed:\n", ReasonSyntax, "seed"},
+		{"unterminated quote", "version: 1\ncohorts:\n  - id: \"a\n", ReasonSyntax, ""},
+		{"bad escape", "version: 1\ncohorts:\n  - id: \"\\q\"\n", ReasonSyntax, ""},
+		{"no key", "version: 1\njust text\n", ReasonSyntax, ""},
+		{"empty doc", "# only a comment\n", ReasonSyntax, ""},
+	}
+	for _, tc := range cases {
+		_, err := Parse([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: parse accepted\n%s", tc.name, tc.doc)
+			continue
+		}
+		var se *Error
+		if !errors.As(err, &se) {
+			t.Errorf("%s: error %v is not a *scenario.Error", tc.name, err)
+			continue
+		}
+		if se.Reason != tc.reason {
+			t.Errorf("%s: reason = %s, want %s (%v)", tc.name, se.Reason, tc.reason, err)
+		}
+		if tc.field != "" && se.Field != tc.field {
+			t.Errorf("%s: field = %q, want %q", tc.name, se.Field, tc.field)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := func() *Spec {
+		s, err := NewBuilder().
+			AggregateRate(1e6).
+			Cohort("a", ProfileIoTSharedCert, 0.25, Arrival(ArrivalBursty)).
+			Cohort("b", ProfileRotationWave, 0.75, Lifecycle(LifecycleSpike)).
+			Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if err := ok().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"bad version", func(s *Spec) { s.Version = 2 }},
+		{"no cohorts", func(s *Spec) { s.Cohorts = nil }},
+		{"negative rate", func(s *Spec) { s.AggregateRate = -1 }},
+		{"empty id", func(s *Spec) { s.Cohorts[0].ID = "" }},
+		{"bad id charset", func(s *Spec) { s.Cohorts[0].ID = "Has Space" }},
+		{"duplicate id", func(s *Spec) { s.Cohorts[1].ID = s.Cohorts[0].ID }},
+		{"unknown profile", func(s *Spec) { s.Cohorts[0].Profile = "nope" }},
+		{"zero fraction", func(s *Spec) { s.Cohorts[0].RateFraction = 0 }},
+		{"fractions do not sum", func(s *Spec) { s.Cohorts[0].RateFraction = 0.5 }},
+		{"unknown arrival", func(s *Spec) { s.Cohorts[0].Arrival = "tidal" }},
+		{"unknown lifecycle", func(s *Spec) { s.Cohorts[0].Lifecycle = "lunar" }},
+		{"inverted window", func(s *Spec) { s.Cohorts[0].StartMonth = 9; s.Cohorts[0].EndMonth = 3 }},
+		{"bad port", func(s *Spec) { s.Cohorts[0].Port = 70000 }},
+	}
+	for _, tc := range cases {
+		s := ok()
+		tc.mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", tc.name)
+		}
+	}
+}
+
+func TestCampusIsValid(t *testing.T) {
+	if err := Campus().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderDoesNotAliasCohorts(t *testing.T) {
+	b := NewBuilder().AggregateRate(10).Cohort("a", ProfileRotationWave, 1)
+	s1, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Cohort("b", ProfileIoTSharedCert, 1)
+	if len(s1.Cohorts) != 1 {
+		t.Fatal("Build result aliases the builder's cohort slice")
+	}
+}
+
+func TestRenderQuoting(t *testing.T) {
+	s := &Spec{Version: 1, Cohorts: []Cohort{{
+		ID: "q", Profile: ProfileRotationWave, RateFraction: 1,
+		SNI: `odd "name"` + "\twith\nall # of: it\\",
+	}}}
+	got, err := Parse([]byte(Render(s)))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, Render(s))
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("quoting round trip diverged:\n%s", Render(s))
+	}
+	if !strings.Contains(Render(s), `"`) {
+		t.Fatal("odd SNI was not quoted")
+	}
+}

@@ -1,0 +1,536 @@
+package scenario
+
+// yaml.go is the hand-rolled YAML-subset reader for workload specs. The
+// subset is exactly what specs need — maps, lists of maps, scalars,
+// comments — parsed line by line with two-space indentation and no
+// external dependency, like every other parser in this repository. The
+// parser is strict: unknown fields, duplicate keys, tab indentation,
+// type mismatches, and control characters are errors with a stable
+// reason taxonomy (see Reason), never panics, which FuzzSpecParse pins.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Reason classifies a spec parse error. The taxonomy is part of the
+// package's API: callers (and the fuzz harness) can switch on it.
+type Reason string
+
+const (
+	ReasonSyntax       Reason = "syntax"        // malformed line or quoting
+	ReasonIndent       Reason = "indent"        // tabs or inconsistent indentation
+	ReasonDuplicate    Reason = "duplicate-key" // the same key twice in one map
+	ReasonUnknownField Reason = "unknown-field" // a key the schema does not define
+	ReasonType         Reason = "type"          // scalar does not fit the field's type
+	ReasonStructure    Reason = "structure"     // map where a list belongs, and the like
+)
+
+// Error is one spec parse failure.
+type Error struct {
+	Line   int    // 1-based source line (0 = document level)
+	Field  string // dotted path, e.g. "cohorts[2].rate_fraction"
+	Reason Reason
+	Msg    string
+}
+
+func (e *Error) Error() string {
+	var b strings.Builder
+	b.WriteString("scenario: spec")
+	if e.Line > 0 {
+		fmt.Fprintf(&b, " line %d", e.Line)
+	}
+	if e.Field != "" {
+		fmt.Fprintf(&b, ": %s", e.Field)
+	}
+	fmt.Fprintf(&b, ": %s (%s)", e.Msg, e.Reason)
+	return b.String()
+}
+
+func errAt(line int, field string, reason Reason, format string, args ...any) *Error {
+	return &Error{Line: line, Field: field, Reason: reason, Msg: fmt.Sprintf(format, args...)}
+}
+
+// node is one parsed document value.
+type node struct {
+	line   int
+	scalar *scalarNode // nil unless a scalar
+	keys   []string    // map keys in document order
+	vals   []*node     // parallel to keys
+	items  []*node     // list items (nil keys/vals/scalar)
+	isList bool
+	isMap  bool
+}
+
+type scalarNode struct {
+	text   string
+	quoted bool
+}
+
+// line is one significant source line.
+type srcLine struct {
+	num    int
+	indent int
+	text   string // content with indentation stripped
+}
+
+// Parse reads a spec document. The result is not validated beyond the
+// schema (field names and types): call Spec.Validate before compiling.
+func Parse(data []byte) (*Spec, error) {
+	root, err := parseDoc(data)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSpec(root)
+}
+
+// parseDoc tokenizes and builds the generic node tree.
+func parseDoc(data []byte) (*node, error) {
+	lines, err := splitLines(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, errAt(0, "", ReasonSyntax, "empty document")
+	}
+	p := &docParser{lines: lines}
+	root, err := p.block(0, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, errAt(l.num, "", ReasonIndent, "unexpected indentation %d", l.indent)
+	}
+	return root, nil
+}
+
+// splitLines strips comments and blanks and measures indentation.
+func splitLines(data []byte) ([]srcLine, error) {
+	var out []srcLine
+	for num, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, "\r")
+		for _, r := range line {
+			if r == '\t' {
+				return nil, errAt(num+1, "", ReasonIndent, "tab indentation is not supported")
+			}
+			if r < 0x20 {
+				return nil, errAt(num+1, "", ReasonSyntax, "control character %q", r)
+			}
+		}
+		content, err := stripComment(line, num+1)
+		if err != nil {
+			return nil, err
+		}
+		trimmed := strings.TrimLeft(content, " ")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		out = append(out, srcLine{num: num + 1, indent: len(content) - len(trimmed), text: strings.TrimRight(trimmed, " ")})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing comment outside of quotes. A '#'
+// starts a comment at line start or after a space (YAML's rule).
+func stripComment(line string, num int) (string, error) {
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if inQuote && i > 0 && line[i-1] == '\\' {
+				// Count the backslash run: an even run does not escape.
+				n := 0
+				for j := i - 1; j >= 0 && line[j] == '\\'; j-- {
+					n++
+				}
+				if n%2 == 1 {
+					continue
+				}
+			}
+			inQuote = !inQuote
+		case '#':
+			if !inQuote && (i == 0 || line[i-1] == ' ') {
+				return line[:i], nil
+			}
+		}
+	}
+	if inQuote {
+		return "", errAt(num, "", ReasonSyntax, "unterminated quoted string")
+	}
+	return line, nil
+}
+
+type docParser struct {
+	lines []srcLine
+	pos   int
+}
+
+// block parses one map or list whose entries sit at exactly indent.
+func (p *docParser) block(pos, indent int) (*node, error) {
+	p.pos = pos
+	first := p.lines[p.pos]
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return p.list(indent)
+	}
+	return p.mapping(indent)
+}
+
+func (p *docParser) mapping(indent int) (*node, error) {
+	n := &node{line: p.lines[p.pos].num, isMap: true}
+	seen := map[string]int{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, errAt(l.num, "", ReasonIndent, "unexpected indentation %d (block is at %d)", l.indent, indent)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, errAt(l.num, "", ReasonStructure, "list item inside a map block")
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := seen[key]; dup {
+			return nil, errAt(l.num, key, ReasonDuplicate, "key already set on line %d", prev)
+		}
+		seen[key] = l.num
+		p.pos++
+		var val *node
+		if rest == "" {
+			// Nested block (or an empty value, which is an error: the
+			// subset has no null scalar).
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, errAt(l.num, key, ReasonSyntax, "missing value")
+			}
+			val, err = p.block(p.pos, p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			sc, err := parseScalar(rest, l.num, key)
+			if err != nil {
+				return nil, err
+			}
+			val = &node{line: l.num, scalar: sc}
+		}
+		n.keys = append(n.keys, key)
+		n.vals = append(n.vals, val)
+	}
+	return n, nil
+}
+
+func (p *docParser) list(indent int) (*node, error) {
+	n := &node{line: p.lines[p.pos].num, isList: true}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, errAt(l.num, "", ReasonIndent, "unexpected indentation %d (list is at %d)", l.indent, indent)
+		}
+		if !strings.HasPrefix(l.text, "- ") && l.text != "-" {
+			break // sibling key at the same indent ends the list
+		}
+		if l.text == "-" {
+			return nil, errAt(l.num, "", ReasonSyntax, "empty list item")
+		}
+		rest := l.text[2:]
+		if !strings.Contains(rest, ": ") && !strings.HasSuffix(rest, ":") {
+			// Scalar list item.
+			sc, err := parseScalar(rest, l.num, "")
+			if err != nil {
+				return nil, err
+			}
+			p.pos++
+			n.items = append(n.items, &node{line: l.num, scalar: sc})
+			continue
+		}
+		// Map list item: the first field rides on the "- " line at a
+		// virtual indent of indent+2; following fields align under it.
+		item, err := p.listItemMap(l, indent+2)
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item)
+	}
+	return n, nil
+}
+
+// listItemMap parses one "- key: value" item and its continuation lines.
+func (p *docParser) listItemMap(first srcLine, fieldIndent int) (*node, error) {
+	n := &node{line: first.num, isMap: true}
+	seen := map[string]int{}
+	addField := func(l srcLine) error {
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return err
+		}
+		if prev, dup := seen[key]; dup {
+			return errAt(l.num, key, ReasonDuplicate, "key already set on line %d", prev)
+		}
+		seen[key] = l.num
+		p.pos++
+		var val *node
+		if rest == "" {
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= fieldIndent {
+				return errAt(l.num, key, ReasonSyntax, "missing value")
+			}
+			val, err = p.block(p.pos, p.lines[p.pos].indent)
+			if err != nil {
+				return err
+			}
+		} else {
+			sc, err := parseScalar(rest, l.num, key)
+			if err != nil {
+				return err
+			}
+			val = &node{line: l.num, scalar: sc}
+		}
+		n.keys = append(n.keys, key)
+		n.vals = append(n.vals, val)
+		return nil
+	}
+	if err := addField(srcLine{num: first.num, indent: fieldIndent, text: first.text[2:]}); err != nil {
+		return nil, err
+	}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != fieldIndent || strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			break
+		}
+		if err := addField(l); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// splitKey splits "key: value" / "key:" and validates the key.
+func splitKey(l srcLine) (key, rest string, err error) {
+	idx := strings.Index(l.text, ":")
+	if idx <= 0 {
+		return "", "", errAt(l.num, "", ReasonSyntax, "expected \"key: value\", got %q", l.text)
+	}
+	key = l.text[:idx]
+	if strings.ContainsAny(key, " \"") {
+		return "", "", errAt(l.num, "", ReasonSyntax, "malformed key %q", key)
+	}
+	rest = strings.TrimLeft(l.text[idx+1:], " ")
+	if rest != "" && l.text[idx+1] != ' ' {
+		return "", "", errAt(l.num, key, ReasonSyntax, "missing space after %q:", key)
+	}
+	return key, rest, nil
+}
+
+// parseScalar reads a scalar value: quoted (with \\ \" \n \t \r escapes)
+// or bare.
+func parseScalar(s string, line int, field string) (*scalarNode, error) {
+	if strings.HasPrefix(s, "\"") {
+		if len(s) < 2 || !strings.HasSuffix(s, "\"") {
+			return nil, errAt(line, field, ReasonSyntax, "unterminated quoted string")
+		}
+		body := s[1 : len(s)-1]
+		var b strings.Builder
+		for i := 0; i < len(body); i++ {
+			c := body[i]
+			if c != '\\' {
+				if c == '"' {
+					return nil, errAt(line, field, ReasonSyntax, "unescaped quote inside string")
+				}
+				b.WriteByte(c)
+				continue
+			}
+			i++
+			if i >= len(body) {
+				return nil, errAt(line, field, ReasonSyntax, "dangling escape")
+			}
+			switch body[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			default:
+				return nil, errAt(line, field, ReasonSyntax, "unknown escape \\%c", body[i])
+			}
+		}
+		return &scalarNode{text: b.String(), quoted: true}, nil
+	}
+	if strings.Contains(s, "\"") {
+		return nil, errAt(line, field, ReasonSyntax, "quote inside bare scalar")
+	}
+	return &scalarNode{text: s}, nil
+}
+
+// ---------------------------------------------------------------------
+// Schema decoding: generic tree → Spec, strict about unknown fields.
+// ---------------------------------------------------------------------
+
+func decodeSpec(root *node) (*Spec, error) {
+	if !root.isMap {
+		return nil, errAt(root.line, "", ReasonStructure, "document must be a map")
+	}
+	s := &Spec{}
+	for i, key := range root.keys {
+		val := root.vals[i]
+		switch key {
+		case "version":
+			v, err := scalarInt(val, key)
+			if err != nil {
+				return nil, err
+			}
+			s.Version = int(v)
+		case "seed":
+			v, err := scalarUint(val, key)
+			if err != nil {
+				return nil, err
+			}
+			s.Seed = v
+		case "aggregate_rate":
+			v, err := scalarFloat(val, key)
+			if err != nil {
+				return nil, err
+			}
+			s.AggregateRate = v
+		case "cohorts":
+			if !val.isList {
+				return nil, errAt(val.line, key, ReasonStructure, "must be a list")
+			}
+			for j, item := range val.items {
+				co, err := decodeCohort(item, fmt.Sprintf("cohorts[%d]", j))
+				if err != nil {
+					return nil, err
+				}
+				s.Cohorts = append(s.Cohorts, *co)
+			}
+		default:
+			return nil, errAt(val.line, key, ReasonUnknownField,
+				"unknown field (spec fields: version, seed, aggregate_rate, cohorts)")
+		}
+	}
+	return s, nil
+}
+
+func decodeCohort(n *node, path string) (*Cohort, error) {
+	if !n.isMap {
+		return nil, errAt(n.line, path, ReasonStructure, "cohort must be a map")
+	}
+	co := &Cohort{}
+	for i, key := range n.keys {
+		val := n.vals[i]
+		field := path + "." + key
+		var err error
+		switch key {
+		case "id":
+			co.ID, err = scalarString(val, field)
+		case "profile":
+			co.Profile, err = scalarString(val, field)
+		case "rate_fraction":
+			co.RateFraction, err = scalarFloat(val, field)
+		case "arrival":
+			co.Arrival, err = scalarString(val, field)
+		case "lifecycle":
+			co.Lifecycle, err = scalarString(val, field)
+		case "start_month":
+			var v int64
+			v, err = scalarInt(val, field)
+			co.StartMonth = int(v)
+		case "end_month":
+			var v int64
+			v, err = scalarInt(val, field)
+			co.EndMonth = int(v)
+		case "clients":
+			var v int64
+			v, err = scalarInt(val, field)
+			co.Clients = int(v)
+		case "fingerprint":
+			co.Fingerprint, err = scalarString(val, field)
+		case "sni":
+			co.SNI, err = scalarString(val, field)
+		case "port":
+			var v int64
+			v, err = scalarInt(val, field)
+			co.Port = int(v)
+		default:
+			return nil, errAt(val.line, field, ReasonUnknownField,
+				"unknown field (cohort fields: id, profile, rate_fraction, arrival, lifecycle, start_month, end_month, clients, fingerprint, sni, port)")
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return co, nil
+}
+
+func scalarOf(n *node, field string) (*scalarNode, error) {
+	if n.scalar == nil {
+		return nil, errAt(n.line, field, ReasonStructure, "expected a scalar value")
+	}
+	return n.scalar, nil
+}
+
+func scalarString(n *node, field string) (string, error) {
+	sc, err := scalarOf(n, field)
+	if err != nil {
+		return "", err
+	}
+	return sc.text, nil
+}
+
+func scalarInt(n *node, field string) (int64, error) {
+	sc, err := scalarOf(n, field)
+	if err != nil {
+		return 0, err
+	}
+	if sc.quoted {
+		return 0, errAt(n.line, field, ReasonType, "expected an integer, got a quoted string")
+	}
+	v, perr := strconv.ParseInt(sc.text, 10, 64)
+	if perr != nil {
+		return 0, errAt(n.line, field, ReasonType, "expected an integer, got %q", sc.text)
+	}
+	return v, nil
+}
+
+func scalarUint(n *node, field string) (uint64, error) {
+	sc, err := scalarOf(n, field)
+	if err != nil {
+		return 0, err
+	}
+	if sc.quoted {
+		return 0, errAt(n.line, field, ReasonType, "expected an unsigned integer, got a quoted string")
+	}
+	v, perr := strconv.ParseUint(sc.text, 10, 64)
+	if perr != nil {
+		return 0, errAt(n.line, field, ReasonType, "expected an unsigned integer, got %q", sc.text)
+	}
+	return v, nil
+}
+
+func scalarFloat(n *node, field string) (float64, error) {
+	sc, err := scalarOf(n, field)
+	if err != nil {
+		return 0, err
+	}
+	if sc.quoted {
+		return 0, errAt(n.line, field, ReasonType, "expected a number, got a quoted string")
+	}
+	v, perr := strconv.ParseFloat(sc.text, 64)
+	if perr != nil || len(sc.text) == 0 || sc.text[0] == '+' ||
+		strings.ContainsAny(sc.text, "xXpP_") || strings.EqualFold(sc.text, "inf") ||
+		strings.EqualFold(sc.text, "-inf") || strings.EqualFold(sc.text, "nan") {
+		return 0, errAt(n.line, field, ReasonType, "expected a decimal number, got %q", sc.text)
+	}
+	return v, nil
+}

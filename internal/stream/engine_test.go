@@ -420,8 +420,8 @@ func TestReportRegistry(t *testing.T) {
 	e.Drain()
 
 	names := ReportNames()
-	if len(names) != 22 {
-		t.Fatalf("report names = %d, want 22", len(names))
+	if len(names) != 23 {
+		t.Fatalf("report names = %d, want 23", len(names))
 	}
 	for _, name := range names {
 		out, err := e.Report(name)

@@ -17,28 +17,29 @@ var ErrUnknownReport = errors.New("stream: unknown report")
 // /reports/) to pipeline stages. Names follow the paper's table/figure
 // numbering, plus the unnumbered §-level reports.
 var reportFns = map[string]func(*core.Pipeline) any{
-	"preprocess": func(p *core.Pipeline) any { return p.PreprocessReport() },
-	"table1":     func(p *core.Pipeline) any { return p.CertStats() },
-	"figure1":    func(p *core.Pipeline) any { return p.Prevalence() },
-	"table2":     func(p *core.Pipeline) any { return p.Services() },
-	"table3":     func(p *core.Pipeline) any { return p.Inbound() },
-	"figure2":    func(p *core.Pipeline) any { return p.Outbound() },
-	"table4":     func(p *core.Pipeline) any { return p.DummyIssuers() },
-	"serials":    func(p *core.Pipeline) any { return p.Serials() },
-	"table5":     func(p *core.Pipeline) any { return p.SharingSame() },
-	"table6":     func(p *core.Pipeline) any { return p.SharingCross() },
-	"figure3":    func(p *core.Pipeline) any { return p.BadDates() },
-	"figure4":    func(p *core.Pipeline) any { return p.Validity() },
-	"figure5":    func(p *core.Pipeline) any { return p.Expired() },
-	"table7":     func(p *core.Pipeline) any { return p.Utilization() },
-	"table8":     func(p *core.Pipeline) any { return p.Contents() },
-	"table9":     func(p *core.Pipeline) any { return p.Unidentified() },
-	"table13":    func(p *core.Pipeline) any { return p.SharedInfo() },
-	"table14":    func(p *core.Pipeline) any { return p.NonMutual() },
-	"concerns":   func(p *core.Pipeline) any { return p.Concerns() },
-	"santypes":   func(p *core.Pipeline) any { return p.SANTypes() },
-	"durations":  func(p *core.Pipeline) any { return p.Durations() },
-	"versions":   func(p *core.Pipeline) any { return p.Versions() },
+	"preprocess":   func(p *core.Pipeline) any { return p.PreprocessReport() },
+	"table1":       func(p *core.Pipeline) any { return p.CertStats() },
+	"figure1":      func(p *core.Pipeline) any { return p.Prevalence() },
+	"table2":       func(p *core.Pipeline) any { return p.Services() },
+	"table3":       func(p *core.Pipeline) any { return p.Inbound() },
+	"figure2":      func(p *core.Pipeline) any { return p.Outbound() },
+	"table4":       func(p *core.Pipeline) any { return p.DummyIssuers() },
+	"serials":      func(p *core.Pipeline) any { return p.Serials() },
+	"table5":       func(p *core.Pipeline) any { return p.SharingSame() },
+	"table6":       func(p *core.Pipeline) any { return p.SharingCross() },
+	"figure3":      func(p *core.Pipeline) any { return p.BadDates() },
+	"figure4":      func(p *core.Pipeline) any { return p.Validity() },
+	"figure5":      func(p *core.Pipeline) any { return p.Expired() },
+	"table7":       func(p *core.Pipeline) any { return p.Utilization() },
+	"table8":       func(p *core.Pipeline) any { return p.Contents() },
+	"table9":       func(p *core.Pipeline) any { return p.Unidentified() },
+	"table13":      func(p *core.Pipeline) any { return p.SharedInfo() },
+	"table14":      func(p *core.Pipeline) any { return p.NonMutual() },
+	"concerns":     func(p *core.Pipeline) any { return p.Concerns() },
+	"santypes":     func(p *core.Pipeline) any { return p.SANTypes() },
+	"durations":    func(p *core.Pipeline) any { return p.Durations() },
+	"versions":     func(p *core.Pipeline) any { return p.Versions() },
+	"fingerprints": func(p *core.Pipeline) any { return p.Fingerprints() },
 }
 
 // ReportNames lists every materializable report, sorted.

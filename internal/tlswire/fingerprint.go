@@ -1,0 +1,304 @@
+package tlswire
+
+// fingerprint.go computes ClientHello fingerprints — JA3 (the md5 of
+// version, ciphers, extensions, curves, point formats) and a JA4-style
+// string (transport/version/SNI/counts prefix plus truncated sha256 of
+// the sorted cipher and extension sets) — and carries the preset hello
+// profiles the scenario engine assigns to client families. Both the
+// workload generator's bulk path and the zeek analyzer's wire path call
+// the same two functions, so a cohort's stamped fingerprints and the
+// fingerprints recovered from its synthesized byte streams agree.
+
+import (
+	"crypto/md5"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// HelloProfile is one client family's ClientHello shape: the orderings
+// that make its fingerprint distinctive.
+type HelloProfile struct {
+	Name         string
+	CipherSuites []uint16
+	// ExtOrder is the extension emission order (extension types).
+	ExtOrder []uint16
+	Curves   []uint16 // supported_groups
+	Points   []uint8  // ec_point_formats
+	SigAlgs  []uint16
+	ALPN     []string
+	// TLS13 advertises supported_versions 1.3+1.2.
+	TLS13 bool
+}
+
+// Hello builds the ClientHello this profile sends for the given SNI.
+// Random is left zero — fingerprints do not cover it; transcript
+// synthesis fills it per connection.
+func (p *HelloProfile) Hello(sni string) *ClientHello {
+	ch := &ClientHello{
+		LegacyVersion:   VersionTLS12,
+		CipherSuites:    p.CipherSuites,
+		SNI:             sni,
+		ALPN:            p.ALPN,
+		SupportedGroups: p.Curves,
+		ECPointFormats:  p.Points,
+		SigAlgs:         p.SigAlgs,
+		ExtOrder:        p.ExtOrder,
+	}
+	if p.TLS13 {
+		ch.SupportedVersions = []uint16{VersionTLS13, VersionTLS12}
+	}
+	return ch
+}
+
+// JA3Hello returns the profile's JA3 for a connection with the given SNI.
+func (p *HelloProfile) JA3Hello(sni string) string { return JA3(p.Hello(sni)) }
+
+// JA4Hello returns the profile's JA4-style fingerprint for the given SNI.
+func (p *HelloProfile) JA4Hello(sni string) string { return JA4(p.Hello(sni)) }
+
+// Cipher suite and group values used by the presets.
+const (
+	csAES128GCM13  uint16 = 0x1301 // TLS_AES_128_GCM_SHA256
+	csAES256GCM13  uint16 = 0x1302 // TLS_AES_256_GCM_SHA384
+	csCHACHA13     uint16 = 0x1303 // TLS_CHACHA20_POLY1305_SHA256
+	csECDHE_RSA128 uint16 = 0xc02f // ECDHE-RSA-AES128-GCM-SHA256
+	csECDHE_EC128  uint16 = 0xc02b // ECDHE-ECDSA-AES128-GCM-SHA256
+	csECDHE_RSA256 uint16 = 0xc030 // ECDHE-RSA-AES256-GCM-SHA384
+	csECDHE_EC256  uint16 = 0xc02c // ECDHE-ECDSA-AES256-GCM-SHA384
+	csCHACHA_RSA   uint16 = 0xcca8
+	csCHACHA_EC    uint16 = 0xcca9
+	csRSA128GCM    uint16 = 0x009c
+	csRSA256GCM    uint16 = 0x009d
+	csRSA128CBC    uint16 = 0x002f
+	csRSA256CBC    uint16 = 0x0035
+
+	curveX25519 uint16 = 0x001d
+	curveP256   uint16 = 0x0017
+	curveP384   uint16 = 0x0018
+	curveP521   uint16 = 0x0019
+)
+
+// presets is the ClientHello family table. Orderings differ per family
+// on purpose: cipher preference, extension order, and curve order are
+// exactly what JA3 discriminates.
+var presets = []*HelloProfile{
+	{
+		Name: "chrome",
+		CipherSuites: []uint16{csAES128GCM13, csAES256GCM13, csCHACHA13,
+			csECDHE_EC128, csECDHE_RSA128, csECDHE_EC256, csECDHE_RSA256, csCHACHA_EC, csCHACHA_RSA},
+		ExtOrder: []uint16{extServerName, extSupportedGroups, extECPointFormats,
+			extSigAlgs, extALPN, extSupportedVersions},
+		Curves:  []uint16{curveX25519, curveP256, curveP384},
+		Points:  []uint8{0},
+		SigAlgs: []uint16{0x0403, 0x0804, 0x0401, 0x0503, 0x0805, 0x0501},
+		ALPN:    []string{"h2", "http/1.1"},
+		TLS13:   true,
+	},
+	{
+		Name: "firefox",
+		CipherSuites: []uint16{csAES128GCM13, csCHACHA13, csAES256GCM13,
+			csECDHE_EC128, csECDHE_RSA128, csCHACHA_EC, csCHACHA_RSA, csECDHE_EC256, csECDHE_RSA256},
+		ExtOrder: []uint16{extServerName, extALPN, extSupportedGroups,
+			extECPointFormats, extSigAlgs, extSupportedVersions},
+		Curves:  []uint16{curveX25519, curveP256, curveP384, curveP521},
+		Points:  []uint8{0},
+		SigAlgs: []uint16{0x0403, 0x0503, 0x0603, 0x0804, 0x0805, 0x0806, 0x0401, 0x0501, 0x0601},
+		ALPN:    []string{"h2", "http/1.1"},
+		TLS13:   true,
+	},
+	{
+		Name: "safari",
+		CipherSuites: []uint16{csAES128GCM13, csAES256GCM13, csCHACHA13,
+			csECDHE_EC256, csECDHE_EC128, csCHACHA_EC, csECDHE_RSA256, csECDHE_RSA128, csCHACHA_RSA},
+		ExtOrder: []uint16{extServerName, extECPointFormats, extSupportedGroups,
+			extALPN, extSigAlgs, extSupportedVersions},
+		Curves:  []uint16{curveX25519, curveP256, curveP384, curveP521},
+		Points:  []uint8{0},
+		SigAlgs: []uint16{0x0403, 0x0804, 0x0401, 0x0503, 0x0805, 0x0501, 0x0601},
+		ALPN:    []string{"h2", "http/1.1"},
+		TLS13:   true,
+	},
+	{
+		Name: "edge",
+		CipherSuites: []uint16{csAES128GCM13, csAES256GCM13, csCHACHA13,
+			csECDHE_EC128, csECDHE_RSA128, csECDHE_EC256, csECDHE_RSA256, csRSA128GCM, csRSA256GCM},
+		ExtOrder: []uint16{extServerName, extSupportedGroups, extECPointFormats,
+			extALPN, extSigAlgs, extSupportedVersions},
+		Curves:  []uint16{curveX25519, curveP256, curveP384},
+		Points:  []uint8{0},
+		SigAlgs: []uint16{0x0403, 0x0804, 0x0401, 0x0503, 0x0805, 0x0501},
+		ALPN:    []string{"h2", "http/1.1"},
+		TLS13:   true,
+	},
+	{
+		Name: "ios-app",
+		CipherSuites: []uint16{csAES128GCM13, csAES256GCM13,
+			csECDHE_EC256, csECDHE_EC128, csECDHE_RSA256, csECDHE_RSA128},
+		ExtOrder: []uint16{extServerName, extECPointFormats, extSupportedGroups,
+			extSigAlgs, extALPN, extSupportedVersions},
+		Curves:  []uint16{curveX25519, curveP256, curveP384, curveP521},
+		Points:  []uint8{0},
+		SigAlgs: []uint16{0x0403, 0x0804, 0x0401},
+		ALPN:    []string{"h2"},
+		TLS13:   true,
+	},
+	{
+		Name: "android-okhttp",
+		CipherSuites: []uint16{csAES128GCM13, csAES256GCM13, csCHACHA13,
+			csECDHE_EC128, csECDHE_RSA128, csCHACHA_EC, csCHACHA_RSA},
+		ExtOrder: []uint16{extServerName, extSupportedGroups, extSigAlgs,
+			extALPN, extSupportedVersions},
+		Curves:  []uint16{curveX25519, curveP256},
+		SigAlgs: []uint16{0x0403, 0x0401, 0x0503, 0x0501},
+		ALPN:    []string{"h2", "http/1.1"},
+		TLS13:   true,
+	},
+	{
+		// Embedded TLS stacks: short static cipher list, no ALPN, CBC
+		// fallbacks still advertised — the IoT fleet look.
+		Name:         "iot-embedded",
+		CipherSuites: []uint16{csECDHE_RSA128, csRSA128GCM, csRSA128CBC, csRSA256CBC},
+		ExtOrder:     []uint16{extServerName, extSupportedGroups, extECPointFormats},
+		Curves:       []uint16{curveP256, curveP384},
+		Points:       []uint8{0},
+	},
+	{
+		// Interception proxies re-originate with their own stack: a wide
+		// flat cipher list and minimal extensions, unlike any browser.
+		Name: "middlebox-proxy",
+		CipherSuites: []uint16{csECDHE_RSA256, csECDHE_RSA128, csECDHE_EC256, csECDHE_EC128,
+			csRSA256GCM, csRSA128GCM, csRSA256CBC, csRSA128CBC},
+		ExtOrder: []uint16{extServerName, extSupportedGroups, extECPointFormats, extSigAlgs},
+		Curves:   []uint16{curveP256, curveX25519, curveP384},
+		Points:   []uint8{0},
+		SigAlgs:  []uint16{0x0401, 0x0403, 0x0501, 0x0503},
+	},
+	{
+		// Service-to-service Go clients (crypto/tls defaults, h2).
+		Name: "go-client",
+		CipherSuites: []uint16{csAES128GCM13, csCHACHA13, csAES256GCM13,
+			csECDHE_EC128, csECDHE_RSA128, csECDHE_EC256, csECDHE_RSA256, csCHACHA_EC, csCHACHA_RSA},
+		ExtOrder: []uint16{extServerName, extECPointFormats, extSupportedGroups,
+			extSigAlgs, extALPN, extSupportedVersions},
+		Curves:  []uint16{curveX25519, curveP256, curveP384, curveP521},
+		Points:  []uint8{0},
+		SigAlgs: []uint16{0x0804, 0x0403, 0x0807, 0x0805, 0x0806, 0x0401, 0x0501, 0x0601},
+		ALPN:    []string{"h2", "http/1.1"},
+		TLS13:   true,
+	},
+}
+
+// Preset returns the named hello profile (nil when unknown).
+func Preset(name string) *HelloProfile {
+	for _, p := range presets {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// PresetNames lists the available hello profiles.
+func PresetNames() []string {
+	out := make([]string, len(presets))
+	for i, p := range presets {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// JA3 computes the classic JA3 fingerprint: md5 over
+// "version,ciphers,extensions,curves,pointformats" with dash-joined
+// decimal lists in wire order.
+func JA3(ch *ClientHello) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d,", ch.LegacyVersion)
+	writeU16List(&b, ch.CipherSuites)
+	b.WriteByte(',')
+	writeU16List(&b, ja3Extensions(ch))
+	b.WriteByte(',')
+	writeU16List(&b, ch.SupportedGroups)
+	b.WriteByte(',')
+	for i, p := range ch.ECPointFormats {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		fmt.Fprintf(&b, "%d", p)
+	}
+	sum := md5.Sum([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// ja3Extensions reconstructs the extension type list in emission order.
+func ja3Extensions(ch *ClientHello) []uint16 {
+	if ch.ExtOrder != nil {
+		return ch.ExtOrder
+	}
+	var out []uint16
+	for _, typ := range defaultExtOrder {
+		if ch.extBody(typ) != nil {
+			out = append(out, typ)
+		}
+	}
+	return out
+}
+
+// JA4 computes a JA4-style fingerprint:
+//
+//	t<ver><d|i><nn ciphers><nn extensions><alpn>_<cipher hash>_<ext hash>
+//
+// where ver is the highest advertised version ("13"/"12"), d/i marks SNI
+// presence (domain vs IP-only), alpn is the first and last byte of the
+// first ALPN value ("00" when absent), and the hashes are the first 12
+// hex characters of sha256 over the sorted cipher list and the sorted
+// extension list plus signature algorithms.
+func JA4(ch *ClientHello) string {
+	ver := "12"
+	for _, v := range ch.SupportedVersions {
+		if v >= VersionTLS13 {
+			ver = "13"
+		}
+	}
+	sni := "i"
+	if ch.SNI != "" {
+		sni = "d"
+	}
+	alpn := "00"
+	if len(ch.ALPN) > 0 && len(ch.ALPN[0]) > 0 {
+		first := ch.ALPN[0]
+		alpn = string(first[0]) + string(first[len(first)-1])
+	}
+	exts := ja3Extensions(ch)
+	var b strings.Builder
+	fmt.Fprintf(&b, "t%s%s%02d%02d%s_%s_%s", ver, sni,
+		min(len(ch.CipherSuites), 99), min(len(exts), 99), alpn,
+		sortedHash(ch.CipherSuites, nil), sortedHash(exts, ch.SigAlgs))
+	return b.String()
+}
+
+// sortedHash hashes a sorted u16 list (plus a trailing unsorted suffix,
+// JA4's signature-algorithm tail) to 12 hex chars.
+func sortedHash(list, suffix []uint16) string {
+	s := append([]uint16(nil), list...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var b strings.Builder
+	writeU16List(&b, s)
+	if len(suffix) > 0 {
+		b.WriteByte('_')
+		writeU16List(&b, suffix)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:6])
+}
+
+func writeU16List(b *strings.Builder, xs []uint16) {
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		fmt.Fprintf(b, "%d", x)
+	}
+}

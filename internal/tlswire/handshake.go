@@ -26,6 +26,10 @@ const (
 // Extension numbers we encode/parse.
 const (
 	extServerName        uint16 = 0
+	extSupportedGroups   uint16 = 10
+	extECPointFormats    uint16 = 11
+	extSigAlgs           uint16 = 13
+	extALPN              uint16 = 16
 	extSupportedVersions uint16 = 43
 )
 
@@ -99,13 +103,94 @@ func wrapHandshake(t HandshakeType, body []byte) []byte {
 }
 
 // ClientHello carries the fields the monitor logs: the advertised
-// versions and the SNI.
+// versions, the SNI, and the fingerprint surface (cipher ordering,
+// extension ordering, ALPN, curves) that JA3/JA4 hash.
 type ClientHello struct {
 	LegacyVersion     uint16
 	Random            [32]byte
 	CipherSuites      []uint16
 	SNI               string
 	SupportedVersions []uint16 // from the supported_versions extension
+	ALPN              []string // application_layer_protocol_negotiation
+	SupportedGroups   []uint16 // supported_groups (curves)
+	ECPointFormats    []uint8  // ec_point_formats
+	SigAlgs           []uint16 // signature_algorithms
+	// ExtOrder is the extension types in wire order. Parse fills it;
+	// Marshal follows it when non-nil (types with nothing to encode are
+	// skipped), otherwise emits the populated extensions in the fixed
+	// order server_name, ALPN, groups, point formats, signature
+	// algorithms, supported_versions.
+	ExtOrder []uint16
+}
+
+// extBody encodes one extension's body, or nil when the message has
+// nothing to say for that type.
+func (m *ClientHello) extBody(typ uint16) []byte {
+	var w writer
+	switch typ {
+	case extServerName:
+		if m.SNI == "" {
+			return nil
+		}
+		w.u16(uint16(3 + len(m.SNI))) // server_name_list length
+		w.u8(0)                       // name_type host_name
+		w.u16(uint16(len(m.SNI)))
+		w.raw([]byte(m.SNI))
+	case extALPN:
+		if len(m.ALPN) == 0 {
+			return nil
+		}
+		var list writer
+		for _, p := range m.ALPN {
+			list.u8(uint8(len(p)))
+			list.raw([]byte(p))
+		}
+		w.u16(uint16(len(list.b)))
+		w.raw(list.b)
+	case extSupportedGroups:
+		if len(m.SupportedGroups) == 0 {
+			return nil
+		}
+		w.u16(uint16(2 * len(m.SupportedGroups)))
+		for _, g := range m.SupportedGroups {
+			w.u16(g)
+		}
+	case extECPointFormats:
+		if len(m.ECPointFormats) == 0 {
+			return nil
+		}
+		w.u8(uint8(len(m.ECPointFormats)))
+		for _, f := range m.ECPointFormats {
+			w.u8(f)
+		}
+	case extSigAlgs:
+		if len(m.SigAlgs) == 0 {
+			return nil
+		}
+		w.u16(uint16(2 * len(m.SigAlgs)))
+		for _, s := range m.SigAlgs {
+			w.u16(s)
+		}
+	case extSupportedVersions:
+		if len(m.SupportedVersions) == 0 {
+			return nil
+		}
+		w.u8(uint8(2 * len(m.SupportedVersions)))
+		for _, v := range m.SupportedVersions {
+			w.u16(v)
+		}
+	default:
+		return nil
+	}
+	return w.b
+}
+
+// defaultExtOrder is the emission order when ExtOrder is unset; the
+// server_name-then-supported_versions prefix keeps profile-free hellos
+// byte-identical to the pre-fingerprint encoder.
+var defaultExtOrder = []uint16{
+	extServerName, extSupportedVersions, extALPN,
+	extSupportedGroups, extECPointFormats, extSigAlgs,
 }
 
 // Marshal encodes the message including its handshake header.
@@ -120,26 +205,19 @@ func (m *ClientHello) Marshal() []byte {
 	}
 	w.u8(1) // compression methods
 	w.u8(0) // null
-	var ext writer
-	if m.SNI != "" {
-		var sni writer
-		sni.u16(uint16(3 + len(m.SNI))) // server_name_list length
-		sni.u8(0)                       // name_type host_name
-		sni.u16(uint16(len(m.SNI)))
-		sni.raw([]byte(m.SNI))
-		ext.u16(extServerName)
-		ext.u16(uint16(len(sni.b)))
-		ext.raw(sni.b)
+	order := m.ExtOrder
+	if order == nil {
+		order = defaultExtOrder
 	}
-	if len(m.SupportedVersions) > 0 {
-		var sv writer
-		sv.u8(uint8(2 * len(m.SupportedVersions)))
-		for _, v := range m.SupportedVersions {
-			sv.u16(v)
+	var ext writer
+	for _, typ := range order {
+		body := m.extBody(typ)
+		if body == nil {
+			continue
 		}
-		ext.u16(extSupportedVersions)
-		ext.u16(uint16(len(sv.b)))
-		ext.raw(sv.b)
+		ext.u16(typ)
+		ext.u16(uint16(len(body)))
+		ext.raw(body)
 	}
 	w.u16(uint16(len(ext.b)))
 	w.raw(ext.b)
@@ -172,11 +250,19 @@ func ParseClientHello(body []byte) (*ClientHello, error) {
 		return nil, r.err
 	}
 	er := &byteReader{b: exts}
+	seenExt := make(map[uint16]bool)
 	for er.remaining() >= 4 {
 		typ := er.u16()
 		data := er.bytes(int(er.u16()))
 		if er.err != nil {
 			return nil, er.err
+		}
+		// Record each type once: Marshal emits one extension per type, so
+		// a duplicated type must not re-encode twice (it could overflow
+		// the u16 block length that bounded the original).
+		if !seenExt[typ] {
+			seenExt[typ] = true
+			m.ExtOrder = append(m.ExtOrder, typ)
 		}
 		switch typ {
 		case extServerName:
@@ -193,6 +279,46 @@ func ParseClientHello(body []byte) (*ClientHello, error) {
 			n := int(dr.u8())
 			for i := 0; i < n/2; i++ {
 				m.SupportedVersions = append(m.SupportedVersions, dr.u16())
+			}
+			if dr.err != nil {
+				return nil, dr.err
+			}
+		case extALPN:
+			dr := &byteReader{b: data}
+			list := &byteReader{b: dr.bytes(int(dr.u16()))}
+			if dr.err != nil {
+				return nil, dr.err
+			}
+			for list.remaining() > 0 {
+				p := list.bytes(int(list.u8()))
+				if list.err != nil {
+					return nil, list.err
+				}
+				m.ALPN = append(m.ALPN, string(p))
+			}
+		case extSupportedGroups:
+			dr := &byteReader{b: data}
+			n := int(dr.u16())
+			for i := 0; i < n/2; i++ {
+				m.SupportedGroups = append(m.SupportedGroups, dr.u16())
+			}
+			if dr.err != nil {
+				return nil, dr.err
+			}
+		case extECPointFormats:
+			dr := &byteReader{b: data}
+			n := int(dr.u8())
+			for i := 0; i < n; i++ {
+				m.ECPointFormats = append(m.ECPointFormats, dr.u8())
+			}
+			if dr.err != nil {
+				return nil, dr.err
+			}
+		case extSigAlgs:
+			dr := &byteReader{b: data}
+			n := int(dr.u16())
+			for i := 0; i < n/2; i++ {
+				m.SigAlgs = append(m.SigAlgs, dr.u16())
 			}
 			if dr.err != nil {
 				return nil, dr.err

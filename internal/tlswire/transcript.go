@@ -26,6 +26,10 @@ type TranscriptSpec struct {
 	// Established marks whether the handshake completes; failed handshakes
 	// stop after the server flight.
 	Established bool
+	// Profile shapes the ClientHello (cipher/extension/curve orderings)
+	// for fingerprint diversity. nil keeps the fixed legacy hello, byte
+	// for byte.
+	Profile *HelloProfile
 }
 
 // Transcript is the pair of directional byte streams for one connection.
@@ -46,13 +50,19 @@ func Synthesize(spec TranscriptSpec, rng *ids.RNG) Transcript {
 		recVer = spec.Version
 	}
 
-	ch := &ClientHello{
-		LegacyVersion: min16(spec.Version, VersionTLS12),
-		CipherSuites:  []uint16{0x1301, 0xc02f, 0xc030, 0x009c},
-		SNI:           spec.SNI,
+	var ch *ClientHello
+	if spec.Profile != nil {
+		ch = spec.Profile.Hello(spec.SNI)
+		ch.LegacyVersion = min16(spec.Version, VersionTLS12)
+	} else {
+		ch = &ClientHello{
+			LegacyVersion: min16(spec.Version, VersionTLS12),
+			CipherSuites:  []uint16{0x1301, 0xc02f, 0xc030, 0x009c},
+			SNI:           spec.SNI,
+		}
 	}
 	fillRandom(&ch.Random, rng)
-	if spec.Version == VersionTLS13 {
+	if spec.Version == VersionTLS13 && len(ch.SupportedVersions) == 0 {
 		ch.SupportedVersions = []uint16{VersionTLS13, VersionTLS12}
 	}
 	must(WriteRecord(&c2s, RecordHandshake, VersionTLS10, ch.Marshal()))

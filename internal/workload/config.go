@@ -73,6 +73,14 @@ func (c Config) scaled(n, min int) int {
 	return s
 }
 
+// Arrival model names for Entity.Arrival (string-equal to the scenario
+// spec's arrival vocabulary).
+const (
+	ArrivalPoisson  = "poisson"
+	ArrivalConstant = "constant"
+	ArrivalBursty   = "bursty"
+)
+
 // PortWeight assigns a share of an entity's connections to a port (or an
 // inclusive port range, for Globus's 50000–51000).
 type PortWeight struct {
@@ -143,6 +151,23 @@ type Entity struct {
 	// controls server-cert reuse across rows (default 1 = always fresh).
 	PerConnCerts      bool
 	NewServerCertProb float64
+
+	// CertHolders, when > 0, folds the scaled client population onto this
+	// many client certificates (holder = client % CertHolders) — the
+	// shared-fleet-credential pattern (§5.2.1) where thousands of devices
+	// present a handful of certs. 0 keeps one certificate per client.
+	CertHolders int
+	// Arrival scatters connections inside their day: "" or "poisson"
+	// (uniform hash jitter), "constant" (evenly spaced slots), "bursty"
+	// (four tight windows). "" additionally skips the jitter entirely,
+	// preserving the legacy midnight timestamps byte for byte.
+	Arrival string
+	// Diurnal warps intra-day arrival times toward business hours. Only
+	// meaningful when Arrival is set (or forces jitter on by itself).
+	Diurnal bool
+	// HelloPreset names a tlswire fingerprint profile; connections carry
+	// its JA3/JA4 fingerprints. "" leaves the fingerprint columns unset.
+	HelloPreset string
 
 	// Conns is the total connection count over the study (unscaled; it
 	// becomes row weights, not rows).

@@ -10,6 +10,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/netsim"
 	"repro/internal/psl"
+	"repro/internal/tlswire"
 	"repro/internal/truststore"
 	"repro/internal/zeek"
 )
@@ -26,6 +27,7 @@ type Generator struct {
 
 	certCache map[string]*certmodel.CertInfo
 	uidRNG    *ids.RNG
+	fpCache   map[string][2]string
 }
 
 // NewGenerator prepares a generator for cfg.
@@ -47,6 +49,7 @@ func NewGenerator(cfg Config) *Generator {
 		ds:        zeek.NewDataset(),
 		certCache: make(map[string]*certmodel.CertInfo),
 		uidRNG:    root.Fork("uids"),
+		fpCache:   make(map[string][2]string),
 	}
 }
 
@@ -58,6 +61,16 @@ func Generate(cfg Config) *Build {
 	entities := Entities()
 	if err := Validate(entities, g.cfg.Months); err != nil {
 		panic(err)
+	}
+	return g.run(entities, nil)
+}
+
+// run is the shared synthesis core behind Generate and FromSpec: extra CT
+// entries first (they never touch the RNG streams), then the entity
+// roster in order, then the cross-entity populations.
+func (g *Generator) run(entities []Entity, extraCT []ct.Entry) *Build {
+	for _, en := range extraCT {
+		g.ctlog.AddChain(en)
 	}
 	for _, e := range entities {
 		g.emitEntity(&e)
@@ -167,12 +180,19 @@ func (g *Generator) emitEntity(e *Entity) {
 			// short-lived certificates are observed within their window.
 			tsDay := day + (c*7+m*3)%27
 			ts := certmodel.DayToTime(tsDay)
+			if off := intraDayOffset(e, m, c); off != 0 {
+				ts = ts.Add(off)
+			}
 			srvIdx := (c + m) % servers
 
 			var clientCert, serverCert *certmodel.CertInfo
 			if e.ClientPlan != nil {
+				holder := c
+				if e.CertHolders > 0 {
+					holder = c % e.CertHolders
+				}
 				ri := e.ClientPlan.reissueIndex(firstUseDay, tsDay)
-				clientCert = g.cert(e.ClientPlan, e.Name, "cli", c, ri, firstUseDay)
+				clientCert = g.cert(e.ClientPlan, e.Name, "cli", holder, ri, firstUseDay)
 			}
 			if e.SharedCert {
 				serverCert = clientCert
@@ -287,5 +307,68 @@ func (g *Generator) emitConn(e *Entity, ern *ids.RNG, ts time.Time, c, srvIdx, c
 			rec.ClientChain = []ids.Fingerprint{clientCert.Fingerprint}
 		}
 	}
+	if e.HelloPreset != "" {
+		rec.JA3, rec.JA4 = g.helloFP(e.HelloPreset, e.SNI)
+	}
 	g.ds.Conns = append(g.ds.Conns, rec)
+}
+
+// helloFP returns the JA3/JA4 pair a preset's ClientHello produces for an
+// SNI, memoized: the fingerprints are deterministic functions of the
+// profile, so the md5/sha256 work happens once per (preset, SNI).
+func (g *Generator) helloFP(preset, sni string) (string, string) {
+	key := preset + "\x00" + sni
+	if fp, ok := g.fpCache[key]; ok {
+		return fp[0], fp[1]
+	}
+	p := tlswire.Preset(preset)
+	if p == nil {
+		panic("workload: unknown hello preset " + preset) // Validate rejects these
+	}
+	ch := p.Hello(sni)
+	fp := [2]string{tlswire.JA3(ch), tlswire.JA4(ch)}
+	g.fpCache[key] = fp
+	return fp[0], fp[1]
+}
+
+// intraDayOffset scatters a connection inside its day. The offset is a
+// pure hash of (entity, month, client) — never an RNG draw — so enabling
+// it cannot perturb any legacy random stream, and entities with no
+// arrival model keep their midnight timestamps exactly.
+func intraDayOffset(e *Entity, m, c int) time.Duration {
+	if e.Arrival == "" && !e.Diurnal {
+		return 0
+	}
+	h := ids.HashString64(fmt.Sprintf("arrival/%s/%d/%d", e.Name, m, c))
+	frac := float64(h%1e6) / 1e6
+	switch e.Arrival {
+	case ArrivalConstant:
+		// Evenly spaced 15-minute slots: a polling fleet.
+		frac = (float64(c%96) + 0.5) / 96
+	case ArrivalBursty:
+		// Four tight windows, each covering ~2% of the day.
+		slot := float64((h >> 20) % 4)
+		frac = (slot + frac*0.08) / 4
+	default: // "" (diurnal-only) or poisson: uniform jitter
+	}
+	if e.Diurnal {
+		frac = diurnalWarp(frac)
+	}
+	// Whole seconds only: the zeek TSV timestamp has sub-second
+	// precision limits, and fractional offsets would not round-trip
+	// byte-identically through WriteLogs/OpenLogs.
+	return time.Duration(frac*float64(24*time.Hour)) / time.Second * time.Second
+}
+
+// diurnalWarp maps a uniform [0,1) fraction onto a business-hours
+// arrival CDF: 70% of connections between 08:00 and 18:00.
+func diurnalWarp(u float64) float64 {
+	switch {
+	case u < 0.15:
+		return u / 0.15 * (8.0 / 24)
+	case u < 0.85:
+		return 8.0/24 + (u-0.15)/0.70*(10.0/24)
+	default:
+		return 18.0/24 + (u-0.85)/0.15*(6.0/24)
+	}
 }

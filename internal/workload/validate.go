@@ -3,6 +3,8 @@ package workload
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/tlswire"
 )
 
 // Validate checks the entity roster for internal consistency. The roster
@@ -63,6 +65,17 @@ func Validate(es []Entity, months int) error {
 		}
 		if e.ClientPlan2 != nil && (e.ClientPlan2Share <= 0 || e.ClientPlan2Share > 1) {
 			bad("%s: secondary plan share %f out of range", e.Name, e.ClientPlan2Share)
+		}
+		if e.CertHolders < 0 {
+			bad("%s: negative CertHolders", e.Name)
+		}
+		switch e.Arrival {
+		case "", ArrivalPoisson, ArrivalConstant, ArrivalBursty:
+		default:
+			bad("%s: unknown arrival model %q", e.Name, e.Arrival)
+		}
+		if e.HelloPreset != "" && tlswire.Preset(e.HelloPreset) == nil {
+			bad("%s: unknown hello preset %q", e.Name, e.HelloPreset)
 		}
 		for _, pc := range []struct {
 			name string

@@ -29,9 +29,19 @@ func WireSample(cfg Config, entityName string, n int) (*zeek.Dataset, error) {
 	if entity == nil {
 		return nil, fmt.Errorf("workload: unknown entity %q", entityName)
 	}
+	return WireSampleEntity(cfg, entity, n)
+}
+
+// WireSampleEntity is WireSample over an explicit entity — the way to
+// wire-check spec-compiled cohorts, whose entities are not in the
+// built-in campus set. Entities with a HelloPreset synthesize their
+// preset's ClientHello, so the analyzer's ja3/ja4 columns must match
+// the bulk path's stamped fingerprints.
+func WireSampleEntity(cfg Config, entity *Entity, n int) (*zeek.Dataset, error) {
 	if entity.ClientPlan == nil {
-		return nil, fmt.Errorf("workload: entity %q has no client plan", entityName)
+		return nil, fmt.Errorf("workload: entity %q has no client plan", entity.Name)
 	}
+	entityName := entity.Name
 
 	gen, err := certmodel.NewGenerator(4)
 	if err != nil {
@@ -122,6 +132,9 @@ func wireConn(gen *certmodel.Generator, ca *certmodel.CA, e *Entity, rng *ids.RN
 		ServerChain: [][]byte{serverDER, ca.DER},
 		ClientChain: [][]byte{clientDER, ca.DER},
 		Established: true,
+		// Fingerprinted cohorts shape the hello on the wire too; ""
+		// keeps the fixed legacy hello byte for byte.
+		Profile: tlswire.Preset(e.HelloPreset),
 	}
 	return meta, spec, nil
 }

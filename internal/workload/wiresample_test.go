@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/certmodel"
+	"repro/internal/scenario"
 )
 
 // TestWireSampleEquivalence proves the wire path — real DER, real TLS
@@ -103,4 +104,62 @@ func TestWireSampleErrors(t *testing.T) {
 	if _, err := WireSample(cfg, "no-such-entity", 1); err == nil {
 		t.Fatal("unknown entity should error")
 	}
+}
+
+// TestWireSampleFingerprintAgreement closes the fingerprint loop: a
+// spec-compiled cohort entity with a HelloPreset, wire-sampled through
+// real TLS bytes and the passive analyzer, must yield exactly the
+// JA3/JA4 the bulk path stamps for the same (preset, SNI) — the two
+// paths share tlswire's hello synthesis, and this proves it end to end.
+func TestWireSampleFingerprintAgreement(t *testing.T) {
+	cfg := Default()
+	spec := threeCohortSpec()
+	entity := findSpecEntity(t, spec, cfg, "fleet-fleet")
+	if entity.HelloPreset == "" {
+		t.Fatalf("entity %q has no hello preset", entity.Name)
+	}
+	ds, err := WireSampleEntity(cfg, entity, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Conns) == 0 {
+		t.Fatal("no wire conns")
+	}
+	g := NewGenerator(cfg)
+	wantJA3, wantJA4 := g.helloFP(entity.HelloPreset, entity.SNI)
+	for i := range ds.Conns {
+		c := &ds.Conns[i]
+		if c.JA3 != wantJA3 || c.JA4 != wantJA4 {
+			t.Fatalf("wire conn %d fingerprints (%s, %s), bulk stamps (%s, %s)",
+				i, c.JA3, c.JA4, wantJA3, wantJA4)
+		}
+	}
+
+	// Presetless entities keep the fixed legacy hello: one stable JA3
+	// that is NOT any preset's.
+	legacy, err := WireSample(cfg, "mqtt-alarmnet", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range legacy.Conns {
+		if legacy.Conns[i].JA3 == wantJA3 {
+			t.Fatal("legacy hello collided with a preset fingerprint")
+		}
+	}
+}
+
+// findSpecEntity compiles spec's cohorts and returns the named entity.
+func findSpecEntity(t *testing.T, spec *scenario.Spec, cfg Config, name string) *Entity {
+	t.Helper()
+	entities, _, err := compileCohorts(spec, cfg.Months)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range entities {
+		if entities[i].Name == name {
+			return &entities[i]
+		}
+	}
+	t.Fatalf("entity %q not compiled from spec", name)
+	return nil
 }

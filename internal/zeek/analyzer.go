@@ -51,6 +51,8 @@ var ErrNotTLS = tlswire.ErrNotTLS
 // sideResult is what one direction of the capture yields.
 type sideResult struct {
 	sni        string
+	ja3        string // ClientHello fingerprints (client side only)
+	ja4        string
 	version    uint16 // ServerHello-negotiated (server side only)
 	chain      [][]byte
 	sawCertReq bool
@@ -91,6 +93,8 @@ func (a *Analyzer) AnalyzeStreams(meta ConnMeta, c2s, s2c []byte) (*SSLRecord, e
 		Established: client.encrypted && server.encrypted,
 		ServerChain: a.ingestChain(meta.TS, server.chain),
 		ClientChain: a.ingestChain(meta.TS, client.chain),
+		JA3:         client.ja3,
+		JA4:         client.ja4,
 		Weight:      1,
 	}
 	a.SSL = append(a.SSL, rec)
@@ -148,6 +152,8 @@ func parseSide(stream []byte, isClient bool) (sideResult, error) {
 				return res, err
 			}
 			res.sni = ch.SNI
+			res.ja3 = tlswire.JA3(ch)
+			res.ja4 = tlswire.JA4(ch)
 		case tlswire.TypeServerHello:
 			if isClient {
 				continue

@@ -42,6 +42,12 @@ type SSLRecord struct {
 	// non-empty is a mutual-TLS connection (§3.2.1).
 	ServerChain []ids.Fingerprint
 	ClientChain []ids.Fingerprint
+	// JA3/JA4 are ClientHello fingerprint columns ("" = not recorded).
+	// They ride the extended 14-field ssl.log schema; the legacy 12-field
+	// schema reads back with both empty. omitempty keeps snapshot and
+	// spill encodings byte-identical for fingerprint-free records.
+	JA3 string `json:",omitempty"`
+	JA4 string `json:",omitempty"`
 	// Weight is the number of identical connections this row stands for.
 	// The wire path always writes 1; the bulk path aggregates (DESIGN.md
 	// §5). Percentages are therefore invariant to the scale knob.

@@ -286,7 +286,7 @@ func (t *tail) poll(row func([][]byte) error) error {
 			continue
 		}
 		t.cols = splitCols(t.cols[:0], line)
-		if len(t.cols) != t.nFields {
+		if len(t.cols) != t.nFields && len(t.cols) != altFieldCount(t.wantPath, t.nFields) {
 			re := rowErrf(RejectFieldCount, "%d fields, want %d", len(t.cols), t.nFields)
 			if err := t.badRow(re, lineStart, line); err != nil {
 				return err

@@ -29,6 +29,12 @@ var sslFields = []string{
 	"cert_chain_fps", "client_cert_chain_fps", "weight",
 }
 
+// sslFieldsExt is the extended ssl.log schema: the legacy columns plus
+// ClientHello fingerprints. Readers accept either field count; the
+// writer emits it only when asked (Extended), so fingerprint-free
+// datasets stay byte-identical to the legacy format.
+var sslFieldsExt = append(append([]string(nil), sslFields...), "ja3", "ja4")
+
 var x509Fields = []string{
 	"ts", "id", "fingerprint", "certificate.version", "certificate.serial",
 	"certificate.issuer", "certificate.subject",
@@ -44,10 +50,22 @@ type SSLWriter struct {
 	w      *bufio.Writer
 	opened bool
 	buf    []byte
+
+	// Extended switches the writer to the 14-field schema carrying the
+	// ja3/ja4 fingerprint columns. It must be set before the first Write
+	// (the header is emitted lazily and fixes the schema).
+	Extended bool
 }
 
 // NewSSLWriter wraps w.
 func NewSSLWriter(w io.Writer) *SSLWriter { return &SSLWriter{w: bufio.NewWriter(w)} }
+
+func (sw *SSLWriter) fields() []string {
+	if sw.Extended {
+		return sslFieldsExt
+	}
+	return sslFields
+}
 
 func writeHeader(w *bufio.Writer, path string, fields []string) error {
 	if _, err := fmt.Fprintf(w, "#separator \\x09\n#path\t%s\n#fields\t%s\n",
@@ -60,7 +78,7 @@ func writeHeader(w *bufio.Writer, path string, fields []string) error {
 // Write appends one record.
 func (sw *SSLWriter) Write(r *SSLRecord) error {
 	if !sw.opened {
-		if err := writeHeader(sw.w, "ssl", sslFields); err != nil {
+		if err := writeHeader(sw.w, "ssl", sw.fields()); err != nil {
 			return err
 		}
 		sw.opened = true
@@ -89,6 +107,12 @@ func (sw *SSLWriter) Write(r *SSLRecord) error {
 	b = appendFPs(b, r.ClientChain)
 	b = append(b, '\t')
 	b = strconv.AppendInt(b, max(r.Weight, 1), 10)
+	if sw.Extended {
+		b = append(b, '\t')
+		b = appendOrUnset(b, r.JA3)
+		b = append(b, '\t')
+		b = appendOrUnset(b, r.JA4)
+	}
 	b = append(b, '\n')
 	sw.buf = b
 	_, err := sw.w.Write(b)
@@ -109,7 +133,7 @@ func (sw *SSLWriter) WriteHeader() error {
 		return nil
 	}
 	sw.opened = true
-	return writeHeader(sw.w, "ssl", sslFields)
+	return writeHeader(sw.w, "ssl", sw.fields())
 }
 
 // X509Writer emits x509.log in Zeek TSV format.
@@ -222,7 +246,7 @@ func parseSSLCols(cols [][]byte, it *internTable) (SSLRecord, error) {
 		// here would silently corrupt every weighted tally downstream.
 		return SSLRecord{}, rowErrf(RejectWeight, "weight %d < 1", w)
 	}
-	return SSLRecord{
+	rec := SSLRecord{
 		TS:          ts,
 		UID:         ids.UID(cols[1]),
 		OrigIP:      it.str(unsetOr(cols[2])),
@@ -235,7 +259,14 @@ func parseSSLCols(cols [][]byte, it *internTable) (SSLRecord, error) {
 		ServerChain: it.fps(cols[9]),
 		ClientChain: it.fps(cols[10]),
 		Weight:      w,
-	}, nil
+	}
+	if len(cols) >= len(sslFieldsExt) {
+		// Extended schema: ja3/ja4 fingerprint columns. Interned — a
+		// dataset has few distinct fingerprints across many rows.
+		rec.JA3 = it.str(unsetOr(cols[12]))
+		rec.JA4 = it.str(unsetOr(cols[13]))
+	}
+	return rec, nil
 }
 
 // parseX509Cols decodes one x509.log row. Malformed columns return a
@@ -478,6 +509,15 @@ func loadDataset(ssl, x509 io.Reader, o Options) (*Dataset, error) {
 // pathHeader prefixes the #path header line.
 var pathHeader = []byte("#path" + fieldSep)
 
+// altFieldCount returns the alternate accepted column count for a log
+// path: ssl rows may carry the extended fingerprint columns.
+func altFieldCount(path string, nFields int) int {
+	if path == "ssl" && nFields == len(sslFields) {
+		return len(sslFieldsExt)
+	}
+	return nFields
+}
+
 // readTSV drives the line loop shared by both schemas, handing each data
 // line's columns to row as sub-slices of the scanner's buffer — no line
 // string, no column slice allocation per row. row returns *RowError for
@@ -490,6 +530,7 @@ var pathHeader = []byte("#path" + fieldSep)
 func readTSV(r io.Reader, wantPath string, nFields int, o Options, row func([][]byte) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	alt := altFieldCount(wantPath, nFields)
 	cols := make([][]byte, 0, nFields+1)
 	lineNo := 0
 	for sc.Scan() {
@@ -507,7 +548,7 @@ func readTSV(r io.Reader, wantPath string, nFields int, o Options, row func([][]
 			continue
 		}
 		cols = splitCols(cols[:0], line)
-		if len(cols) != nFields {
+		if len(cols) != nFields && len(cols) != alt {
 			re := rowErrf(RejectFieldCount, "%d fields, want %d", len(cols), nFields)
 			re.Line, re.Raw = int64(lineNo), string(line)
 			if o.Strict {

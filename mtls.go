@@ -4,21 +4,23 @@
 //
 // The typical flow is three calls:
 //
-//	build := mtls.Generate(mtls.DefaultConfig()) // synthesize the campus dataset
+//	build, _ := mtls.Generate(mtls.CampusSpec()) // synthesize the campus dataset
 //	analysis := mtls.Analyze(build)              // run the paper's pipeline
 //	fmt.Print(mtls.Render(analysis))             // print every table/figure
 //
-// Generate produces a 23-month synthetic border-traffic dataset calibrated
-// to the paper's published numbers (internal/workload); Analyze runs
-// preprocessing (CT-based interception filtering) and all analyses
-// (internal/core); Render and Experiments format the results. Datasets can
-// also round-trip through Zeek-style TSV logs with WriteLogs/OpenLogs, and
-// live TLS traffic can be ingested with the zeek.Analyzer (see
+// Generate compiles a declarative scenario spec (internal/scenario) into a
+// 23-month synthetic border-traffic dataset calibrated to the paper's
+// published numbers (internal/workload); Analyze runs preprocessing
+// (CT-based interception filtering) and all analyses (internal/core);
+// Render and Experiments format the results. Datasets can also round-trip
+// through Zeek-style TSV logs with WriteLogs/OpenLogs, and live TLS
+// traffic can be ingested with the zeek.Analyzer (see
 // examples/livecapture).
 package mtls
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -26,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 	"repro/internal/zeek"
 )
@@ -50,6 +53,9 @@ func RejectTotals(reg *metrics.Registry) (uint64, map[string]uint64) {
 }
 
 // Config re-exports the workload configuration.
+//
+// Deprecated: describe workloads with a Spec and tune scale/seed with
+// Generate options; Config remains for GenerateConfig callers.
 type Config = workload.Config
 
 // Build re-exports the generated dataset bundle.
@@ -58,12 +64,85 @@ type Build = workload.Build
 // Analysis re-exports the full result set.
 type Analysis = core.Analysis
 
+// Spec re-exports the declarative scenario workload spec: cohorts with
+// rate fractions, arrival models, lifecycles, and certificate-practice
+// profiles. Build one with ParseSpec / CampusSpec / scenario.NewBuilder.
+type Spec = scenario.Spec
+
 // DefaultConfig returns the calibrated generator configuration
 // (CertScale 200, 23 months, Figure 1 anchors at 1.99%/3.61%).
+//
+// Deprecated: start from CampusSpec and Generate options instead.
 func DefaultConfig() Config { return workload.Default() }
 
-// Generate synthesizes the campus dataset.
-func Generate(cfg Config) *Build { return workload.Generate(cfg) }
+// CampusSpec returns the built-in campus scenario — the spec whose
+// compiled output is byte-identical to the paper-calibrated generator.
+func CampusSpec() *Spec { return scenario.Campus() }
+
+// ParseSpec parses a scenario spec from its YAML form.
+func ParseSpec(data []byte) (*Spec, error) { return scenario.Parse(data) }
+
+// LoadSpec reads a scenario spec from a YAML file; path "-" reads stdin.
+func LoadSpec(path string) (*Spec, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ParseSpec(data)
+}
+
+// GenerateOption tunes Generate without widening the spec schema: scale,
+// seed, and wire-path are properties of one run, not of the scenario.
+type GenerateOption func(*Config)
+
+// WithScale sets the certificate scale divisor.
+func WithScale(scale int) GenerateOption {
+	return func(c *Config) { c.CertScale = scale }
+}
+
+// WithSeed overrides the seed (beating any seed in the spec).
+func WithSeed(seed uint64) GenerateOption {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithWirePath routes n connections per entity through real DER + TLS
+// byte streams + the zeek analyzer as an end-to-end self check.
+func WithWirePath(n int) GenerateOption {
+	return func(c *Config) { c.WirePath = n }
+}
+
+// Generate compiles a scenario spec into the synthetic dataset. nil means
+// CampusSpec(). The spec's seed applies unless WithSeed overrides it;
+// everything else starts from the calibrated defaults.
+func Generate(spec *Spec, opts ...GenerateOption) (*Build, error) {
+	cfg := workload.Default()
+	if spec == nil {
+		spec = CampusSpec()
+	}
+	if spec.Seed != 0 {
+		cfg.Seed = spec.Seed
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	// Pin the resolved seed in the compiled copy so option order beats
+	// spec order (FromSpec would otherwise re-apply the spec seed).
+	s := *spec
+	s.Seed = cfg.Seed
+	return workload.FromSpec(&s, cfg)
+}
+
+// GenerateConfig synthesizes the campus dataset from a raw configuration.
+//
+// Deprecated: use Generate with a Spec; GenerateConfig remains for
+// callers tuning Config fields that predate the spec schema.
+func GenerateConfig(cfg Config) *Build { return workload.Generate(cfg) }
 
 // Analyze runs the paper's full pipeline on a build. By default it uses
 // one worker per CPU; WithWorkers pins the concurrency explicitly. The
@@ -129,6 +208,9 @@ func WriteLogs(ds *zeek.Dataset, dir string) error {
 	sslTmp := filepath.Join(dir, "ssl.log.tmp")
 	if err := writeLogFile(sslTmp, func(f *os.File) error {
 		sw := zeek.NewSSLWriter(f)
+		// Fingerprint-free datasets keep the legacy 12-column schema byte
+		// for byte; any JA3/JA4 column selects the extended header.
+		sw.Extended = datasetHasFingerprints(ds)
 		for i := range ds.Conns {
 			if err := sw.Write(&ds.Conns[i]); err != nil {
 				return err
@@ -158,6 +240,17 @@ func WriteLogs(ds *zeek.Dataset, dir string) error {
 		return err
 	}
 	return atomicfile.Rename(x509Tmp, filepath.Join(dir, "x509.log"))
+}
+
+// datasetHasFingerprints reports whether any connection carries
+// ClientHello fingerprints, which selects ssl.log's extended schema.
+func datasetHasFingerprints(ds *zeek.Dataset) bool {
+	for i := range ds.Conns {
+		if ds.Conns[i].JA3 != "" || ds.Conns[i].JA4 != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // writeLogFile creates path, runs emit over it, syncs, and closes it,

@@ -16,7 +16,7 @@ func smallConfig() Config {
 }
 
 func TestEndToEnd(t *testing.T) {
-	build := Generate(smallConfig())
+	build := GenerateConfig(smallConfig())
 	a := Analyze(build)
 	if a.CertStats.Row("Total").Total == 0 {
 		t.Fatal("no certificates analyzed")
@@ -40,7 +40,7 @@ func TestEndToEnd(t *testing.T) {
 
 func TestLogsRoundTrip(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "logs")
-	build := Generate(smallConfig())
+	build := GenerateConfig(smallConfig())
 	if err := WriteLogs(build.Raw, dir); err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestLogsRoundTrip(t *testing.T) {
 // refuses the directory outright.
 func TestOpenLogsPermissive(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "logs")
-	build := Generate(smallConfig())
+	build := GenerateConfig(smallConfig())
 	if err := WriteLogs(build.Raw, dir); err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestOpenLogsPermissive(t *testing.T) {
 
 func TestAnalysisOnReloadedLogs(t *testing.T) {
 	dir := t.TempDir()
-	build := Generate(smallConfig())
+	build := GenerateConfig(smallConfig())
 	a1 := Analyze(build)
 	if err := WriteLogs(build.Raw, dir); err != nil {
 		t.Fatal(err)
